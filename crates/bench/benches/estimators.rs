@@ -1,0 +1,111 @@
+//! End-to-end estimator comparison at a small fixed budget on a synthetic
+//! two-lobe indicator (free to evaluate, so this measures algorithmic
+//! overhead; the figure binaries measure the simulator-bound picture).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecripse_core::baseline::blockade::{statistical_blockade, BlockadeConfig};
+use ecripse_core::baseline::mean_shift::{mean_shift_is, MeanShiftConfig};
+use ecripse_core::baseline::naive::{naive_monte_carlo, NaiveConfig};
+use ecripse_core::baseline::sis::SequentialImportanceSampling;
+use ecripse_core::bench::TwoLobeBench;
+use ecripse_core::ecripse::{Ecripse, EcripseConfig};
+use ecripse_core::importance::ImportanceConfig;
+use ecripse_core::initial::InitialSearchConfig;
+use ecripse_core::rtn_source::NoRtn;
+use ecripse_svm::classifier::SvmConfig;
+use std::hint::black_box;
+
+fn bench_target() -> TwoLobeBench {
+    TwoLobeBench::new(vec![1.0, 0.4, -0.3], 3.0)
+}
+
+fn small_config() -> EcripseConfig {
+    EcripseConfig {
+        initial: InitialSearchConfig {
+            count: 24,
+            ..InitialSearchConfig::default()
+        },
+        iterations: 5,
+        importance: ImportanceConfig {
+            n_samples: 2000,
+            m_rtn: 1,
+            trace_every: 0,
+        },
+        m_rtn_stage1: 1,
+        ..EcripseConfig::default()
+    }
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimators");
+    group.sample_size(10);
+
+    group.bench_function("naive_20k", |b| {
+        b.iter(|| {
+            black_box(naive_monte_carlo(
+                &bench_target(),
+                &NoRtn::new(3),
+                &NaiveConfig {
+                    n_samples: 20_000,
+                    trace_every: 0,
+                    seed: 1,
+                },
+            ))
+        })
+    });
+
+    group.bench_function("mean_shift_2k", |b| {
+        b.iter(|| {
+            let mut cfg = MeanShiftConfig::default();
+            cfg.importance.n_samples = 2000;
+            cfg.importance.m_rtn = 1;
+            black_box(mean_shift_is(&bench_target(), &NoRtn::new(3), &cfg).expect("boundary"))
+        })
+    });
+
+    group.bench_function("blockade_20k", |b| {
+        b.iter(|| {
+            black_box(
+                statistical_blockade(
+                    &bench_target(),
+                    &NoRtn::new(3),
+                    &BlockadeConfig {
+                        n_pilot: 500,
+                        n_samples: 20_000,
+                        svm: SvmConfig {
+                            degree: 2,
+                            ..SvmConfig::default()
+                        },
+                        ..BlockadeConfig::default()
+                    },
+                )
+                .expect("pilot trains"),
+            )
+        })
+    });
+
+    group.bench_function("sis_2k", |b| {
+        b.iter(|| {
+            black_box(
+                SequentialImportanceSampling::new(small_config(), bench_target())
+                    .estimate()
+                    .expect("sis run"),
+            )
+        })
+    });
+
+    group.bench_function("ecripse_2k", |b| {
+        b.iter(|| {
+            black_box(
+                Ecripse::new(small_config(), bench_target())
+                    .estimate()
+                    .expect("ecripse run"),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Particle-filter iteration cost on a synthetic (free) indicator, i.e.
+//! the filter's own overhead with the simulator cost factored out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecripse_core::ensemble::{EnsembleConfig, FilterEnsemble};
+use ecripse_core::particle::ParticleFilterConfig;
+use ecripse_stats::special::normal_pdf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn seeds(dim: usize) -> Vec<Vec<f64>> {
+    (0..16)
+        .map(|i| {
+            let mut s = vec![0.0; dim];
+            s[0] = if i % 2 == 0 { 3.5 } else { -3.5 };
+            s[1] = (i as f64 - 8.0) * 0.1;
+            s
+        })
+        .collect()
+}
+
+fn weight(c: &[f64]) -> f64 {
+    if c[0].abs() > 3.0 {
+        c.iter().map(|v| normal_pdf(*v)).product()
+    } else {
+        0.0
+    }
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("particle_filter");
+
+    for n_particles in [50usize, 100, 400] {
+        let cfg = EnsembleConfig {
+            n_filters: 4,
+            filter: ParticleFilterConfig {
+                n_particles,
+                sigma_prediction: 0.3,
+            },
+        };
+        group.bench_with_input(
+            BenchmarkId::new("ensemble_step_6d", n_particles),
+            &cfg,
+            |b, cfg| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let mut ens = FilterEnsemble::from_seeds(&mut rng, *cfg, &seeds(6));
+                b.iter(|| {
+                    let r = ens.step(&mut rng, |_, cands| {
+                        cands.iter().map(|x| weight(x)).collect()
+                    });
+                    black_box(r).expect("non-degenerate weights");
+                })
+            },
+        );
+    }
+
+    // Mixture evaluation (stage-2 inner-loop cost per sample).
+    let mut rng = StdRng::seed_from_u64(9);
+    let ens = FilterEnsemble::from_seeds(
+        &mut rng,
+        EnsembleConfig {
+            n_filters: 4,
+            filter: ParticleFilterConfig {
+                n_particles: 100,
+                sigma_prediction: 0.3,
+            },
+        },
+        &seeds(6),
+    );
+    let mixture = ens.as_mixture(0.8);
+    let x = vec![3.3, 0.1, -0.2, 0.5, 0.0, 0.4];
+    group.bench_function("mixture_400_log_pdf", |b| {
+        b.iter(|| black_box(mixture.log_pdf(black_box(&x))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Polynomial feature-map cost versus degree — the per-query overhead the
+//! classifier adds on top of the linear dot product.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecripse_svm::features::PolynomialFeatures;
+use std::hint::black_box;
+
+fn bench_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poly_features");
+    let x = [0.3, -1.2, 2.5, 0.0, 1.1, -0.7];
+    for degree in [1u32, 2, 3, 4, 5] {
+        let f = PolynomialFeatures::new(6, degree);
+        group.bench_with_input(
+            BenchmarkId::new("transform_6d", degree),
+            &f,
+            |b, f| b.iter(|| black_box(f.transform(black_box(&x)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

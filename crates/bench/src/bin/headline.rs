@@ -1,0 +1,112 @@
+//! The paper's headline numbers, side by side with what this
+//! reproduction measures. Reads the JSON written by `fig6`, `fig7` and
+//! `fig8` (run those first; any missing file is reported as such).
+
+use ecripse_bench::{read_json, report_row};
+use serde_json::Value;
+
+fn get(v: &Value, path: &[&str]) -> Option<f64> {
+    let mut cur = v;
+    for p in path {
+        cur = cur.get(p)?;
+    }
+    cur.as_f64()
+}
+
+fn main() {
+    println!("=== ECRIPSE reproduction: paper vs measured ===\n");
+
+    match read_json::<Value>("fig6.json") {
+        Some(v) => {
+            report_row(
+                "Fig 6: simulation reduction vs conventional [8]",
+                "36x",
+                &get(&v, &["sim_ratio"])
+                    .map_or("n/a".into(), |r| format!("{r:.1}x")),
+            );
+            report_row(
+                "Fig 6: wall-clock speed-up vs conventional [8]",
+                "15.6x",
+                &get(&v, &["time_ratio"])
+                    .map_or("n/a".into(), |r| format!("{r:.1}x")),
+            );
+            report_row(
+                "Fig 6: RDF-only P_fail",
+                "1.2-1.4e-4",
+                &get(&v, &["p_fail_proposed"])
+                    .map_or("n/a".into(), |p| format!("{p:.3e}")),
+            );
+        }
+        None => println!("fig6.json missing — run `cargo run --release -p ecripse-bench --bin fig6`"),
+    }
+
+    match read_json::<Value>("fig7.json") {
+        Some(v) => {
+            report_row(
+                "Fig 7: P_fail at 0.5 V, α=0.3 (with RTN)",
+                "~7.5e-3",
+                &get(&v, &["proposed_a03"])
+                    .map_or("n/a".into(), |p| format!("{p:.3e}")),
+            );
+            report_row(
+                "Fig 7: speed-up vs naive MC",
+                "~40x",
+                &get(&v, &["naive_speedup"])
+                    .map_or("n/a".into(), |r| format!("{r:.0}x")),
+            );
+            let a03 = get(&v, &["sims_a03"]);
+            let a05 = get(&v, &["sims_a05"]);
+            report_row(
+                "Fig 7: α=0.5 sims relative to α=0.3 (shared init)",
+                "~0.5x",
+                &match (a03, a05) {
+                    (Some(a), Some(b)) if a > 0.0 => format!("{:.2}x", b / a),
+                    _ => "n/a".into(),
+                },
+            );
+        }
+        None => println!("fig7.json missing — run `cargo run --release -p ecripse-bench --bin fig7`"),
+    }
+
+    match read_json::<Value>("fig8.json") {
+        Some(v) => {
+            report_row(
+                "Fig 8: worst-case RTN degradation",
+                "6x",
+                &get(&v, &["degradation_factor"])
+                    .map_or("n/a".into(), |r| format!("{r:.1}x")),
+            );
+            let plateau = v
+                .get("minimum_plateau")
+                .and_then(|p| p.as_array())
+                .map(|p| {
+                    p.iter()
+                        .filter_map(|x| x.as_f64())
+                        .map(|x| x.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .unwrap_or_default();
+            report_row(
+                "Fig 8: sweep minimum",
+                "α = 0.5",
+                &get(&v, &["alpha_at_minimum"]).map_or("n/a".into(), |a| {
+                    format!("α = {a} (flat plateau: {{{plateau}}})")
+                }),
+            );
+            report_row(
+                "Fig 8: speed-up vs extrapolated naive sweep",
+                ">5500x",
+                &get(&v, &["sweep_speedup"])
+                    .map_or("n/a".into(), |r| format!("{r:.0}x")),
+            );
+            report_row(
+                "Fig 8: RDF-only reference",
+                "1.33e-4",
+                &get(&v, &["sweep", "p_fail_rdf_only"])
+                    .map_or("n/a".into(), |p| format!("{p:.3e}")),
+            );
+        }
+        None => println!("fig8.json missing — run `cargo run --release -p ecripse-bench --bin fig8`"),
+    }
+}

@@ -1,0 +1,92 @@
+//! Table I — experimental conditions, plus every derived quantity the
+//! reproduction actually uses (whitening sigmas, trap counts, single-trap
+//! quanta, and the sensitivity calibration κ).
+
+use ecripse_rtn::model::RtnCellModel;
+use ecripse_rtn::trap::TrapTimeConstants;
+use ecripse_spice::ptm::{
+    paper_geometry, ptm16_hp_nmos, ptm16_hp_pmos, DeviceRole, A_VTH, A_VTH_EFFECTIVE, COX,
+    SENSITIVITY_CALIBRATION, TRAP_DENSITY, VDD_NOMINAL,
+};
+use ecripse_spice::sram::CellDevice;
+
+fn main() {
+    println!("=== Table I: experimental conditions (as implemented) ===\n");
+
+    println!("{:<28} {:>10} {:>10} {:>10}", "", "Load (Li)", "Driver(Di)", "Access(Ai)");
+    let geo = |r| paper_geometry(r);
+    let (l, d, a) = (
+        geo(DeviceRole::Load),
+        geo(DeviceRole::Driver),
+        geo(DeviceRole::Access),
+    );
+    println!(
+        "{:<28} {:>10.0} {:>10.0} {:>10.0}",
+        "Channel width [nm]",
+        l.width * 1e9,
+        d.width * 1e9,
+        a.width * 1e9
+    );
+    println!(
+        "{:<28} {:>10.0} {:>10.0} {:>10.0}",
+        "Channel length [nm]",
+        l.length * 1e9,
+        d.length * 1e9,
+        a.length * 1e9
+    );
+    println!("{:<28} {:>10}", "A_VTH [mV·nm] (Table I)", A_VTH / 1e-3 / 1e-9);
+    println!(
+        "{:<28} {:>10.2}  (κ = {} — EKV-sensitivity calibration, see DESIGN.md)",
+        "A_VTH effective [mV·nm]",
+        A_VTH_EFFECTIVE / 1e-3 / 1e-9,
+        SENSITIVITY_CALIBRATION
+    );
+    println!("{:<28} {:>10}", "t_ox [nm]", 0.95);
+    println!("{:<28} {:>10.3}", "C_ox [F/m²] (derived)", COX);
+    println!("{:<28} {:>10.0e}", "λ trap density [m⁻²]", TRAP_DENSITY);
+    println!("{:<28} {:>10}", "V_DD nominal [V]", VDD_NOMINAL);
+
+    let t = TrapTimeConstants::paper_values();
+    println!("\nTrap time constants [s]:");
+    println!("  τe_on = {}   τe_off = {}   τc_on = {}   τc_off = {}",
+        t.tau_e_on, t.tau_e_off, t.tau_c_on, t.tau_c_off);
+
+    println!("\nCompact-model cards (EKV-style fit to PTM 16 nm HP):");
+    for card in [ptm16_hp_nmos(), ptm16_hp_pmos()] {
+        println!(
+            "  {}: vth0 = {} V, kp = {:.1e} A/V², n = {}, λ_clm = {}, DIBL = {} V/V",
+            card.kind, card.vth0, card.kp, card.slope_n, card.lambda, card.dibl
+        );
+    }
+
+    println!("\nDerived per-device quantities (canonical order):");
+    println!(
+        "{:<6} {:>14} {:>14} {:>16}",
+        "dev", "σ_RDF [mV]", "mean traps", "ΔVth/trap [mV]"
+    );
+    for dev in CellDevice::ALL {
+        let g = paper_geometry(dev.role());
+        println!(
+            "{:<6} {:>14.2} {:>14.2} {:>16.2}",
+            dev.to_string(),
+            g.pelgrom_sigma(A_VTH_EFFECTIVE) * 1e3,
+            g.mean_traps(TRAP_DENSITY),
+            SENSITIVITY_CALIBRATION * g.single_trap_dvth(COX) * 1e3,
+        );
+    }
+
+    println!("\nRTN Poisson means at selected duty ratios (access RTN excluded —");
+    println!("see DESIGN.md; the smallest device holds 1.92 traps on average):");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "α", "PL", "NL", "PR", "NR", "AL", "AR"
+    );
+    for alpha in [0.0, 0.3, 0.5, 0.7, 1.0] {
+        let m = RtnCellModel::paper_model(alpha);
+        let means = m.devices().map(|d| d.poisson_mean);
+        println!(
+            "{:<8} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            alpha, means[0], means[1], means[2], means[3], means[4], means[5]
+        );
+    }
+}

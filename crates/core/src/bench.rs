@@ -1,0 +1,314 @@
+//! The testbench abstraction and simulation accounting.
+//!
+//! Every estimator in this crate consumes a [`Testbench`]: a deterministic
+//! indicator over the *whitened total-shift space* — the 6-D vector
+//! `z = x_RDF + x_RTN/σ` of combined threshold shifts in sigma units.
+//! Working in the combined space lets one classifier serve both the
+//! RDF-only and the RTN-aware flows, exactly as the indicator
+//! `I(x_RDF, x_RTN)` of the paper depends only on the total shift.
+//!
+//! [`SimCounter`] wraps any bench and counts invocations — the
+//! "number of transistor-level simulations" axis of Figs. 6 and 7.
+
+use ecripse_spice::testbench::ReadStabilityBench;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A deterministic pass/fail indicator over whitened shift space.
+pub trait Testbench: Sync {
+    /// Dimensionality of the variability space.
+    fn dim(&self) -> usize;
+
+    /// The indicator `I(z)`: `true` when the sample violates the
+    /// specification.
+    fn fails(&self, z: &[f64]) -> bool;
+}
+
+/// The paper's testbench: the 6T cell read-stability check, whitened by
+/// the per-device Pelgrom sigmas.
+#[derive(Debug, Clone)]
+pub struct SramReadBench {
+    inner: ReadStabilityBench,
+}
+
+impl SramReadBench {
+    /// Table I cell at the nominal supply.
+    pub fn paper_cell() -> Self {
+        Self {
+            inner: ReadStabilityBench::paper_cell(),
+        }
+    }
+
+    /// Table I cell at a custom supply (Fig. 7 drops it to 0.5 V).
+    pub fn at_vdd(vdd: f64) -> Self {
+        Self {
+            inner: ReadStabilityBench::at_vdd(vdd),
+        }
+    }
+
+    /// The per-device sigmas that define the whitening \[V\].
+    pub fn sigmas(&self) -> [f64; 6] {
+        self.inner.pelgrom_sigmas()
+    }
+
+    /// Access to the underlying circuit bench.
+    pub fn circuit(&self) -> &ReadStabilityBench {
+        &self.inner
+    }
+}
+
+impl Testbench for SramReadBench {
+    fn dim(&self) -> usize {
+        6
+    }
+
+    fn fails(&self, z: &[f64]) -> bool {
+        self.inner.fails_whitened(z)
+    }
+}
+
+/// Write-failure testbench — the extension analysis beyond the paper's
+/// read-only scope: the cell fails when a word-line write cannot destroy
+/// the stored state (see
+/// [`ReadStabilityBench::write_margin`](ecripse_spice::testbench::ReadStabilityBench::write_margin)).
+#[derive(Debug, Clone)]
+pub struct SramWriteBench {
+    inner: ReadStabilityBench,
+}
+
+impl SramWriteBench {
+    /// Table I cell at the nominal supply.
+    pub fn paper_cell() -> Self {
+        Self {
+            inner: ReadStabilityBench::paper_cell(),
+        }
+    }
+
+    /// Table I cell at a custom supply.
+    pub fn at_vdd(vdd: f64) -> Self {
+        Self {
+            inner: ReadStabilityBench::at_vdd(vdd),
+        }
+    }
+
+    /// The per-device sigmas that define the whitening \[V\].
+    pub fn sigmas(&self) -> [f64; 6] {
+        self.inner.pelgrom_sigmas()
+    }
+
+    /// Access to the underlying circuit bench.
+    pub fn circuit(&self) -> &ReadStabilityBench {
+        &self.inner
+    }
+}
+
+impl Testbench for SramWriteBench {
+    fn dim(&self) -> usize {
+        6
+    }
+
+    fn fails(&self, z: &[f64]) -> bool {
+        self.inner.write_fails_whitened(z)
+    }
+}
+
+/// A linear synthetic indicator `I(z) = [w·z > b]` whose exact failure
+/// probability under `z ~ N(0, I)` is `Φ(−b/‖w‖)` — the ground truth the
+/// estimator tests validate against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearBench {
+    /// Normal direction.
+    pub w: Vec<f64>,
+    /// Offset.
+    pub b: f64,
+}
+
+impl LinearBench {
+    /// Creates the indicator; `w` must be non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is empty or has zero norm.
+    pub fn new(w: Vec<f64>, b: f64) -> Self {
+        assert!(!w.is_empty(), "empty direction vector");
+        let norm: f64 = w.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm > 0.0, "direction must be non-zero");
+        Self { w, b }
+    }
+
+    /// The exact failure probability under the standard normal.
+    pub fn exact_p_fail(&self) -> f64 {
+        let norm: f64 = self.w.iter().map(|v| v * v).sum::<f64>().sqrt();
+        ecripse_stats::special::normal_sf(self.b / norm)
+    }
+}
+
+impl Testbench for LinearBench {
+    fn dim(&self) -> usize {
+        self.w.len()
+    }
+
+    fn fails(&self, z: &[f64]) -> bool {
+        assert_eq!(z.len(), self.w.len(), "dimension mismatch");
+        self.w.iter().zip(z).map(|(w, zi)| w * zi).sum::<f64>() > self.b
+    }
+}
+
+/// A two-lobed synthetic indicator `I(z) = [|w·z| > b]`, mimicking the
+/// symmetric pair of SRAM failure regions; exact probability
+/// `2·Φ(−b/‖w‖)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoLobeBench {
+    inner: LinearBench,
+}
+
+impl TwoLobeBench {
+    /// Creates the two-sided indicator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is empty or zero, or `b` is not positive.
+    pub fn new(w: Vec<f64>, b: f64) -> Self {
+        assert!(b > 0.0, "offset must be positive for two lobes");
+        Self {
+            inner: LinearBench::new(w, b),
+        }
+    }
+
+    /// The exact failure probability under the standard normal.
+    pub fn exact_p_fail(&self) -> f64 {
+        2.0 * self.inner.exact_p_fail()
+    }
+}
+
+impl Testbench for TwoLobeBench {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn fails(&self, z: &[f64]) -> bool {
+        assert_eq!(z.len(), self.inner.w.len(), "dimension mismatch");
+        let dot: f64 = self.inner.w.iter().zip(z).map(|(w, zi)| w * zi).sum();
+        dot.abs() > self.inner.b
+    }
+}
+
+/// Wraps a bench and counts indicator evaluations — the cost metric of
+/// the whole study.
+#[derive(Debug)]
+pub struct SimCounter<B> {
+    inner: B,
+    count: AtomicU64,
+}
+
+impl<B: Testbench> SimCounter<B> {
+    /// Wraps a bench with a zeroed counter.
+    pub fn new(inner: B) -> Self {
+        Self {
+            inner,
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of (counted) indicator evaluations so far.
+    pub fn simulations(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+    }
+
+    /// The wrapped bench.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: Testbench> Testbench for SimCounter<B> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn fails(&self, z: &[f64]) -> bool {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.fails(z)
+    }
+}
+
+impl<T: Testbench + ?Sized> Testbench for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn fails(&self, z: &[f64]) -> bool {
+        (**self).fails(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_bench_probability_is_gaussian_tail() {
+        let b = LinearBench::new(vec![1.0, 0.0], 3.0);
+        let want = ecripse_stats::special::normal_sf(3.0);
+        assert!((b.exact_p_fail() - want).abs() < 1e-15);
+        assert!(b.fails(&[3.5, 0.0]));
+        assert!(!b.fails(&[2.5, 0.0]));
+    }
+
+    #[test]
+    fn linear_bench_norm_scales_threshold() {
+        // w = (3,4), b = 15 → boundary at distance 3.
+        let b = LinearBench::new(vec![3.0, 4.0], 15.0);
+        let want = ecripse_stats::special::normal_sf(3.0);
+        assert!(((b.exact_p_fail() - want) / want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_lobe_bench_is_symmetric() {
+        let b = TwoLobeBench::new(vec![1.0, 1.0], 4.0);
+        assert!(b.fails(&[3.0, 3.0]));
+        assert!(b.fails(&[-3.0, -3.0]));
+        assert!(!b.fails(&[0.0, 0.0]));
+        assert!((b.exact_p_fail() - 2.0 * ecripse_stats::special::normal_sf(4.0 / 2.0_f64.sqrt())).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sim_counter_counts_and_resets() {
+        let c = SimCounter::new(LinearBench::new(vec![1.0], 0.0));
+        assert_eq!(c.simulations(), 0);
+        let _ = c.fails(&[1.0]);
+        let _ = c.fails(&[-1.0]);
+        assert_eq!(c.simulations(), 2);
+        c.reset();
+        assert_eq!(c.simulations(), 0);
+    }
+
+    #[test]
+    fn sim_counter_preserves_verdicts() {
+        let raw = LinearBench::new(vec![1.0, -1.0], 1.0);
+        let c = SimCounter::new(raw.clone());
+        for z in [[2.0, 0.0], [0.0, 0.0], [0.0, -2.0], [-3.0, 1.0]] {
+            assert_eq!(c.fails(&z), raw.fails(&z));
+        }
+    }
+
+    #[test]
+    fn sram_bench_dim_and_nominal_pass() {
+        let b = SramReadBench::paper_cell();
+        assert_eq!(b.dim(), 6);
+        assert!(!b.fails(&[0.0; 6]));
+        assert!(b.sigmas().iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    fn reference_impl_forwards() {
+        let b = LinearBench::new(vec![1.0], 1.0);
+        let r: &dyn Testbench = &b;
+        assert_eq!(r.dim(), 1);
+        assert!(r.fails(&[2.0]));
+    }
+}

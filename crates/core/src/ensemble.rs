@@ -1,0 +1,351 @@
+//! The multi-filter ensemble that prevents lobe collapse.
+//!
+//! A single particle filter resampled repeatedly degenerates onto one
+//! point — for the symmetric SRAM cell that means one of the two failure
+//! lobes silently vanishes from the alternative distribution and the
+//! failure probability is underestimated (paper Sec. III-B, step 4
+//! discussion). The ensemble runs `F` independent filters, each
+//! resampling only within itself, and pools all particles for the final
+//! Eq. 18 mixture.
+//!
+//! Seeds are distributed over the filters by a small k-means clustering,
+//! so distinct failure lobes found by the initial boundary search start
+//! in distinct filters.
+
+use crate::particle::{DegenerateWeightsError, ParticleFilter, ParticleFilterConfig};
+use ecripse_stats::mvn::GaussianMixture;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Ensemble configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleConfig {
+    /// Number of independent filters.
+    pub n_filters: usize,
+    /// Per-filter configuration.
+    pub filter: ParticleFilterConfig,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        Self {
+            n_filters: 4,
+            filter: ParticleFilterConfig::default(),
+        }
+    }
+}
+
+/// An ensemble of independent particle filters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterEnsemble {
+    filters: Vec<ParticleFilter>,
+}
+
+impl FilterEnsemble {
+    /// Builds the ensemble: clusters the seeds into `n_filters` groups
+    /// (k-means, a few Lloyd iterations) and seeds one filter per group.
+    /// Empty clusters fall back to the full seed set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty or the configuration is invalid.
+    pub fn from_seeds<R: Rng + ?Sized>(
+        rng: &mut R,
+        config: EnsembleConfig,
+        seeds: &[Vec<f64>],
+    ) -> Self {
+        assert!(!seeds.is_empty(), "no seed particles");
+        assert!(config.n_filters > 0, "need at least one filter");
+        let clusters = kmeans_assign(rng, seeds, config.n_filters);
+        let filters = (0..config.n_filters)
+            .map(|k| {
+                let members: Vec<Vec<f64>> = seeds
+                    .iter()
+                    .zip(&clusters)
+                    .filter(|(_, c)| **c == k)
+                    .map(|(s, _)| s.clone())
+                    .collect();
+                let group = if members.is_empty() {
+                    seeds.to_vec()
+                } else {
+                    members
+                };
+                ParticleFilter::from_seeds(rng, config.filter, &group)
+            })
+            .collect();
+        Self { filters }
+    }
+
+    /// The filters.
+    pub fn filters(&self) -> &[ParticleFilter] {
+        &self.filters
+    }
+
+    /// Total particle count across filters.
+    pub fn total_particles(&self) -> usize {
+        self.filters.iter().map(|f| f.particles().len()).sum()
+    }
+
+    /// All particle positions pooled.
+    pub fn pooled_particles(&self) -> Vec<Vec<f64>> {
+        self.filters
+            .iter()
+            .flat_map(|f| f.particles().iter().cloned())
+            .collect()
+    }
+
+    /// One ensemble iteration: every filter predicts, the caller weighs
+    /// the *concatenated* candidate batch once (so classifier training
+    /// sees all filters' candidates together), and each filter resamples
+    /// within its own slice.
+    ///
+    /// Filters whose candidates all weigh zero keep their previous
+    /// population (they may recover on a later iteration); the function
+    /// only fails if *every* filter degenerates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DegenerateWeightsError`] if all filters received
+    /// all-zero weights.
+    pub fn step<R, F>(&mut self, rng: &mut R, mut weight_fn: F) -> Result<(), DegenerateWeightsError>
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R, &[Vec<f64>]) -> Vec<f64>,
+    {
+        // Predict per filter, remembering slice boundaries.
+        let mut all_candidates = Vec::new();
+        let mut spans = Vec::with_capacity(self.filters.len());
+        for f in &self.filters {
+            let c = f.predict(rng);
+            spans.push((all_candidates.len(), all_candidates.len() + c.len()));
+            all_candidates.extend(c);
+        }
+        let weights = weight_fn(rng, &all_candidates);
+        assert_eq!(
+            weights.len(),
+            all_candidates.len(),
+            "weight function returned wrong count"
+        );
+        let mut any_ok = false;
+        for (f, (lo, hi)) in self.filters.iter_mut().zip(&spans) {
+            if let Ok(()) = f.resample(rng, &all_candidates[*lo..*hi], &weights[*lo..*hi]) { any_ok = true }
+        }
+        if any_ok {
+            Ok(())
+        } else {
+            Err(DegenerateWeightsError)
+        }
+    }
+
+    /// The pooled Eq. 18 mixture over all filters' particles.
+    pub fn as_mixture(&self, sigma: f64) -> GaussianMixture {
+        GaussianMixture::from_particles(&self.pooled_particles(), sigma)
+    }
+}
+
+/// Assigns each seed to one of `k` clusters via a short k-means run.
+fn kmeans_assign<R: Rng + ?Sized>(rng: &mut R, seeds: &[Vec<f64>], k: usize) -> Vec<usize> {
+    let n = seeds.len();
+    if k == 1 || n <= k {
+        return (0..n).map(|i| i % k).collect();
+    }
+    // Farthest-point initialisation: one random centroid, then greedily
+    // the seed farthest from all chosen so far — guarantees well
+    // separated lobes land in different clusters.
+    let mut centroids: Vec<Vec<f64>> = vec![seeds[rng.gen_range(0..n)].clone()];
+    while centroids.len() < k {
+        let next = seeds
+            .iter()
+            .max_by(|a, b| {
+                let da = centroids.iter().map(|c| dist2(a, c)).fold(f64::INFINITY, f64::min);
+                let db = centroids.iter().map(|c| dist2(b, c)).fold(f64::INFINITY, f64::min);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("seeds non-empty");
+        centroids.push(next.clone());
+    }
+    let mut assign = vec![0usize; n];
+    for _ in 0..10 {
+        // Assignment step.
+        let mut changed = false;
+        for (i, s) in seeds.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(s, &centroids[a])
+                        .partial_cmp(&dist2(s, &centroids[b]))
+                        .expect("finite distances")
+                })
+                .expect("k > 0");
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update step.
+        let dim = seeds[0].len();
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (s, &a) in seeds.iter().zip(&assign) {
+            counts[a] += 1;
+            for (acc, v) in sums[a].iter_mut().zip(s) {
+                *acc += v;
+            }
+        }
+        for ((c, sum), &count) in centroids.iter_mut().zip(&sums).zip(&counts) {
+            if count > 0 {
+                *c = sum.iter().map(|v| v / count as f64).collect();
+            }
+        }
+    }
+    assign
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecripse_stats::special::normal_pdf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two-lobe weight: standard normal restricted to |x₀| > 2.5.
+    fn two_lobe_weight(c: &[f64]) -> f64 {
+        if c[0].abs() > 2.5 {
+            c.iter().map(|v| normal_pdf(*v)).product()
+        } else {
+            0.0
+        }
+    }
+
+    fn two_lobe_seeds() -> Vec<Vec<f64>> {
+        let mut seeds = Vec::new();
+        for i in 0..10 {
+            let y = (i as f64 - 4.5) * 0.2;
+            seeds.push(vec![2.6, y]);
+            seeds.push(vec![-2.6, y]);
+        }
+        seeds
+    }
+
+    #[test]
+    fn ensemble_keeps_both_lobes_alive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = EnsembleConfig {
+            n_filters: 4,
+            filter: ParticleFilterConfig {
+                n_particles: 40,
+                sigma_prediction: 0.25,
+            },
+        };
+        let mut e = FilterEnsemble::from_seeds(&mut rng, cfg, &two_lobe_seeds());
+        for _ in 0..12 {
+            e.step(&mut rng, |_, cands| {
+                cands.iter().map(|c| two_lobe_weight(c)).collect()
+            })
+            .expect("weights present");
+        }
+        let pooled = e.pooled_particles();
+        let right = pooled.iter().filter(|p| p[0] > 0.0).count();
+        let left = pooled.len() - right;
+        assert!(
+            right >= pooled.len() / 5 && left >= pooled.len() / 5,
+            "lobe balance {right}/{left}"
+        );
+    }
+
+    #[test]
+    fn single_filter_typically_collapses_to_one_lobe() {
+        // The contrast case motivating the ensemble: one filter, same
+        // problem — after many iterations the population is usually
+        // single-lobed. (Checked over several RNG seeds to avoid a flaky
+        // single-shot assertion.)
+        let mut collapsed = 0;
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let cfg = EnsembleConfig {
+                n_filters: 1,
+                filter: ParticleFilterConfig {
+                    n_particles: 40,
+                    sigma_prediction: 0.25,
+                },
+            };
+            let mut e = FilterEnsemble::from_seeds(&mut rng, cfg, &two_lobe_seeds());
+            for _ in 0..30 {
+                let _ = e.step(&mut rng, |_, cands| {
+                    cands.iter().map(|c| two_lobe_weight(c)).collect()
+                });
+            }
+            let pooled = e.pooled_particles();
+            let right = pooled.iter().filter(|p| p[0] > 0.0).count();
+            if right == 0 || right == pooled.len() {
+                collapsed += 1;
+            }
+        }
+        assert!(
+            collapsed >= 3,
+            "expected the single filter to collapse most of the time, got {collapsed}/5"
+        );
+    }
+
+    #[test]
+    fn kmeans_separates_well_separated_clusters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let seeds = two_lobe_seeds();
+        let assign = kmeans_assign(&mut rng, &seeds, 2);
+        // All right-lobe seeds in one cluster, all left-lobe in the other.
+        let right_cluster = assign[0];
+        for (s, a) in seeds.iter().zip(&assign) {
+            if s[0] > 0.0 {
+                assert_eq!(*a, right_cluster);
+            } else {
+                assert_ne!(*a, right_cluster);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_particle_count_and_mixture() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = EnsembleConfig {
+            n_filters: 3,
+            filter: ParticleFilterConfig {
+                n_particles: 20,
+                sigma_prediction: 0.3,
+            },
+        };
+        let e = FilterEnsemble::from_seeds(&mut rng, cfg, &two_lobe_seeds());
+        assert_eq!(e.total_particles(), 60);
+        assert_eq!(e.as_mixture(0.4).len(), 60);
+    }
+
+    #[test]
+    fn all_zero_weights_error_but_preserve_state() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut e =
+            FilterEnsemble::from_seeds(&mut rng, EnsembleConfig::default(), &two_lobe_seeds());
+        let before = e.pooled_particles();
+        let err = e.step(&mut rng, |_, cands| vec![0.0; cands.len()]);
+        assert!(err.is_err());
+        assert_eq!(e.pooled_particles(), before);
+    }
+
+    #[test]
+    fn more_seeds_than_filters_not_required() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = EnsembleConfig {
+            n_filters: 4,
+            filter: ParticleFilterConfig {
+                n_particles: 10,
+                sigma_prediction: 0.3,
+            },
+        };
+        let e = FilterEnsemble::from_seeds(&mut rng, cfg, &[vec![3.0, 0.0]]);
+        assert_eq!(e.total_particles(), 40);
+    }
+}

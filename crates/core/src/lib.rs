@@ -1,0 +1,73 @@
+//! ECRIPSE — efficient calculation of RTN-induced SRAM failure
+//! probability (reproduction of Awano, Hiromoto & Sato, DATE 2015).
+//!
+//! The estimation problem: a 6T SRAM cell fails a read when its noise
+//! margin goes negative. Threshold-voltage variation has two sources —
+//! static process variation (RDF, a 6-D standard normal after whitening)
+//! and random telegraph noise (RTN, quantised Poisson shifts whose
+//! statistics depend on the cell's data duty ratio `α`). The failure
+//! probability (Eqs. 11–13)
+//!
+//! ```text
+//! P_fail = ∫ P_fail^RTN(x) · P_RDF(x) dx,
+//! P_fail^RTN(x) = ∫ I(x, x_RTN) · P_RTN(x_RTN) dx_RTN
+//! ```
+//!
+//! sits at ~1e-4 and below, far outside naive Monte Carlo's reach, and
+//! must be evaluated for *many* duty ratios. ECRIPSE combines:
+//!
+//! 1. an ensemble of **particle filters** that track the optimal
+//!    alternative distribution `Q_opt ∝ P_fail^RTN(x)·P(x)`
+//!    ([`particle`], [`ensemble`], initialised by spherical bisection in
+//!    [`initial`]);
+//! 2. a **polynomial-feature linear SVM** that answers most indicator
+//!    queries without a transistor-level simulation ([`oracle`]);
+//! 3. a **two-stage Monte Carlo** flow — cheap distribution estimation,
+//!    then importance sampling from the particle mixture
+//!    ([`importance`], orchestrated in [`ecripse`]);
+//! 4. **shared initial particles** across bias conditions ([`sweep`]).
+//!
+//! Baselines from the paper's evaluation live in [`baseline`]: naive
+//! Monte Carlo, the sequential-importance-sampling method of Katayama et
+//! al. (the paper's reference \[8\]), mean-shift importance sampling, and
+//! statistical blockade.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ecripse_core::bench::SramReadBench;
+//! use ecripse_core::ecripse::{Ecripse, EcripseConfig};
+//!
+//! // RDF-only failure probability of the paper's cell.
+//! let bench = SramReadBench::paper_cell();
+//! let run = Ecripse::new(EcripseConfig::default(), bench);
+//! let result = run.estimate()?;
+//! println!(
+//!     "P_fail = {:.3e} ± {:.3e} using {} simulations",
+//!     result.p_fail,
+//!     result.ci95_half_width,
+//!     result.simulations
+//! );
+//! # Ok::<(), ecripse_core::ecripse::EstimateError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod baseline;
+pub mod bench;
+pub mod ecripse;
+pub mod ensemble;
+pub mod importance;
+pub mod initial;
+pub mod oracle;
+pub mod particle;
+pub mod rtn_source;
+pub mod sweep;
+pub mod trace;
+
+pub use bench::{SimCounter, SramReadBench, SramWriteBench, Testbench};
+pub use ecripse::{Ecripse, EcripseConfig, EcripseResult};
+pub use rtn_source::{NoRtn, RtnSource, SramRtn};
+pub use sweep::{DutySweep, SweepPoint};
+pub use trace::{ConvergenceTrace, TracePoint};

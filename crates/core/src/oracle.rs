@@ -1,0 +1,375 @@
+//! Classifier-gated indicator evaluation.
+//!
+//! The oracle is the cost-control layer between the estimators and the
+//! transistor-level testbench. It implements the paper's two policies:
+//!
+//! * **Rough** (stage 1, particle weighting): label a random subset of
+//!   `K` samples per batch with real simulations, (re)train the
+//!   classifier, and let it answer for everything else. Misclassified
+//!   weights only distort the alternative distribution slightly — they
+//!   never bias the final estimate (Sec. III-B, step 3).
+//! * **Accurate** (stage 2, importance sampling): trust the classifier
+//!   only outside its margin-based uncertainty band; simulate uncertain
+//!   samples and feed the labels back as incremental training data
+//!   (Sec. III-B, step 5).
+//!
+//! With the classifier disabled, both policies simulate everything —
+//! which is exactly the "conventional" baseline of Fig. 6.
+
+use crate::bench::Testbench;
+use ecripse_svm::classifier::{SvmClassifier, SvmConfig, TrainError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Oracle configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// Classifier pipeline settings; `None` disables the classifier
+    /// entirely (every query is simulated).
+    pub svm: Option<SvmConfig>,
+    /// Simulation budget per rough batch (the paper's `K`).
+    pub k_train_per_batch: usize,
+    /// Pending uncertain-sample labels are folded into the classifier
+    /// once this many have accumulated (warm-started retraining is cheap
+    /// but not free).
+    pub retrain_threshold: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        Self {
+            svm: Some(SvmConfig::default()),
+            k_train_per_batch: 256,
+            retrain_threshold: 512,
+        }
+    }
+}
+
+/// Statistics the oracle keeps about its own behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleStats {
+    /// Queries answered by the classifier.
+    pub classified: u64,
+    /// Queries answered by simulation.
+    pub simulated: u64,
+    /// Stage-2 simulations triggered by the uncertainty band.
+    pub uncertain_simulated: u64,
+    /// Retraining rounds performed.
+    pub retrains: u64,
+}
+
+/// The classifier-gated oracle.
+#[derive(Debug)]
+pub struct ClassifierOracle<'a, B: Testbench> {
+    bench: &'a B,
+    config: OracleConfig,
+    classifier: Option<SvmClassifier>,
+    /// Labels accumulated before the classifier could be trained (e.g.
+    /// while only one class had been observed).
+    pretrain_x: Vec<Vec<f64>>,
+    pretrain_y: Vec<bool>,
+    /// Uncertain-sample labels awaiting the next retraining round.
+    pending_x: Vec<Vec<f64>>,
+    pending_y: Vec<bool>,
+    stats: OracleStats,
+}
+
+impl<'a, B: Testbench> ClassifierOracle<'a, B> {
+    /// Creates an oracle over the given (counted) testbench.
+    pub fn new(bench: &'a B, config: OracleConfig) -> Self {
+        Self {
+            bench,
+            config,
+            classifier: None,
+            pretrain_x: Vec::new(),
+            pretrain_y: Vec::new(),
+            pending_x: Vec::new(),
+            pending_y: Vec::new(),
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// Usage statistics.
+    pub fn stats(&self) -> &OracleStats {
+        &self.stats
+    }
+
+    /// Whether a classifier has been successfully trained.
+    pub fn has_classifier(&self) -> bool {
+        self.classifier.is_some()
+    }
+
+    /// Simulates a sample, recording it for (future) training.
+    fn simulate_and_record(&mut self, z: &[f64]) -> bool {
+        let y = self.bench.fails(z);
+        self.stats.simulated += 1;
+        if self.config.svm.is_some() {
+            match &self.classifier {
+                Some(clf) if clf.is_bank_full() => {
+                    // The classifier has stopped learning; skip the
+                    // bookkeeping.
+                }
+                Some(_) => {
+                    self.pending_x.push(z.to_vec());
+                    self.pending_y.push(y);
+                }
+                None => {
+                    self.pretrain_x.push(z.to_vec());
+                    self.pretrain_y.push(y);
+                }
+            }
+        }
+        y
+    }
+
+    /// Attempts to train the classifier from the pre-training bank.
+    fn try_initial_training(&mut self) {
+        let Some(svm_config) = self.config.svm else {
+            return;
+        };
+        if self.classifier.is_some() || self.pretrain_x.is_empty() {
+            return;
+        }
+        match SvmClassifier::fit(&svm_config, &self.pretrain_x, &self.pretrain_y) {
+            Ok(clf) => {
+                self.classifier = Some(clf);
+                self.stats.retrains += 1;
+                self.pretrain_x.clear();
+                self.pretrain_y.clear();
+            }
+            Err(TrainError::SingleClass) | Err(TrainError::EmptyTrainingSet) => {
+                // Keep accumulating; a later batch will contain both
+                // classes.
+            }
+        }
+    }
+
+    /// Folds pending uncertain-sample labels into the classifier if the
+    /// threshold is reached (or `force` is set).
+    fn maybe_retrain(&mut self, force: bool) {
+        if self.pending_x.is_empty() {
+            return;
+        }
+        let Some(clf) = self.classifier.as_mut() else {
+            return;
+        };
+        if force || self.pending_x.len() >= self.config.retrain_threshold {
+            clf.add_labelled(&self.pending_x, &self.pending_y);
+            self.stats.retrains += 1;
+            self.pending_x.clear();
+            self.pending_y.clear();
+        }
+    }
+
+    /// Stage-1 policy: evaluates a whole batch, spending at most
+    /// `k_train_per_batch` simulations on randomly chosen members and
+    /// classifying the rest.
+    pub fn evaluate_batch_rough<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        zs: &[Vec<f64>],
+    ) -> Vec<bool> {
+        if self.config.svm.is_none() {
+            return zs.iter().map(|z| self.simulate_and_record(z)).collect();
+        }
+        let mut out = vec![false; zs.len()];
+        let mut indices: Vec<usize> = (0..zs.len()).collect();
+        indices.shuffle(rng);
+        let k = self.config.k_train_per_batch.min(zs.len());
+        let (train_idx, rest_idx) = indices.split_at(k);
+        for &i in train_idx {
+            out[i] = self.simulate_and_record(&zs[i]);
+        }
+        self.try_initial_training();
+        self.maybe_retrain(true);
+        match &self.classifier {
+            Some(clf) => {
+                for &i in rest_idx {
+                    out[i] = clf.predict(&zs[i]);
+                    self.stats.classified += 1;
+                }
+            }
+            None => {
+                // Classifier still unavailable (single-class batch):
+                // simulate the remainder to keep the weights exact.
+                for &i in rest_idx {
+                    out[i] = self.simulate_and_record(&zs[i]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Stage-2 policy: classify confidently-classified samples, simulate
+    /// uncertain ones and learn from them.
+    pub fn evaluate_accurate(&mut self, z: &[f64]) -> bool {
+        match &self.classifier {
+            Some(clf) if !clf.is_uncertain(z) => {
+                self.stats.classified += 1;
+                clf.predict(z)
+            }
+            Some(_) => {
+                self.stats.uncertain_simulated += 1;
+                let y = self.simulate_and_record(z);
+                self.maybe_retrain(false);
+                y
+            }
+            None => {
+                let y = self.simulate_and_record(z);
+                self.try_initial_training();
+                y
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::{LinearBench, SimCounter};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn batch_around_boundary(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| vec![rng.gen_range(1.0..5.0), rng.gen_range(-2.0..2.0)])
+            .collect()
+    }
+
+    #[test]
+    fn disabled_classifier_simulates_everything() {
+        let counter = SimCounter::new(LinearBench::new(vec![1.0, 0.0], 3.0));
+        let cfg = OracleConfig {
+            svm: None,
+            ..OracleConfig::default()
+        };
+        let mut oracle = ClassifierOracle::new(&counter, cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let zs = batch_around_boundary(100, 2);
+        let out = oracle.evaluate_batch_rough(&mut rng, &zs);
+        assert_eq!(counter.simulations(), 100);
+        assert_eq!(oracle.stats().classified, 0);
+        // Verdicts must be exact.
+        for (z, y) in zs.iter().zip(&out) {
+            assert_eq!(*y, counter.inner().fails(z));
+        }
+    }
+
+    #[test]
+    fn rough_batches_cap_simulations_at_k() {
+        let counter = SimCounter::new(LinearBench::new(vec![1.0, 0.0], 3.0));
+        let cfg = OracleConfig {
+            k_train_per_batch: 64,
+            ..OracleConfig::default()
+        };
+        let mut oracle = ClassifierOracle::new(&counter, cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let zs = batch_around_boundary(1000, 4);
+        let _ = oracle.evaluate_batch_rough(&mut rng, &zs);
+        // The boundary at 3 splits this batch, so training succeeds from
+        // the first 64 labels and the rest is classified.
+        assert_eq!(counter.simulations(), 64);
+        assert_eq!(oracle.stats().classified, 1000 - 64);
+        assert!(oracle.has_classifier());
+    }
+
+    #[test]
+    fn rough_verdicts_are_mostly_correct() {
+        let counter = SimCounter::new(LinearBench::new(vec![1.0, 0.0], 3.0));
+        let cfg = OracleConfig {
+            k_train_per_batch: 200,
+            ..OracleConfig::default()
+        };
+        let mut oracle = ClassifierOracle::new(&counter, cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        let zs = batch_around_boundary(1200, 6);
+        let out = oracle.evaluate_batch_rough(&mut rng, &zs);
+        let correct = zs
+            .iter()
+            .zip(&out)
+            .filter(|(z, y)| counter.inner().fails(z) == **y)
+            .count();
+        assert!(correct as f64 > 0.95 * zs.len() as f64, "{correct}/1200");
+    }
+
+    #[test]
+    fn single_class_batches_fall_back_to_simulation() {
+        // Batch entirely on the passing side: classifier cannot train.
+        let counter = SimCounter::new(LinearBench::new(vec![1.0, 0.0], 100.0));
+        let mut oracle = ClassifierOracle::new(&counter, OracleConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let zs = batch_around_boundary(300, 8);
+        let out = oracle.evaluate_batch_rough(&mut rng, &zs);
+        assert!(out.iter().all(|y| !y));
+        assert_eq!(counter.simulations(), 300, "everything must be simulated");
+        assert!(!oracle.has_classifier());
+    }
+
+    #[test]
+    fn accurate_policy_simulates_uncertain_samples() {
+        let counter = SimCounter::new(LinearBench::new(vec![1.0, 0.0], 3.0));
+        let mut oracle = ClassifierOracle::new(&counter, OracleConfig::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        // Train the classifier first via one rough batch.
+        let zs = batch_around_boundary(800, 10);
+        let _ = oracle.evaluate_batch_rough(&mut rng, &zs);
+        assert!(oracle.has_classifier());
+        let sims_before = counter.simulations();
+        // Far from the boundary: classifier answers.
+        let y_far = oracle.evaluate_accurate(&[10.0, 0.0]);
+        assert!(y_far);
+        assert_eq!(counter.simulations(), sims_before);
+        // On the boundary: must be simulated.
+        let _ = oracle.evaluate_accurate(&[3.0, 0.0]);
+        assert_eq!(counter.simulations(), sims_before + 1);
+        assert_eq!(oracle.stats().uncertain_simulated, 1);
+    }
+
+    #[test]
+    fn accurate_verdicts_are_exact_near_boundary() {
+        // Every sample inside the band is simulated, so verdicts there
+        // carry no classifier error at all.
+        let counter = SimCounter::new(LinearBench::new(vec![1.0, 0.0], 3.0));
+        let mut oracle = ClassifierOracle::new(&counter, OracleConfig::default());
+        let mut rng = StdRng::seed_from_u64(11);
+        let zs = batch_around_boundary(800, 12);
+        let _ = oracle.evaluate_batch_rough(&mut rng, &zs);
+        for dx in [-0.02, -0.01, 0.01, 0.02] {
+            let z = vec![3.0 + dx, 0.0];
+            if oracle
+                .classifier
+                .as_ref()
+                .expect("trained")
+                .is_uncertain(&z)
+            {
+                assert_eq!(oracle.evaluate_accurate(&z), counter.inner().fails(&z));
+            }
+        }
+    }
+
+    #[test]
+    fn pending_labels_trigger_retraining() {
+        let counter = SimCounter::new(LinearBench::new(vec![1.0, 0.0], 3.0));
+        let cfg = OracleConfig {
+            retrain_threshold: 4,
+            ..OracleConfig::default()
+        };
+        let mut oracle = ClassifierOracle::new(&counter, cfg);
+        let mut rng = StdRng::seed_from_u64(13);
+        let zs = batch_around_boundary(800, 14);
+        let _ = oracle.evaluate_batch_rough(&mut rng, &zs);
+        let retrains_before = oracle.stats().retrains;
+        // Feed many uncertain (boundary) samples.
+        let mut rng2 = StdRng::seed_from_u64(15);
+        for _ in 0..40 {
+            let z = vec![3.0 + rng2.gen_range(-0.05..0.05), rng2.gen_range(-1.0..1.0)];
+            let _ = oracle.evaluate_accurate(&z);
+        }
+        assert!(
+            oracle.stats().retrains > retrains_before,
+            "uncertain labels should have triggered retraining"
+        );
+    }
+}

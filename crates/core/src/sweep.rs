@@ -1,0 +1,248 @@
+//! The duty-ratio sweep driver behind Fig. 8.
+//!
+//! RTN statistics depend on the gate-bias duty ratio `α`, so the failure
+//! probability must be evaluated across a sweep of bias conditions. The
+//! key cost optimisation from the paper: the initial boundary particles
+//! are computed **once** (for the RDF-only indicator) and shared by every
+//! bias point — the failure boundary's *location* barely moves with `α`,
+//! only the weighting on top of it does.
+
+use crate::bench::SramReadBench;
+use crate::ecripse::{Ecripse, EcripseConfig, EstimateError};
+use crate::initial::InitialParticles;
+use crate::rtn_source::SramRtn;
+use serde::{Deserialize, Serialize};
+
+/// One sweep point's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Duty ratio `α`.
+    pub alpha: f64,
+    /// Failure probability with RTN at this duty.
+    pub p_fail: f64,
+    /// 95 % CI half-width.
+    pub ci95_half_width: f64,
+    /// Transistor-level simulations spent on this point (excluding the
+    /// shared initialisation).
+    pub simulations: u64,
+}
+
+/// Full sweep outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Per-α results in sweep order.
+    pub points: Vec<SweepPoint>,
+    /// The RDF-only failure probability (the "without RTN" reference the
+    /// paper quotes as 1.33e-4).
+    pub p_fail_rdf_only: f64,
+    /// CI half-width of the RDF-only estimate.
+    pub rdf_only_ci95: f64,
+    /// Simulations spent on the shared initialisation.
+    pub init_simulations: u64,
+    /// Total simulations across everything.
+    pub total_simulations: u64,
+}
+
+impl SweepResult {
+    /// The worst (largest) failure probability across the sweep.
+    pub fn worst(&self) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.p_fail.partial_cmp(&b.p_fail).expect("finite estimates"))
+    }
+
+    /// The best (smallest) failure probability across the sweep.
+    pub fn best(&self) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.p_fail.partial_cmp(&b.p_fail).expect("finite estimates"))
+    }
+
+    /// RTN degradation factor: worst-case `P_fail` over the RDF-only
+    /// value (the paper's "six times" headline).
+    pub fn rtn_degradation_factor(&self) -> f64 {
+        match self.worst() {
+            Some(w) if self.p_fail_rdf_only > 0.0 => w.p_fail / self.p_fail_rdf_only,
+            _ => f64::NAN,
+        }
+    }
+
+    /// Writes the sweep as CSV (`alpha,p_fail,ci,simulations`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "alpha,p_fail,ci95_half_width,simulations")?;
+        for p in &self.points {
+            writeln!(
+                w,
+                "{},{:e},{:e},{}",
+                p.alpha, p.p_fail, p.ci95_half_width, p.simulations
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The sweep driver.
+#[derive(Debug, Clone)]
+pub struct DutySweep {
+    config: EcripseConfig,
+    bench: SramReadBench,
+    alphas: Vec<f64>,
+}
+
+impl DutySweep {
+    /// Creates a sweep over the given duty ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphas` is empty or any `α` is outside `[0, 1]`.
+    pub fn new(config: EcripseConfig, bench: SramReadBench, alphas: Vec<f64>) -> Self {
+        assert!(!alphas.is_empty(), "empty duty-ratio sweep");
+        assert!(
+            alphas.iter().all(|a| (0.0..=1.0).contains(a)),
+            "duty ratios must be in [0,1]"
+        );
+        Self {
+            config,
+            bench,
+            alphas,
+        }
+    }
+
+    /// The paper's Fig. 8 grid: eleven points from 0.0 to 1.0.
+    pub fn paper_grid(config: EcripseConfig, bench: SramReadBench) -> Self {
+        let alphas = (0..=10).map(|i| i as f64 / 10.0).collect();
+        Self::new(config, bench, alphas)
+    }
+
+    /// The duty ratios to sweep.
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    /// Runs the full sweep plus the RDF-only reference, sharing one
+    /// initial particle set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EstimateError`] encountered.
+    pub fn run(&self) -> Result<SweepResult, EstimateError> {
+        // Shared initialisation (RDF-only indicator).
+        let rdf_run = Ecripse::new(self.config, self.bench.clone());
+        let init = rdf_run.find_initial_particles()?;
+        let init_simulations = init.simulations;
+        // Exclude the (already counted) init cost from per-point numbers.
+        let amortised = InitialParticles {
+            particles: init.particles.clone(),
+            simulations: 0,
+        };
+
+        // RDF-only reference.
+        let rdf_only = rdf_run.estimate_with_initial(&amortised)?;
+
+        let sigmas = self.bench.sigmas();
+        let mut points = Vec::with_capacity(self.alphas.len());
+        let mut total = init_simulations + rdf_only.simulations;
+        for (k, &alpha) in self.alphas.iter().enumerate() {
+            let mut config = self.config;
+            // Decorrelate RNG streams across sweep points while keeping
+            // the whole sweep reproducible.
+            config.seed = self.config.seed.wrapping_add(1 + k as u64);
+            let rtn = SramRtn::paper_model(alpha, sigmas);
+            let run = Ecripse::with_rtn(config, self.bench.clone(), rtn);
+            let res = run.estimate_with_initial(&amortised)?;
+            total += res.simulations;
+            points.push(SweepPoint {
+                alpha,
+                p_fail: res.p_fail,
+                ci95_half_width: res.ci95_half_width,
+                simulations: res.simulations,
+            });
+        }
+
+        Ok(SweepResult {
+            points,
+            p_fail_rdf_only: rdf_only.p_fail,
+            rdf_only_ci95: rdf_only.ci95_half_width,
+            init_simulations,
+            total_simulations: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_has_eleven_points() {
+        let s = DutySweep::paper_grid(EcripseConfig::default(), SramReadBench::paper_cell());
+        assert_eq!(s.alphas().len(), 11);
+        assert_eq!(s.alphas()[0], 0.0);
+        assert_eq!(s.alphas()[10], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty ratios must be in [0,1]")]
+    fn rejects_out_of_range_alpha() {
+        let _ = DutySweep::new(
+            EcripseConfig::default(),
+            SramReadBench::paper_cell(),
+            vec![0.5, 1.5],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty duty-ratio sweep")]
+    fn rejects_empty_sweep() {
+        let _ = DutySweep::new(
+            EcripseConfig::default(),
+            SramReadBench::paper_cell(),
+            vec![],
+        );
+    }
+
+    #[test]
+    fn csv_output_shape() {
+        let result = SweepResult {
+            points: vec![SweepPoint {
+                alpha: 0.5,
+                p_fail: 8e-4,
+                ci95_half_width: 5e-5,
+                simulations: 1234,
+            }],
+            p_fail_rdf_only: 1.33e-4,
+            rdf_only_ci95: 1e-5,
+            init_simulations: 500,
+            total_simulations: 2000,
+        };
+        let mut buf = Vec::new();
+        result.write_csv(&mut buf).expect("in-memory write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.starts_with("alpha,"));
+        assert!(text.contains("0.5,"));
+        assert!((result.rtn_degradation_factor() - 8e-4 / 1.33e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_and_best_points() {
+        let mk = |alpha: f64, p: f64| SweepPoint {
+            alpha,
+            p_fail: p,
+            ci95_half_width: 0.0,
+            simulations: 0,
+        };
+        let result = SweepResult {
+            points: vec![mk(0.0, 9e-4), mk(0.5, 5e-4), mk(1.0, 8.5e-4)],
+            p_fail_rdf_only: 1.33e-4,
+            rdf_only_ci95: 0.0,
+            init_simulations: 0,
+            total_simulations: 0,
+        };
+        assert_eq!(result.worst().expect("non-empty").alpha, 0.0);
+        assert_eq!(result.best().expect("non-empty").alpha, 0.5);
+    }
+}

@@ -1,0 +1,166 @@
+//! Convergence traces — the data behind Figs. 6 and 7.
+//!
+//! Every estimator can record `(simulation count, estimate, CI)` points
+//! as it progresses; the figure regenerators print these as the x/y
+//! series of the paper's convergence plots.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a convergence trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Transistor-level simulations spent so far.
+    pub simulations: u64,
+    /// Monte Carlo samples consumed so far (≥ simulations when a
+    /// classifier absorbs queries).
+    pub samples: u64,
+    /// Current failure-probability estimate.
+    pub estimate: f64,
+    /// Half-width of the 95 % confidence interval.
+    pub ci95_half_width: f64,
+}
+
+impl TracePoint {
+    /// The paper's relative error: CI half-width over the estimate
+    /// (infinite when the estimate is zero).
+    pub fn relative_error(&self) -> f64 {
+        if self.estimate > 0.0 {
+            self.ci95_half_width / self.estimate
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// A recorded convergence trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceTrace {
+    points: Vec<TracePoint>,
+}
+
+impl ConvergenceTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, point: TracePoint) {
+        self.points.push(point);
+    }
+
+    /// The recorded points in order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The first point whose relative error drops below `target` (and
+    /// stays finite) — used for the "simulations to reach 1 % relative
+    /// error" comparison of Fig. 6.
+    pub fn first_below_relative_error(&self, target: f64) -> Option<&TracePoint> {
+        self.points
+            .iter()
+            .find(|p| p.relative_error() <= target)
+    }
+
+    /// The last recorded point.
+    pub fn last(&self) -> Option<&TracePoint> {
+        self.points.last()
+    }
+
+    /// Writes the trace as CSV (`simulations,samples,estimate,ci,rel_err`)
+    /// to any writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "simulations,samples,estimate,ci95_half_width,relative_error")?;
+        for p in &self.points {
+            writeln!(
+                w,
+                "{},{},{:e},{:e},{:e}",
+                p.simulations,
+                p.samples,
+                p.estimate,
+                p.ci95_half_width,
+                p.relative_error()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<TracePoint> for ConvergenceTrace {
+    fn from_iter<T: IntoIterator<Item = TracePoint>>(iter: T) -> Self {
+        Self {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(sims: u64, est: f64, ci: f64) -> TracePoint {
+        TracePoint {
+            simulations: sims,
+            samples: sims,
+            estimate: est,
+            ci95_half_width: ci,
+        }
+    }
+
+    #[test]
+    fn relative_error_definition() {
+        let p = point(10, 1e-4, 2e-6);
+        assert!((p.relative_error() - 0.02).abs() < 1e-12);
+        assert!(point(10, 0.0, 1.0).relative_error().is_infinite());
+    }
+
+    #[test]
+    fn first_below_threshold() {
+        let trace: ConvergenceTrace = [
+            point(100, 1e-4, 5e-5),
+            point(200, 1.1e-4, 1e-5),
+            point(400, 1.05e-4, 1e-6),
+        ]
+        .into_iter()
+        .collect();
+        let hit = trace.first_below_relative_error(0.01).expect("reached");
+        assert_eq!(hit.simulations, 400);
+        assert!(trace.first_below_relative_error(1e-9).is_none());
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let trace: ConvergenceTrace = [point(1, 0.5, 0.1)].into_iter().collect();
+        let mut buf = Vec::new();
+        trace.write_csv(&mut buf).expect("in-memory write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let mut lines = text.lines();
+        assert!(lines.next().expect("header").starts_with("simulations,"));
+        let row = lines.next().expect("row");
+        assert!(row.starts_with("1,1,"));
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = ConvergenceTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.last().is_none());
+        assert!(t.first_below_relative_error(0.5).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Mapping the cell duty ratio to per-transistor channel-ON fractions.
+//!
+//! The paper's Fig. 8 sweeps the *duty ratio* `α` — the fraction of time
+//! the cell stores "1" (node `Q` high). Each transistor's channel is on
+//! for a data-dependent fraction of that time:
+//!
+//! | device | gate  | channel on when | ON fraction |
+//! |--------|-------|-----------------|-------------|
+//! | PL     | QB    | QB = 0 (Q = 1)  | `α`         |
+//! | NL     | QB    | QB = 1 (Q = 0)  | `1 − α`     |
+//! | PR     | Q     | Q = 0           | `1 − α`     |
+//! | NR     | Q     | Q = 1           | `α`         |
+//! | AL/AR  | WL    | word line high  | read duty   |
+//!
+//! Access transistors see the word line, not the stored data, so their ON
+//! fraction is the (small) read-access duty, independent of `α`. The
+//! left↔right mirror symmetry of this table under `α → 1 − α` is what
+//! produces the bilateral symmetry of Fig. 8.
+
+use ecripse_spice::sram::CellDevice;
+use serde::{Deserialize, Serialize};
+
+/// Default fraction of time the word line is high (cells are read
+/// occasionally; most of the time they hold data).
+pub const DEFAULT_READ_DUTY: f64 = 0.01;
+
+/// Channel-ON fractions for all six cell devices at a given duty ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellDutyMap {
+    /// Cell duty ratio `α` = P(cell stores "1").
+    pub alpha: f64,
+    /// Word-line duty for the access devices.
+    pub read_duty: f64,
+}
+
+impl CellDutyMap {
+    /// Creates a duty map with the default read duty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        Self::with_read_duty(alpha, DEFAULT_READ_DUTY)
+    }
+
+    /// Creates a duty map with an explicit word-line duty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is outside `[0, 1]`.
+    pub fn with_read_duty(alpha: f64, read_duty: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "duty ratio must be in [0,1], got {alpha}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&read_duty),
+            "read duty must be in [0,1], got {read_duty}"
+        );
+        Self { alpha, read_duty }
+    }
+
+    /// Channel-ON fraction of one device.
+    pub fn on_fraction(&self, device: CellDevice) -> f64 {
+        match device {
+            CellDevice::LoadL | CellDevice::DriverR => self.alpha,
+            CellDevice::DriverL | CellDevice::LoadR => 1.0 - self.alpha,
+            CellDevice::AccessL | CellDevice::AccessR => self.read_duty,
+        }
+    }
+
+    /// ON fractions for all six devices in canonical order.
+    pub fn all_on_fractions(&self) -> [f64; 6] {
+        CellDevice::ALL.map(|d| self.on_fraction(d))
+    }
+
+    /// The duty map of the complementary data pattern (`α → 1 − α`).
+    pub fn complemented(&self) -> Self {
+        Self {
+            alpha: 1.0 - self.alpha,
+            read_duty: self.read_duty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_one_means_q_high_devices_on() {
+        let m = CellDutyMap::new(1.0);
+        assert_eq!(m.on_fraction(CellDevice::LoadL), 1.0);
+        assert_eq!(m.on_fraction(CellDevice::DriverR), 1.0);
+        assert_eq!(m.on_fraction(CellDevice::DriverL), 0.0);
+        assert_eq!(m.on_fraction(CellDevice::LoadR), 0.0);
+    }
+
+    #[test]
+    fn access_devices_ignore_alpha() {
+        for alpha in [0.0, 0.3, 1.0] {
+            let m = CellDutyMap::new(alpha);
+            assert_eq!(m.on_fraction(CellDevice::AccessL), DEFAULT_READ_DUTY);
+            assert_eq!(m.on_fraction(CellDevice::AccessR), DEFAULT_READ_DUTY);
+        }
+    }
+
+    #[test]
+    fn complement_mirrors_the_cell() {
+        // on(α, device) == on(1−α, mirrored device) — the symmetry behind
+        // Fig. 8's bilateral shape.
+        for alpha in [0.0, 0.2, 0.5, 0.9] {
+            let m = CellDutyMap::new(alpha);
+            let c = m.complemented();
+            for d in CellDevice::ALL {
+                assert!(
+                    (m.on_fraction(d) - c.on_fraction(d.mirrored())).abs() < 1e-12,
+                    "symmetry violated for {d} at α={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn half_duty_is_self_complementary() {
+        let m = CellDutyMap::new(0.5);
+        let c = m.complemented();
+        assert_eq!(m.all_on_fractions(), c.all_on_fractions());
+    }
+
+    #[test]
+    fn canonical_order_matches_device_indices() {
+        let m = CellDutyMap::new(0.3);
+        let all = m.all_on_fractions();
+        for d in CellDevice::ALL {
+            assert_eq!(all[d as usize], m.on_fraction(d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duty ratio must be in [0,1]")]
+    fn rejects_bad_alpha() {
+        let _ = CellDutyMap::new(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "read duty must be in [0,1]")]
+    fn rejects_bad_read_duty() {
+        let _ = CellDutyMap::with_read_duty(0.5, 2.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Random-telegraph-noise (RTN) substrate for the ECRIPSE reproduction.
+//!
+//! RTN is the threshold-voltage fluctuation caused by carriers being
+//! captured into and emitted from oxide traps (paper Sec. II-D). This
+//! crate implements:
+//!
+//! * [`trap`] — trap time constants, their gate-bias (duty-ratio) mixing
+//!   (Eqs. 7–8) and the resulting capture-state occupancy;
+//! * [`duty`] — mapping the cell-level duty ratio `α` (fraction of time
+//!   the cell stores "1") to each transistor's channel-ON fraction;
+//! * [`model`] — [`model::RtnCellModel`], which draws the 6-component
+//!   RTN threshold-shift vector `x_RTN` (Eqs. 9–10: Poisson defect count
+//!   × single-trap quantum) consumed by the failure-probability
+//!   estimators;
+//! * [`telegraph`] — a time-domain two-state telegraph-signal generator
+//!   used to validate the time-constant statistics (the Fig. 3(b)
+//!   picture) and as a demo workload.
+//!
+//! # Example
+//!
+//! ```
+//! use ecripse_rtn::model::RtnCellModel;
+//! use rand::SeedableRng;
+//!
+//! let model = RtnCellModel::paper_model(0.5); // duty ratio α = 0.5
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let shift = model.sample(&mut rng);
+//! assert_eq!(shift.len(), 6);
+//! assert!(shift.iter().all(|dv| *dv >= 0.0)); // captures only raise Vth
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod duty;
+pub mod model;
+pub mod telegraph;
+pub mod trap;
+
+pub use duty::CellDutyMap;
+pub use model::RtnCellModel;
+pub use telegraph::TelegraphSignal;
+pub use trap::TrapTimeConstants;

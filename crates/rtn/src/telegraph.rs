@@ -1,0 +1,219 @@
+//! Time-domain two-state telegraph signal generation.
+//!
+//! A single trap is a continuous-time two-state Markov chain: dwell times
+//! in the empty state are exponential with mean `τ_c`, dwell times in the
+//! captured state exponential with mean `τ_e`. This module generates such
+//! traces — the Fig. 3(b) picture — and recovers the time constants from
+//! them, validating the statistical model the failure analysis rests on.
+//! It also powers the `telegraph_trace` example binary.
+
+use crate::trap::MixedTimeConstants;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One transition of a telegraph signal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TelegraphEvent {
+    /// Time of the transition \[s\].
+    pub time: f64,
+    /// State *after* the transition: `true` = captured (V_TH high).
+    pub captured: bool,
+}
+
+/// A generated telegraph trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelegraphSignal {
+    events: Vec<TelegraphEvent>,
+    duration: f64,
+}
+
+impl TelegraphSignal {
+    /// Simulates a trace of total length `duration` seconds starting in
+    /// the empty state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive or the time constants are not
+    /// positive.
+    pub fn generate<R: Rng + ?Sized>(
+        rng: &mut R,
+        taus: MixedTimeConstants,
+        duration: f64,
+    ) -> Self {
+        assert!(duration > 0.0, "duration must be positive");
+        assert!(
+            taus.tau_c > 0.0 && taus.tau_e > 0.0,
+            "time constants must be positive"
+        );
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        let mut captured = false;
+        loop {
+            let mean = if captured { taus.tau_e } else { taus.tau_c };
+            // Exponential dwell via inverse CDF.
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            t += -mean * u.ln();
+            if t >= duration {
+                break;
+            }
+            captured = !captured;
+            events.push(TelegraphEvent { time: t, captured });
+        }
+        Self { events, duration }
+    }
+
+    /// The transitions in time order.
+    pub fn events(&self) -> &[TelegraphEvent] {
+        &self.events
+    }
+
+    /// Total trace duration \[s\].
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// State at an arbitrary time (`false` before the first event).
+    pub fn state_at(&self, time: f64) -> bool {
+        match self
+            .events
+            .binary_search_by(|e| e.time.partial_cmp(&time).expect("finite times"))
+        {
+            Ok(i) => self.events[i].captured,
+            Err(0) => false,
+            Err(i) => self.events[i - 1].captured,
+        }
+    }
+
+    /// Fraction of the trace spent in the captured state.
+    pub fn captured_fraction(&self) -> f64 {
+        let mut t_prev = 0.0;
+        let mut state = false;
+        let mut captured_time = 0.0;
+        for e in &self.events {
+            if state {
+                captured_time += e.time - t_prev;
+            }
+            t_prev = e.time;
+            state = e.captured;
+        }
+        if state {
+            captured_time += self.duration - t_prev;
+        }
+        captured_time / self.duration
+    }
+
+    /// Estimates `(τ_c, τ_e)` from the mean dwell times of completed
+    /// intervals. Returns `None` if the trace has fewer than two
+    /// transitions of each kind.
+    pub fn estimate_taus(&self) -> Option<MixedTimeConstants> {
+        let mut c_dwells = Vec::new(); // empty-state dwells (capture waits)
+        let mut e_dwells = Vec::new(); // captured-state dwells
+        let mut t_prev = 0.0;
+        let mut state = false;
+        for e in &self.events {
+            let dwell = e.time - t_prev;
+            if state {
+                e_dwells.push(dwell);
+            } else {
+                c_dwells.push(dwell);
+            }
+            t_prev = e.time;
+            state = e.captured;
+        }
+        if c_dwells.len() < 2 || e_dwells.len() < 2 {
+            return None;
+        }
+        Some(MixedTimeConstants {
+            tau_c: c_dwells.iter().sum::<f64>() / c_dwells.len() as f64,
+            tau_e: e_dwells.iter().sum::<f64>() / e_dwells.len() as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trap::TrapTimeConstants;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn taus() -> MixedTimeConstants {
+        TrapTimeConstants::paper_values().mixed(0.5)
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_alternate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = TelegraphSignal::generate(&mut rng, taus(), 100.0);
+        let mut prev_t = 0.0;
+        let mut prev_state = false;
+        for e in s.events() {
+            assert!(e.time > prev_t);
+            assert_ne!(e.captured, prev_state, "states must alternate");
+            prev_t = e.time;
+            prev_state = e.captured;
+        }
+    }
+
+    #[test]
+    fn estimated_taus_match_generator() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = taus();
+        // Long trace: thousands of transitions.
+        let s = TelegraphSignal::generate(&mut rng, t, 20_000.0 * (t.tau_c + t.tau_e));
+        let est = s.estimate_taus().expect("plenty of transitions");
+        assert!(
+            ((est.tau_c - t.tau_c) / t.tau_c).abs() < 0.05,
+            "τ_c est {} vs {}",
+            est.tau_c,
+            t.tau_c
+        );
+        assert!(
+            ((est.tau_e - t.tau_e) / t.tau_e).abs() < 0.05,
+            "τ_e est {} vs {}",
+            est.tau_e,
+            t.tau_e
+        );
+    }
+
+    #[test]
+    fn captured_fraction_matches_occupancy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = taus();
+        let s = TelegraphSignal::generate(&mut rng, t, 30_000.0 * (t.tau_c + t.tau_e));
+        let frac = s.captured_fraction();
+        let want = t.captured_dwell_fraction();
+        assert!(
+            (frac - want).abs() < 0.01,
+            "captured fraction {frac} vs dwell fraction {want}"
+        );
+    }
+
+    #[test]
+    fn state_at_reconstructs_trace() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = TelegraphSignal::generate(&mut rng, taus(), 50.0);
+        assert!(!s.state_at(0.0));
+        for e in s.events() {
+            assert_eq!(s.state_at(e.time + 1e-12), e.captured);
+        }
+    }
+
+    #[test]
+    fn short_trace_yields_no_estimate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = MixedTimeConstants {
+            tau_c: 100.0,
+            tau_e: 100.0,
+        };
+        let s = TelegraphSignal::generate(&mut rng, t, 1.0);
+        assert!(s.estimate_taus().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn rejects_nonpositive_duration() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = TelegraphSignal::generate(&mut rng, taus(), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Butterfly-curve construction.
+//!
+//! A butterfly plot overlays the two storage-node transfer curves of the
+//! cell in the `(V_Q, V_QB)` plane:
+//!
+//! * curve A — `V_QB = f_R(V_Q)`: the right half-cell driven by `Q`;
+//! * curve B — `V_Q = f_L(V_QB)`: the left half-cell driven by `QB`.
+//!
+//! A bistable (readable) cell shows the classic two-lobed "eye"; the
+//! static noise margin is the side of the largest square embedded in the
+//! smaller lobe (see [`crate::snm`]).
+
+use crate::sram::{BiasCondition, Sram6T};
+use serde::{Deserialize, Serialize};
+
+/// The two transfer curves of a cell sampled on a uniform input grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Butterfly {
+    /// Uniform grid of input voltages, ascending from 0 to `V_DD`.
+    pub grid: Vec<f64>,
+    /// `curve_a[i] = f_R(grid[i])` — right half-cell output.
+    pub curve_a: Vec<f64>,
+    /// `curve_b[i] = f_L(grid[i])` — left half-cell output.
+    pub curve_b: Vec<f64>,
+}
+
+impl Butterfly {
+    /// Samples both transfer curves of `cell` under `bias` on a uniform
+    /// grid with `points` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn sample(cell: &Sram6T, bias: &BiasCondition, points: usize) -> Self {
+        assert!(points >= 2, "need at least two grid points, got {points}");
+        let vdd = cell.vdd();
+        let mut grid = Vec::with_capacity(points);
+        let mut curve_a = Vec::with_capacity(points);
+        let mut curve_b = Vec::with_capacity(points);
+        // The VTCs are monotone decreasing, so each solve's result bounds
+        // the next one from above — warm-start the bisection bracket.
+        let mut hint_a = vdd + 0.2;
+        let mut hint_b = vdd + 0.2;
+        for i in 0..points {
+            let vin = vdd * i as f64 / (points - 1) as f64;
+            grid.push(vin);
+            hint_a = cell.vtc_right_warm(bias, vin, hint_a);
+            hint_b = cell.vtc_left_warm(bias, vin, hint_b);
+            curve_a.push(hint_a);
+            curve_b.push(hint_b);
+        }
+        Self {
+            grid,
+            curve_a,
+            curve_b,
+        }
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Whether the butterfly has no samples (never true after
+    /// [`Self::sample`]).
+    pub fn is_empty(&self) -> bool {
+        self.grid.is_empty()
+    }
+
+    /// Curve A as `(V_Q, V_QB)` points: `(grid[i], curve_a[i])`.
+    pub fn points_a(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.grid.iter().copied().zip(self.curve_a.iter().copied())
+    }
+
+    /// Curve B as `(V_Q, V_QB)` points: `(curve_b[i], grid[i])` — note the
+    /// axis swap, since curve B maps `V_QB` to `V_Q`.
+    pub fn points_b(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.curve_b.iter().copied().zip(self.grid.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterfly_has_requested_resolution() {
+        let cell = Sram6T::paper_cell();
+        let b = Butterfly::sample(&cell, &cell.read_bias(), 41);
+        assert_eq!(b.len(), 41);
+        assert_eq!(b.grid[0], 0.0);
+        assert!((b.grid[40] - cell.vdd()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_cell_butterfly_is_symmetric() {
+        // With identical halves, curve B is curve A reflected about y = x:
+        // f_L == f_R, so points_b are points_a with coordinates swapped.
+        let cell = Sram6T::paper_cell();
+        let b = Butterfly::sample(&cell, &cell.read_bias(), 21);
+        for (a, bb) in b.curve_a.iter().zip(&b.curve_b) {
+            assert!((a - bb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn curves_stay_within_extended_rails() {
+        let cell = Sram6T::paper_cell();
+        for bias in [cell.read_bias(), cell.hold_bias()] {
+            let b = Butterfly::sample(&cell, &bias, 31);
+            for v in b.curve_a.iter().chain(&b.curve_b) {
+                assert!(*v > -0.01 && *v < cell.vdd() + 0.01, "out of rails: {v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two grid points")]
+    fn rejects_degenerate_grid() {
+        let cell = Sram6T::paper_cell();
+        let _ = Butterfly::sample(&cell, &cell.read_bias(), 1);
+    }
+}

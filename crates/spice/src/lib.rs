@@ -1,0 +1,61 @@
+//! Transistor-level DC simulation substrate for the ECRIPSE reproduction.
+//!
+//! The paper evaluates its indicator function `I(x)` with HSPICE and the
+//! PTM 16 nm high-performance model cards. This crate is the from-scratch
+//! replacement: a small but real DC circuit simulator specialised for the
+//! 6T SRAM read-stability testbench.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`model`] — a smooth EKV-style MOSFET compact model with analytic
+//!   derivatives, valid from subthreshold to strong inversion and
+//!   symmetric in drain/source (so bit-line access transistors need no
+//!   terminal-swapping logic).
+//! * [`ptm`] — a PTM-16nm-HP-like parameter set plus the paper's Table I
+//!   device geometry.
+//! * [`lu`] / [`netlist`] / [`solver`] — dense LU, modified nodal analysis
+//!   and a damped Newton solver with g-min stepping: a miniature SPICE DC
+//!   engine used for operating points and solver cross-checks.
+//! * [`sram`] — the 6T cell: device set, bias conditions, and fast 1-D
+//!   bisection solves for the read voltage-transfer curves (exploiting
+//!   that node current is monotone in node voltage for this topology).
+//! * [`butterfly`] / [`snm`] — butterfly curve construction and the
+//!   Seevinck maximum-embedded-square static noise margin, extended with a
+//!   signed (negative) margin for read-unstable cells so that bisection
+//!   root-finding over the variability space is well posed.
+//! * [`testbench`] — [`testbench::ReadStabilityBench`], the "transistor-
+//!   level simulation" the rest of the workspace counts and accelerates:
+//!   per-device ΔVth in, read-noise-margin (and pass/fail) out.
+//!
+//! # Example
+//!
+//! ```
+//! use ecripse_spice::testbench::ReadStabilityBench;
+//!
+//! let bench = ReadStabilityBench::paper_cell();
+//! // Nominal cell: healthy read margin.
+//! let nominal = bench.read_noise_margin(&[0.0; 6]);
+//! assert!(nominal > 0.0);
+//! // A heavily imbalanced cell fails the read.
+//! let skewed = bench.read_noise_margin(&[0.25, -0.25, -0.25, 0.25, 0.0, 0.0]);
+//! assert!(skewed < nominal);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod butterfly;
+pub mod lu;
+pub mod model;
+pub mod netlist;
+pub mod ptm;
+pub mod snm;
+pub mod solver;
+pub mod sram;
+pub mod testbench;
+
+pub use model::{Mosfet, MosfetKind, MosfetParams};
+pub use ptm::{paper_geometry, ptm16_hp_nmos, ptm16_hp_pmos, DeviceGeometry, DeviceRole};
+pub use snm::{read_noise_margin, SnmReport};
+pub use sram::Sram6T;
+pub use testbench::ReadStabilityBench;

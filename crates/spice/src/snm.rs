@@ -1,0 +1,328 @@
+//! Static noise margin extraction (Seevinck's maximum-embedded-square
+//! criterion), extended with a *signed* margin for unstable cells.
+//!
+//! Following Seevinck, List and Lohstroh (JSSC 1987): rotate the butterfly
+//! plot by 45° with `u = (x − y)/√2`, `v = (x + y)/√2`. Along each
+//! (monotone-decreasing) transfer curve, `u` is strictly increasing, so
+//! both curves become single-valued functions `v(u)`. The side of the
+//! largest square with axes-parallel sides embedded in a lobe equals
+//! `max_u Δv(u) / √2`, where `Δv` is the inter-curve gap in the rotated
+//! frame — positive in one direction for each lobe.
+//!
+//! When mismatch destroys one of the stable states, the corresponding gap
+//! maximum is negative; we keep its (negative) value as a graded failure
+//! depth. The **read noise margin** is the minimum over the two lobes, so
+//! `rnm < 0` exactly when the cell cannot hold both states — the paper's
+//! failure criterion.
+
+use crate::butterfly::Butterfly;
+use serde::{Deserialize, Serialize};
+
+/// Noise margins of the two lobes and their minimum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnmReport {
+    /// Margin of the lobe around the `Q=0, QB=1` state \[V\] (signed).
+    pub snm_low: f64,
+    /// Margin of the lobe around the `Q=1, QB=0` state \[V\] (signed).
+    pub snm_high: f64,
+    /// `min(snm_low, snm_high)` — the cell's noise margin \[V\].
+    pub rnm: f64,
+}
+
+/// A polyline resampled as a single-valued function of the rotated
+/// coordinate `u`.
+struct RotatedCurve {
+    u: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl RotatedCurve {
+    /// Rotates `(x, y)` points into `(u, v)` and enforces monotone `u`.
+    fn from_points(points: impl Iterator<Item = (f64, f64)>) -> Self {
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        let mut u = Vec::new();
+        let mut v = Vec::new();
+        for (x, y) in points {
+            let uu = (x - y) * inv_sqrt2;
+            let vv = (x + y) * inv_sqrt2;
+            // Transfer curves are monotone, but bisection noise can create
+            // ~1e-12 reversals; drop non-advancing points.
+            if let Some(&last) = u.last() {
+                if uu <= last {
+                    continue;
+                }
+            }
+            u.push(uu);
+            v.push(vv);
+        }
+        Self { u, v }
+    }
+
+    fn u_min(&self) -> f64 {
+        *self.u.first().expect("curve has points")
+    }
+
+    fn u_max(&self) -> f64 {
+        *self.u.last().expect("curve has points")
+    }
+
+    /// Linear interpolation of `v(u)`; clamps outside the sampled range.
+    fn eval(&self, uu: f64) -> f64 {
+        match self.u.binary_search_by(|p| p.partial_cmp(&uu).expect("finite u")) {
+            Ok(i) => self.v[i],
+            Err(0) => self.v[0],
+            Err(i) if i >= self.u.len() => *self.v.last().expect("curve has points"),
+            Err(i) => {
+                let (u0, u1) = (self.u[i - 1], self.u[i]);
+                let (v0, v1) = (self.v[i - 1], self.v[i]);
+                let t = (uu - u0) / (u1 - u0);
+                v0 + t * (v1 - v0)
+            }
+        }
+    }
+}
+
+/// Computes the signed noise margins of a butterfly plot.
+///
+/// The inter-curve gap `g(u) = v_A(u) − v_B(u)` changes sign exactly at
+/// the DC solutions of the cross-coupled loop (the butterfly
+/// intersections). A bistable cell has three: the two stable states
+/// bracket the lobes, so both margins are evaluated between the outermost
+/// crossings (`g > 0` in the `Q=0` lobe, `g < 0` in the `Q=1` lobe). A
+/// monostable — read-unstable — cell has one crossing; on the surviving
+/// state's side of it `g` keeps a single sign, so the *maximum* of the
+/// vanished lobe's gap is negative and measures how far the cell is from
+/// regaining bistability. That signed value is what bisection-based
+/// boundary searches in the variability space rely on.
+///
+/// The returned margins are exact up to the butterfly's sampling
+/// resolution; refine by sampling more points.
+///
+/// # Panics
+///
+/// Panics if the butterfly has fewer than two usable points per curve.
+pub fn read_noise_margin(butterfly: &Butterfly) -> SnmReport {
+    let a = RotatedCurve::from_points(butterfly.points_a());
+    // Curve B runs in descending u as sampled (its x coordinate falls as
+    // the grid rises); reverse so u ascends.
+    let b_pts: Vec<(f64, f64)> = butterfly.points_b().collect();
+    let b = RotatedCurve::from_points(b_pts.into_iter().rev());
+    assert!(
+        a.u.len() >= 2 && b.u.len() >= 2,
+        "butterfly curves too degenerate for margin extraction"
+    );
+
+    let lo = a.u_min().max(b.u_min());
+    let hi = a.u_max().min(b.u_max());
+    // Dense uniform scan across the overlap; 4× the native resolution
+    // keeps the interpolation error negligible.
+    let n = 4 * butterfly.len().max(2);
+    let us: Vec<f64> = (0..=n)
+        .map(|i| lo + (hi - lo) * i as f64 / n as f64)
+        .collect();
+    let gaps: Vec<f64> = us.iter().map(|&u| a.eval(u) - b.eval(u)).collect();
+
+    // Indices of sign changes of g — the butterfly intersections (DC
+    // fixed points of the cross-coupled loop).
+    let crossings: Vec<usize> = (1..gaps.len())
+        .filter(|&i| gaps[i - 1].signum() != gaps[i].signum() && gaps[i - 1] != 0.0)
+        .collect();
+
+    let max_over = |range: std::ops::RangeInclusive<usize>, sign: f64| {
+        gaps[range]
+            .iter()
+            .fold(f64::NEG_INFINITY, |acc, &g| acc.max(sign * g))
+    };
+
+    let (gap_pos, gap_neg) = if crossings.len() >= 3 {
+        // Bistable: the outermost crossings are the stable states; both
+        // lobes live between them (g > 0 in the Q=0 lobe at low u, g < 0
+        // in the Q=1 lobe at high u). Scanning between the outer
+        // crossings excludes the thin truncation slivers outside them.
+        let (i_lo, i_hi) = (crossings[0], *crossings.last().expect("non-empty"));
+        (max_over(i_lo..=i_hi, 1.0), max_over(i_lo..=i_hi, -1.0))
+    } else {
+        // Monostable (or tangent): only one state's lobe has a genuine
+        // peak; the other lobe's gap never reaches zero. Split at the
+        // surviving lobe's peak: the vanished lobe's (negative) maximum
+        // lies on the far side of it. The Q=0 lobe sits at lower u than
+        // the Q=1 lobe, which fixes the scan direction.
+        let n_all = gaps.len() - 1;
+        let peak_pos = max_over(0..=n_all, 1.0);
+        let peak_neg = max_over(0..=n_all, -1.0);
+        if peak_pos >= peak_neg {
+            // Q=0 survives; the vanished Q=1 lobe is to the right of the
+            // surviving peak.
+            let i_peak = gaps
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite gap"))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            (peak_pos, max_over(i_peak..=n_all, -1.0))
+        } else {
+            // Q=1 survives; the vanished Q=0 lobe is to the left.
+            let i_peak = gaps
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite gap"))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            (max_over(0..=i_peak, 1.0), peak_neg)
+        }
+    };
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    let snm_low = gap_pos * inv_sqrt2;
+    let snm_high = gap_neg * inv_sqrt2;
+    SnmReport {
+        snm_low,
+        snm_high,
+        rnm: snm_low.min(snm_high),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sram::{CellDevice, Sram6T};
+
+    fn margin(cell: &Sram6T, read: bool, points: usize) -> SnmReport {
+        let bias = if read { cell.read_bias() } else { cell.hold_bias() };
+        read_noise_margin(&Butterfly::sample(cell, &bias, points))
+    }
+
+    #[test]
+    fn ideal_step_inverters_give_half_vdd_margin() {
+        // Synthetic butterfly from ideal inverters: SNM must be VDD/2.
+        let vdd = 1.0;
+        let n = 201;
+        let grid: Vec<f64> = (0..n).map(|i| vdd * i as f64 / (n - 1) as f64).collect();
+        let step = |x: f64| if x < 0.5 * vdd { vdd } else { 0.0 };
+        let b = Butterfly {
+            grid: grid.clone(),
+            curve_a: grid.iter().map(|&x| step(x)).collect(),
+            curve_b: grid.iter().map(|&x| step(x)).collect(),
+        };
+        let m = read_noise_margin(&b);
+        assert!(
+            (m.rnm - 0.5 * vdd).abs() < 0.02,
+            "ideal SNM = {}, want 0.5",
+            m.rnm
+        );
+        assert!((m.snm_low - m.snm_high).abs() < 0.02);
+    }
+
+    #[test]
+    fn nominal_cell_is_read_stable() {
+        let cell = Sram6T::paper_cell();
+        let m = margin(&cell, true, 121);
+        assert!(m.rnm > 0.02, "nominal RNM = {} V", m.rnm);
+        // Symmetric cell: both lobes agree.
+        assert!(
+            (m.snm_low - m.snm_high).abs() < 2e-3,
+            "lobe asymmetry: {} vs {}",
+            m.snm_low,
+            m.snm_high
+        );
+    }
+
+    #[test]
+    fn hold_margin_exceeds_read_margin() {
+        let cell = Sram6T::paper_cell();
+        let read = margin(&cell, true, 121);
+        let hold = margin(&cell, false, 121);
+        assert!(
+            hold.rnm > read.rnm + 0.01,
+            "hold {} should comfortably exceed read {}",
+            hold.rnm,
+            read.rnm
+        );
+    }
+
+    #[test]
+    fn margin_decreases_monotonically_with_mismatch() {
+        let cell = Sram6T::paper_cell();
+        let mut prev = f64::INFINITY;
+        for k in 0..7 {
+            let s = 0.05 * k as f64;
+            // Worst-case read direction: weaken one driver, strengthen
+            // the other (driver mismatch dominates read stability).
+            let mut dv = [0.0; 6];
+            dv[CellDevice::DriverR as usize] = s;
+            dv[CellDevice::DriverL as usize] = -s;
+            let m = margin(&cell.with_delta_vth(&dv), true, 121);
+            assert!(
+                m.rnm < prev + 1e-6,
+                "margin should fall with mismatch: step {k} gives {}",
+                m.rnm
+            );
+            prev = m.rnm;
+        }
+        // By the largest skew the cell must have failed.
+        assert!(prev < 0.0, "expected failure at 0.3 V skew, margin = {prev}");
+    }
+
+    #[test]
+    fn signed_margin_goes_negative_continuously() {
+        // Bracket the failure boundary and confirm the margin passes
+        // through ≈0 rather than jumping.
+        let cell = Sram6T::paper_cell();
+        let skew = |s: f64| {
+            let mut dv = [0.0; 6];
+            dv[CellDevice::DriverR as usize] = s;
+            dv[CellDevice::DriverL as usize] = -s;
+            dv
+        };
+        let mut lo = 0.0; // stable
+        let mut hi = 0.30; // unstable (verified by the test above)
+        for _ in 0..20 {
+            let mid = 0.5 * (lo + hi);
+            let m = margin(&cell.with_delta_vth(&skew(mid)), true, 121);
+            if m.rnm > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let m = margin(&cell.with_delta_vth(&skew(0.5 * (lo + hi))), true, 121);
+        assert!(
+            m.rnm.abs() < 5e-3,
+            "margin at the bisected boundary should be near zero, got {}",
+            m.rnm
+        );
+    }
+
+    #[test]
+    fn mirroring_swaps_lobes() {
+        let cell = Sram6T::paper_cell().with_delta_vth(&[0.03, -0.02, 0.01, 0.04, -0.01, 0.02]);
+        let m = margin(&cell, true, 121);
+        let mm = margin(&cell.mirrored(), true, 121);
+        assert!((m.snm_low - mm.snm_high).abs() < 2e-3, "{m:?} vs {mm:?}");
+        assert!((m.snm_high - mm.snm_low).abs() < 2e-3);
+        assert!((m.rnm - mm.rnm).abs() < 2e-3);
+    }
+
+    #[test]
+    fn lower_vdd_reduces_margin() {
+        let hi = margin(&Sram6T::paper_cell_at(0.7), true, 121);
+        let lo = margin(&Sram6T::paper_cell_at(0.5), true, 121);
+        assert!(
+            lo.rnm < hi.rnm,
+            "margin at 0.5 V ({}) should be below 0.7 V ({})",
+            lo.rnm,
+            hi.rnm
+        );
+    }
+
+    #[test]
+    fn resolution_convergence() {
+        // Doubling the butterfly resolution should barely move the margin.
+        let cell = Sram6T::paper_cell();
+        let coarse = margin(&cell, true, 61).rnm;
+        let fine = margin(&cell, true, 241).rnm;
+        assert!(
+            (coarse - fine).abs() < 3e-3,
+            "margin drifted with resolution: {coarse} vs {fine}"
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! The read-stability testbench — the workspace's "transistor-level
+//! simulation".
+//!
+//! [`ReadStabilityBench`] maps a 6-component threshold-shift vector (one
+//! ΔVth per cell device, canonical order of
+//! [`crate::sram::CellDevice`]) to the cell's read noise margin. A sample
+//! *fails* when the margin is negative — the indicator function `I(x)` of
+//! the paper (Sec. IV-A).
+//!
+//! Everything upstream (particle filters, classifiers, estimators) counts
+//! invocations of this bench; it is deliberately the only expensive
+//! operation in the workspace, just as SPICE runs are in the original
+//! flow.
+
+use crate::butterfly::Butterfly;
+use crate::ptm::{paper_geometry, A_VTH_EFFECTIVE};
+use crate::snm::read_noise_margin;
+use crate::sram::{CellDevice, Sram6T};
+use serde::{Deserialize, Serialize};
+
+/// Number of variability dimensions (one per cell transistor).
+pub const DIM: usize = 6;
+
+/// Configuration of the read-stability bench.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchConfig {
+    /// Supply voltage \[V\].
+    pub vdd: f64,
+    /// Butterfly sampling resolution (grid points per curve).
+    pub grid_points: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            vdd: crate::ptm::VDD_NOMINAL,
+            grid_points: 61,
+        }
+    }
+}
+
+/// The read-stability testbench.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadStabilityBench {
+    cell: Sram6T,
+    config: BenchConfig,
+}
+
+impl ReadStabilityBench {
+    /// The paper's Table I cell at the nominal supply.
+    pub fn paper_cell() -> Self {
+        Self::with_config(BenchConfig::default())
+    }
+
+    /// The paper's cell at a custom supply (Fig. 7 uses 0.5 V).
+    pub fn at_vdd(vdd: f64) -> Self {
+        Self::with_config(BenchConfig {
+            vdd,
+            ..BenchConfig::default()
+        })
+    }
+
+    /// Full configuration control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supply is non-positive or the grid is degenerate.
+    pub fn with_config(config: BenchConfig) -> Self {
+        assert!(config.grid_points >= 2, "grid too coarse");
+        Self {
+            cell: Sram6T::paper_cell_at(config.vdd),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BenchConfig {
+        &self.config
+    }
+
+    /// The underlying nominal cell.
+    pub fn cell(&self) -> &Sram6T {
+        &self.cell
+    }
+
+    /// Number of variability dimensions.
+    pub fn dim(&self) -> usize {
+        DIM
+    }
+
+    /// Per-device Pelgrom sigmas \[V\] in canonical device order, using
+    /// the calibrated Pelgrom coefficient
+    /// [`crate::ptm::A_VTH_EFFECTIVE`] constant.
+    pub fn pelgrom_sigmas(&self) -> [f64; DIM] {
+        CellDevice::ALL.map(|d| paper_geometry(d.role()).pelgrom_sigma(A_VTH_EFFECTIVE))
+    }
+
+    /// Read noise margin \[V\] of the cell with the given per-device
+    /// threshold shifts (volts, canonical order). Negative = read failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_vth.len() != 6`.
+    pub fn read_noise_margin(&self, delta_vth: &[f64]) -> f64 {
+        let cell = self.cell.with_delta_vth(delta_vth);
+        let bias = cell.read_bias();
+        let butterfly = Butterfly::sample(&cell, &bias, self.config.grid_points);
+        read_noise_margin(&butterfly).rnm
+    }
+
+    /// The paper's indicator function: `true` when the cell fails the
+    /// read-stability specification (negative margin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_vth.len() != 6`.
+    pub fn fails(&self, delta_vth: &[f64]) -> bool {
+        self.read_noise_margin(delta_vth) < 0.0
+    }
+
+    /// Convenience for whitened coordinates: scales a standard-normal
+    /// vector by the Pelgrom sigmas before evaluating. This is the
+    /// indicator `I(x)` over the *whitened* variability space used by all
+    /// estimators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 6`.
+    pub fn fails_whitened(&self, x: &[f64]) -> bool {
+        assert_eq!(x.len(), DIM, "whitened sample must have 6 components");
+        self.fails(&self.to_physical(x))
+    }
+
+    /// Hold (retention) noise margin \[V\]: word line low, so the access
+    /// devices are off and the margin is set by the cross-coupled
+    /// inverters alone. Always exceeds the read margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_vth.len() != 6`.
+    pub fn hold_noise_margin(&self, delta_vth: &[f64]) -> f64 {
+        let cell = self.cell.with_delta_vth(delta_vth);
+        let bias = cell.hold_bias();
+        let butterfly = Butterfly::sample(&cell, &bias, self.config.grid_points);
+        read_noise_margin(&butterfly).rnm
+    }
+
+    /// Write margin \[V\] for writing a "0" into node `Q` — an extension
+    /// beyond the paper's read-only analysis.
+    ///
+    /// Under write bias (left bit line low, word line high) a *healthy*
+    /// cell is monostable: the old state must be destroyed. The margin is
+    /// therefore the *negated* Seevinck margin of the write-bias
+    /// butterfly: positive when the residual eye has collapsed (write
+    /// succeeds), negative when an eye remains (the cell can retain its
+    /// old state — write failure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_vth.len() != 6`.
+    pub fn write_margin(&self, delta_vth: &[f64]) -> f64 {
+        let cell = self.cell.with_delta_vth(delta_vth);
+        let bias = cell.write0_bias();
+        let butterfly = Butterfly::sample(&cell, &bias, self.config.grid_points);
+        -read_noise_margin(&butterfly).rnm
+    }
+
+    /// Write-failure indicator in whitened coordinates (see
+    /// [`Self::write_margin`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 6`.
+    pub fn write_fails_whitened(&self, x: &[f64]) -> bool {
+        assert_eq!(x.len(), DIM, "whitened sample must have 6 components");
+        self.write_margin(&self.to_physical(x)) < 0.0
+    }
+
+    /// Scales a whitened vector back to physical threshold shifts \[V\].
+    fn to_physical(&self, x: &[f64]) -> [f64; DIM] {
+        let sigmas = self.pelgrom_sigmas();
+        let mut dv = [0.0; DIM];
+        for i in 0..DIM {
+            dv[i] = x[i] * sigmas[i];
+        }
+        dv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_cell_passes() {
+        let bench = ReadStabilityBench::paper_cell();
+        assert!(!bench.fails(&[0.0; 6]));
+        assert!(bench.read_noise_margin(&[0.0; 6]) > 0.0);
+    }
+
+    #[test]
+    fn extreme_mismatch_fails() {
+        let bench = ReadStabilityBench::paper_cell();
+        // Massive driver imbalance: the read disturb flips the cell.
+        let dv = [0.0, -0.3, 0.0, 0.3, 0.0, 0.0];
+        assert!(bench.fails(&dv));
+    }
+
+    #[test]
+    fn whitened_indicator_matches_physical_one() {
+        let bench = ReadStabilityBench::paper_cell();
+        let sig = bench.pelgrom_sigmas();
+        let x = [1.0, -2.0, 0.5, 3.0, -1.0, 0.0];
+        let dv: Vec<f64> = x.iter().zip(&sig).map(|(xi, s)| xi * s).collect();
+        assert_eq!(bench.fails_whitened(&x), bench.fails(&dv));
+    }
+
+    #[test]
+    fn sigma_order_follows_canonical_devices() {
+        let bench = ReadStabilityBench::paper_cell();
+        let s = bench.pelgrom_sigmas();
+        // Loads (indices 0, 2) are wider → smaller sigma than drivers
+        // (1, 3) and access (4, 5).
+        assert!(s[0] < s[1]);
+        assert!(s[2] < s[3]);
+        assert_eq!(s[1], s[4]);
+        assert_eq!(s[3], s[5]);
+        assert_eq!(s[0], s[2]);
+    }
+
+    #[test]
+    fn failure_region_is_far_from_origin_in_sigma_units() {
+        // The boundary along a symmetric worst-case direction should sit
+        // several sigma out — that is what makes naive MC hopeless and the
+        // whole method necessary.
+        let bench = ReadStabilityBench::paper_cell();
+        let dir = [1.0, -1.0, -1.0, 1.0, 0.0, 0.0].map(|v: f64| v / 2.0); // unit-norm
+        let mut lo = 0.0_f64;
+        let mut hi = 20.0_f64;
+        assert!(!bench.fails_whitened(&dir.map(|d| d * lo)));
+        assert!(bench.fails_whitened(&dir.map(|d| d * hi)));
+        for _ in 0..30 {
+            let mid = 0.5 * (lo + hi);
+            if bench.fails_whitened(&dir.map(|d| d * mid)) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let boundary = 0.5 * (lo + hi);
+        assert!(
+            boundary > 2.0 && boundary < 12.0,
+            "boundary at {boundary}σ along the worst-case direction"
+        );
+    }
+
+    #[test]
+    fn lower_vdd_moves_boundary_inward() {
+        let hi_vdd = ReadStabilityBench::at_vdd(0.7);
+        let lo_vdd = ReadStabilityBench::at_vdd(0.5);
+        let dir = [1.0, -1.0, -1.0, 1.0, 0.0, 0.0].map(|v: f64| v / 2.0);
+        let boundary = |bench: &ReadStabilityBench| {
+            let mut lo = 0.0_f64;
+            let mut hi = 20.0_f64;
+            for _ in 0..30 {
+                let mid = 0.5 * (lo + hi);
+                if bench.fails_whitened(&dir.map(|d| d * mid)) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        };
+        assert!(
+            boundary(&lo_vdd) < boundary(&hi_vdd),
+            "lower supply should fail earlier"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "whitened sample must have 6 components")]
+    fn rejects_wrong_dimension() {
+        let bench = ReadStabilityBench::paper_cell();
+        let _ = bench.fails_whitened(&[0.0; 5]);
+    }
+
+    #[test]
+    fn hold_margin_exceeds_read_margin() {
+        let bench = ReadStabilityBench::paper_cell();
+        let dv = [0.0, -0.02, 0.0, 0.02, 0.0, 0.0];
+        assert!(bench.hold_noise_margin(&dv) > bench.read_noise_margin(&dv));
+    }
+
+    #[test]
+    fn nominal_cell_is_writeable() {
+        let bench = ReadStabilityBench::paper_cell();
+        assert!(
+            bench.write_margin(&[0.0; 6]) > 0.0,
+            "a healthy cell must accept a write"
+        );
+    }
+
+    #[test]
+    fn write_margin_degrades_with_strong_load_and_weak_access() {
+        // Writing 0 into Q fights the left pull-up through the left
+        // access device; strengthening PL and weakening AL is the
+        // classic write-failure direction.
+        let bench = ReadStabilityBench::paper_cell();
+        let mut prev = f64::INFINITY;
+        for k in 0..5 {
+            let s = 0.08 * k as f64;
+            let dv = [-s, 0.0, 0.0, 0.0, s, 0.0];
+            let wm = bench.write_margin(&dv);
+            assert!(
+                wm < prev + 1e-9,
+                "write margin should fall with write-hostile skew: step {k} gives {wm}"
+            );
+            prev = wm;
+        }
+        assert!(prev < 0.0, "extreme skew should break the write, margin = {prev}");
+    }
+
+    #[test]
+    fn write_failure_boundary_is_distinct_from_read_boundary() {
+        // The read-critical direction (driver imbalance) barely moves
+        // the write margin and vice versa.
+        let bench = ReadStabilityBench::paper_cell();
+        let read_dir = [0.0, -0.15, 0.0, 0.15, 0.0, 0.0];
+        assert!(bench.fails(&read_dir));
+        assert!(
+            bench.write_margin(&read_dir) > 0.0,
+            "read-failing skew should still write"
+        );
+    }
+}

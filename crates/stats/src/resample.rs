@@ -1,0 +1,240 @@
+//! Particle resampling schemes.
+//!
+//! The resampling step of the particle filter (Algorithm 1, step 4) draws a
+//! new particle population with probabilities proportional to the weights.
+//! Two classic schemes are provided:
+//!
+//! * [`multinomial_resample`] — i.i.d. draws from the weight distribution
+//!   (what the paper describes literally);
+//! * [`systematic_resample`] — a single stratified sweep with strictly
+//!   lower variance; this is the default in `ecripse-core` because it
+//!   measurably slows particle degeneracy, the failure mode the paper
+//!   counters with multiple filters.
+//!
+//! [`effective_sample_size`] quantifies that degeneracy.
+
+use rand::Rng;
+
+/// Normalises weights in place; returns `false` (leaving the slice
+/// untouched) if they cannot be normalised (all zero / non-finite).
+fn normalise(weights: &mut [f64]) -> bool {
+    if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return false;
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return false;
+    }
+    for w in weights {
+        *w /= total;
+    }
+    true
+}
+
+/// Multinomial resampling: draws `n` indices i.i.d. with probability
+/// proportional to `weights`.
+///
+/// Returns `None` if the weights are all zero, negative, or non-finite.
+pub fn multinomial_resample<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    n: usize,
+) -> Option<Vec<usize>> {
+    let mut w = weights.to_vec();
+    if !normalise(&mut w) {
+        return None;
+    }
+    // Cumulative distribution, then binary search per draw.
+    let mut cdf = w;
+    for i in 1..cdf.len() {
+        cdf[i] += cdf[i - 1];
+    }
+    if let Some(last) = cdf.last_mut() {
+        *last = 1.0; // guard against rounding
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u: f64 = rng.gen();
+        let idx = cdf.partition_point(|c| *c < u).min(cdf.len() - 1);
+        out.push(idx);
+    }
+    Some(out)
+}
+
+/// Systematic resampling: one uniform offset, `n` evenly spaced pointers
+/// through the cumulative weight distribution.
+///
+/// Returns `None` if the weights are all zero, negative, or non-finite.
+pub fn systematic_resample<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    n: usize,
+) -> Option<Vec<usize>> {
+    let mut w = weights.to_vec();
+    if !normalise(&mut w) {
+        return None;
+    }
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let step = 1.0 / n as f64;
+    let mut u = rng.gen::<f64>() * step;
+    let mut out = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    let mut i = 0usize;
+    for _ in 0..n {
+        while acc + w[i] < u && i + 1 < w.len() {
+            acc += w[i];
+            i += 1;
+        }
+        out.push(i);
+        u += step;
+    }
+    Some(out)
+}
+
+/// Effective sample size of a weight vector, `(Σw)² / Σw²`.
+///
+/// Ranges from 1 (complete degeneracy: one particle carries everything) to
+/// `weights.len()` (uniform weights). Returns 0 for empty or all-zero
+/// weights.
+///
+/// ```
+/// let ess = ecripse_stats::effective_sample_size(&[1.0, 1.0, 1.0, 1.0]);
+/// assert!((ess - 4.0).abs() < 1e-12);
+/// ```
+pub fn effective_sample_size(weights: &[f64]) -> f64 {
+    let s: f64 = weights.iter().sum();
+    let s2: f64 = weights.iter().map(|w| w * w).sum();
+    if s2 == 0.0 {
+        0.0
+    } else {
+        s * s / s2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequency(indices: &[usize], len: usize) -> Vec<f64> {
+        let mut f = vec![0.0; len];
+        for &i in indices {
+            f[i] += 1.0;
+        }
+        let n = indices.len() as f64;
+        for x in &mut f {
+            *x /= n;
+        }
+        f
+    }
+
+    #[test]
+    fn multinomial_frequencies_match_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = [0.1, 0.4, 0.2, 0.3];
+        let idx = multinomial_resample(&mut rng, &w, 100_000).expect("valid weights");
+        let f = frequency(&idx, w.len());
+        for (fi, wi) in f.iter().zip(&w) {
+            assert!((fi - wi).abs() < 0.01, "freq {fi} vs weight {wi}");
+        }
+    }
+
+    #[test]
+    fn systematic_frequencies_match_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = [0.05, 0.55, 0.25, 0.15];
+        let idx = systematic_resample(&mut rng, &w, 100_000).expect("valid weights");
+        let f = frequency(&idx, w.len());
+        for (fi, wi) in f.iter().zip(&w) {
+            assert!((fi - wi).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn systematic_is_exact_for_uniform_weights() {
+        // With uniform weights, systematic resampling copies each index the
+        // same number of times (up to ±1).
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = [1.0; 8];
+        let idx = systematic_resample(&mut rng, &w, 64).expect("valid");
+        let mut counts = [0usize; 8];
+        for i in idx {
+            counts[i] += 1;
+        }
+        for c in counts {
+            assert_eq!(c, 8);
+        }
+    }
+
+    #[test]
+    fn systematic_has_lower_variance_than_multinomial() {
+        // Replication-count variance of a mid-weight particle over many
+        // resampling rounds.
+        let w = [0.3, 0.3, 0.2, 0.2];
+        let rounds = 2_000;
+        let n = 40;
+        let mut var = [0.0_f64; 2];
+        for (scheme, v) in var.iter_mut().enumerate() {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut s = 0.0;
+            let mut s2 = 0.0;
+            for _ in 0..rounds {
+                let idx = if scheme == 0 {
+                    systematic_resample(&mut rng, &w, n).expect("valid")
+                } else {
+                    multinomial_resample(&mut rng, &w, n).expect("valid")
+                };
+                let c = idx.iter().filter(|&&i| i == 0).count() as f64;
+                s += c;
+                s2 += c * c;
+            }
+            let mean = s / rounds as f64;
+            *v = s2 / rounds as f64 - mean * mean;
+        }
+        assert!(
+            var[0] < var[1] * 0.5,
+            "systematic var {} should beat multinomial var {}",
+            var[0],
+            var[1]
+        );
+    }
+
+    #[test]
+    fn zero_weight_particle_never_selected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = [0.5, 0.0, 0.5];
+        for _ in 0..100 {
+            let idx = systematic_resample(&mut rng, &w, 10).expect("valid");
+            assert!(idx.iter().all(|&i| i != 1));
+            let idx = multinomial_resample(&mut rng, &w, 10).expect("valid");
+            assert!(idx.iter().all(|&i| i != 1));
+        }
+    }
+
+    #[test]
+    fn invalid_weights_return_none() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(systematic_resample(&mut rng, &[0.0, 0.0], 4).is_none());
+        assert!(multinomial_resample(&mut rng, &[0.0, 0.0], 4).is_none());
+        assert!(systematic_resample(&mut rng, &[1.0, f64::NAN], 4).is_none());
+        assert!(multinomial_resample(&mut rng, &[-1.0, 2.0], 4).is_none());
+    }
+
+    #[test]
+    fn resample_zero_requested_gives_empty() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(systematic_resample(&mut rng, &[1.0], 0).expect("valid").is_empty());
+        assert!(multinomial_resample(&mut rng, &[1.0], 0).expect("valid").is_empty());
+    }
+
+    #[test]
+    fn ess_bounds() {
+        assert!((effective_sample_size(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((effective_sample_size(&[5.0, 0.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(effective_sample_size(&[]), 0.0);
+        assert_eq!(effective_sample_size(&[0.0, 0.0]), 0.0);
+    }
+}

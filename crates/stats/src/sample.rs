@@ -1,0 +1,295 @@
+//! Random samplers built on any [`rand::Rng`].
+//!
+//! The approved offline dependency set includes `rand` but not
+//! `rand_distr`, so the two distributions the ECRIPSE flow needs — the
+//! standard normal (for process variability, proposal kernels and the
+//! alternative distribution) and the Poisson (for the RTN defect-occupancy
+//! count of Eq. 10) — are implemented here and validated by moment tests.
+
+use rand::Rng;
+
+/// Draws one standard normal variate using Marsaglia's polar method.
+///
+/// The polar method discards the second variate of each accepted pair; use
+/// [`NormalSampler`] in hot loops to keep it.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let z = ecripse_stats::sample_standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// A standard-normal sampler that caches the spare variate from the polar
+/// method, halving the number of rejections in tight Monte Carlo loops.
+#[derive(Debug, Clone, Default)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler with no cached variate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one standard normal variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Fills `out` with independent standard normal variates.
+    pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut [f64]) {
+        for x in out {
+            *x = self.sample(rng);
+        }
+    }
+
+    /// Draws a vector of `dim` independent standard normal variates.
+    pub fn sample_vec<R: Rng + ?Sized>(&mut self, rng: &mut R, dim: usize) -> Vec<f64> {
+        let mut v = vec![0.0; dim];
+        self.fill(rng, &mut v);
+        v
+    }
+}
+
+/// Draws one Poisson variate with the given mean.
+///
+/// Small means (`< 30`) use Knuth's multiplication method; larger means use
+/// the PTRS transformed-rejection algorithm of Hörmann (1993), which has a
+/// bounded expected number of iterations for any mean.
+///
+/// A mean of exactly zero returns 0 (the paper's RTN model yields a zero
+/// rate when a device has no traps). Negative or non-finite means panic.
+///
+/// # Panics
+///
+/// Panics if `mean` is negative, NaN or infinite.
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "Poisson mean must be finite and non-negative, got {mean}"
+    );
+    if mean == 0.0 {
+        0
+    } else if mean < 30.0 {
+        poisson_knuth(rng, mean)
+    } else {
+        poisson_ptrs(rng, mean)
+    }
+}
+
+/// Knuth's method: multiply uniforms until the product drops below e^{−λ}.
+fn poisson_knuth<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    let limit = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// PTRS transformed rejection (Hörmann 1993), valid for mean ≥ 10.
+fn poisson_ptrs<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    let b = 0.931 + 2.53 * mean.sqrt();
+    let a = -0.059 + 0.024_83 * b;
+    let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+    let v_r = 0.9277 - 3.6224 / (b - 2.0);
+    loop {
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        let v: f64 = rng.gen::<f64>();
+        let us = 0.5 - u.abs();
+        let k = ((2.0 * a / us + b) * u + mean + 0.43).floor();
+        if us >= 0.07 && v <= v_r {
+            return k as u64;
+        }
+        if k < 0.0 || (us < 0.013 && v > us) {
+            continue;
+        }
+        let accept = (v * inv_alpha / (a / (us * us) + b)).ln()
+            <= -mean + k * mean.ln() - ln_factorial(k as u64);
+        if accept {
+            return k as u64;
+        }
+    }
+}
+
+/// `ln(k!)` via Stirling/Lanczos-free Gosper-style series for large `k`,
+/// exact table for small `k`.
+pub fn ln_factorial(k: u64) -> f64 {
+    const TABLE: [f64; 16] = [
+        0.0,
+        0.0,
+        std::f64::consts::LN_2,
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_68,
+        27.899_271_383_840_89,
+    ];
+    if (k as usize) < TABLE.len() {
+        return TABLE[k as usize];
+    }
+    let x = (k + 1) as f64;
+    // Stirling series with three correction terms — error < 1e-10 for k ≥ 16.
+    (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut s = NormalSampler::new();
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        let mut sum3 = 0.0;
+        for _ in 0..n {
+            let z = s.sample(&mut rng);
+            sum += z;
+            sum2 += z * z;
+            sum3 += z * z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        let skew = sum3 / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+        assert!(skew.abs() < 0.05, "3rd moment {skew}");
+    }
+
+    #[test]
+    fn free_function_agrees_with_sampler_distribution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let within_1sigma = (0..n)
+            .filter(|_| sample_standard_normal(&mut rng).abs() < 1.0)
+            .count() as f64
+            / n as f64;
+        assert!((within_1sigma - 0.6827).abs() < 0.01);
+    }
+
+    #[test]
+    fn poisson_small_mean_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lam = 1.92; // the paper's average defects in the smallest device
+        let n = 200_000;
+        let mut sum = 0u64;
+        let mut sum2 = 0u64;
+        for _ in 0..n {
+            let k = sample_poisson(&mut rng, lam);
+            sum += k;
+            sum2 += k * k;
+        }
+        let mean = sum as f64 / n as f64;
+        let var = sum2 as f64 / n as f64 - mean * mean;
+        assert!((mean - lam).abs() < 0.02, "mean {mean}");
+        assert!((var - lam).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_mean_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let lam = 120.0;
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let k = sample_poisson(&mut rng, lam) as f64;
+            sum += k;
+            sum2 += k * k;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!((mean - lam).abs() / lam < 0.01, "mean {mean}");
+        assert!((var - lam).abs() / lam < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn poisson_zero_probability_mass_matches() {
+        // P(N=0) = e^{−λ}.
+        let mut rng = StdRng::seed_from_u64(9);
+        let lam = 0.174; // typical RTN occupancy rate at α = 0.5
+        let n = 300_000;
+        let zeros = (0..n)
+            .filter(|_| sample_poisson(&mut rng, lam) == 0)
+            .count() as f64
+            / n as f64;
+        assert!((zeros - (-lam).exp()).abs() < 0.005);
+    }
+
+    #[test]
+    #[should_panic(expected = "Poisson mean must be finite")]
+    fn poisson_rejects_negative_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sample_poisson(&mut rng, -1.0);
+    }
+
+    #[test]
+    fn ln_factorial_matches_direct_product() {
+        for k in 0..30u64 {
+            let direct: f64 = (1..=k).map(|i| (i as f64).ln()).sum();
+            assert!(
+                (ln_factorial(k) - direct).abs() < 1e-8,
+                "ln({k}!) = {}, want {direct}",
+                ln_factorial(k)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_vec_has_requested_dimension() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = NormalSampler::new();
+        assert_eq!(s.sample_vec(&mut rng, 6).len(), 6);
+        assert!(s.sample_vec(&mut rng, 0).is_empty());
+    }
+}

@@ -1,0 +1,331 @@
+//! Special functions: `erf`, `erfc`, the standard normal CDF/PDF and the
+//! normal quantile function.
+//!
+//! All implementations are self-contained (no `libm` beyond `std`), chosen
+//! for accuracy adequate to rare-event estimation: `erfc` is good to better
+//! than 1e-12 relative error over the range used here, and the quantile
+//! function applies one Halley refinement step on top of Acklam's rational
+//! approximation, giving ~1e-14 absolute error.
+
+use std::f64::consts::{PI, SQRT_2};
+
+/// `1/sqrt(2π)`, the normalisation constant of the standard normal PDF.
+pub const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// The error function `erf(x) = 2/√π ∫₀ˣ e^{−t²} dt`.
+///
+/// ```
+/// assert!((ecripse_stats::erf(0.0)).abs() < 1e-15);
+/// assert!((ecripse_stats::erf(1.0) - 0.8427007929497149).abs() < 1e-12);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Uses the continued-fraction/Chebyshev fit from Numerical Recipes
+/// (`erfccheb`) with an extended coefficient set, accurate to ~1e-13
+/// relative over `|x| ≤ 10` and monotone in the tails.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        erfc_positive(x)
+    } else {
+        2.0 - erfc_positive(-x)
+    }
+}
+
+/// Chebyshev-fit `erfc` for non-negative arguments.
+fn erfc_positive(x: f64) -> f64 {
+    debug_assert!(x >= 0.0);
+    // Coefficients for the Chebyshev fit of erfc (Numerical Recipes 3rd ed.,
+    // "erfcore"), valid for z >= 0.
+    const COF: [f64; 28] = [
+        -1.3026537197817094,
+        6.419_697_923_564_902e-1,
+        1.9476473204185836e-2,
+        -9.561_514_786_808_63e-3,
+        -9.46595344482036e-4,
+        3.66839497852761e-4,
+        4.2523324806907e-5,
+        -2.0278578112534e-5,
+        -1.624290004647e-6,
+        1.303655835580e-6,
+        1.5626441722e-8,
+        -8.5238095915e-8,
+        6.529054439e-9,
+        5.059343495e-9,
+        -9.91364156e-10,
+        -2.27365122e-10,
+        9.6467911e-11,
+        2.394038e-12,
+        -6.886027e-12,
+        8.94487e-13,
+        3.13092e-13,
+        -1.12708e-13,
+        3.81e-16,
+        7.106e-15,
+        -1.523e-15,
+        -9.4e-17,
+        1.21e-16,
+        -2.8e-17,
+    ];
+    let t = 2.0 / (2.0 + x);
+    let ty = 4.0 * t - 2.0;
+    let mut d = 0.0_f64;
+    let mut dd = 0.0_f64;
+    for &c in COF.iter().skip(1).rev() {
+        let tmp = d;
+        d = ty * d - dd + c;
+        dd = tmp;
+    }
+    t * (-x * x + 0.5 * (COF[0] + ty * d) - dd).exp()
+}
+
+/// Standard normal probability density `φ(x) = e^{−x²/2}/√(2π)`.
+///
+/// ```
+/// let phi0 = ecripse_stats::normal_pdf(0.0);
+/// assert!((phi0 - 0.3989422804014327).abs() < 1e-15);
+/// ```
+pub fn normal_pdf(x: f64) -> f64 {
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Natural log of the standard normal density, `−x²/2 − ln√(2π)`.
+///
+/// Preferred over `normal_pdf(x).ln()` for large `|x|` where the density
+/// underflows.
+pub fn log_normal_pdf(x: f64) -> f64 {
+    -0.5 * x * x - 0.5 * (2.0 * PI).ln()
+}
+
+/// Standard normal cumulative distribution `Φ(x) = P(Z ≤ x)`.
+///
+/// Computed via `erfc` so that deep lower-tail values (`x ≈ −8`, probability
+/// ~1e-16) retain full relative accuracy — essential when scoring rare
+/// failure events.
+///
+/// ```
+/// assert!((ecripse_stats::normal_cdf(0.0) - 0.5).abs() < 1e-15);
+/// assert!((ecripse_stats::normal_cdf(1.96) - 0.9750021048517795).abs() < 1e-10);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / SQRT_2)
+}
+
+/// Upper tail of the standard normal, `P(Z > x) = Φ(−x)`, with full
+/// relative accuracy for large positive `x`.
+pub fn normal_sf(x: f64) -> f64 {
+    0.5 * erfc(x / SQRT_2)
+}
+
+/// Inverse of [`normal_cdf`]: returns `x` such that `Φ(x) = p`.
+///
+/// Implementation: Acklam's rational approximation, refined by one Halley
+/// step using the exact CDF above. Accurate to ~1e-14 over `p ∈ (1e-300,
+/// 1 − 1e-16)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement using the accurate CDF/PDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference values from standard tables / mpmath at 1e-13.
+    const ERF_TABLE: &[(f64, f64)] = &[
+        (0.0, 0.0),
+        (0.1, 0.1124629160182849),
+        (0.5, 0.5204998778130465),
+        (1.0, 0.8427007929497149),
+        (1.5, 0.9661051464753107),
+        (2.0, 0.9953222650189527),
+        (3.0, 0.9999779095030014),
+    ];
+
+    #[test]
+    fn erf_matches_tabulated_values() {
+        for &(x, want) in ERF_TABLE {
+            let got = erf(x);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "erf({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for x in [0.3, 0.9, 1.7, 2.5] {
+            assert!((erf(-x) + erf(x)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn erfc_deep_tail_relative_accuracy() {
+        // erfc(5) = 1.5374597944280349e-12
+        let got = erfc(5.0);
+        let want = 1.537_459_794_428_035e-12;
+        assert!(
+            ((got - want) / want).abs() < 1e-9,
+            "erfc(5) = {got:e}, want {want:e}"
+        );
+        // erfc(8) = 1.1224297172982928e-29
+        let got = erfc(8.0);
+        let want = 1.1224297172982928e-29;
+        assert!(((got - want) / want).abs() < 1e-8);
+    }
+
+    #[test]
+    fn normal_cdf_known_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((normal_cdf(1.0) - 0.8413447460685429).abs() < 1e-12);
+        assert!((normal_cdf(-1.0) - 0.15865525393145705).abs() < 1e-12);
+        assert!((normal_cdf(2.0) - 0.9772498680518208).abs() < 1e-12);
+        // Deep tail (relative accuracy matters here).
+        let p = normal_cdf(-6.0);
+        let want = 9.865876450376946e-10;
+        assert!(((p - want) / want).abs() < 1e-8, "Φ(-6) = {p:e}");
+    }
+
+    #[test]
+    fn normal_sf_is_symmetric_tail() {
+        for x in [0.5, 2.0, 4.5, 7.0] {
+            let sf = normal_sf(x);
+            let cdf = normal_cdf(-x);
+            assert!(((sf - cdf) / cdf).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_round_trips_cdf() {
+        for &p in &[1e-12, 1e-8, 1e-4, 0.01, 0.3, 0.5, 0.7, 0.975, 1.0 - 1e-9] {
+            let x = normal_quantile(p);
+            let back = normal_cdf(x);
+            assert!(
+                ((back - p) / p).abs() < 1e-9,
+                "round trip p={p:e}: x={x}, Φ(x)={back:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_known_points() {
+        assert!(normal_quantile(0.5).abs() < 1e-13);
+        assert!((normal_quantile(0.975) - 1.959963984540054).abs() < 1e-10);
+        assert!((normal_quantile(0.9999966) - 4.499854470022365).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "normal_quantile requires p in (0,1)")]
+    fn quantile_rejects_out_of_range() {
+        let _ = normal_quantile(1.0);
+    }
+
+    #[test]
+    fn log_pdf_matches_pdf_in_normal_range() {
+        for x in [-3.0, -1.0, 0.0, 0.5, 2.5] {
+            assert!((log_normal_pdf(x) - normal_pdf(x).ln()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_pdf_finite_where_pdf_underflows() {
+        let x = 40.0;
+        assert_eq!(normal_pdf(x), 0.0); // underflow
+        assert!(log_normal_pdf(x).is_finite());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Φ is monotone increasing and bounded in (0, 1).
+        #[test]
+        fn prop_cdf_monotone(a in -8.0f64..8.0, d in 0.0001f64..2.0) {
+            prop_assert!(normal_cdf(a) < normal_cdf(a + d));
+            prop_assert!(normal_cdf(a) > 0.0 && normal_cdf(a) < 1.0);
+        }
+
+        /// Φ(x) + Φ(−x) = 1.
+        #[test]
+        fn prop_cdf_symmetry(x in -8.0f64..8.0) {
+            prop_assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-12);
+        }
+
+        /// Quantile inverts the CDF over the practical range.
+        #[test]
+        fn prop_quantile_round_trip(x in -6.0f64..6.0) {
+            let p = normal_cdf(x);
+            let back = normal_quantile(p);
+            prop_assert!((back - x).abs() < 1e-8, "x={x}, back={back}");
+        }
+
+        /// erf is odd and bounded.
+        #[test]
+        fn prop_erf_odd(x in -5.0f64..5.0) {
+            prop_assert!((erf(x) + erf(-x)).abs() < 1e-13);
+            prop_assert!(erf(x).abs() <= 1.0);
+        }
+    }
+}

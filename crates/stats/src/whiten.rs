@@ -1,0 +1,241 @@
+//! Whitening of correlated Gaussian variability.
+//!
+//! The paper assumes "the random variables are mutually independent since
+//! any set of random variables can be uncorrelated using a transformation
+//! called whitening" (Sec. II-A). This module provides that transformation:
+//! given a covariance matrix `Σ = L·Lᵀ` (Cholesky), correlated samples
+//! `y ~ N(μ, Σ)` map to whitened coordinates `x = L⁻¹(y − μ) ~ N(0, I)`
+//! and back. The ECRIPSE algorithms always operate in whitened space.
+
+/// Computes the lower-triangular Cholesky factor `L` of a symmetric
+/// positive-definite matrix given in row-major order.
+///
+/// Returns `None` if the matrix is not positive definite (a non-positive
+/// pivot is encountered).
+///
+/// # Panics
+///
+/// Panics if `a.len() != dim * dim`.
+pub fn cholesky(a: &[f64], dim: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), dim * dim, "matrix size mismatch");
+    let mut l = vec![0.0; dim * dim];
+    for i in 0..dim {
+        for j in 0..=i {
+            let mut sum = a[i * dim + j];
+            for k in 0..j {
+                sum -= l[i * dim + k] * l[j * dim + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * dim + j] = sum.sqrt();
+            } else {
+                l[i * dim + j] = sum / l[j * dim + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// A whitening transform for a Gaussian with mean `μ` and covariance
+/// `Σ = L·Lᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Whitener {
+    mean: Vec<f64>,
+    /// Lower-triangular Cholesky factor, row-major.
+    chol: Vec<f64>,
+    dim: usize,
+}
+
+impl Whitener {
+    /// Builds a whitener from a mean vector and a row-major covariance
+    /// matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the covariance is not positive definite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cov.len() != mean.len()²`.
+    pub fn from_covariance(mean: Vec<f64>, cov: &[f64]) -> Option<Self> {
+        let dim = mean.len();
+        let chol = cholesky(cov, dim)?;
+        Some(Self { mean, chol, dim })
+    }
+
+    /// Builds a whitener for independent (diagonal) variability with the
+    /// given per-axis standard deviations — the common SRAM case where each
+    /// transistor's ΔVth is independent with its own Pelgrom sigma.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sigma is not strictly positive.
+    pub fn from_sigmas(mean: Vec<f64>, sigmas: &[f64]) -> Self {
+        assert_eq!(mean.len(), sigmas.len(), "mean/sigma length mismatch");
+        assert!(
+            sigmas.iter().all(|s| *s > 0.0 && s.is_finite()),
+            "sigmas must be positive"
+        );
+        let dim = mean.len();
+        let mut chol = vec![0.0; dim * dim];
+        for (i, s) in sigmas.iter().enumerate() {
+            chol[i * dim + i] = *s;
+        }
+        Self { mean, chol, dim }
+    }
+
+    /// Dimensionality of the transform.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Maps a physical-space point `y` to whitened coordinates
+    /// `x = L⁻¹(y − μ)` by forward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != dim`.
+    pub fn whiten(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.dim, "whiten dimension mismatch");
+        let mut x = vec![0.0; self.dim];
+        for i in 0..self.dim {
+            let mut sum = y[i] - self.mean[i];
+            for (k, xv) in x.iter().enumerate().take(i) {
+                sum -= self.chol[i * self.dim + k] * xv;
+            }
+            x[i] = sum / self.chol[i * self.dim + i];
+        }
+        x
+    }
+
+    /// Maps whitened coordinates back to physical space, `y = μ + L·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim`.
+    pub fn unwhiten(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim, "unwhiten dimension mismatch");
+        let mut y = self.mean.clone();
+        for (i, yi) in y.iter_mut().enumerate() {
+            for (k, xv) in x.iter().enumerate().take(i + 1) {
+                *yi += self.chol[i * self.dim + k] * xv;
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::NormalSampler;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn mat_mul_t(l: &[f64], dim: usize) -> Vec<f64> {
+        let mut a = vec![0.0; dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                for k in 0..dim {
+                    a[i * dim + j] += l[i * dim + k] * l[j * dim + k];
+                }
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        let a = [4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0];
+        let l = cholesky(&a, 3).expect("pd matrix");
+        let back = mat_mul_t(&l, 3);
+        for (x, y) in a.iter().zip(&back) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = [1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, −1
+        assert!(cholesky(&a, 2).is_none());
+    }
+
+    #[test]
+    fn whiten_round_trip() {
+        let cov = [2.0, 0.5, 0.1, 0.5, 1.5, -0.2, 0.1, -0.2, 0.8];
+        let w = Whitener::from_covariance(vec![1.0, -2.0, 0.3], &cov).expect("pd");
+        let y = [0.7, 0.1, -1.4];
+        let back = w.unwhiten(&w.whiten(&y));
+        for (a, b) in y.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn whitened_samples_are_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let mut ns = NormalSampler::new();
+        let cov = [1.0, 0.8, 0.8, 1.0];
+        let w = Whitener::from_covariance(vec![3.0, -1.0], &cov).expect("pd");
+        // Generate correlated samples via unwhiten, then re-whiten and check
+        // the empirical covariance is the identity.
+        let n = 100_000;
+        let mut s = [0.0; 2];
+        let mut s2 = [0.0; 3]; // xx, yy, xy
+        for _ in 0..n {
+            let z = [ns.sample(&mut rng), ns.sample(&mut rng)];
+            let y = w.unwhiten(&z);
+            let x = w.whiten(&y);
+            s[0] += x[0];
+            s[1] += x[1];
+            s2[0] += x[0] * x[0];
+            s2[1] += x[1] * x[1];
+            s2[2] += x[0] * x[1];
+        }
+        let n = n as f64;
+        assert!((s[0] / n).abs() < 0.02);
+        assert!((s[1] / n).abs() < 0.02);
+        assert!((s2[0] / n - 1.0).abs() < 0.02);
+        assert!((s2[1] / n - 1.0).abs() < 0.02);
+        assert!((s2[2] / n).abs() < 0.02);
+    }
+
+    #[test]
+    fn diagonal_whitener_scales_by_sigma() {
+        let w = Whitener::from_sigmas(vec![0.0, 0.0], &[0.0228, 0.0161]);
+        let x = w.whiten(&[0.0456, -0.0322]);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn property_round_trip_random_spd() {
+        // Lightweight hand-rolled property test: random SPD = MᵀM + dI.
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..50 {
+            let dim = rng.gen_range(1..6usize);
+            let mut m = vec![0.0; dim * dim];
+            for v in &mut m {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+            let mut a = vec![0.0; dim * dim];
+            for i in 0..dim {
+                for j in 0..dim {
+                    for k in 0..dim {
+                        a[i * dim + j] += m[k * dim + i] * m[k * dim + j];
+                    }
+                }
+                a[i * dim + i] += 0.5;
+            }
+            let mean: Vec<f64> = (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let w = Whitener::from_covariance(mean, &a).expect("spd by construction");
+            let y: Vec<f64> = (0..dim).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let back = w.unwhiten(&w.whiten(&y));
+            for (p, q) in y.iter().zip(&back) {
+                assert!((p - q).abs() < 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Explicit polynomial feature expansion.
+//!
+//! For a `d`-dimensional input and total degree `p`, the feature vector
+//! contains every monomial `x₁^{e₁}·…·x_d^{e_d}` with `Σeᵢ ≤ p`,
+//! including the constant `1` — exactly the transform the paper describes
+//! ("if the input vector is `[x₁, x₂]` and `D_poly` is two then the
+//! feature vector is `[1, x₁, x₂, x₁x₂, x₁², x₂²]`"). A linear separator
+//! over these features is a degree-`p` polynomial decision surface in the
+//! original space.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed polynomial feature map.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolynomialFeatures {
+    dim: usize,
+    degree: u32,
+    /// Exponent vectors, one per output feature, in graded
+    /// lexicographic order starting with the constant term.
+    exponents: Vec<Vec<u32>>,
+}
+
+impl PolynomialFeatures {
+    /// Builds the feature map for `dim` inputs and total degree `degree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, degree: u32) -> Self {
+        assert!(dim > 0, "zero-dimensional feature map");
+        let mut exponents = Vec::new();
+        let mut current = vec![0u32; dim];
+        // Enumerate by total degree so features are grouped constant,
+        // linear, quadratic, …
+        for total in 0..=degree {
+            enumerate_compositions(&mut current, 0, total, &mut exponents);
+        }
+        Self {
+            dim,
+            degree,
+            exponents,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total polynomial degree.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Number of output features, `C(dim + degree, degree)`.
+    pub fn n_features(&self) -> usize {
+        self.exponents.len()
+    }
+
+    /// The exponent vector of each feature.
+    pub fn exponents(&self) -> &[Vec<u32>] {
+        &self.exponents
+    }
+
+    /// Evaluates the feature vector at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim`.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        // Precompute powers of each coordinate up to the degree.
+        let mut powers = vec![1.0; self.dim * (self.degree as usize + 1)];
+        for (i, xi) in x.iter().enumerate() {
+            for p in 1..=self.degree as usize {
+                powers[i * (self.degree as usize + 1) + p] =
+                    powers[i * (self.degree as usize + 1) + p - 1] * xi;
+            }
+        }
+        self.exponents
+            .iter()
+            .map(|e| {
+                e.iter()
+                    .enumerate()
+                    .map(|(i, &p)| powers[i * (self.degree as usize + 1) + p as usize])
+                    .product()
+            })
+            .collect()
+    }
+}
+
+/// Recursively enumerates all exponent vectors with the given remaining
+/// total degree (compositions of `total` into `dim` parts).
+fn enumerate_compositions(
+    current: &mut Vec<u32>,
+    pos: usize,
+    remaining: u32,
+    out: &mut Vec<Vec<u32>>,
+) {
+    if pos == current.len() - 1 {
+        current[pos] = remaining;
+        out.push(current.clone());
+        current[pos] = 0;
+        return;
+    }
+    for e in (0..=remaining).rev() {
+        current[pos] = e;
+        enumerate_compositions(current, pos + 1, remaining - e, out);
+        current[pos] = 0;
+    }
+}
+
+/// Binomial coefficient used by tests to check feature counts.
+pub fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1u64;
+    for i in 0..k {
+        acc = acc * (n - i) / (i + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_dimension_two_degree_two() {
+        // [1, x1, x2, x1x2, x1², x2²] — six features.
+        let f = PolynomialFeatures::new(2, 2);
+        assert_eq!(f.n_features(), 6);
+        let got = f.transform(&[2.0, 3.0]);
+        let mut sorted = got.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // 1, x1=2, x2=3, x1x2=6, x1²=4, x2²=9 in some order.
+        assert_eq!(sorted, vec![1.0, 2.0, 3.0, 4.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn feature_count_is_binomial() {
+        for (d, p) in [(1usize, 3u32), (2, 4), (6, 4), (3, 5)] {
+            let f = PolynomialFeatures::new(d, p);
+            assert_eq!(
+                f.n_features() as u64,
+                binomial((d as u64) + (p as u64), p as u64),
+                "count mismatch for d={d} p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn ecripse_configuration_has_210_features() {
+        // 6 variability dimensions, degree 4 → C(10,4) = 210.
+        assert_eq!(PolynomialFeatures::new(6, 4).n_features(), 210);
+    }
+
+    #[test]
+    fn constant_feature_comes_first() {
+        let f = PolynomialFeatures::new(3, 2);
+        assert_eq!(f.transform(&[5.0, -2.0, 0.5])[0], 1.0);
+        assert!(f.exponents()[0].iter().all(|&e| e == 0));
+    }
+
+    #[test]
+    fn degree_zero_is_just_the_constant() {
+        let f = PolynomialFeatures::new(4, 0);
+        assert_eq!(f.n_features(), 1);
+        assert_eq!(f.transform(&[1.0, 2.0, 3.0, 4.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn exponents_are_unique() {
+        let f = PolynomialFeatures::new(4, 3);
+        let mut seen = std::collections::HashSet::new();
+        for e in f.exponents() {
+            assert!(seen.insert(e.clone()), "duplicate exponent vector {e:?}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transform_matches_naive_monomials(
+            x in proptest::collection::vec(-2.0f64..2.0, 3),
+        ) {
+            let f = PolynomialFeatures::new(3, 3);
+            let got = f.transform(&x);
+            for (feat, e) in got.iter().zip(f.exponents()) {
+                let naive: f64 = x
+                    .iter()
+                    .zip(e)
+                    .map(|(xi, &p)| xi.powi(p as i32))
+                    .product();
+                prop_assert!((feat - naive).abs() < 1e-9 * naive.abs().max(1.0));
+            }
+        }
+
+        #[test]
+        fn prop_transform_at_origin_is_indicator_of_constant(
+            d in 1usize..5,
+            p in 0u32..4,
+        ) {
+            let f = PolynomialFeatures::new(d, p);
+            let feats = f.transform(&vec![0.0; d]);
+            prop_assert_eq!(feats[0], 1.0);
+            for v in &feats[1..] {
+                prop_assert_eq!(*v, 0.0);
+            }
+        }
+    }
+}

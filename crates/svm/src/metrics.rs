@@ -1,0 +1,150 @@
+//! Classification metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix (positive class = failure).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Failures predicted as failures.
+    pub true_positive: u64,
+    /// Passes predicted as passes.
+    pub true_negative: u64,
+    /// Passes predicted as failures.
+    pub false_positive: u64,
+    /// Failures predicted as passes.
+    pub false_negative: u64,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction.
+    pub fn record(&mut self, actual: bool, predicted: bool) {
+        match (actual, predicted) {
+            (true, true) => self.true_positive += 1,
+            (false, false) => self.true_negative += 1,
+            (false, true) => self.false_positive += 1,
+            (true, false) => self.false_negative += 1,
+        }
+    }
+
+    /// Builds a matrix from parallel label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_labels(actual: &[bool], predicted: &[bool]) -> Self {
+        assert_eq!(actual.len(), predicted.len(), "label length mismatch");
+        let mut m = Self::new();
+        for (a, p) in actual.iter().zip(predicted) {
+            m.record(*a, *p);
+        }
+        m
+    }
+
+    /// Total number of recorded predictions.
+    pub fn total(&self) -> u64 {
+        self.true_positive + self.true_negative + self.false_positive + self.false_negative
+    }
+
+    /// Fraction of correct predictions (NaN when empty).
+    pub fn accuracy(&self) -> f64 {
+        (self.true_positive + self.true_negative) as f64 / self.total() as f64
+    }
+
+    /// Of predicted failures, the fraction that actually fail (NaN when
+    /// nothing was predicted positive).
+    pub fn precision(&self) -> f64 {
+        self.true_positive as f64 / (self.true_positive + self.false_positive) as f64
+    }
+
+    /// Of actual failures, the fraction that was caught (NaN when there
+    /// are no actual positives).
+    pub fn recall(&self) -> f64 {
+        self.true_positive as f64 / (self.true_positive + self.false_negative) as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        2.0 * p * r / (p + r)
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.true_positive += other.true_positive;
+        self.true_negative += other.true_negative;
+        self.false_positive += other.false_positive;
+        self.false_negative += other.false_negative;
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tp={} tn={} fp={} fn={} (acc {:.3})",
+            self.true_positive,
+            self.true_negative,
+            self.false_positive,
+            self.false_negative,
+            self.accuracy()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let actual = [true, false, true, false];
+        let m = ConfusionMatrix::from_labels(&actual, &actual);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn known_counts() {
+        let actual = [true, true, false, false, true];
+        let predicted = [true, false, true, false, true];
+        let m = ConfusionMatrix::from_labels(&actual, &predicted);
+        assert_eq!(m.true_positive, 2);
+        assert_eq!(m.false_negative, 1);
+        assert_eq!(m.false_positive, 1);
+        assert_eq!(m.true_negative, 1);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionMatrix::from_labels(&[true], &[true]);
+        let b = ConfusionMatrix::from_labels(&[false], &[true]);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.false_positive, 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = ConfusionMatrix::from_labels(&[true, false], &[true, false]);
+        let s = format!("{m}");
+        assert!(s.contains("tp=1"));
+        assert!(s.contains("acc 1.000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "label length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let _ = ConfusionMatrix::from_labels(&[true], &[]);
+    }
+}

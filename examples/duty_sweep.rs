@@ -1,0 +1,46 @@
+//! Duty-ratio sweep: how the stored-data statistics modulate the
+//! RTN-induced failure probability (the study Fig. 8 of the paper opens
+//! up). Initial boundary particles are shared across all bias points.
+//!
+//! ```sh
+//! cargo run --release --example duty_sweep
+//! ```
+
+use ecripse::prelude::*;
+
+fn main() -> Result<(), EstimateError> {
+    let mut config = EcripseConfig::default();
+    config.importance.n_samples = 2_000;
+    config.importance.m_rtn = 20;
+
+    let bench = SramReadBench::paper_cell();
+    // A coarse five-point sweep; `fig8` in the bench crate runs the
+    // paper's full eleven-point grid.
+    let sweep = DutySweep::new(config, bench, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+
+    println!("running {}-point duty sweep (shared initialisation)…", sweep.alphas().len());
+    let result = sweep.run()?;
+
+    println!("\n{:<8} {:>12} {:>12}", "α", "P_fail", "±CI95");
+    for p in &result.points {
+        let bar = "#".repeat((p.p_fail / result.p_fail_rdf_only).round() as usize);
+        println!(
+            "{:<8} {:>12.3e} {:>12.1e}  {bar}",
+            p.alpha, p.p_fail, p.ci95_half_width
+        );
+    }
+    println!(
+        "\nwithout RTN: {:.3e}  (each # above = one RDF-only multiple)",
+        result.p_fail_rdf_only
+    );
+    println!(
+        "worst case is {:.1}x the RTN-free value; minimum at α = {}",
+        result.rtn_degradation_factor(),
+        result.best().expect("non-empty sweep").alpha
+    );
+    println!(
+        "total simulations: {} (of which {} for the shared initialisation)",
+        result.total_simulations, result.init_simulations
+    );
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Five rare-event estimators on the same problem: naive Monte Carlo,
+//! statistical blockade, mean-shift importance sampling, the conventional
+//! sequential importance sampling of \[8\], and ECRIPSE — each reporting
+//! its estimate and how many transistor-level simulations it spent.
+//!
+//! Runs at a lowered supply so even the naive method produces a
+//! meaningful reference within the example's time budget.
+//!
+//! ```sh
+//! cargo run --release --example method_comparison
+//! ```
+
+use ecripse::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = SramReadBench::at_vdd(0.5);
+    println!("cell: paper geometry at V_DD = 0.5 V (RDF only)\n");
+    println!(
+        "{:<26} {:>12} {:>12} {:>12}",
+        "method", "P_fail", "rel.err", "simulations"
+    );
+
+    // Naive Monte Carlo.
+    let naive = naive_monte_carlo(
+        &bench,
+        &NoRtn::new(6),
+        &NaiveConfig {
+            n_samples: 30_000,
+            trace_every: 0,
+            seed: 11,
+        },
+    );
+    println!(
+        "{:<26} {:>12.3e} {:>12.3} {:>12}",
+        "naive MC",
+        naive.p_fail,
+        naive.relative_error(),
+        naive.simulations
+    );
+
+    // Statistical blockade.
+    let blockade = statistical_blockade(
+        &bench,
+        &NoRtn::new(6),
+        &BlockadeConfig {
+            n_pilot: 1_000,
+            pilot_sigma: 3.0,
+            n_samples: 30_000,
+            ..BlockadeConfig::default()
+        },
+    )?;
+    println!(
+        "{:<26} {:>12.3e} {:>12.3} {:>12}",
+        "statistical blockade",
+        blockade.p_fail,
+        blockade.interval.relative_error(),
+        blockade.simulations
+    );
+
+    // Mean-shift importance sampling.
+    let mut ms_cfg = MeanShiftConfig::default();
+    ms_cfg.importance.n_samples = 4_000;
+    ms_cfg.importance.m_rtn = 1;
+    let mean_shift = mean_shift_is(&bench, &NoRtn::new(6), &ms_cfg)?;
+    println!(
+        "{:<26} {:>12.3e} {:>12.3} {:>12}",
+        "mean-shift IS",
+        mean_shift.importance.p_fail,
+        mean_shift.importance.relative_error(),
+        mean_shift.simulations
+    );
+
+    // Gibbs-sampling importance sampling [7].
+    let mut gibbs_cfg = GibbsConfig::default();
+    gibbs_cfg.importance.n_samples = 4_000;
+    gibbs_cfg.importance.m_rtn = 1;
+    let gibbs = gibbs_is(&bench, &NoRtn::new(6), &gibbs_cfg)?;
+    println!(
+        "{:<26} {:>12.3e} {:>12.3} {:>12}",
+        "Gibbs IS [7]",
+        gibbs.importance.p_fail,
+        gibbs.importance.relative_error(),
+        gibbs.simulations
+    );
+
+    // Conventional sequential importance sampling [8].
+    let mut cfg = EcripseConfig::default();
+    cfg.importance.n_samples = 4_000;
+    let sis = SequentialImportanceSampling::new(cfg, bench.clone()).estimate()?;
+    println!(
+        "{:<26} {:>12.3e} {:>12.3} {:>12}",
+        "sequential IS [8]",
+        sis.p_fail,
+        sis.relative_error(),
+        sis.simulations
+    );
+
+    // ECRIPSE.
+    let mut cfg = EcripseConfig::default();
+    cfg.importance.n_samples = 4_000;
+    let ecripse = Ecripse::new(cfg, bench).estimate()?;
+    println!(
+        "{:<26} {:>12.3e} {:>12.3} {:>12}",
+        "ECRIPSE",
+        ecripse.p_fail,
+        ecripse.relative_error(),
+        ecripse.simulations
+    );
+
+    println!(
+        "\nnote the mean-shift row: its single shifted Gaussian covers one of the\n\
+         cell's two failure lobes, so it converges to roughly half the truth —\n\
+         the failure mode the particle-filter mixture exists to fix."
+    );
+    Ok(())
+}

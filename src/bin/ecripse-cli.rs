@@ -1,0 +1,233 @@
+//! Command-line front end for the ECRIPSE library.
+//!
+//! ```text
+//! ecripse-cli estimate [--vdd V] [--alpha A] [--no-rtn] [--samples N]
+//!                      [--tolerance R] [--seed S]
+//! ecripse-cli sweep    [--vdd V] [--points K] [--samples N] [--seed S]
+//! ecripse-cli margin   [--vdd V] [--dvth v0,v1,v2,v3,v4,v5]
+//! ecripse-cli naive    [--vdd V] [--alpha A] [--no-rtn] [--samples N] [--seed S]
+//! ```
+//!
+//! Threshold shifts for `margin` are in volts, canonical device order
+//! `PL, NL, PR, NR, AL, AR`.
+
+use ecripse::prelude::*;
+use ecripse::spice::butterfly::Butterfly;
+use ecripse::spice::snm::read_noise_margin;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Minimal `--key value` / `--flag` parser.
+struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}'"));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(key.to_string(), it.next().expect("peeked").clone());
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+        Ok(Self { values, flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    fn opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: ecripse-cli <estimate|sweep|margin|naive> [options]\n\
+         \n\
+         estimate  failure probability of the paper's 6T cell\n\
+         \x20          --vdd V (0.7)  --alpha A (0.5)  --no-rtn\n\
+         \x20          --samples N (4000)  --tolerance R  --seed S\n\
+         sweep     duty-ratio sweep with shared initialisation\n\
+         \x20          --vdd V (0.7)  --points K (11)  --samples N (2000)  --seed S\n\
+         margin    read/hold/write margins of one cell instance\n\
+         \x20          --vdd V (0.7)  --dvth v0,v1,v2,v3,v4,v5 (volts)\n\
+         naive     naive Monte Carlo reference\n\
+         \x20          --vdd V (0.7)  --alpha A  --no-rtn  --samples N (100000)  --seed S"
+    );
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        usage();
+        return Err("missing subcommand".into());
+    };
+    let args = Args::parse(rest)?;
+    let vdd: f64 = args.get("vdd", 0.7)?;
+    if !(0.2..=1.2).contains(&vdd) {
+        return Err(format!("--vdd {vdd} outside the sane range [0.2, 1.2]"));
+    }
+
+    match cmd.as_str() {
+        "estimate" => {
+            let bench = SramReadBench::at_vdd(vdd);
+            let alpha: f64 = args.get("alpha", 0.5)?;
+            let samples: usize = args.get("samples", 4000)?;
+            let tolerance: Option<f64> = args.opt("tolerance")?;
+            let seed: u64 = args.get("seed", 0xec4155e)?;
+            let mut cfg = EcripseConfig::default();
+            cfg.importance.n_samples = samples;
+            cfg.seed = seed;
+            let result = if args.flag("no-rtn") {
+                cfg.importance.m_rtn = 1;
+                cfg.m_rtn_stage1 = 1;
+                let run = Ecripse::new(cfg, bench);
+                match tolerance {
+                    Some(t) => run.estimate_to_tolerance(t),
+                    None => run.estimate(),
+                }
+            } else {
+                let rtn = SramRtn::paper_model(alpha, bench.sigmas());
+                let run = Ecripse::with_rtn(cfg, bench, rtn);
+                match tolerance {
+                    Some(t) => run.estimate_to_tolerance(t),
+                    None => run.estimate(),
+                }
+            }
+            .map_err(|e| e.to_string())?;
+            println!(
+                "P_fail = {:.4e} ± {:.2e} (rel. err. {:.3})",
+                result.p_fail,
+                result.ci95_half_width,
+                result.relative_error()
+            );
+            println!(
+                "cost: {} transistor-level simulations, {} importance samples, {} classifier answers",
+                result.simulations, result.is_samples, result.oracle_stats.classified
+            );
+        }
+        "sweep" => {
+            let points: usize = args.get("points", 11)?;
+            if points < 2 {
+                return Err("--points must be at least 2".into());
+            }
+            let samples: usize = args.get("samples", 2000)?;
+            let seed: u64 = args.get("seed", 0xec4155e)?;
+            let mut cfg = EcripseConfig::default();
+            cfg.importance.n_samples = samples;
+            cfg.importance.m_rtn = 20;
+            cfg.seed = seed;
+            let alphas: Vec<f64> = (0..points)
+                .map(|i| i as f64 / (points - 1) as f64)
+                .collect();
+            let sweep = DutySweep::new(cfg, SramReadBench::at_vdd(vdd), alphas);
+            let result = sweep.run().map_err(|e| e.to_string())?;
+            println!("{:<8} {:>12} {:>12}", "alpha", "P_fail", "ci95");
+            for p in &result.points {
+                println!("{:<8} {:>12.4e} {:>12.2e}", p.alpha, p.p_fail, p.ci95_half_width);
+            }
+            println!(
+                "rdf-only: {:.4e}   worst-case RTN degradation: {:.2}x   total sims: {}",
+                result.p_fail_rdf_only,
+                result.rtn_degradation_factor(),
+                result.total_simulations
+            );
+        }
+        "margin" => {
+            let dvth_str: String = args.get("dvth", "0,0,0,0,0,0".to_string())?;
+            let dvth: Vec<f64> = dvth_str
+                .split(',')
+                .map(|s| s.trim().parse().map_err(|_| format!("bad --dvth entry '{s}'")))
+                .collect::<Result<_, _>>()?;
+            if dvth.len() != 6 {
+                return Err("--dvth needs exactly 6 comma-separated volts".into());
+            }
+            let bench = ReadStabilityBench::at_vdd(vdd);
+            let cell = bench.cell().with_delta_vth(&dvth);
+            let read = bench.read_noise_margin(&dvth);
+            let hold = bench.hold_noise_margin(&dvth);
+            let write = bench.write_margin(&dvth);
+            let b = Butterfly::sample(&cell, &cell.read_bias(), 121);
+            let lobes = read_noise_margin(&b);
+            println!("device order: PL, NL, PR, NR, AL, AR   V_DD = {vdd} V");
+            println!("read  margin: {:+8.2} mV (lobes {:+.2} / {:+.2})", read * 1e3, lobes.snm_low * 1e3, lobes.snm_high * 1e3);
+            println!("hold  margin: {:+8.2} mV", hold * 1e3);
+            println!("write margin: {:+8.2} mV", write * 1e3);
+            println!(
+                "verdict: {}",
+                match (read > 0.0, write > 0.0) {
+                    (true, true) => "functional (read-stable, writeable)",
+                    (false, _) => "READ FAILURE",
+                    (_, false) => "WRITE FAILURE",
+                }
+            );
+        }
+        "naive" => {
+            let bench = SramReadBench::at_vdd(vdd);
+            let samples: usize = args.get("samples", 100_000)?;
+            let seed: u64 = args.get("seed", 0xa1fe)?;
+            let cfg = NaiveConfig {
+                n_samples: samples,
+                trace_every: 0,
+                seed,
+            };
+            let result = if args.flag("no-rtn") {
+                naive_monte_carlo(&bench, &NoRtn::new(6), &cfg)
+            } else {
+                let alpha: f64 = args.get("alpha", 0.5)?;
+                let rtn = SramRtn::paper_model(alpha, bench.sigmas());
+                naive_monte_carlo(&bench, &rtn, &cfg)
+            };
+            println!(
+                "P_fail = {:.4e}  (95% CI [{:.4e}, {:.4e}], {} failures / {} trials)",
+                result.p_fail,
+                result.interval.lo,
+                result.interval.hi,
+                result.failures,
+                result.simulations
+            );
+        }
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            usage();
+            return Err(format!("unknown subcommand '{other}'"));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! # ECRIPSE — RTN-aware SRAM failure-probability estimation
+//!
+//! A from-scratch Rust reproduction of *"ECRIPSE: An Efficient Method for
+//! Calculating RTN-Induced Failure Probability of an SRAM Cell"* (Awano,
+//! Hiromoto & Sato, DATE 2015), including every substrate the paper
+//! depends on:
+//!
+//! * [`spice`] — a miniature DC circuit simulator (EKV-style MOSFET
+//!   model, Newton/MNA solver) with a 6T SRAM cell, butterfly curves and
+//!   Seevinck noise-margin extraction;
+//! * [`rtn`] — the random-telegraph-noise model: trap time constants,
+//!   duty-ratio mixing, Poisson defect occupancy, telegraph traces;
+//! * [`svm`] — the simulation-skipping classifier: polynomial features +
+//!   linear SVM trained by dual coordinate descent, with incremental
+//!   updates and a margin-based uncertainty band;
+//! * [`stats`] — samplers, Gaussian mixtures, whitening, estimators and
+//!   resampling;
+//! * [`core`] — the ECRIPSE algorithm itself (particle-filter importance
+//!   sampling, two-stage Monte Carlo, bias-condition sweeps) and the
+//!   paper's baselines (naive MC, sequential importance sampling,
+//!   mean-shift IS, statistical blockade).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use ecripse::prelude::*;
+//!
+//! // Failure probability of the paper's cell, process variation only.
+//! let bench = SramReadBench::paper_cell();
+//! let result = Ecripse::new(EcripseConfig::default(), bench).estimate()?;
+//! println!("P_fail = {:.3e} ± {:.2e}", result.p_fail, result.ci95_half_width);
+//!
+//! // Now with RTN at duty ratio α = 0.3.
+//! let bench = SramReadBench::paper_cell();
+//! let rtn = SramRtn::paper_model(0.3, bench.sigmas());
+//! let result = Ecripse::with_rtn(EcripseConfig::default(), bench, rtn).estimate()?;
+//! println!("with RTN: {:.3e}", result.p_fail);
+//! # Ok::<(), ecripse::core::ecripse::EstimateError>(())
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and substitutions, and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use ecripse_core as core;
+pub use ecripse_rtn as rtn;
+pub use ecripse_spice as spice;
+pub use ecripse_stats as stats;
+pub use ecripse_svm as svm;
+
+/// The items most users need, in one import.
+pub mod prelude {
+    pub use ecripse_core::baseline::{
+        gibbs_is, mean_shift_is, naive_monte_carlo, statistical_blockade, BlockadeConfig,
+        GibbsConfig, MeanShiftConfig, NaiveConfig, SequentialImportanceSampling,
+    };
+    pub use ecripse_core::bench::{SimCounter, SramReadBench, Testbench};
+    pub use ecripse_core::ecripse::{Ecripse, EcripseConfig, EcripseResult, EstimateError};
+    pub use ecripse_core::rtn_source::{NoRtn, RtnSource, SramRtn};
+    pub use ecripse_core::sweep::{DutySweep, SweepPoint, SweepResult};
+    pub use ecripse_rtn::model::RtnCellModel;
+    pub use ecripse_spice::sram::{CellDevice, Sram6T};
+    pub use ecripse_spice::testbench::ReadStabilityBench;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        use crate::prelude::*;
+        let bench = SramReadBench::paper_cell();
+        assert_eq!(ecripse_core::bench::Testbench::dim(&bench), 6);
+        let _ = EcripseConfig::default();
+        let _ = NaiveConfig::default();
+    }
+}

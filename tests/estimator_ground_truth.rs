@@ -1,0 +1,145 @@
+//! Cross-crate integration: every estimator in the workspace against
+//! synthetic indicators with closed-form failure probabilities.
+
+use ecripse::prelude::*;
+use ecripse_core::baseline::blockade::BlockadeConfig;
+use ecripse_core::baseline::mean_shift::MeanShiftConfig;
+use ecripse_core::bench::{LinearBench, TwoLobeBench};
+use ecripse_core::importance::ImportanceConfig;
+use ecripse_core::initial::InitialSearchConfig;
+
+fn small_config(n_is: usize) -> EcripseConfig {
+    EcripseConfig {
+        initial: InitialSearchConfig {
+            count: 32,
+            ..InitialSearchConfig::default()
+        },
+        iterations: 6,
+        importance: ImportanceConfig {
+            n_samples: n_is,
+            m_rtn: 1,
+            trace_every: 0,
+        },
+        m_rtn_stage1: 1,
+        ..EcripseConfig::default()
+    }
+}
+
+#[test]
+fn all_importance_methods_agree_on_a_single_lobe() {
+    let bench = LinearBench::new(vec![0.8, -0.6, 0.0, 0.0], 3.1);
+    let exact = bench.exact_p_fail();
+
+    let ecripse = Ecripse::new(small_config(6000), bench.clone())
+        .estimate()
+        .expect("ecripse");
+    let sis = SequentialImportanceSampling::new(small_config(6000), bench.clone())
+        .estimate()
+        .expect("sis");
+    let mut ms_cfg = MeanShiftConfig::default();
+    ms_cfg.importance.n_samples = 6000;
+    ms_cfg.importance.m_rtn = 1;
+    let mean_shift = mean_shift_is(&bench, &NoRtn::new(4), &ms_cfg).expect("mean shift");
+
+    for (name, est) in [
+        ("ecripse", ecripse.p_fail),
+        ("sis", sis.p_fail),
+        ("mean_shift", mean_shift.importance.p_fail),
+    ] {
+        assert!(
+            ((est - exact) / exact).abs() < 0.2,
+            "{name}: {est:e} vs exact {exact:e}"
+        );
+    }
+    // The classifier must have saved simulations relative to SIS.
+    assert!(
+        ecripse.simulations < sis.simulations,
+        "ecripse {} should simulate less than sis {}",
+        ecripse.simulations,
+        sis.simulations
+    );
+}
+
+#[test]
+fn only_multi_lobe_methods_capture_both_lobes() {
+    let bench = TwoLobeBench::new(vec![1.0, 0.0, 0.0], 3.0);
+    let exact = bench.exact_p_fail();
+
+    let ecripse = Ecripse::new(small_config(8000), bench.clone())
+        .estimate()
+        .expect("ecripse");
+    assert!(
+        ((ecripse.p_fail - exact) / exact).abs() < 0.2,
+        "ecripse two-lobe: {:e} vs {:e}",
+        ecripse.p_fail,
+        exact
+    );
+
+    let mut ms_cfg = MeanShiftConfig::default();
+    ms_cfg.importance.n_samples = 8000;
+    ms_cfg.importance.m_rtn = 1;
+    let mean_shift = mean_shift_is(&bench, &NoRtn::new(3), &ms_cfg).expect("mean shift");
+    let ratio = mean_shift.importance.p_fail / exact;
+    assert!(
+        ratio < 0.75,
+        "mean shift should underestimate a symmetric two-lobe problem, got ratio {ratio}"
+    );
+}
+
+#[test]
+fn naive_and_blockade_agree_on_moderate_rarity() {
+    let bench = LinearBench::new(vec![1.0, 0.0], 2.2);
+    let exact = bench.exact_p_fail();
+
+    let naive = naive_monte_carlo(
+        &bench,
+        &NoRtn::new(2),
+        &NaiveConfig {
+            n_samples: 60_000,
+            trace_every: 0,
+            seed: 3,
+        },
+    );
+    assert!(naive.interval.lo <= exact && exact <= naive.interval.hi);
+
+    let blockade = statistical_blockade(
+        &bench,
+        &NoRtn::new(2),
+        &BlockadeConfig {
+            n_pilot: 1_200,
+            pilot_sigma: 2.0,
+            n_samples: 60_000,
+            svm: ecripse::svm::classifier::SvmConfig {
+                degree: 2,
+                ..Default::default()
+            },
+            ..BlockadeConfig::default()
+        },
+    )
+    .expect("pilot trains");
+    assert!(
+        ((blockade.p_fail - exact) / exact).abs() < 0.15,
+        "blockade {:e} vs exact {:e}",
+        blockade.p_fail,
+        exact
+    );
+    assert!(blockade.simulations < naive.simulations);
+}
+
+#[test]
+fn trace_relative_error_is_monotone_in_the_large() {
+    // Not strictly monotone point-to-point, but the last trace point
+    // must beat the first by a wide margin.
+    let bench = LinearBench::new(vec![1.0, 0.0], 3.0);
+    let mut cfg = small_config(20_000);
+    cfg.importance.trace_every = 500;
+    let res = Ecripse::new(cfg, bench).estimate().expect("run");
+    let points = res.trace.points();
+    assert!(points.len() >= 30);
+    let first = points[2].relative_error();
+    let last = points.last().expect("non-empty").relative_error();
+    assert!(
+        last < 0.5 * first,
+        "relative error should fall substantially: {first} → {last}"
+    );
+}
