@@ -10,11 +10,9 @@ fn bench_features(c: &mut Criterion) {
     let x = [0.3, -1.2, 2.5, 0.0, 1.1, -0.7];
     for degree in [1u32, 2, 3, 4, 5] {
         let f = PolynomialFeatures::new(6, degree);
-        group.bench_with_input(
-            BenchmarkId::new("transform_6d", degree),
-            &f,
-            |b, f| b.iter(|| black_box(f.transform(black_box(&x)))),
-        );
+        group.bench_with_input(BenchmarkId::new("transform_6d", degree), &f, |b, f| {
+            b.iter(|| black_box(f.transform(black_box(&x))))
+        });
     }
     group.finish();
 }

@@ -29,11 +29,9 @@ fn bench_rnm(c: &mut Criterion) {
             grid_points: points,
             ..BenchConfig::default()
         });
-        group.bench_with_input(
-            BenchmarkId::new("grid_points", points),
-            &points,
-            |b, _| b.iter(|| black_box(bench.read_noise_margin(black_box(&boundary)))),
-        );
+        group.bench_with_input(BenchmarkId::new("grid_points", points), &points, |b, _| {
+            b.iter(|| black_box(bench.read_noise_margin(black_box(&boundary))))
+        });
     }
 
     group.finish();

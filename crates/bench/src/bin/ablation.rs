@@ -25,9 +25,7 @@ struct Row {
 }
 
 fn row(name: &str, p_fail: f64, rel_err: f64, simulations: u64, rows: &mut Vec<Row>) {
-    println!(
-        "{name:<44} P={p_fail:>10.3e}  rel={rel_err:>6.3}  sims={simulations}"
-    );
+    println!("{name:<44} P={p_fail:>10.3e}  rel={rel_err:>6.3}  sims={simulations}");
     rows.push(Row {
         name: name.into(),
         p_fail,
@@ -48,14 +46,26 @@ fn main() {
     let res = Ecripse::new(paper_config(n_is, 1), bench.clone())
         .estimate()
         .expect("with classifier");
-    row("classifier ON (default)", res.p_fail, res.relative_error(), res.simulations, &mut rows);
+    row(
+        "classifier ON (default)",
+        res.p_fail,
+        res.relative_error(),
+        res.simulations,
+        &mut rows,
+    );
 
     let mut cfg = paper_config(n_is, 1);
     cfg.oracle.svm = None;
     let res = Ecripse::new(cfg, bench.clone())
         .estimate()
         .expect("without classifier");
-    row("classifier OFF (conventional [8])", res.p_fail, res.relative_error(), res.simulations, &mut rows);
+    row(
+        "classifier OFF (conventional [8])",
+        res.p_fail,
+        res.relative_error(),
+        res.simulations,
+        &mut rows,
+    );
 
     // 2. ensemble size.
     for n_filters in [1usize, 4] {
@@ -64,7 +74,9 @@ fn main() {
         // Keep total particles constant so only the resampling topology
         // changes.
         cfg.ensemble.filter.n_particles = 400 / n_filters;
-        let res = Ecripse::new(cfg, bench.clone()).estimate().expect("filters run");
+        let res = Ecripse::new(cfg, bench.clone())
+            .estimate()
+            .expect("filters run");
         row(
             &format!("{n_filters} filter(s), 400 particles total"),
             res.p_fail,
@@ -78,7 +90,9 @@ fn main() {
     for sigma in [0.3, 0.8, 1.2] {
         let mut cfg = paper_config(n_is, 1);
         cfg.sigma_kernel = sigma;
-        let res = Ecripse::new(cfg, bench.clone()).estimate().expect("kernel run");
+        let res = Ecripse::new(cfg, bench.clone())
+            .estimate()
+            .expect("kernel run");
         row(
             &format!("sigma_kernel = {sigma}"),
             res.p_fail,
@@ -94,13 +108,25 @@ fn main() {
     let res = Ecripse::with_rtn(cfg, bench.clone(), SramRtn::paper_model(0.0, sigmas))
         .estimate()
         .expect("rtn default");
-    row("RTN α=0, access RTN excluded (default)", res.p_fail, res.relative_error(), res.simulations, &mut rows);
+    row(
+        "RTN α=0, access RTN excluded (default)",
+        res.p_fail,
+        res.relative_error(),
+        res.simulations,
+        &mut rows,
+    );
 
     let with_access = SramRtn::new(RtnCellModel::paper_model_with_access_rtn(0.0), sigmas);
     let res = Ecripse::with_rtn(cfg, bench.clone(), with_access)
         .estimate()
         .expect("rtn with access");
-    row("RTN α=0, access RTN included (ablation)", res.p_fail, res.relative_error(), res.simulations, &mut rows);
+    row(
+        "RTN α=0, access RTN included (ablation)",
+        res.p_fail,
+        res.relative_error(),
+        res.simulations,
+        &mut rows,
+    );
 
     // 4b. Eq. 10 occupancy convention: as printed vs physical dwell
     // fraction (see DESIGN.md).

@@ -20,7 +20,11 @@ fn dump(name: &str, cell: &Sram6T) {
         m.snm_low * 1e3,
         m.snm_high * 1e3,
         m.rnm * 1e3,
-        if m.rnm >= 0.0 { "read-stable" } else { "READ FAILURE" }
+        if m.rnm >= 0.0 {
+            "read-stable"
+        } else {
+            "READ FAILURE"
+        }
     );
     let mut csv = String::from("v_in,curve_a_vqb,curve_b_vq\n");
     for ((g, a), bb) in b.grid.iter().zip(&b.curve_a).zip(&b.curve_b) {

@@ -135,7 +135,10 @@ fn main() {
         &sims_proposed.map_or("not reached".into(), fmt_count),
     );
     report_row(
-        &format!("simulations to {:.0}% rel. err. (conventional)", target * 100.0),
+        &format!(
+            "simulations to {:.0}% rel. err. (conventional)",
+            target * 100.0
+        ),
         "~1M @1%",
         &sims_conventional.map_or("not reached".into(), fmt_count),
     );
@@ -152,10 +155,7 @@ fn main() {
     report_row(
         "agreement of the two estimates",
         "overlapping CIs",
-        &format!(
-            "{:.3e} vs {:.3e}",
-            proposed.p_fail, conventional.p_fail
-        ),
+        &format!("{:.3e} vs {:.3e}", proposed.p_fail, conventional.p_fail),
     );
 
     write_json(

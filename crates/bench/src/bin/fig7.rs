@@ -107,7 +107,9 @@ fn main() {
         simulations: 0, // amortised: already paid by the α = 0.3 run
     };
     let t = Instant::now();
-    let proposed05 = run05.estimate_with_initial(&shared).expect("proposed α=0.5");
+    let proposed05 = run05
+        .estimate_with_initial(&shared)
+        .expect("proposed α=0.5");
     println!(
         "proposed (α=0.5): P_fail = {:.3e} (rel {:.3}) with {} sims (shared init) [{:.0} s]",
         proposed05.p_fail,
@@ -147,7 +149,10 @@ fn main() {
         &sims_a03.map_or("not reached".into(), fmt_count),
     );
     report_row(
-        &format!("proposed sims to {:.0}% rel err (α=0.5, shared init)", target * 100.0),
+        &format!(
+            "proposed sims to {:.0}% rel err (α=0.5, shared init)",
+            target * 100.0
+        ),
         "roughly half of α=0.3",
         &sims_a05.map_or("not reached".into(), fmt_count),
     );

@@ -114,7 +114,11 @@ fn main() {
     report_row(
         "worst-case RTN degradation",
         "6x",
-        &format!("{:.1}x at α = {}", result.rtn_degradation_factor(), worst.alpha),
+        &format!(
+            "{:.1}x at α = {}",
+            result.rtn_degradation_factor(),
+            worst.alpha
+        ),
     );
     report_row(
         "total simulations for the figure",

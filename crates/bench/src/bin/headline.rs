@@ -21,23 +21,22 @@ fn main() {
             report_row(
                 "Fig 6: simulation reduction vs conventional [8]",
                 "36x",
-                &get(&v, &["sim_ratio"])
-                    .map_or("n/a".into(), |r| format!("{r:.1}x")),
+                &get(&v, &["sim_ratio"]).map_or("n/a".into(), |r| format!("{r:.1}x")),
             );
             report_row(
                 "Fig 6: wall-clock speed-up vs conventional [8]",
                 "15.6x",
-                &get(&v, &["time_ratio"])
-                    .map_or("n/a".into(), |r| format!("{r:.1}x")),
+                &get(&v, &["time_ratio"]).map_or("n/a".into(), |r| format!("{r:.1}x")),
             );
             report_row(
                 "Fig 6: RDF-only P_fail",
                 "1.2-1.4e-4",
-                &get(&v, &["p_fail_proposed"])
-                    .map_or("n/a".into(), |p| format!("{p:.3e}")),
+                &get(&v, &["p_fail_proposed"]).map_or("n/a".into(), |p| format!("{p:.3e}")),
             );
         }
-        None => println!("fig6.json missing — run `cargo run --release -p ecripse-bench --bin fig6`"),
+        None => {
+            println!("fig6.json missing — run `cargo run --release -p ecripse-bench --bin fig6`")
+        }
     }
 
     match read_json::<Value>("fig7.json") {
@@ -45,14 +44,12 @@ fn main() {
             report_row(
                 "Fig 7: P_fail at 0.5 V, α=0.3 (with RTN)",
                 "~7.5e-3",
-                &get(&v, &["proposed_a03"])
-                    .map_or("n/a".into(), |p| format!("{p:.3e}")),
+                &get(&v, &["proposed_a03"]).map_or("n/a".into(), |p| format!("{p:.3e}")),
             );
             report_row(
                 "Fig 7: speed-up vs naive MC",
                 "~40x",
-                &get(&v, &["naive_speedup"])
-                    .map_or("n/a".into(), |r| format!("{r:.0}x")),
+                &get(&v, &["naive_speedup"]).map_or("n/a".into(), |r| format!("{r:.0}x")),
             );
             let a03 = get(&v, &["sims_a03"]);
             let a05 = get(&v, &["sims_a05"]);
@@ -65,7 +62,9 @@ fn main() {
                 },
             );
         }
-        None => println!("fig7.json missing — run `cargo run --release -p ecripse-bench --bin fig7`"),
+        None => {
+            println!("fig7.json missing — run `cargo run --release -p ecripse-bench --bin fig7`")
+        }
     }
 
     match read_json::<Value>("fig8.json") {
@@ -73,8 +72,7 @@ fn main() {
             report_row(
                 "Fig 8: worst-case RTN degradation",
                 "6x",
-                &get(&v, &["degradation_factor"])
-                    .map_or("n/a".into(), |r| format!("{r:.1}x")),
+                &get(&v, &["degradation_factor"]).map_or("n/a".into(), |r| format!("{r:.1}x")),
             );
             let plateau = v
                 .get("minimum_plateau")
@@ -97,8 +95,7 @@ fn main() {
             report_row(
                 "Fig 8: speed-up vs extrapolated naive sweep",
                 ">5500x",
-                &get(&v, &["sweep_speedup"])
-                    .map_or("n/a".into(), |r| format!("{r:.0}x")),
+                &get(&v, &["sweep_speedup"]).map_or("n/a".into(), |r| format!("{r:.0}x")),
             );
             report_row(
                 "Fig 8: RDF-only reference",
@@ -107,6 +104,8 @@ fn main() {
                     .map_or("n/a".into(), |p| format!("{p:.3e}")),
             );
         }
-        None => println!("fig8.json missing — run `cargo run --release -p ecripse-bench --bin fig8`"),
+        None => {
+            println!("fig8.json missing — run `cargo run --release -p ecripse-bench --bin fig8`")
+        }
     }
 }

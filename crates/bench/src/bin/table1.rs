@@ -13,7 +13,10 @@ use ecripse_spice::sram::CellDevice;
 fn main() {
     println!("=== Table I: experimental conditions (as implemented) ===\n");
 
-    println!("{:<28} {:>10} {:>10} {:>10}", "", "Load (Li)", "Driver(Di)", "Access(Ai)");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "", "Load (Li)", "Driver(Di)", "Access(Ai)"
+    );
     let geo = |r| paper_geometry(r);
     let (l, d, a) = (
         geo(DeviceRole::Load),
@@ -34,7 +37,11 @@ fn main() {
         d.length * 1e9,
         a.length * 1e9
     );
-    println!("{:<28} {:>10}", "A_VTH [mV·nm] (Table I)", A_VTH / 1e-3 / 1e-9);
+    println!(
+        "{:<28} {:>10}",
+        "A_VTH [mV·nm] (Table I)",
+        A_VTH / 1e-3 / 1e-9
+    );
     println!(
         "{:<28} {:>10.2}  (κ = {} — EKV-sensitivity calibration, see DESIGN.md)",
         "A_VTH effective [mV·nm]",
@@ -48,8 +55,10 @@ fn main() {
 
     let t = TrapTimeConstants::paper_values();
     println!("\nTrap time constants [s]:");
-    println!("  τe_on = {}   τe_off = {}   τc_on = {}   τc_off = {}",
-        t.tau_e_on, t.tau_e_off, t.tau_c_on, t.tau_c_off);
+    println!(
+        "  τe_on = {}   τe_off = {}   τc_on = {}   τc_off = {}",
+        t.tau_e_on, t.tau_e_off, t.tau_c_on, t.tau_c_off
+    );
 
     println!("\nCompact-model cards (EKV-style fit to PTM 16 nm HP):");
     for card in [ptm16_hp_nmos(), ptm16_hp_pmos()] {

@@ -13,8 +13,9 @@
 //! | `headline`| Sec. IV headline numbers | stdout table from the saved JSON |
 //!
 //! Every binary accepts `--quick` (reduced sample counts, minutes →
-//! seconds) and honours a `RESULTS_DIR` environment variable (default
-//! `./results`).
+//! seconds) and `--threads N` (simulation worker threads; 0 = one per
+//! core, the default), and honours a `RESULTS_DIR` environment variable
+//! (default `./results`).
 
 use ecripse_core::ecripse::EcripseConfig;
 use ecripse_core::ensemble::EnsembleConfig;
@@ -51,8 +52,25 @@ pub fn paper_config(n_is: usize, m_rtn: usize) -> EcripseConfig {
             trace_every: 0,
         },
         m_rtn_stage1: if m_rtn > 1 { 10 } else { 1 },
+        threads: threads_arg(),
         ..EcripseConfig::default()
     }
+}
+
+/// The `--threads N` command-line override (0 = one worker per core).
+/// Applied by [`paper_config`], so every experiment binary honours it.
+pub fn threads_arg() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(v) = args.next() {
+                return v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--threads: cannot parse '{v}' as a thread count"));
+            }
+        }
+    }
+    0
 }
 
 /// Where experiment outputs are written.
@@ -165,7 +183,10 @@ mod tests {
 
     #[test]
     fn results_roundtrip_json() {
-        std::env::set_var("RESULTS_DIR", std::env::temp_dir().join("ecripse-test-results"));
+        std::env::set_var(
+            "RESULTS_DIR",
+            std::env::temp_dir().join("ecripse-test-results"),
+        );
         #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
         struct T {
             x: f64,

@@ -79,16 +79,13 @@ pub fn mean_shift_is<B: Testbench, S: RtnSource>(
     let shift_point = init
         .particles
         .iter()
-        .min_by(|a, b| {
-            norm2(a)
-                .partial_cmp(&norm2(b))
-                .expect("finite norms")
-        })
+        .min_by(|a, b| norm2(a).partial_cmp(&norm2(b)).expect("finite norms"))
         .expect("at least one particle")
         .clone();
     let beta = norm2(&shift_point).sqrt();
 
-    let alternative = GaussianMixture::from_particles(std::slice::from_ref(&shift_point), config.sigma);
+    let alternative =
+        GaussianMixture::from_particles(std::slice::from_ref(&shift_point), config.sigma);
     let oracle_cfg = OracleConfig {
         svm: None,
         ..OracleConfig::default()

@@ -11,6 +11,7 @@
 //! "number of transistor-level simulations" axis of Figs. 6 and 7.
 
 use ecripse_spice::testbench::ReadStabilityBench;
+use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A deterministic pass/fail indicator over whitened shift space.
@@ -21,6 +22,20 @@ pub trait Testbench: Sync {
     /// The indicator `I(z)`: `true` when the sample violates the
     /// specification.
     fn fails(&self, z: &[f64]) -> bool;
+
+    /// Evaluates a whole batch of samples, in order.
+    ///
+    /// The default implementation is a serial loop over [`fails`]
+    /// (cheap synthetic benches gain nothing from threading); expensive
+    /// circuit-level benches override this with a parallel map. The
+    /// verdicts must be identical to element-wise `fails` calls and in
+    /// input order regardless of thread count — every estimator's
+    /// determinism guarantee rests on that.
+    ///
+    /// [`fails`]: Testbench::fails
+    fn fails_batch(&self, zs: &[Vec<f64>]) -> Vec<bool> {
+        zs.iter().map(|z| self.fails(z)).collect()
+    }
 }
 
 /// The paper's testbench: the 6T cell read-stability check, whitened by
@@ -63,6 +78,14 @@ impl Testbench for SramReadBench {
 
     fn fails(&self, z: &[f64]) -> bool {
         self.inner.fails_whitened(z)
+    }
+
+    fn fails_batch(&self, zs: &[Vec<f64>]) -> Vec<bool> {
+        // Each sample is an independent Newton solve — ideal for an
+        // order-preserving parallel map.
+        zs.par_iter()
+            .map(|z| self.inner.fails_whitened(z))
+            .collect()
     }
 }
 
@@ -108,6 +131,12 @@ impl Testbench for SramWriteBench {
 
     fn fails(&self, z: &[f64]) -> bool {
         self.inner.write_fails_whitened(z)
+    }
+
+    fn fails_batch(&self, zs: &[Vec<f64>]) -> Vec<bool> {
+        zs.par_iter()
+            .map(|z| self.inner.write_fails_whitened(z))
+            .collect()
     }
 }
 
@@ -194,6 +223,12 @@ impl Testbench for TwoLobeBench {
 
 /// Wraps a bench and counts indicator evaluations — the cost metric of
 /// the whole study.
+///
+/// The counter is an [`AtomicU64`] with `Relaxed` ordering: increments
+/// from parallel `fails_batch` workers never need to synchronise with
+/// anything but each other, and the totals are only read between
+/// batches. A whole batch is counted with a single `fetch_add`, so the
+/// count is independent of how the batch was split across threads.
 #[derive(Debug)]
 pub struct SimCounter<B> {
     inner: B,
@@ -234,6 +269,11 @@ impl<B: Testbench> Testbench for SimCounter<B> {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.inner.fails(z)
     }
+
+    fn fails_batch(&self, zs: &[Vec<f64>]) -> Vec<bool> {
+        self.count.fetch_add(zs.len() as u64, Ordering::Relaxed);
+        self.inner.fails_batch(zs)
+    }
 }
 
 impl<T: Testbench + ?Sized> Testbench for &T {
@@ -243,6 +283,10 @@ impl<T: Testbench + ?Sized> Testbench for &T {
 
     fn fails(&self, z: &[f64]) -> bool {
         (**self).fails(z)
+    }
+
+    fn fails_batch(&self, zs: &[Vec<f64>]) -> Vec<bool> {
+        (**self).fails_batch(zs)
     }
 }
 
@@ -273,7 +317,11 @@ mod tests {
         assert!(b.fails(&[3.0, 3.0]));
         assert!(b.fails(&[-3.0, -3.0]));
         assert!(!b.fails(&[0.0, 0.0]));
-        assert!((b.exact_p_fail() - 2.0 * ecripse_stats::special::normal_sf(4.0 / 2.0_f64.sqrt())).abs() < 1e-15);
+        assert!(
+            (b.exact_p_fail() - 2.0 * ecripse_stats::special::normal_sf(4.0 / 2.0_f64.sqrt()))
+                .abs()
+                < 1e-15
+        );
     }
 
     #[test]
@@ -310,5 +358,30 @@ mod tests {
         let r: &dyn Testbench = &b;
         assert_eq!(r.dim(), 1);
         assert!(r.fails(&[2.0]));
+        assert_eq!(r.fails_batch(&[vec![2.0], vec![0.0]]), vec![true, false]);
+    }
+
+    #[test]
+    fn batch_matches_elementwise_on_the_sram_bench() {
+        let b = SramReadBench::paper_cell();
+        let zs: Vec<Vec<f64>> = (0..17)
+            .map(|i| {
+                (0..6)
+                    .map(|d| ((i * 6 + d) as f64 * 0.37).sin() * 4.0)
+                    .collect()
+            })
+            .collect();
+        let batch = b.fails_batch(&zs);
+        let single: Vec<bool> = zs.iter().map(|z| b.fails(z)).collect();
+        assert_eq!(batch, single);
+    }
+
+    #[test]
+    fn sim_counter_counts_batches_once() {
+        let c = SimCounter::new(LinearBench::new(vec![1.0], 0.0));
+        let zs: Vec<Vec<f64>> = vec![vec![1.0], vec![-1.0], vec![0.5]];
+        let out = c.fails_batch(&zs);
+        assert_eq!(out, vec![true, false, true]);
+        assert_eq!(c.simulations(), 3);
     }
 }

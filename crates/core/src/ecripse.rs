@@ -15,6 +15,7 @@
 //! traces so the Fig. 6/7 regenerators can plot estimate-vs-cost curves.
 
 use crate::bench::{SimCounter, Testbench};
+use crate::cache::{MemoBench, MemoCacheConfig};
 use crate::ensemble::{EnsembleConfig, FilterEnsemble};
 use crate::importance::{importance_stage_until, ImportanceConfig};
 use crate::initial::{
@@ -50,6 +51,12 @@ pub struct EcripseConfig {
     pub seed: u64,
     /// Record particle snapshots after each iteration (Fig. 4 data).
     pub record_particles: bool,
+    /// Worker threads for batched simulation and the parallel ensemble;
+    /// `0` means one per available core. Results are bit-identical for
+    /// every value.
+    pub threads: usize,
+    /// Simulator memo-cache settings.
+    pub cache: MemoCacheConfig,
 }
 
 impl Default for EcripseConfig {
@@ -64,6 +71,8 @@ impl Default for EcripseConfig {
             m_rtn_stage1: 10,
             seed: 0xec4155e,
             record_particles: false,
+            threads: 0,
+            cache: MemoCacheConfig::default(),
         }
     }
 }
@@ -238,15 +247,29 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
     }
 
     /// Shared implementation of the staged flow with an optional stage-2
-    /// early-stopping target.
+    /// early-stopping target. Installs the configured thread pool so
+    /// every batched simulation below honours `config.threads`.
     fn run_stages(
         &self,
         init: &InitialParticles,
         stop_at_relative_error: Option<f64>,
     ) -> Result<EcripseResult, EstimateError> {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.config.threads)
+            .build()
+            .expect("thread pool");
+        pool.install(|| self.run_stages_in_pool(init, stop_at_relative_error))
+    }
+
+    fn run_stages_in_pool(
+        &self,
+        init: &InitialParticles,
+        stop_at_relative_error: Option<f64>,
+    ) -> Result<EcripseResult, EstimateError> {
         let counter = SimCounter::new(&self.bench);
+        let cached = MemoBench::new(&counter, self.config.cache);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut oracle = ClassifierOracle::new(&counter, self.config.oracle);
+        let mut oracle = ClassifierOracle::new(&cached, self.config.oracle);
         let dim = self.bench.dim();
         let rdf = DiagGaussian::standard(dim);
 
@@ -287,13 +310,17 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
             stop_at_relative_error,
         );
 
+        let mut oracle_stats = *oracle.stats();
+        oracle_stats.cache_hits = cached.hits();
+        oracle_stats.cache_misses = cached.misses();
+
         Ok(EcripseResult {
             p_fail: is.p_fail,
             ci95_half_width: is.ci95_half_width,
             simulations: init.simulations + counter.simulations(),
             is_samples: is.samples,
             effective_sample_size: is.effective_sample_size,
-            oracle_stats: *oracle.stats(),
+            oracle_stats,
             trace: is.trace,
             particle_history: history,
         })
@@ -379,6 +406,8 @@ mod tests {
             m_rtn_stage1: 1,
             seed: 42,
             record_particles: false,
+            threads: 0,
+            cache: crate::cache::MemoCacheConfig::default(),
         }
     }
 
@@ -451,7 +480,9 @@ mod tests {
         let a = Ecripse::new(fast_config(), bench.clone())
             .estimate()
             .expect("run a");
-        let b = Ecripse::new(fast_config(), bench).estimate().expect("run b");
+        let b = Ecripse::new(fast_config(), bench)
+            .estimate()
+            .expect("run b");
         assert_eq!(a.p_fail, b.p_fail);
         assert_eq!(a.simulations, b.simulations);
     }

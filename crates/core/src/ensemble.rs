@@ -14,7 +14,9 @@
 
 use crate::particle::{DegenerateWeightsError, ParticleFilter, ParticleFilterConfig};
 use ecripse_stats::mvn::GaussianMixture;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Ensemble configuration.
@@ -99,6 +101,12 @@ impl FilterEnsemble {
     /// sees all filters' candidates together), and each filter resamples
     /// within its own slice.
     ///
+    /// Prediction and resampling run in parallel across filters, each on
+    /// its own RNG stream split deterministically from the master stream
+    /// (one `u64` seed per filter, drawn serially up front). The thread
+    /// schedule therefore cannot influence any draw: results are
+    /// bit-identical at every thread count.
+    ///
     /// Filters whose candidates all weigh zero keep their previous
     /// population (they may recover on a later iteration); the function
     /// only fails if *every* filter degenerates.
@@ -107,16 +115,33 @@ impl FilterEnsemble {
     ///
     /// Returns [`DegenerateWeightsError`] if all filters received
     /// all-zero weights.
-    pub fn step<R, F>(&mut self, rng: &mut R, mut weight_fn: F) -> Result<(), DegenerateWeightsError>
+    pub fn step<R, F>(
+        &mut self,
+        rng: &mut R,
+        mut weight_fn: F,
+    ) -> Result<(), DegenerateWeightsError>
     where
         R: Rng + ?Sized,
         F: FnMut(&mut R, &[Vec<f64>]) -> Vec<f64>,
     {
-        // Predict per filter, remembering slice boundaries.
+        // Per-filter RNG streams, seeded serially from the master stream.
+        let mut streams: Vec<StdRng> = self
+            .filters
+            .iter()
+            .map(|_| StdRng::seed_from_u64(rng.gen()))
+            .collect();
+
+        // Parallel predict, one filter per task, order preserved.
+        let predictions: Vec<Vec<Vec<f64>>> = self
+            .filters
+            .par_iter()
+            .zip(streams.par_iter_mut())
+            .map(|(f, stream)| f.predict(stream))
+            .collect();
+
         let mut all_candidates = Vec::new();
         let mut spans = Vec::with_capacity(self.filters.len());
-        for f in &self.filters {
-            let c = f.predict(rng);
+        for c in predictions {
             spans.push((all_candidates.len(), all_candidates.len() + c.len()));
             all_candidates.extend(c);
         }
@@ -126,11 +151,21 @@ impl FilterEnsemble {
             all_candidates.len(),
             "weight function returned wrong count"
         );
-        let mut any_ok = false;
-        for (f, (lo, hi)) in self.filters.iter_mut().zip(&spans) {
-            if let Ok(()) = f.resample(rng, &all_candidates[*lo..*hi], &weights[*lo..*hi]) { any_ok = true }
-        }
-        if any_ok {
+
+        // Parallel resample, each filter continuing its own stream.
+        let candidates = &all_candidates;
+        let weights = &weights;
+        let outcomes: Vec<bool> = self
+            .filters
+            .par_iter_mut()
+            .zip(streams.par_iter_mut())
+            .zip(spans.par_iter())
+            .map(|((f, stream), &(lo, hi))| {
+                f.resample(stream, &candidates[lo..hi], &weights[lo..hi])
+                    .is_ok()
+            })
+            .collect();
+        if outcomes.into_iter().any(|ok| ok) {
             Ok(())
         } else {
             Err(DegenerateWeightsError)
@@ -157,8 +192,14 @@ fn kmeans_assign<R: Rng + ?Sized>(rng: &mut R, seeds: &[Vec<f64>], k: usize) -> 
         let next = seeds
             .iter()
             .max_by(|a, b| {
-                let da = centroids.iter().map(|c| dist2(a, c)).fold(f64::INFINITY, f64::min);
-                let db = centroids.iter().map(|c| dist2(b, c)).fold(f64::INFINITY, f64::min);
+                let da = centroids
+                    .iter()
+                    .map(|c| dist2(a, c))
+                    .fold(f64::INFINITY, f64::min);
+                let db = centroids
+                    .iter()
+                    .map(|c| dist2(b, c))
+                    .fold(f64::INFINITY, f64::min);
                 da.partial_cmp(&db).expect("finite distances")
             })
             .expect("seeds non-empty");
@@ -276,7 +317,7 @@ mod tests {
                 },
             };
             let mut e = FilterEnsemble::from_seeds(&mut rng, cfg, &two_lobe_seeds());
-            for _ in 0..30 {
+            for _ in 0..80 {
                 let _ = e.step(&mut rng, |_, cands| {
                     cands.iter().map(|c| two_lobe_weight(c)).collect()
                 });

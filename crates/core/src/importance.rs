@@ -84,7 +84,11 @@ where
     R: Rng + ?Sized,
 {
     if rtn.is_null() {
-        return if oracle.evaluate_accurate(x_rdf) { 1.0 } else { 0.0 };
+        return if oracle.evaluate_accurate(x_rdf) {
+            1.0
+        } else {
+            0.0
+        };
     }
     assert!(m > 0, "need at least one RTN draw");
     let mut fails = 0usize;
@@ -156,36 +160,77 @@ where
     }
     const CHECK_EVERY: u64 = 256;
     const WARMUP: u64 = 1024;
+    // Samples per oracle batch. Aligned with CHECK_EVERY so the
+    // early-stopping rule fires exactly at batch boundaries and no
+    // already-simulated sample is ever discarded.
+    const BATCH: usize = CHECK_EVERY as usize;
     let dim = alternative.dim();
     let rdf = DiagGaussian::standard(dim);
     let mut normals = NormalSampler::new();
     let mut estimator = WeightedIsEstimator::new();
     let mut trace = ConvergenceTrace::new();
+    let m = config.m_rtn;
+    if !rtn.is_null() {
+        assert!(m > 0, "need at least one RTN draw");
+    }
 
-    for k in 0..config.n_samples {
-        let x = alternative.sample(rng, &mut normals);
-        let log_ratio = rdf.log_pdf(&x) - alternative.log_pdf(&x);
-        let weight = log_ratio.exp();
-        let p_inner = p_fail_rtn_inner(oracle, rtn, &x, config.m_rtn, rng);
-        estimator.push(p_inner, weight);
-
-        let n = (k + 1) as u64;
-        if config.trace_every > 0 && n.is_multiple_of(config.trace_every as u64) {
-            trace.push(TracePoint {
-                simulations: sim_count(),
-                samples: n,
-                estimate: estimator.estimate(),
-                ci95_half_width: estimator.ci95_half_width(),
-            });
-        }
-        if let Some(target) = stop_at_relative_error {
-            if n >= WARMUP && n.is_multiple_of(CHECK_EVERY) {
-                let est = estimator.estimate();
-                if est > 0.0 && estimator.ci95_half_width() / est <= target {
-                    break;
+    let mut drawn = 0usize;
+    'stage: while drawn < config.n_samples {
+        let batch = BATCH.min(config.n_samples - drawn);
+        // Serial draws from the master stream: the batched flow consumes
+        // the RNG in exactly the per-sample order of a serial loop
+        // (sample, then its RTN shifts, then the next sample).
+        let mut weights = Vec::with_capacity(batch);
+        let mut points = Vec::with_capacity(batch * m.max(1));
+        for _ in 0..batch {
+            let x = alternative.sample(rng, &mut normals);
+            let log_ratio = rdf.log_pdf(&x) - alternative.log_pdf(&x);
+            weights.push(log_ratio.exp());
+            if rtn.is_null() {
+                points.push(x);
+            } else {
+                for _ in 0..m {
+                    let shift = rtn.sample_whitened(rng);
+                    points.push(x.iter().zip(&shift).map(|(xi, si)| xi + si).collect());
                 }
             }
         }
+        // One accurate-policy batch answers the whole chunk (parallel
+        // simulation for the uncertain subset).
+        let verdicts = oracle.evaluate_batch_accurate(&points);
+
+        for (j, &weight) in weights.iter().enumerate() {
+            let p_inner = if rtn.is_null() {
+                if verdicts[j] {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                let fails = verdicts[j * m..(j + 1) * m].iter().filter(|v| **v).count();
+                fails as f64 / m as f64
+            };
+            estimator.push(p_inner, weight);
+
+            let n = estimator.count();
+            if config.trace_every > 0 && n.is_multiple_of(config.trace_every as u64) {
+                trace.push(TracePoint {
+                    simulations: sim_count(),
+                    samples: n,
+                    estimate: estimator.estimate(),
+                    ci95_half_width: estimator.ci95_half_width(),
+                });
+            }
+            if let Some(target) = stop_at_relative_error {
+                if n >= WARMUP && n.is_multiple_of(CHECK_EVERY) {
+                    let est = estimator.estimate();
+                    if est > 0.0 && estimator.ci95_half_width() / est <= target {
+                        break 'stage;
+                    }
+                }
+            }
+        }
+        drawn += batch;
     }
 
     ImportanceResult {
@@ -221,7 +266,11 @@ mod tests {
         let mut oracle = ClassifierOracle::new(&counter, cfg);
         // Kernels around the most probable failure point.
         let alt = GaussianMixture::from_particles(
-            &[vec![beta, 0.0], vec![beta + 0.3, 0.5], vec![beta + 0.3, -0.5]],
+            &[
+                vec![beta, 0.0],
+                vec![beta + 0.3, 0.5],
+                vec![beta + 0.3, -0.5],
+            ],
             0.7,
         );
         let mut rng = StdRng::seed_from_u64(1);
@@ -258,7 +307,12 @@ mod tests {
         };
         let mut oracle = ClassifierOracle::new(&counter, cfg);
         let alt = GaussianMixture::from_particles(
-            &[vec![3.0, 0.0], vec![-3.0, 0.0], vec![3.3, 0.4], vec![-3.3, -0.4]],
+            &[
+                vec![3.0, 0.0],
+                vec![-3.0, 0.0],
+                vec![3.3, 0.4],
+                vec![-3.3, -0.4],
+            ],
             0.7,
         );
         let mut rng = StdRng::seed_from_u64(2);

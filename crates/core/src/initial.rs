@@ -86,7 +86,10 @@ pub fn find_boundary_particles<B: Testbench, R: Rng + ?Sized>(
     config: &InitialSearchConfig,
 ) -> Result<InitialParticles, BoundaryNotFoundError> {
     assert!(config.count > 0, "need at least one particle");
-    assert!(config.bisection_steps > 0, "need at least one bisection step");
+    assert!(
+        config.bisection_steps > 0,
+        "need at least one bisection step"
+    );
     assert!(config.r_max > 0.0, "search radius must be positive");
 
     let dim = bench.dim();

@@ -27,6 +27,12 @@
 //!    ([`importance`], orchestrated in [`ecripse`]);
 //! 4. **shared initial particles** across bias conditions ([`sweep`]).
 //!
+//! Evaluation is batch-first and parallel: testbenches expose
+//! [`bench::Testbench::fails_batch`], a sharded memo-cache ([`cache`])
+//! deduplicates simulator queries, and the ensemble, stage-2 sampler and
+//! duty sweep fan work out across `EcripseConfig::threads` workers with
+//! bit-identical results for every thread count.
+//!
 //! Baselines from the paper's evaluation live in [`baseline`]: naive
 //! Monte Carlo, the sequential-importance-sampling method of Katayama et
 //! al. (the paper's reference \[8\]), mean-shift importance sampling, and
@@ -56,6 +62,7 @@
 
 pub mod baseline;
 pub mod bench;
+pub mod cache;
 pub mod ecripse;
 pub mod ensemble;
 pub mod importance;
@@ -67,6 +74,7 @@ pub mod sweep;
 pub mod trace;
 
 pub use bench::{SimCounter, SramReadBench, SramWriteBench, Testbench};
+pub use cache::{MemoBench, MemoCacheConfig};
 pub use ecripse::{Ecripse, EcripseConfig, EcripseResult};
 pub use rtn_source::{NoRtn, RtnSource, SramRtn};
 pub use sweep::{DutySweep, SweepPoint};

@@ -57,6 +57,25 @@ pub struct OracleStats {
     pub uncertain_simulated: u64,
     /// Retraining rounds performed.
     pub retrains: u64,
+    /// Simulator queries served by the memo-cache (filled in by the run
+    /// driver when a [`MemoBench`](crate::cache::MemoBench) is layered
+    /// under the oracle; the oracle itself cannot see the cache).
+    pub cache_hits: u64,
+    /// Simulator queries that missed the memo-cache.
+    pub cache_misses: u64,
+}
+
+impl OracleStats {
+    /// Fraction of simulator queries served from the memo-cache, or
+    /// `NaN` if the cache saw no traffic.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            f64::NAN
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The classifier-gated oracle.
@@ -123,6 +142,33 @@ impl<'a, B: Testbench> ClassifierOracle<'a, B> {
         y
     }
 
+    /// Batch form of [`Self::simulate_and_record`]: one `fails_batch`
+    /// call (parallel for circuit benches), then serial bookkeeping in
+    /// input order — equivalent to the element-wise loop because the
+    /// classifier cannot change mid-batch.
+    fn simulate_batch_and_record(&mut self, zs: &[Vec<f64>]) -> Vec<bool> {
+        let ys = self.bench.fails_batch(zs);
+        self.stats.simulated += zs.len() as u64;
+        if self.config.svm.is_some() {
+            match &self.classifier {
+                Some(clf) if clf.is_bank_full() => {}
+                Some(_) => {
+                    for (z, y) in zs.iter().zip(&ys) {
+                        self.pending_x.push(z.clone());
+                        self.pending_y.push(*y);
+                    }
+                }
+                None => {
+                    for (z, y) in zs.iter().zip(&ys) {
+                        self.pretrain_x.push(z.clone());
+                        self.pretrain_y.push(*y);
+                    }
+                }
+            }
+        }
+        ys
+    }
+
     /// Attempts to train the classifier from the pre-training bank.
     fn try_initial_training(&mut self) {
         let Some(svm_config) = self.config.svm else {
@@ -171,15 +217,17 @@ impl<'a, B: Testbench> ClassifierOracle<'a, B> {
         zs: &[Vec<f64>],
     ) -> Vec<bool> {
         if self.config.svm.is_none() {
-            return zs.iter().map(|z| self.simulate_and_record(z)).collect();
+            return self.simulate_batch_and_record(zs);
         }
         let mut out = vec![false; zs.len()];
         let mut indices: Vec<usize> = (0..zs.len()).collect();
         indices.shuffle(rng);
         let k = self.config.k_train_per_batch.min(zs.len());
         let (train_idx, rest_idx) = indices.split_at(k);
-        for &i in train_idx {
-            out[i] = self.simulate_and_record(&zs[i]);
+        let train_zs: Vec<Vec<f64>> = train_idx.iter().map(|&i| zs[i].clone()).collect();
+        let train_ys = self.simulate_batch_and_record(&train_zs);
+        for (&i, y) in train_idx.iter().zip(&train_ys) {
+            out[i] = *y;
         }
         self.try_initial_training();
         self.maybe_retrain(true);
@@ -193,8 +241,10 @@ impl<'a, B: Testbench> ClassifierOracle<'a, B> {
             None => {
                 // Classifier still unavailable (single-class batch):
                 // simulate the remainder to keep the weights exact.
-                for &i in rest_idx {
-                    out[i] = self.simulate_and_record(&zs[i]);
+                let rest_zs: Vec<Vec<f64>> = rest_idx.iter().map(|&i| zs[i].clone()).collect();
+                let rest_ys = self.simulate_batch_and_record(&rest_zs);
+                for (&i, y) in rest_idx.iter().zip(&rest_ys) {
+                    out[i] = *y;
                 }
             }
         }
@@ -221,6 +271,53 @@ impl<'a, B: Testbench> ClassifierOracle<'a, B> {
                 y
             }
         }
+    }
+
+    /// Batch form of [`Self::evaluate_accurate`]: every sample is routed
+    /// by the classifier state *at batch entry* — confident samples are
+    /// classified, uncertain (or unclassifiable) ones are simulated in a
+    /// single `fails_batch` call — and the collected labels are folded
+    /// back once at the end.
+    ///
+    /// Compared to an element-wise loop this defers any mid-batch
+    /// retraining to the batch boundary; verdicts stay exact inside the
+    /// uncertainty band (those are all simulated), and the routing is a
+    /// serial pass so results do not depend on the thread count.
+    pub fn evaluate_batch_accurate(&mut self, zs: &[Vec<f64>]) -> Vec<bool> {
+        let mut out = vec![false; zs.len()];
+        let mut sim_idx: Vec<usize> = Vec::new();
+        let had_classifier = match &self.classifier {
+            Some(clf) => {
+                for (i, z) in zs.iter().enumerate() {
+                    if clf.is_uncertain(z) {
+                        sim_idx.push(i);
+                    } else {
+                        out[i] = clf.predict(z);
+                        self.stats.classified += 1;
+                    }
+                }
+                self.stats.uncertain_simulated += sim_idx.len() as u64;
+                true
+            }
+            None => {
+                sim_idx.extend(0..zs.len());
+                false
+            }
+        };
+        if sim_idx.is_empty() {
+            return out;
+        }
+        let sim_zs: Vec<Vec<f64>> = sim_idx.iter().map(|&i| zs[i].clone()).collect();
+        let ys = self.simulate_batch_and_record(&sim_zs);
+        for (&i, y) in sim_idx.iter().zip(&ys) {
+            out[i] = *y;
+        }
+        if had_classifier {
+            self.maybe_retrain(false);
+        } else {
+            self.try_initial_training();
+        }
+        out
     }
 }
 
@@ -347,6 +444,28 @@ mod tests {
                 assert_eq!(oracle.evaluate_accurate(&z), counter.inner().fails(&z));
             }
         }
+    }
+
+    #[test]
+    fn batch_accurate_routes_like_the_elementwise_policy() {
+        let counter = SimCounter::new(LinearBench::new(vec![1.0, 0.0], 3.0));
+        let mut oracle = ClassifierOracle::new(&counter, OracleConfig::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        let zs = batch_around_boundary(800, 10);
+        let _ = oracle.evaluate_batch_rough(&mut rng, &zs);
+        assert!(oracle.has_classifier());
+        let sims_before = counter.simulations();
+        // Two far points (classified) and the exact boundary point
+        // (inside the uncertainty band, simulated); same classifier state
+        // as `accurate_policy_simulates_uncertain_samples`.
+        let batch = vec![vec![10.0, 0.0], vec![3.0, 0.0], vec![-5.0, 0.0]];
+        let out = oracle.evaluate_batch_accurate(&batch);
+        assert!(out[0]);
+        assert!(!out[2]);
+        assert_eq!(out[1], counter.inner().fails(&batch[1]));
+        assert_eq!(counter.simulations(), sims_before + 1);
+        assert_eq!(oracle.stats().uncertain_simulated, 1);
+        assert_eq!(oracle.stats().classified, 800 - 256 + 2);
     }
 
     #[test]

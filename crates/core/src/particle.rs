@@ -153,7 +153,11 @@ impl ParticleFilter {
     ///
     /// Returns [`DegenerateWeightsError`] if every candidate weighed
     /// zero; the particle population is left unchanged in that case.
-    pub fn step<R, F>(&mut self, rng: &mut R, mut weight_fn: F) -> Result<(), DegenerateWeightsError>
+    pub fn step<R, F>(
+        &mut self,
+        rng: &mut R,
+        mut weight_fn: F,
+    ) -> Result<(), DegenerateWeightsError>
     where
         R: Rng + ?Sized,
         F: FnMut(&mut R, &[Vec<f64>]) -> Vec<f64>,
@@ -217,7 +221,10 @@ mod tests {
     fn seeding_replicates_to_population_size() {
         let mut rng = StdRng::seed_from_u64(1);
         let f = ParticleFilter::from_seeds(&mut rng, ParticleFilterConfig::default(), &seeds_2d());
-        assert_eq!(f.particles().len(), ParticleFilterConfig::default().n_particles);
+        assert_eq!(
+            f.particles().len(),
+            ParticleFilterConfig::default().n_particles
+        );
         assert_eq!(f.dim(), 2);
         // Every particle is one of the seeds.
         for p in f.particles() {
@@ -236,8 +243,11 @@ mod tests {
         let candidates = f.predict(&mut rng);
         assert_eq!(candidates.len(), 200);
         let mean_x: f64 = candidates.iter().map(|c| c[0]).sum::<f64>() / 200.0;
-        let var_x: f64 =
-            candidates.iter().map(|c| (c[0] - mean_x).powi(2)).sum::<f64>() / 200.0;
+        let var_x: f64 = candidates
+            .iter()
+            .map(|c| (c[0] - mean_x).powi(2))
+            .sum::<f64>()
+            / 200.0;
         assert!((mean_x - 5.0).abs() < 0.1, "mean {mean_x}");
         assert!((var_x - 0.04).abs() < 0.02, "var {var_x}");
     }

@@ -11,6 +11,7 @@ use crate::bench::SramReadBench;
 use crate::ecripse::{Ecripse, EcripseConfig, EstimateError};
 use crate::initial::InitialParticles;
 use crate::rtn_source::SramRtn;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One sweep point's outcome.
@@ -144,23 +145,42 @@ impl DutySweep {
         let rdf_only = rdf_run.estimate_with_initial(&amortised)?;
 
         let sigmas = self.bench.sigmas();
+        // The α points are fully independent (per-point seeds are split
+        // from the base seed by index), so the grid runs as a parallel
+        // map. Order is preserved by construction, and the serial fold
+        // below reports the first error in sweep order, exactly like the
+        // old sequential loop.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.config.threads)
+            .build()
+            .expect("thread pool");
+        let amortised = &amortised;
+        let outcomes: Vec<Result<SweepPoint, EstimateError>> = pool.install(|| {
+            self.alphas
+                .par_iter()
+                .enumerate()
+                .map(|(k, &alpha)| {
+                    let mut config = self.config;
+                    // Decorrelate RNG streams across sweep points while
+                    // keeping the whole sweep reproducible.
+                    config.seed = self.config.seed.wrapping_add(1 + k as u64);
+                    let rtn = SramRtn::paper_model(alpha, sigmas);
+                    let run = Ecripse::with_rtn(config, self.bench.clone(), rtn);
+                    run.estimate_with_initial(amortised).map(|res| SweepPoint {
+                        alpha,
+                        p_fail: res.p_fail,
+                        ci95_half_width: res.ci95_half_width,
+                        simulations: res.simulations,
+                    })
+                })
+                .collect()
+        });
         let mut points = Vec::with_capacity(self.alphas.len());
         let mut total = init_simulations + rdf_only.simulations;
-        for (k, &alpha) in self.alphas.iter().enumerate() {
-            let mut config = self.config;
-            // Decorrelate RNG streams across sweep points while keeping
-            // the whole sweep reproducible.
-            config.seed = self.config.seed.wrapping_add(1 + k as u64);
-            let rtn = SramRtn::paper_model(alpha, sigmas);
-            let run = Ecripse::with_rtn(config, self.bench.clone(), rtn);
-            let res = run.estimate_with_initial(&amortised)?;
-            total += res.simulations;
-            points.push(SweepPoint {
-                alpha,
-                p_fail: res.p_fail,
-                ci95_half_width: res.ci95_half_width,
-                simulations: res.simulations,
-            });
+        for outcome in outcomes {
+            let point = outcome?;
+            total += point.simulations;
+            points.push(point);
         }
 
         Ok(SweepResult {

@@ -68,9 +68,7 @@ impl ConvergenceTrace {
     /// stays finite) — used for the "simulations to reach 1 % relative
     /// error" comparison of Fig. 6.
     pub fn first_below_relative_error(&self, target: f64) -> Option<&TracePoint> {
-        self.points
-            .iter()
-            .find(|p| p.relative_error() <= target)
+        self.points.iter().find(|p| p.relative_error() <= target)
     }
 
     /// The last recorded point.
@@ -85,7 +83,10 @@ impl ConvergenceTrace {
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
-        writeln!(w, "simulations,samples,estimate,ci95_half_width,relative_error")?;
+        writeln!(
+            w,
+            "simulations,samples,estimate,ci95_half_width,relative_error"
+        )?;
         for p in &self.points {
             writeln!(
                 w,

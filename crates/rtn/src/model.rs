@@ -104,7 +104,11 @@ impl RtnCellModel {
     ///
     /// Panics if `alpha` is outside `[0, 1]`.
     pub fn paper_model(alpha: f64) -> Self {
-        Self::new(CellDutyMap::new(alpha), TrapTimeConstants::paper_values(), false)
+        Self::new(
+            CellDutyMap::new(alpha),
+            TrapTimeConstants::paper_values(),
+            false,
+        )
     }
 
     /// The paper's model with RTN on the access transistors as well —
@@ -114,7 +118,11 @@ impl RtnCellModel {
     ///
     /// Panics if `alpha` is outside `[0, 1]`.
     pub fn paper_model_with_access_rtn(alpha: f64) -> Self {
-        Self::new(CellDutyMap::new(alpha), TrapTimeConstants::paper_values(), true)
+        Self::new(
+            CellDutyMap::new(alpha),
+            TrapTimeConstants::paper_values(),
+            true,
+        )
     }
 
     /// Builds a model from an explicit duty map and trap constants;
@@ -308,9 +316,17 @@ mod tests {
         // 1.92 → Poisson mean ≈ 0.1746.
         let m = RtnCellModel::paper_model(0.5);
         let d = m.devices()[CellDevice::DriverR as usize];
-        assert!((d.poisson_mean - 0.0909 * 1.92).abs() < 2e-3, "{}", d.poisson_mean);
+        assert!(
+            (d.poisson_mean - 0.0909 * 1.92).abs() < 2e-3,
+            "{}",
+            d.poisson_mean
+        );
         // Quantum: κ·q/(Cox·480 nm²) ≈ 1.8 × 9.2 mV.
-        assert!(d.quantum > 14e-3 && d.quantum < 18e-3, "quantum {}", d.quantum);
+        assert!(
+            d.quantum > 14e-3 && d.quantum < 18e-3,
+            "quantum {}",
+            d.quantum
+        );
     }
 
     #[test]
@@ -372,7 +388,12 @@ mod convention_tests {
         for alpha in [0.0, 0.3, 0.8] {
             let paper = model(OccupancyConvention::PaperEq10, alpha);
             let dwell = model(OccupancyConvention::DwellFraction, alpha);
-            for d in [CellDevice::LoadL, CellDevice::DriverL, CellDevice::LoadR, CellDevice::DriverR] {
+            for d in [
+                CellDevice::LoadL,
+                CellDevice::DriverL,
+                CellDevice::LoadR,
+                CellDevice::DriverR,
+            ] {
                 let i = d as usize;
                 let total = paper.devices()[i].poisson_mean + dwell.devices()[i].poisson_mean;
                 let geo = ecripse_spice::ptm::paper_geometry(d.role());

@@ -35,11 +35,7 @@ impl TelegraphSignal {
     ///
     /// Panics if `duration` is not positive or the time constants are not
     /// positive.
-    pub fn generate<R: Rng + ?Sized>(
-        rng: &mut R,
-        taus: MixedTimeConstants,
-        duration: f64,
-    ) -> Self {
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, taus: MixedTimeConstants, duration: f64) -> Self {
         assert!(duration > 0.0, "duration must be positive");
         assert!(
             taus.tau_c > 0.0 && taus.tau_e > 0.0,

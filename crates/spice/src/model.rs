@@ -83,7 +83,10 @@ impl MosfetParams {
             return Err(format!("dibl must be ≥ 0, got {}", self.dibl));
         }
         if !(self.v_thermal.is_finite() && self.v_thermal > 0.0) {
-            return Err(format!("v_thermal must be positive, got {}", self.v_thermal));
+            return Err(format!(
+                "v_thermal must be positive, got {}",
+                self.v_thermal
+            ));
         }
         Ok(())
     }
@@ -391,12 +394,12 @@ mod tests {
             (&p, 0.6, 0.1, 0.7),
         ] {
             let base = dev.eval(vg, vd, vs, 0.7);
-            let dg = (dev.eval(vg + h, vd, vs, 0.7).id - dev.eval(vg - h, vd, vs, 0.7).id)
-                / (2.0 * h);
-            let dd = (dev.eval(vg, vd + h, vs, 0.7).id - dev.eval(vg, vd - h, vs, 0.7).id)
-                / (2.0 * h);
-            let ds = (dev.eval(vg, vd, vs + h, 0.7).id - dev.eval(vg, vd, vs - h, 0.7).id)
-                / (2.0 * h);
+            let dg =
+                (dev.eval(vg + h, vd, vs, 0.7).id - dev.eval(vg - h, vd, vs, 0.7).id) / (2.0 * h);
+            let dd =
+                (dev.eval(vg, vd + h, vs, 0.7).id - dev.eval(vg, vd - h, vs, 0.7).id) / (2.0 * h);
+            let ds =
+                (dev.eval(vg, vd, vs + h, 0.7).id - dev.eval(vg, vd, vs - h, 0.7).id) / (2.0 * h);
             assert!(
                 (base.gm - dg).abs() <= 1e-4 * base.gm.abs().max(1e-9) + 1e-9,
                 "gm analytic {} vs fd {} at ({vg},{vd},{vs})",

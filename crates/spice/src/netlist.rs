@@ -324,7 +324,11 @@ mod tests {
             volts: 1.0,
         });
         n.add(Element::Resistor { a, b, ohms: 1e3 });
-        n.add(Element::Resistor { a: b, b: 0, ohms: 1e3 });
+        n.add(Element::Resistor {
+            a: b,
+            b: 0,
+            ohms: 1e3,
+        });
         assert_eq!(n.system_size(), 3); // 2 nodes + 1 branch
     }
 
@@ -371,7 +375,11 @@ mod tests {
     #[should_panic(expected = "unallocated node")]
     fn rejects_unallocated_nodes() {
         let mut n = Netlist::new(0.0);
-        n.add(Element::Resistor { a: 0, b: 5, ohms: 1.0 });
+        n.add(Element::Resistor {
+            a: 0,
+            b: 5,
+            ohms: 1.0,
+        });
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl RotatedCurve {
 
     /// Linear interpolation of `v(u)`; clamps outside the sampled range.
     fn eval(&self, uu: f64) -> f64 {
-        match self.u.binary_search_by(|p| p.partial_cmp(&uu).expect("finite u")) {
+        match self
+            .u
+            .binary_search_by(|p| p.partial_cmp(&uu).expect("finite u"))
+        {
             Ok(i) => self.v[i],
             Err(0) => self.v[0],
             Err(i) if i >= self.u.len() => *self.v.last().expect("curve has points"),
@@ -187,7 +190,11 @@ mod tests {
     use crate::sram::{CellDevice, Sram6T};
 
     fn margin(cell: &Sram6T, read: bool, points: usize) -> SnmReport {
-        let bias = if read { cell.read_bias() } else { cell.hold_bias() };
+        let bias = if read {
+            cell.read_bias()
+        } else {
+            cell.hold_bias()
+        };
         read_noise_margin(&Butterfly::sample(cell, &bias, points))
     }
 
@@ -259,7 +266,10 @@ mod tests {
             prev = m.rnm;
         }
         // By the largest skew the cell must have failed.
-        assert!(prev < 0.0, "expected failure at 0.3 V skew, margin = {prev}");
+        assert!(
+            prev < 0.0,
+            "expected failure at 0.3 V skew, margin = {prev}"
+        );
     }
 
     #[test]

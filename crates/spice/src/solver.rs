@@ -66,7 +66,10 @@ impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolveError::NoConvergence { best_residual } => {
-                write!(f, "newton iteration did not converge (best residual {best_residual:e})")
+                write!(
+                    f,
+                    "newton iteration did not converge (best residual {best_residual:e})"
+                )
             }
             SolveError::SingularJacobian => write!(f, "singular jacobian in newton solve"),
         }
@@ -194,9 +197,7 @@ impl Solver {
         let mut best = f64::INFINITY;
         for iter in 0..self.options.max_iterations {
             netlist.assemble(state, gmin, src_scale, &mut jac, &mut residual);
-            let norm = residual
-                .iter()
-                .fold(0.0_f64, |acc, r| acc.max(r.abs()));
+            let norm = residual.iter().fold(0.0_f64, |acc, r| acc.max(r.abs()));
             best = best.min(norm);
             if norm < self.options.tolerance {
                 return Ok(iter);
@@ -216,7 +217,9 @@ impl Solver {
                 *s += scale * d;
             }
         }
-        Err(SolveError::NoConvergence { best_residual: best })
+        Err(SolveError::NoConvergence {
+            best_residual: best,
+        })
     }
 
     fn finish(&self, netlist: &Netlist, state: Vec<f64>, iterations: usize) -> OperatingPoint {
@@ -235,9 +238,9 @@ impl Solver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::Mosfet;
     use crate::netlist::Element;
     use crate::ptm::{paper_geometry, ptm16_hp_nmos, DeviceRole, VDD_NOMINAL};
-    use crate::model::Mosfet;
 
     #[test]
     fn resistive_divider() {
@@ -249,8 +252,16 @@ mod tests {
             minus: 0,
             volts: 1.0,
         });
-        nl.add(Element::Resistor { a: vin, b: mid, ohms: 1e3 });
-        nl.add(Element::Resistor { a: mid, b: 0, ohms: 3e3 });
+        nl.add(Element::Resistor {
+            a: vin,
+            b: mid,
+            ohms: 1e3,
+        });
+        nl.add(Element::Resistor {
+            a: mid,
+            b: 0,
+            ohms: 3e3,
+        });
         let op = Solver::new().solve_dc(&nl, None).expect("linear circuit");
         assert!((op.node_voltages[vin] - 1.0).abs() < 1e-9);
         assert!((op.node_voltages[mid] - 0.75).abs() < 1e-9);
@@ -285,7 +296,11 @@ mod tests {
             minus: 0,
             volts: VDD_NOMINAL,
         });
-        nl.add(Element::Resistor { a: vdd, b: d, ohms: 50e3 });
+        nl.add(Element::Resistor {
+            a: vdd,
+            b: d,
+            ohms: 50e3,
+        });
         nl.add(Element::Mosfet {
             d,
             g: d,
@@ -379,9 +394,15 @@ mod tests {
             (op.node_voltages[q], op.node_voltages[qb])
         }
         let (q1, qb1) = latch(VDD_NOMINAL, 0.0);
-        assert!(q1 > VDD_NOMINAL - 0.05 && qb1 < 0.05, "state 1: q={q1} qb={qb1}");
+        assert!(
+            q1 > VDD_NOMINAL - 0.05 && qb1 < 0.05,
+            "state 1: q={q1} qb={qb1}"
+        );
         let (q0, qb0) = latch(0.0, VDD_NOMINAL);
-        assert!(q0 < 0.05 && qb0 > VDD_NOMINAL - 0.05, "state 0: q={q0} qb={qb0}");
+        assert!(
+            q0 < 0.05 && qb0 > VDD_NOMINAL - 0.05,
+            "state 0: q={q0} qb={qb0}"
+        );
     }
 
     #[test]

@@ -124,7 +124,10 @@ impl Sram6T {
     ///
     /// Panics if `vdd` is not positive and finite.
     pub fn paper_cell_at(vdd: f64) -> Self {
-        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive, got {vdd}");
+        assert!(
+            vdd.is_finite() && vdd > 0.0,
+            "vdd must be positive, got {vdd}"
+        );
         let devices = CellDevice::ALL.map(|d| paper_geometry(d.role()).build());
         Self { vdd, devices }
     }
@@ -135,7 +138,10 @@ impl Sram6T {
     ///
     /// Panics if `vdd` is not positive and finite.
     pub fn from_devices(vdd: f64, devices: [Mosfet; 6]) -> Self {
-        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive, got {vdd}");
+        assert!(
+            vdd.is_finite() && vdd > 0.0,
+            "vdd must be positive, got {vdd}"
+        );
         Self { vdd, devices }
     }
 
@@ -269,7 +275,10 @@ impl Sram6T {
             None => self.vdd + 0.2,
         };
         debug_assert!(f(lo) > 0.0, "current should be positive at the low rail");
-        debug_assert!(f(hi) < 0.0, "current should be negative above the upper bracket");
+        debug_assert!(
+            f(hi) < 0.0,
+            "current should be negative above the upper bracket"
+        );
         // Fixed resolution target rather than a fixed iteration count, so
         // warm-started (narrow) brackets converge in fewer steps.
         while hi - lo > 1e-7 {
@@ -317,7 +326,10 @@ mod tests {
         // Input high: output is the read-disturb level — above ground but
         // well below VDD/2 for a functional cell.
         let low = cell.vtc_right(&bias, cell.vdd());
-        assert!(low > 0.0 && low < 0.35 * cell.vdd(), "read low level = {low}");
+        assert!(
+            low > 0.0 && low < 0.35 * cell.vdd(),
+            "read low level = {low}"
+        );
     }
 
     #[test]
@@ -375,9 +387,7 @@ mod tests {
         let bias = cell.read_bias();
         for i in 0..=8 {
             let vin = cell.vdd() * i as f64 / 8.0;
-            assert!(
-                (cell.vtc_right(&bias, vin) - mir.vtc_left(&bias, vin)).abs() < 1e-9
-            );
+            assert!((cell.vtc_right(&bias, vin) - mir.vtc_left(&bias, vin)).abs() < 1e-9);
         }
     }
 
@@ -396,10 +406,26 @@ mod tests {
             let out = nl.add_node();
             let wl = nl.add_node();
             let blb = nl.add_node();
-            nl.add(Element::VSource { plus: vdd, minus: 0, volts: cell.vdd() });
-            nl.add(Element::VSource { plus: vq, minus: 0, volts: vin });
-            nl.add(Element::VSource { plus: wl, minus: 0, volts: bias.wl });
-            nl.add(Element::VSource { plus: blb, minus: 0, volts: bias.blb });
+            nl.add(Element::VSource {
+                plus: vdd,
+                minus: 0,
+                volts: cell.vdd(),
+            });
+            nl.add(Element::VSource {
+                plus: vq,
+                minus: 0,
+                volts: vin,
+            });
+            nl.add(Element::VSource {
+                plus: wl,
+                minus: 0,
+                volts: bias.wl,
+            });
+            nl.add(Element::VSource {
+                plus: blb,
+                minus: 0,
+                volts: bias.blb,
+            });
             nl.add(Element::Mosfet {
                 d: out,
                 g: vq,

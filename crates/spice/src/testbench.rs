@@ -318,7 +318,10 @@ mod tests {
             );
             prev = wm;
         }
-        assert!(prev < 0.0, "extreme skew should break the write, margin = {prev}");
+        assert!(
+            prev < 0.0,
+            "extreme skew should break the write, margin = {prev}"
+        );
     }
 
     #[test]

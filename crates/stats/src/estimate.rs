@@ -147,8 +147,16 @@ impl WilsonInterval {
         let half = Z95 * ((p * (1.0 - p) + z2 / (4.0 * nf)) / nf).sqrt() / denom;
         // Exact endpoints when the count is degenerate; the formula can
         // leave ±1e-19 rounding residue there.
-        let lo = if k == 0 { 0.0 } else { (centre - half).max(0.0) };
-        let hi = if k == n { 1.0 } else { (centre + half).min(1.0) };
+        let lo = if k == 0 {
+            0.0
+        } else {
+            (centre - half).max(0.0)
+        };
+        let hi = if k == n {
+            1.0
+        } else {
+            (centre + half).min(1.0)
+        };
         Self {
             estimate: p,
             lo,

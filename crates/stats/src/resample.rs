@@ -226,8 +226,12 @@ mod tests {
     #[test]
     fn resample_zero_requested_gives_empty() {
         let mut rng = StdRng::seed_from_u64(6);
-        assert!(systematic_resample(&mut rng, &[1.0], 0).expect("valid").is_empty());
-        assert!(multinomial_resample(&mut rng, &[1.0], 0).expect("valid").is_empty());
+        assert!(systematic_resample(&mut rng, &[1.0], 0)
+            .expect("valid")
+            .is_empty());
+        assert!(multinomial_resample(&mut rng, &[1.0], 0)
+            .expect("valid")
+            .is_empty());
     }
 
     #[test]

@@ -130,7 +130,10 @@ pub fn normal_sf(x: f64) -> f64 {
 ///
 /// Panics if `p` is outside `(0, 1)`.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile requires p in (0,1), got {p}"
+    );
 
     // Acklam's coefficients.
     const A: [f64; 6] = [
@@ -204,10 +207,7 @@ mod tests {
     fn erf_matches_tabulated_values() {
         for &(x, want) in ERF_TABLE {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 1e-12,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-12, "erf({x}) = {got}, want {want}");
         }
     }
 

@@ -67,7 +67,10 @@ impl std::fmt::Display for TrainError {
         match self {
             TrainError::EmptyTrainingSet => write!(f, "empty training set"),
             TrainError::SingleClass => {
-                write!(f, "training set contains a single class; cannot fit a separator")
+                write!(
+                    f,
+                    "training set contains a single class; cannot fit a separator"
+                )
             }
         }
     }
@@ -243,7 +246,11 @@ mod tests {
             .zip(&ys)
             .filter(|(x, y)| clf.predict(x) == **y)
             .count();
-        assert!(correct as f64 >= 0.9 * xs.len() as f64, "{correct}/{}", xs.len());
+        assert!(
+            correct as f64 >= 0.9 * xs.len() as f64,
+            "{correct}/{}",
+            xs.len()
+        );
     }
 
     #[test]

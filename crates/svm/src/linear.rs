@@ -146,8 +146,13 @@ impl LinearSvm {
             let mut max_violation = 0.0_f64;
             for &i in &order {
                 let y = if ys[i] { 1.0 } else { -1.0 };
-                let decision =
-                    self.weights.iter().zip(&xs[i]).map(|(w, v)| w * v).sum::<f64>() + self.bias;
+                let decision = self
+                    .weights
+                    .iter()
+                    .zip(&xs[i])
+                    .map(|(w, v)| w * v)
+                    .sum::<f64>()
+                    + self.bias;
                 let grad = y * decision - 1.0;
                 let alpha = self.alphas[i];
                 // Projected gradient.
@@ -185,7 +190,12 @@ impl LinearSvm {
     /// Panics if the dimension does not match.
     pub fn decision_value(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.weights.len(), "feature dimension mismatch");
-        self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.bias
+        self.weights
+            .iter()
+            .zip(x)
+            .map(|(w, xi)| w * xi)
+            .sum::<f64>()
+            + self.bias
     }
 
     /// Predicted class: `true` = positive (failure).

@@ -38,10 +38,10 @@ fn main() -> Result<(), EstimateError> {
     let l = 16e-9;
     let vdd = 0.7;
     let devices = [
-        Mosfet::new(ptm16_hp_pmos(), 40e-9, l), // PL
-        Mosfet::new(ptm16_hp_nmos(), 30e-9, l), // NL
-        Mosfet::new(ptm16_hp_pmos(), 40e-9, l), // PR
-        Mosfet::new(ptm16_hp_nmos(), 30e-9, l), // NR
+        Mosfet::new(ptm16_hp_pmos(), 40e-9, l),     // PL
+        Mosfet::new(ptm16_hp_nmos(), 30e-9, l),     // NL
+        Mosfet::new(ptm16_hp_pmos(), 40e-9, l),     // PR
+        Mosfet::new(ptm16_hp_nmos(), 30e-9, l),     // NR
         Mosfet::new(ptm16_hp_nmos(), 30e-9, 20e-9), // AL
         Mosfet::new(ptm16_hp_nmos(), 30e-9, 20e-9), // AR
     ];

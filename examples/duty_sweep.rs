@@ -18,7 +18,10 @@ fn main() -> Result<(), EstimateError> {
     // paper's full eleven-point grid.
     let sweep = DutySweep::new(config, bench, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
 
-    println!("running {}-point duty sweep (shared initialisation)…", sweep.alphas().len());
+    println!(
+        "running {}-point duty sweep (shared initialisation)…",
+        sweep.alphas().len()
+    );
     let result = sweep.run()?;
 
     println!("\n{:<8} {:>12} {:>12}", "α", "P_fail", "±CI95");

@@ -15,13 +15,18 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let traps = TrapTimeConstants::paper_values();
 
-    println!("trap constants (Table I): τe_on={} τe_off={} τc_on={} τc_off={}\n",
-        traps.tau_e_on, traps.tau_e_off, traps.tau_c_on, traps.tau_c_off);
+    println!(
+        "trap constants (Table I): τe_on={} τe_off={} τc_on={} τc_off={}\n",
+        traps.tau_e_on, traps.tau_e_off, traps.tau_c_on, traps.tau_c_off
+    );
 
     // ASCII render of a short trace at 50% duty.
     let taus = traps.mixed(0.5);
     let short = TelegraphSignal::generate(&mut rng, taus, 3.0);
-    println!("3-second trace at α = 0.5 ({} transitions):", short.events().len());
+    println!(
+        "3-second trace at α = 0.5 ({} transitions):",
+        short.events().len()
+    );
     let cols = 100;
     let mut line_hi = String::new();
     let mut line_lo = String::new();
@@ -45,8 +50,7 @@ fn main() {
     );
     for duty in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let taus = traps.mixed(duty);
-        let trace =
-            TelegraphSignal::generate(&mut rng, taus, 5_000.0 * (taus.tau_c + taus.tau_e));
+        let trace = TelegraphSignal::generate(&mut rng, taus, 5_000.0 * (taus.tau_c + taus.tau_e));
         let est = trace.estimate_taus().expect("long trace");
         println!(
             "{:<8} {:>10.4} {:>10.4} {:>12.4} {:>12.4} {:>12.4}",
@@ -58,5 +62,7 @@ fn main() {
             trace.captured_fraction(),
         );
     }
-    println!("\n(the capture probability entering Eq. 10 is τc/(τc+τe) per the paper's convention)");
+    println!(
+        "\n(the capture probability entering Eq. 10 is τc/(τc+τe) per the paper's convention)"
+    );
 }

@@ -16,7 +16,10 @@ fn main() -> Result<(), EstimateError> {
     let circuit = ReadStabilityBench::paper_cell();
 
     println!("write margin vs write-hostile skew (stronger PL, weaker AL):");
-    println!("{:>10} {:>14} {:>14}", "skew [mV]", "write [mV]", "read [mV]");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "skew [mV]", "write [mV]", "read [mV]"
+    );
     for k in 0..7 {
         let s = 0.05 * k as f64;
         let dv = [-s, 0.0, 0.0, 0.0, s, 0.0];

@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! ecripse-cli estimate [--vdd V] [--alpha A] [--no-rtn] [--samples N]
-//!                      [--tolerance R] [--seed S]
-//! ecripse-cli sweep    [--vdd V] [--points K] [--samples N] [--seed S]
+//!                      [--tolerance R] [--seed S] [--threads T]
+//! ecripse-cli sweep    [--vdd V] [--points K] [--samples N] [--seed S] [--threads T]
 //! ecripse-cli margin   [--vdd V] [--dvth v0,v1,v2,v3,v4,v5]
 //! ecripse-cli naive    [--vdd V] [--alpha A] [--no-rtn] [--samples N] [--seed S]
 //! ```
+//!
+//! `--threads 0` (the default) uses one worker per core; any other value
+//! pins the worker count. Results are bit-identical for every setting.
 //!
 //! Threshold shifts for `margin` are in volts, canonical device order
 //! `PL, NL, PR, NR, AL, AR`.
@@ -72,9 +75,9 @@ fn usage() {
          \n\
          estimate  failure probability of the paper's 6T cell\n\
          \x20          --vdd V (0.7)  --alpha A (0.5)  --no-rtn\n\
-         \x20          --samples N (4000)  --tolerance R  --seed S\n\
+         \x20          --samples N (4000)  --tolerance R  --seed S  --threads T (0=all cores)\n\
          sweep     duty-ratio sweep with shared initialisation\n\
-         \x20          --vdd V (0.7)  --points K (11)  --samples N (2000)  --seed S\n\
+         \x20          --vdd V (0.7)  --points K (11)  --samples N (2000)  --seed S  --threads T\n\
          margin    read/hold/write margins of one cell instance\n\
          \x20          --vdd V (0.7)  --dvth v0,v1,v2,v3,v4,v5 (volts)\n\
          naive     naive Monte Carlo reference\n\
@@ -104,6 +107,7 @@ fn run() -> Result<(), String> {
             let mut cfg = EcripseConfig::default();
             cfg.importance.n_samples = samples;
             cfg.seed = seed;
+            cfg.threads = args.get("threads", 0)?;
             let result = if args.flag("no-rtn") {
                 cfg.importance.m_rtn = 1;
                 cfg.m_rtn_stage1 = 1;
@@ -131,6 +135,15 @@ fn run() -> Result<(), String> {
                 "cost: {} transistor-level simulations, {} importance samples, {} classifier answers",
                 result.simulations, result.is_samples, result.oracle_stats.classified
             );
+            let stats = &result.oracle_stats;
+            if stats.cache_hits + stats.cache_misses > 0 {
+                println!(
+                    "memo-cache: {} hits / {} misses ({:.1}% hit rate)",
+                    stats.cache_hits,
+                    stats.cache_misses,
+                    100.0 * stats.cache_hit_rate()
+                );
+            }
         }
         "sweep" => {
             let points: usize = args.get("points", 11)?;
@@ -143,6 +156,7 @@ fn run() -> Result<(), String> {
             cfg.importance.n_samples = samples;
             cfg.importance.m_rtn = 20;
             cfg.seed = seed;
+            cfg.threads = args.get("threads", 0)?;
             let alphas: Vec<f64> = (0..points)
                 .map(|i| i as f64 / (points - 1) as f64)
                 .collect();
@@ -150,7 +164,10 @@ fn run() -> Result<(), String> {
             let result = sweep.run().map_err(|e| e.to_string())?;
             println!("{:<8} {:>12} {:>12}", "alpha", "P_fail", "ci95");
             for p in &result.points {
-                println!("{:<8} {:>12.4e} {:>12.2e}", p.alpha, p.p_fail, p.ci95_half_width);
+                println!(
+                    "{:<8} {:>12.4e} {:>12.2e}",
+                    p.alpha, p.p_fail, p.ci95_half_width
+                );
             }
             println!(
                 "rdf-only: {:.4e}   worst-case RTN degradation: {:.2}x   total sims: {}",
@@ -163,7 +180,11 @@ fn run() -> Result<(), String> {
             let dvth_str: String = args.get("dvth", "0,0,0,0,0,0".to_string())?;
             let dvth: Vec<f64> = dvth_str
                 .split(',')
-                .map(|s| s.trim().parse().map_err(|_| format!("bad --dvth entry '{s}'")))
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| format!("bad --dvth entry '{s}'"))
+                })
                 .collect::<Result<_, _>>()?;
             if dvth.len() != 6 {
                 return Err("--dvth needs exactly 6 comma-separated volts".into());
@@ -176,7 +197,12 @@ fn run() -> Result<(), String> {
             let b = Butterfly::sample(&cell, &cell.read_bias(), 121);
             let lobes = read_noise_margin(&b);
             println!("device order: PL, NL, PR, NR, AL, AR   V_DD = {vdd} V");
-            println!("read  margin: {:+8.2} mV (lobes {:+.2} / {:+.2})", read * 1e3, lobes.snm_low * 1e3, lobes.snm_high * 1e3);
+            println!(
+                "read  margin: {:+8.2} mV (lobes {:+.2} / {:+.2})",
+                read * 1e3,
+                lobes.snm_low * 1e3,
+                lobes.snm_high * 1e3
+            );
             println!("hold  margin: {:+8.2} mV", hold * 1e3);
             println!("write margin: {:+8.2} mV", write * 1e3);
             println!(

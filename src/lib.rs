@@ -58,6 +58,7 @@ pub mod prelude {
         GibbsConfig, MeanShiftConfig, NaiveConfig, SequentialImportanceSampling,
     };
     pub use ecripse_core::bench::{SimCounter, SramReadBench, Testbench};
+    pub use ecripse_core::cache::{MemoBench, MemoCacheConfig};
     pub use ecripse_core::ecripse::{Ecripse, EcripseConfig, EcripseResult, EstimateError};
     pub use ecripse_core::rtn_source::{NoRtn, RtnSource, SramRtn};
     pub use ecripse_core::sweep::{DutySweep, SweepPoint, SweepResult};

@@ -57,6 +57,51 @@ fn different_seeds_differ_but_agree_statistically() {
 }
 
 #[test]
+fn thread_count_does_not_change_results() {
+    // The whole parallel pipeline (per-filter RNG streams, batched
+    // oracle, memo-cache dedup) is designed so the thread schedule can
+    // never influence a draw or a counter: one worker and many workers
+    // must produce bit-identical results, statistics included.
+    let mut serial = config(7);
+    serial.threads = 1;
+    let mut parallel = config(7);
+    parallel.threads = 4;
+    let a = Ecripse::new(serial, bench())
+        .estimate()
+        .expect("serial run");
+    let b = Ecripse::new(parallel, bench())
+        .estimate()
+        .expect("parallel run");
+    assert_eq!(a, b, "results must not depend on the thread count");
+}
+
+#[test]
+fn batched_sram_bench_is_thread_invariant() {
+    use ecripse_core::bench::Testbench;
+    let bench = SramReadBench::paper_cell();
+    let zs: Vec<Vec<f64>> = (0..40)
+        .map(|i| {
+            (0..6)
+                .map(|d| ((i * 6 + d) as f64 * 0.7).sin() * 4.5)
+                .collect()
+        })
+        .collect();
+    let one = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool")
+        .install(|| bench.fails_batch(&zs));
+    let many = rayon::ThreadPoolBuilder::new()
+        .num_threads(3)
+        .build()
+        .expect("pool")
+        .install(|| bench.fails_batch(&zs));
+    assert_eq!(one, many);
+    let single: Vec<bool> = zs.iter().map(|z| bench.fails(z)).collect();
+    assert_eq!(one, single);
+}
+
+#[test]
 fn naive_mc_is_seed_deterministic() {
     let bench = bench();
     let cfg = NaiveConfig {

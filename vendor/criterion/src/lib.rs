@@ -1,0 +1,382 @@
+//! Hermetic, in-tree stand-in for `criterion`.
+//!
+//! A minimal wall-clock micro-benchmark harness with criterion's API shape:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `BatchSize`, and `black_box`.
+//!
+//! Like upstream criterion, the harness distinguishes two modes by CLI
+//! arguments: under `cargo bench` (cargo passes `--bench`) every benchmark
+//! is measured and a median time is printed; under `cargo test` each
+//! benchmark body runs exactly once as a smoke test so the suite stays
+//! fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped between setup calls (accepted for API
+/// compatibility; every batch here is one input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Trait unifying `&str` and [`BenchmarkId`] arguments.
+pub trait IntoBenchmarkId {
+    /// Converts to the printable id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measure: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Self {
+            measure,
+            sample_size: 30,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (mode detection happens in `default`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let name = id.into_id();
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        self.run_one(name, sample_size, measurement_time, f);
+    }
+
+    fn run_one(
+        &mut self,
+        name: String,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher {
+            measure: self.measure,
+            sample_size,
+            measurement_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.measure {
+            bencher.report(&name);
+        } else {
+            println!("{name}: smoke-tested (run `cargo bench` to measure)");
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let time = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        self.criterion.run_one(name, sample_size, time, f);
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark body.
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures a routine.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        // Calibrate iterations per sample so one sample costs roughly
+        // measurement_time / sample_size.
+        let calibration = Instant::now();
+        black_box(routine());
+        let once = calibration.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let deadline = Instant::now() + self.measurement_time * 2;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Measures a routine whose input is rebuilt by `setup` outside the
+    /// timed region.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        if !self.measure {
+            black_box(routine(setup()));
+            return;
+        }
+        self.samples_ns.clear();
+        let deadline = Instant::now() + self.measurement_time * 2;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            self.samples_ns.push(elapsed.as_secs_f64() * 1e9);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`], but the routine borrows the input.
+    pub fn iter_batched_ref<I, R>(
+        &mut self,
+        setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> R,
+        _size: BatchSize,
+    ) {
+        self.iter_batched(setup, |mut input| routine(&mut input), _size);
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name}: no samples collected");
+            return;
+        }
+        self.samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let lo = self.samples_ns[0];
+        let hi = self.samples_ns[self.samples_ns.len() - 1];
+        println!(
+            "{name}: time: [{} {} {}] ({} samples)",
+            format_ns(lo),
+            format_ns(median),
+            format_ns(hi),
+            self.samples_ns.len()
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(n: u64) -> u64 {
+        (0..n).fold(0, |acc, x| acc.wrapping_add(x * x))
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_body_once() {
+        // Unit tests never pass --bench, so Criterion::default() is in
+        // smoke mode and bodies run exactly once.
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                work(10)
+            })
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("param", 32), &32u64, |b, &n| {
+            b.iter(|| work(n))
+        });
+        group.bench_function("plain", |b| {
+            b.iter_batched(|| 8u64, work, BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn measured_mode_collects_samples() {
+        let mut c = Criterion {
+            measure: true,
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+        };
+        c.bench_function("measured", |b| b.iter(|| work(100)));
+    }
+}

@@ -1,0 +1,569 @@
+//! Hermetic, in-tree stand-in for `rayon`.
+//!
+//! Implements the data-parallel API subset this workspace uses with
+//! `std::thread::scope` instead of a work-stealing pool:
+//!
+//! - [`prelude::ParallelIterator`] with `map` / `for_each` / `zip` /
+//!   `enumerate` / `with_min_len` / `collect`;
+//! - `par_iter()` / `into_par_iter()` / `par_iter_mut()` on slices and
+//!   vectors;
+//! - [`ThreadPoolBuilder`] + [`ThreadPool::install`] scoping the thread
+//!   count for everything run inside;
+//! - [`join`] and [`current_num_threads`].
+//!
+//! Guarantees relied on by the workspace:
+//!
+//! - **Order preservation**: `collect()` returns results in input order, so
+//!   a parallel map is a drop-in for a serial one.
+//! - **Nested parallelism is serialized**: a parallel call from inside a
+//!   worker thread runs serially, so outer parallelism (e.g. a sweep over
+//!   bias points) does not oversubscribe the machine.
+//! - **Panic propagation**: a panicking task panics the caller (via scope
+//!   join), matching rayon.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread count installed by [`ThreadPool::install`] on this thread.
+    static POOL_SIZE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside worker threads so nested parallel calls degrade to serial.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    POOL_SIZE
+        .with(Cell::get)
+        .unwrap_or_else(default_threads)
+        .max(1)
+}
+
+/// Error building a thread pool (never produced by this implementation).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the thread count; `0` means "all available cores".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let size = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { size })
+    }
+}
+
+/// A scoped thread-count context mirroring `rayon::ThreadPool`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing all parallel
+    /// operations it performs (on the calling thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = POOL_SIZE.with(|c| c.replace(Some(self.size)));
+        let result = op();
+        POOL_SIZE.with(|c| c.set(previous));
+        result
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.size
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(|| {
+            IN_WORKER.with(|c| c.set(true));
+            b()
+        });
+        let ra = a();
+        (
+            ra,
+            hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e)),
+        )
+    })
+}
+
+/// Order-preserving parallel map: the workhorse behind every adapter.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slots
+            .chunks_mut(chunk)
+            .zip(results.chunks_mut(chunk))
+            .map(|(in_chunk, out_chunk)| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|c| c.set(true));
+                    for (slot, out) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                        *out = Some(f(slot.take().expect("slot filled once")));
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's panic payload reaches the caller
+        // verbatim (scope's implicit join would replace the message).
+        for h in handles {
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Iterator traits and adapters.
+pub mod iter {
+    use super::par_map_vec;
+
+    /// A parallel iterator: a materializable pipeline of Send items.
+    pub trait ParallelIterator: Sized + Send {
+        /// The element type.
+        type Item: Send;
+
+        /// Materializes the pipeline into an ordered `Vec`.
+        fn exec(self) -> Vec<Self::Item>;
+
+        /// Maps each element through `f` in parallel.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Runs `f` on every element in parallel.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync + Send,
+        {
+            let _ = self.map(f).exec();
+        }
+
+        /// Pairs elements with those of another parallel iterator.
+        fn zip<Z: ParallelIterator>(self, other: Z) -> Zip<Self, Z> {
+            Zip { a: self, b: other }
+        }
+
+        /// Attaches each element's index.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { base: self }
+        }
+
+        /// Chunk-granularity hint; accepted for API compatibility.
+        ///
+        /// This implementation always splits into one contiguous chunk per
+        /// thread, which already satisfies any `min_len` the workspace asks
+        /// for, so the hint is recorded but does not change behavior.
+        fn with_min_len(self, min: usize) -> WithMinLen<Self> {
+            WithMinLen {
+                base: self,
+                _min: min,
+            }
+        }
+
+        /// Collects results, preserving input order.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_par_vec(self.exec())
+        }
+
+        /// Sums the elements.
+        fn sum<S: std::iter::Sum<Self::Item> + Send>(self) -> S {
+            self.exec().into_iter().sum()
+        }
+
+        /// Number of elements (materializes the pipeline).
+        fn count(self) -> usize {
+            self.exec().len()
+        }
+    }
+
+    /// Marker mirroring rayon's `IndexedParallelIterator`; every iterator
+    /// here is indexed (order-preserving) by construction.
+    pub trait IndexedParallelIterator: ParallelIterator {}
+    impl<I: ParallelIterator> IndexedParallelIterator for I {}
+
+    /// Conversion into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Conversion into a parallel iterator over `&T`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The element type.
+        type Item: Send + 'a;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Borrowing conversion.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// Conversion into a parallel iterator over `&mut T`.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The element type.
+        type Item: Send + 'a;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Mutably borrowing conversion.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    /// Collection types buildable from a parallel iterator.
+    pub trait FromParallelIterator<T: Send> {
+        /// Builds the collection from ordered items.
+        fn from_par_vec(items: Vec<T>) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_vec(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+        fn from_par_vec(items: Vec<Result<T, E>>) -> Self {
+            items.into_iter().collect()
+        }
+    }
+
+    impl<T: Send> FromParallelIterator<Option<T>> for Option<Vec<T>> {
+        fn from_par_vec(items: Vec<Option<T>>) -> Self {
+            items.into_iter().collect()
+        }
+    }
+
+    /// Source iterator over an owned `Vec`.
+    pub struct VecParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecParIter<T> {
+        type Item = T;
+
+        fn exec(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecParIter<T>;
+
+        fn into_par_iter(self) -> VecParIter<T> {
+            VecParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = VecParIter<usize>;
+
+        fn into_par_iter(self) -> VecParIter<usize> {
+            VecParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = VecParIter<&'a T>;
+
+        fn par_iter(&'a self) -> VecParIter<&'a T> {
+            VecParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = VecParIter<&'a T>;
+
+        fn par_iter(&'a self) -> VecParIter<&'a T> {
+            VecParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = VecParIter<&'a mut T>;
+
+        fn par_iter_mut(&'a mut self) -> VecParIter<&'a mut T> {
+            VecParIter {
+                items: self.iter_mut().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        type Iter = VecParIter<&'a mut T>;
+
+        fn par_iter_mut(&'a mut self) -> VecParIter<&'a mut T> {
+            VecParIter {
+                items: self.iter_mut().collect(),
+            }
+        }
+    }
+
+    /// Parallel map adapter.
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, F, R> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync + Send,
+    {
+        type Item = R;
+
+        fn exec(self) -> Vec<R> {
+            let items = self.base.exec();
+            par_map_vec(items, &self.f)
+        }
+    }
+
+    /// Zip adapter.
+    pub struct Zip<A, B> {
+        a: A,
+        b: B,
+    }
+
+    impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+        type Item = (A::Item, B::Item);
+
+        fn exec(self) -> Vec<(A::Item, B::Item)> {
+            self.a.exec().into_iter().zip(self.b.exec()).collect()
+        }
+    }
+
+    /// Enumerate adapter.
+    pub struct Enumerate<I> {
+        base: I,
+    }
+
+    impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+        type Item = (usize, I::Item);
+
+        fn exec(self) -> Vec<(usize, I::Item)> {
+            self.base.exec().into_iter().enumerate().collect()
+        }
+    }
+
+    /// Min-length hint adapter (behavioral no-op; see `with_min_len`).
+    pub struct WithMinLen<I> {
+        base: I,
+        _min: usize,
+    }
+
+    impl<I: ParallelIterator> ParallelIterator for WithMinLen<I> {
+        type Item = I::Item;
+
+        fn exec(self) -> Vec<I::Item> {
+            self.base.exec()
+        }
+    }
+}
+
+/// The rayon prelude: import everything parallel with one `use`.
+pub mod prelude {
+    pub use super::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator,
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let xs = vec![String::from("a"), String::from("bb")];
+        let lens: Vec<usize> = xs.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2]);
+    }
+
+    #[test]
+    fn par_iter_mut_updates_in_place() {
+        let mut xs = vec![1u32; 64];
+        xs.par_iter_mut().for_each(|x| *x += 1);
+        assert!(xs.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn zip_and_enumerate() {
+        let a = vec![1, 2, 3];
+        let b = vec![10, 20, 30];
+        let pairs: Vec<(usize, i32)> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .map(|(&x, &y)| x + y)
+            .enumerate()
+            .collect();
+        assert_eq!(pairs, vec![(0, 11), (1, 22), (2, 33)]);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_to_err() {
+        let xs: Vec<i32> = (0..10).collect();
+        let ok: Result<Vec<i32>, String> = xs.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<i32>, String> = xs
+            .par_iter()
+            .map(|&x| {
+                if x == 5 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(pool1.install(current_num_threads), 1);
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let xs: Vec<u64> = (0..513).collect();
+        let serial: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| xs.par_iter().map(|&x| x * x + 1).collect());
+        let parallel: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(7)
+            .build()
+            .unwrap()
+            .install(|| xs.par_iter().map(|&x| x * x + 1).collect());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_to_serial() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let inner_counts: Vec<usize> = pool.install(|| {
+            vec![0u8; 8]
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        // Inside workers the visible thread count is 1 (serial nesting),
+        // unless the outer map ran serially on the caller thread.
+        for c in inner_counts {
+            assert!(c == 1 || c == 4);
+        }
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    #[should_panic(expected = "task panicked")]
+    fn panics_propagate() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            vec![0u8; 16].into_par_iter().for_each(|_| {
+                panic!("task panicked");
+            })
+        });
+    }
+}

@@ -1,0 +1,260 @@
+//! Hermetic, in-tree stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture, this implementation routes all
+//! (de)serialization through an owned JSON-like [`json::Value`] tree:
+//!
+//! - [`Serialize`] renders a type into a [`json::Value`];
+//! - [`Deserialize`] reconstructs a type from a [`json::Value`].
+//!
+//! The companion `serde_json` crate handles text encoding/decoding of the
+//! `Value` tree, and `serde_derive` generates the field-by-field impls.
+//! The API names (`Serialize`, `Deserialize`, `de::DeserializeOwned`,
+//! `#[derive(Serialize, Deserialize)]`) match upstream so workspace code
+//! compiles unchanged.
+
+pub mod json;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can be rendered into a [`json::Value`].
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> json::Value;
+}
+
+/// Types that can be reconstructed from a [`json::Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree; `None` on shape mismatch.
+    fn from_value(value: &json::Value) -> Option<Self>;
+
+    /// Fallback when a struct field is absent from the object.
+    ///
+    /// `Option<T>` overrides this to `Some(None)`; everything else treats a
+    /// missing field as an error.
+    fn from_missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Deserialization half of the API, mirroring `serde::de`.
+pub mod de {
+    /// Owned deserialization marker, mirroring `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: Sized {
+        /// Rebuilds `Self` from a value tree.
+        fn deserialize_owned(value: &super::json::Value) -> Option<Self>;
+    }
+
+    impl<T: super::Deserialize> DeserializeOwned for T {
+        fn deserialize_owned(value: &super::json::Value) -> Option<Self> {
+            super::Deserialize::from_value(value)
+        }
+    }
+}
+
+/// Serialization half of the API, mirroring `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> json::Value {
+                json::Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &json::Value) -> Option<Self> {
+                value.as_f64().map(|x| x as $ty)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> json::Value {
+                json::Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &json::Value) -> Option<Self> {
+                let x = value.as_f64()?;
+                if x.fract() != 0.0 {
+                    return None;
+                }
+                Some(x as $ty)
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &json::Value) -> Option<Self> {
+        value.as_bool()
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &json::Value) -> Option<Self> {
+        value.as_str().map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &json::Value) -> Option<Self> {
+        value.as_array()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &json::Value) -> Option<Self> {
+        let items = value.as_array()?;
+        if items.len() != N {
+            return None;
+        }
+        let parsed: Option<Vec<T>> = items.iter().map(T::from_value).collect();
+        parsed?.try_into().ok()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &json::Value) -> Option<Self> {
+        match value {
+            json::Value::Null => Some(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &json::Value) -> Option<Self> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &json::Value) -> Option<Self> {
+        let items = value.as_array()?;
+        if items.len() != 2 {
+            return None;
+        }
+        Some((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl Serialize for json::Value {
+    fn to_value(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for json::Value {
+    fn from_value(value: &json::Value) -> Option<Self> {
+        Some(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::Value;
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Some(1.5));
+        assert_eq!(u64::from_value(&42u64.to_value()), Some(42));
+        assert_eq!(bool::from_value(&true.to_value()), Some(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Some("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()), Some(v));
+        let a = [1u32, 2, 3];
+        assert_eq!(<[u32; 3]>::from_value(&a.to_value()), Some(a));
+        let o: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_value(&o.to_value()), Some(None));
+    }
+
+    #[test]
+    fn ints_reject_fractions() {
+        assert_eq!(u64::from_value(&Value::Number(1.5)), None);
+    }
+}

@@ -1,0 +1,335 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` stand-in. No `syn`/`quote`: the input token stream is
+//! walked directly and the impl is generated as a string.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields  -> JSON object keyed by field name
+//! - tuple structs              -> JSON array of field values
+//! - unit structs               -> JSON null
+//! - enums with unit variants   -> JSON string of the variant name
+//!
+//! Anything else (generic types, data-carrying enum variants) panics at
+//! compile time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn parse(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute: consume the bracket group (and the `!`
+                // of inner attributes, though none appear on items here).
+                if let Some(TokenTree::Punct(q)) = iter.peek() {
+                    if q.as_char() == '!' {
+                        iter.next();
+                    }
+                }
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // Skip optional `(crate)` / `(super)` etc.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => {
+                        let is_enum = word == "enum";
+                        let name = match iter.next() {
+                            Some(TokenTree::Ident(n)) => n.to_string(),
+                            other => panic!("derive: expected type name, got {other:?}"),
+                        };
+                        if let Some(TokenTree::Punct(p)) = iter.peek() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "derive(Serialize/Deserialize): generic type `{name}` \
+                                     is not supported by the vendored serde derive"
+                                );
+                            }
+                        }
+                        let shape = parse_body(&mut iter, is_enum, &name);
+                        return Input { name, shape };
+                    }
+                    // `union`, doc idents etc. — keep scanning.
+                    _ => {}
+                }
+            }
+            Some(_) => {}
+            None => panic!("derive: no struct or enum found in input"),
+        }
+    }
+}
+
+fn parse_body(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+    is_enum: bool,
+    name: &str,
+) -> Shape {
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Shape::UnitEnum(parse_unit_variants(g.stream(), name))
+            } else {
+                Shape::Named(parse_named_fields(g.stream(), name))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && !is_enum => Shape::Unit,
+        other => panic!("derive: unsupported body for `{name}`: {other:?}"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream, name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Field attributes.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next(); // the [...] group
+            } else {
+                break;
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("derive: expected `:` after field in `{name}`, got {other:?}"),
+                }
+                // Skip the type: consume until a top-level `,` (angle-depth 0).
+                let mut angle = 0i32;
+                loop {
+                    match iter.peek() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                            angle += 1;
+                            iter.next();
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                            angle -= 1;
+                            iter.next();
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                            iter.next();
+                            break;
+                        }
+                        Some(_) => {
+                            iter.next();
+                        }
+                        None => break,
+                    }
+                }
+            }
+            None => break,
+            other => panic!("derive: unexpected token in `{name}` fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0i32;
+    let mut saw_any = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        count
+    }
+}
+
+fn parse_unit_variants(body: TokenStream, name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                variants.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        // Explicit discriminant: skip to the next comma.
+                        for tt in iter.by_ref() {
+                            if matches!(&tt, TokenTree::Punct(q) if q.as_char() == ',') {
+                                break;
+                            }
+                        }
+                    }
+                    Some(TokenTree::Group(_)) => panic!(
+                        "derive: enum `{name}` has a data-carrying variant; the vendored \
+                         serde derive only supports unit variants"
+                    ),
+                    Some(other) => {
+                        panic!("derive: unexpected token after variant in `{name}`: {other:?}")
+                    }
+                    None => break,
+                }
+            }
+            None => break,
+            other => panic!("derive: unexpected token in enum `{name}`: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::json::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::json::Value::Array(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Unit => "::serde::json::Value::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::json::Value::String(\
+                         ::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::json::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match value.get(\"{f}\") {{ \
+                         ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?, \
+                         ::std::option::Option::None => ::serde::Deserialize::from_missing()? }}"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::option::Option::Some({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(items.get({i})?)?"))
+                .collect();
+            format!(
+                "let items = value.as_array()?; \
+                 ::std::option::Option::Some({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::option::Option::Some({name})"),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::option::Option::Some({name}::{v})"))
+                .collect();
+            format!(
+                "match value.as_str()? {{ {}, _ => ::std::option::Option::None }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::json::Value) -> ::std::option::Option<Self> {{ {body} }}\n\
+         }}"
+    )
+}
