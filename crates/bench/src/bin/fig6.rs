@@ -8,8 +8,9 @@
 //! with 36× fewer simulations, a 15.6× wall-clock speed-up.
 //!
 //! Outputs: `results/fig6_proposed.csv`, `results/fig6_conventional.csv`
-//! (convergence traces) and `results/fig6.json` (summary consumed by the
-//! `headline` binary).
+//! (convergence traces), `results/fig6.json` (summary consumed by the
+//! `headline` binary) and `results/fig6_proposed_report.json` (the
+//! proposed run's structured observability report).
 
 use ecripse_bench::{fmt_count, paper_config, report_row, write_csv, write_json};
 use ecripse_core::baseline::sis::SequentialImportanceSampling;
@@ -76,10 +77,11 @@ fn main() {
     let mut cfg = paper_config(n_prop, 1);
     cfg.importance.trace_every = (n_prop / 200).max(1);
     let t = Instant::now();
-    let proposed = Ecripse::new(cfg, bench.clone())
-        .estimate()
+    let (proposed, proposed_report) = Ecripse::new(cfg, bench.clone())
+        .estimate_report()
         .expect("proposed run");
     let wall_proposed = t.elapsed().as_secs_f64();
+    write_json("fig6_proposed_report.json", &proposed_report);
     println!(
         "proposed:     P_fail = {:.3e} (rel {:.4}) with {} sims, {} classified [{:.1} s]",
         proposed.p_fail,

@@ -4,12 +4,15 @@
 //! first run and therefore needing far fewer simulations).
 //!
 //! Outputs: `results/fig7_naive_a03.csv`, `results/fig7_proposed_a03.csv`,
-//! `results/fig7_proposed_a05.csv` and `results/fig7.json`.
+//! `results/fig7_proposed_a05.csv`, `results/fig7.json` and
+//! `results/fig7_reports.json` (structured observability reports, one
+//! per α point).
 
 use ecripse_bench::{fmt_count, paper_config, report_row, write_csv, write_json};
 use ecripse_core::baseline::naive::{naive_monte_carlo, NaiveConfig};
 use ecripse_core::bench::SramReadBench;
 use ecripse_core::ecripse::Ecripse;
+use ecripse_core::observe::RunRecorder;
 use ecripse_core::rtn_source::SramRtn;
 use ecripse_core::trace::ConvergenceTrace;
 use serde::{Deserialize, Serialize};
@@ -86,8 +89,11 @@ fn main() {
     cfg.importance.trace_every = (n_is / 100).max(1);
     let run03 = Ecripse::with_rtn(cfg, bench.clone(), rtn03);
     let init = run03.find_initial_particles().expect("boundary");
+    let recorder03 = RunRecorder::new();
     let t = Instant::now();
-    let proposed03 = run03.estimate_with_initial(&init).expect("proposed α=0.3");
+    let proposed03 = run03
+        .estimate_with_initial_observed(&init, &recorder03)
+        .expect("proposed α=0.3");
     println!(
         "proposed (α=0.3): P_fail = {:.3e} (rel {:.3}) with {} sims [{:.0} s]",
         proposed03.p_fail,
@@ -106,9 +112,10 @@ fn main() {
         particles: init.particles.clone(),
         simulations: 0, // amortised: already paid by the α = 0.3 run
     };
+    let recorder05 = RunRecorder::new();
     let t = Instant::now();
     let proposed05 = run05
-        .estimate_with_initial(&shared)
+        .estimate_with_initial_observed(&shared, &recorder05)
         .expect("proposed α=0.5");
     println!(
         "proposed (α=0.5): P_fail = {:.3e} (rel {:.3}) with {} sims (shared init) [{:.0} s]",
@@ -118,6 +125,10 @@ fn main() {
         t.elapsed().as_secs_f64()
     );
     write_csv("fig7_proposed_a05.csv", &trace_csv(&proposed05.trace));
+    write_json(
+        "fig7_reports.json",
+        &vec![recorder03.into_report(), recorder05.into_report()],
+    );
 
     // --- Accounting ---
     let sims_a03 = proposed03

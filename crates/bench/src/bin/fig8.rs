@@ -2,7 +2,9 @@
 //! particles, plus the RDF-only reference (the paper's 1.33e-4) and the
 //! RTN degradation factor (the paper's "six times").
 //!
-//! Outputs: `results/fig8.csv` (α, P_fail, CI) and `results/fig8.json`.
+//! Outputs: `results/fig8.csv` (α, P_fail, CI), `results/fig8.json`, and
+//! `results/fig8_reports.json` (structured observability reports — the
+//! RDF-only reference plus one `RunReport` per α point).
 
 use ecripse_bench::{fmt_count, paper_config, report_row, write_csv, write_json};
 use ecripse_core::bench::SramReadBench;
@@ -40,7 +42,7 @@ fn main() {
     let sweep = DutySweep::paper_grid(cfg, bench);
 
     let t = Instant::now();
-    let result = sweep.run().expect("duty sweep");
+    let (result, reports) = sweep.run_with_reports().expect("duty sweep");
     let wall = t.elapsed().as_secs_f64();
 
     println!("{:<8} {:>12} {:>12} {:>10}", "α", "P_fail", "±CI95", "sims");
@@ -135,6 +137,7 @@ fn main() {
     let mut csv = Vec::new();
     result.write_csv(&mut csv).expect("in-memory write");
     write_csv("fig8.csv", &String::from_utf8(csv).expect("utf8"));
+    write_json("fig8_reports.json", &reports);
     write_json(
         "fig8.json",
         &Fig8Summary {

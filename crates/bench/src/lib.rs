@@ -15,7 +15,13 @@
 //! Every binary accepts `--quick` (reduced sample counts, minutes →
 //! seconds) and `--threads N` (simulation worker threads; 0 = one per
 //! core, the default), and honours a `RESULTS_DIR` environment variable
-//! (default `./results`).
+//! (default `./results`). The `fig6`/`fig7`/`fig8` binaries also emit
+//! structured observability reports (`*_report*.json`, one
+//! [`RunReport`](ecripse_core::observe::RunReport) per estimation run /
+//! per α point).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
 
 use ecripse_core::ecripse::EcripseConfig;
 use ecripse_core::ensemble::EnsembleConfig;

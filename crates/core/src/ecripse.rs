@@ -17,9 +17,13 @@
 use crate::bench::{SimCounter, Testbench};
 use crate::cache::{MemoBench, MemoCacheConfig};
 use crate::ensemble::{EnsembleConfig, FilterEnsemble};
-use crate::importance::{importance_stage_until, ImportanceConfig};
+use crate::importance::{importance_stage_observed, ImportanceConfig};
 use crate::initial::{
     find_boundary_particles, BoundaryNotFoundError, InitialParticles, InitialSearchConfig,
+};
+use crate::observe::{
+    BoundaryStats, IterationStats, NullObserver, Observer, OracleDelta, RunRecorder, RunReport,
+    RunSummary, Stage, StageTiming,
 };
 use crate::oracle::{ClassifierOracle, OracleConfig, OracleStats};
 use crate::rtn_source::{NoRtn, RtnSource};
@@ -28,8 +32,14 @@ use ecripse_stats::mvn::DiagGaussian;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Full configuration of an ECRIPSE run.
+///
+/// `Default` gives the tuned values used throughout the evaluation. A
+/// field-by-field reference — defaults, the paper's values where it
+/// states them, and tuning guidance — is the "Configuration reference"
+/// table in the repository `README.md`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EcripseConfig {
     /// Step (1): boundary search settings.
@@ -205,8 +215,57 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
     ///
     /// See [`EstimateError`].
     pub fn estimate(&self) -> Result<EcripseResult, EstimateError> {
+        self.estimate_observed(&NullObserver)
+    }
+
+    /// Like [`estimate`](Self::estimate), reporting every pipeline event
+    /// into `observer` (see [`crate::observe`]). Observation never
+    /// changes the numbers: the un-observed entry points are this one
+    /// with a [`NullObserver`].
+    ///
+    /// # Errors
+    ///
+    /// See [`EstimateError`].
+    pub fn estimate_observed(
+        &self,
+        observer: &dyn Observer,
+    ) -> Result<EcripseResult, EstimateError> {
+        observer.run_started(self.config.seed, self.config.threads);
+        let init = self.boundary_stage(observer)?;
+        self.run_stages(&init, None, observer)
+    }
+
+    /// Full estimation that also collects the structured [`RunReport`] —
+    /// the one-call convenience over
+    /// [`estimate_observed`](Self::estimate_observed) with a
+    /// [`RunRecorder`].
+    ///
+    /// # Errors
+    ///
+    /// See [`EstimateError`].
+    pub fn estimate_report(&self) -> Result<(EcripseResult, RunReport), EstimateError> {
+        let recorder = RunRecorder::new();
+        let result = self.estimate_observed(&recorder)?;
+        Ok((result, recorder.into_report()))
+    }
+
+    /// Step (1) with boundary-search events reported into `observer`.
+    fn boundary_stage(&self, observer: &dyn Observer) -> Result<InitialParticles, EstimateError> {
+        observer.stage_started(Stage::BoundarySearch);
+        let start = Instant::now();
         let init = self.find_initial_particles()?;
-        self.estimate_with_initial(&init)
+        observer.boundary_found(&BoundaryStats {
+            particles: init.particles.len(),
+            simulations: init.simulations,
+        });
+        observer.stage_finished(
+            Stage::BoundarySearch,
+            &StageTiming {
+                wall_seconds: start.elapsed().as_secs_f64(),
+                simulations: init.simulations,
+            },
+        );
+        Ok(init)
     }
 
     /// Full estimation that keeps drawing stage-2 samples until the 95 %
@@ -224,9 +283,28 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
     ///
     /// Panics if `target` is not positive.
     pub fn estimate_to_tolerance(&self, target: f64) -> Result<EcripseResult, EstimateError> {
+        self.estimate_to_tolerance_observed(target, &NullObserver)
+    }
+
+    /// Like [`estimate_to_tolerance`](Self::estimate_to_tolerance),
+    /// reporting every pipeline event into `observer`.
+    ///
+    /// # Errors
+    ///
+    /// See [`EstimateError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not positive.
+    pub fn estimate_to_tolerance_observed(
+        &self,
+        target: f64,
+        observer: &dyn Observer,
+    ) -> Result<EcripseResult, EstimateError> {
         assert!(target > 0.0, "relative-error target must be positive");
-        let init = self.find_initial_particles()?;
-        self.run_stages(&init, Some(target))
+        observer.run_started(self.config.seed, self.config.threads);
+        let init = self.boundary_stage(observer)?;
+        self.run_stages(&init, Some(target), observer)
     }
 
     /// Steps (2)–(5) from a pre-computed initial particle set. The
@@ -243,7 +321,24 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         &self,
         init: &InitialParticles,
     ) -> Result<EcripseResult, EstimateError> {
-        self.run_stages(init, None)
+        self.estimate_with_initial_observed(init, &NullObserver)
+    }
+
+    /// Like [`estimate_with_initial`](Self::estimate_with_initial),
+    /// reporting every pipeline event into `observer`. The report's
+    /// `boundary` entry stays empty: the search ran (and was observed)
+    /// wherever the shared initial set was produced.
+    ///
+    /// # Errors
+    ///
+    /// See [`EstimateError`].
+    pub fn estimate_with_initial_observed(
+        &self,
+        init: &InitialParticles,
+        observer: &dyn Observer,
+    ) -> Result<EcripseResult, EstimateError> {
+        observer.run_started(self.config.seed, self.config.threads);
+        self.run_stages(init, None, observer)
     }
 
     /// Shared implementation of the staged flow with an optional stage-2
@@ -253,18 +348,20 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         &self,
         init: &InitialParticles,
         stop_at_relative_error: Option<f64>,
+        observer: &dyn Observer,
     ) -> Result<EcripseResult, EstimateError> {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(self.config.threads)
             .build()
             .expect("thread pool");
-        pool.install(|| self.run_stages_in_pool(init, stop_at_relative_error))
+        pool.install(|| self.run_stages_in_pool(init, stop_at_relative_error, observer))
     }
 
     fn run_stages_in_pool(
         &self,
         init: &InitialParticles,
         stop_at_relative_error: Option<f64>,
+        observer: &dyn Observer,
     ) -> Result<EcripseResult, EstimateError> {
         let counter = SimCounter::new(&self.bench);
         let cached = MemoBench::new(&counter, self.config.cache);
@@ -281,26 +378,52 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         }
 
         // Stage 1: particle-filter iterations.
+        observer.stage_started(Stage::ParticleFilter);
+        let pf_start = Instant::now();
+        let pf_start_sims = counter.simulations();
         let m1 = self.config.m_rtn_stage1.max(1);
         for iteration in 0..self.config.iterations {
+            let before = combined_stats(oracle.stats(), cached.hits(), cached.misses());
             let rtn = &self.rtn;
             let oracle_ref = &mut oracle;
             let step = ensemble.step(&mut rng, |rng, candidates| {
                 weigh_candidates(oracle_ref, rtn, &rdf, candidates, m1, rng)
             });
-            if step.is_err() {
-                return Err(EstimateError::Degenerate { iteration });
-            }
+            let step = match step {
+                Ok(s) => s,
+                Err(_) => return Err(EstimateError::Degenerate { iteration }),
+            };
+            let after = combined_stats(oracle.stats(), cached.hits(), cached.misses());
+            observer.iteration_finished(&IterationStats {
+                iteration,
+                candidates: step.candidates,
+                zero_weight_candidates: step.zero_weight_candidates,
+                ess: step.ess,
+                filters_resampled: step.filters_resampled,
+                filters_total: self.config.ensemble.n_filters,
+                spread: ensemble.spread(),
+                oracle: OracleDelta::between(&before, &after),
+            });
             if self.config.record_particles {
                 history.push(ensemble.pooled_particles());
             }
         }
+        observer.stage_finished(
+            Stage::ParticleFilter,
+            &StageTiming {
+                wall_seconds: pf_start.elapsed().as_secs_f64(),
+                simulations: counter.simulations() - pf_start_sims,
+            },
+        );
 
         // Stage 2: importance sampling from the pooled mixture.
+        observer.stage_started(Stage::ImportanceSampling);
+        let is_start = Instant::now();
+        let is_start_sims = counter.simulations();
         let alternative = ensemble.as_mixture(self.config.sigma_kernel);
         let init_sims = init.simulations;
         let sim_count = || init_sims + counter.simulations();
-        let is = importance_stage_until(
+        let is = importance_stage_observed(
             &mut oracle,
             &self.rtn,
             &alternative,
@@ -308,11 +431,29 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
             &mut rng,
             &sim_count,
             stop_at_relative_error,
+            observer,
+        );
+        observer.stage_finished(
+            Stage::ImportanceSampling,
+            &StageTiming {
+                wall_seconds: is_start.elapsed().as_secs_f64(),
+                simulations: counter.simulations() - is_start_sims,
+            },
         );
 
         let mut oracle_stats = *oracle.stats();
         oracle_stats.cache_hits = cached.hits();
         oracle_stats.cache_misses = cached.misses();
+
+        observer.run_finished(&RunSummary {
+            p_fail: is.p_fail,
+            ci95_half_width: is.ci95_half_width,
+            simulations: init.simulations + counter.simulations(),
+            is_samples: is.samples,
+            effective_sample_size: is.effective_sample_size,
+            oracle: oracle_stats,
+            margins: *oracle.margin_stats(),
+        });
 
         Ok(EcripseResult {
             p_fail: is.p_fail,
@@ -324,6 +465,17 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
             trace: is.trace,
             particle_history: history,
         })
+    }
+}
+
+/// An [`OracleStats`] snapshot with the memo-cache counters filled in —
+/// the oracle's own copy lags the cache layer, which owns hit/miss
+/// accounting.
+fn combined_stats(stats: &OracleStats, cache_hits: u64, cache_misses: u64) -> OracleStats {
+    OracleStats {
+        cache_hits,
+        cache_misses,
+        ..*stats
     }
 }
 

@@ -14,6 +14,7 @@
 
 use crate::particle::{DegenerateWeightsError, ParticleFilter, ParticleFilterConfig};
 use ecripse_stats::mvn::GaussianMixture;
+use ecripse_stats::resample::effective_sample_size;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -41,6 +42,22 @@ impl Default for EnsembleConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FilterEnsemble {
     filters: Vec<ParticleFilter>,
+}
+
+/// Health metrics of one successful [`FilterEnsemble::step`], consumed
+/// by the observability layer ([`crate::observe`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepStats {
+    /// Candidates weighed across all filters this iteration.
+    pub candidates: usize,
+    /// Candidates whose weight was exactly zero.
+    pub zero_weight_candidates: usize,
+    /// Effective sample size of each filter's candidate weights, in
+    /// filter order (`(Σw)²/Σw²`; 0 when a filter's weights all vanish).
+    pub ess: Vec<f64>,
+    /// Filters that resampled successfully (the rest kept their previous
+    /// population).
+    pub filters_resampled: usize,
 }
 
 impl FilterEnsemble {
@@ -111,6 +128,10 @@ impl FilterEnsemble {
     /// population (they may recover on a later iteration); the function
     /// only fails if *every* filter degenerates.
     ///
+    /// On success, returns the iteration's [`StepStats`] — per-filter
+    /// effective sample sizes, zero-weight counts and resample outcomes
+    /// — which the observability layer records per iteration.
+    ///
     /// # Errors
     ///
     /// Returns [`DegenerateWeightsError`] if all filters received
@@ -119,7 +140,7 @@ impl FilterEnsemble {
         &mut self,
         rng: &mut R,
         mut weight_fn: F,
-    ) -> Result<(), DegenerateWeightsError>
+    ) -> Result<StepStats, DegenerateWeightsError>
     where
         R: Rng + ?Sized,
         F: FnMut(&mut R, &[Vec<f64>]) -> Vec<f64>,
@@ -165,16 +186,47 @@ impl FilterEnsemble {
                     .is_ok()
             })
             .collect();
-        if outcomes.into_iter().any(|ok| ok) {
-            Ok(())
-        } else {
-            Err(DegenerateWeightsError)
+        let filters_resampled = outcomes.into_iter().filter(|ok| *ok).count();
+        if filters_resampled == 0 {
+            return Err(DegenerateWeightsError);
         }
+        Ok(StepStats {
+            candidates: all_candidates.len(),
+            zero_weight_candidates: weights.iter().filter(|w| **w == 0.0).count(),
+            ess: spans
+                .iter()
+                .map(|&(lo, hi)| effective_sample_size(&weights[lo..hi]))
+                .collect(),
+            filters_resampled,
+        })
     }
 
     /// The pooled Eq. 18 mixture over all filters' particles.
     pub fn as_mixture(&self, sigma: f64) -> GaussianMixture {
         GaussianMixture::from_particles(&self.pooled_particles(), sigma)
+    }
+
+    /// RMS distance of the pooled particles from their centroid — a
+    /// scalar spread diagnostic recorded per iteration by the
+    /// observability layer.
+    pub fn spread(&self) -> f64 {
+        let pooled = self.pooled_particles();
+        let n = pooled.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let dim = pooled[0].len();
+        let mut centroid = vec![0.0; dim];
+        for p in &pooled {
+            for (c, v) in centroid.iter_mut().zip(p) {
+                *c += v;
+            }
+        }
+        for c in &mut centroid {
+            *c /= n as f64;
+        }
+        let mean_sq: f64 = pooled.iter().map(|p| dist2(p, &centroid)).sum::<f64>() / n as f64;
+        mean_sq.sqrt()
     }
 }
 
@@ -363,6 +415,49 @@ mod tests {
         let e = FilterEnsemble::from_seeds(&mut rng, cfg, &two_lobe_seeds());
         assert_eq!(e.total_particles(), 60);
         assert_eq!(e.as_mixture(0.4).len(), 60);
+    }
+
+    #[test]
+    fn step_stats_report_ess_and_resamples() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = EnsembleConfig {
+            n_filters: 4,
+            filter: ParticleFilterConfig {
+                n_particles: 40,
+                sigma_prediction: 0.25,
+            },
+        };
+        let mut e = FilterEnsemble::from_seeds(&mut rng, cfg, &two_lobe_seeds());
+        let stats = e
+            .step(&mut rng, |_, cands| {
+                cands.iter().map(|c| two_lobe_weight(c)).collect()
+            })
+            .expect("weights present");
+        assert_eq!(stats.candidates, 4 * 40);
+        assert_eq!(stats.ess.len(), 4);
+        assert_eq!(stats.filters_resampled, 4);
+        assert!(stats.zero_weight_candidates < stats.candidates);
+        for (k, ess) in stats.ess.iter().enumerate() {
+            assert!(
+                *ess > 0.0 && *ess <= 40.0,
+                "filter {k} ESS {ess} out of range"
+            );
+        }
+        assert!(e.spread() > 1.0, "two-lobe cloud must stay spread out");
+    }
+
+    #[test]
+    fn spread_of_identical_particles_is_zero() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = EnsembleConfig {
+            n_filters: 2,
+            filter: ParticleFilterConfig {
+                n_particles: 5,
+                sigma_prediction: 0.3,
+            },
+        };
+        let e = FilterEnsemble::from_seeds(&mut rng, cfg, &[vec![1.5, -0.5]]);
+        assert_eq!(e.spread(), 0.0);
     }
 
     #[test]

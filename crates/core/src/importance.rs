@@ -11,6 +11,7 @@
 //! densities involved underflow ordinary arithmetic.
 
 use crate::bench::Testbench;
+use crate::observe::{ChunkStats, NullObserver, Observer};
 use crate::oracle::ClassifierOracle;
 use crate::rtn_source::RtnSource;
 use crate::trace::{ConvergenceTrace, TracePoint};
@@ -154,6 +155,47 @@ where
     S: RtnSource,
     R: Rng + ?Sized,
 {
+    importance_stage_observed(
+        oracle,
+        rtn,
+        alternative,
+        config,
+        rng,
+        sim_count,
+        stop_at_relative_error,
+        &NullObserver,
+    )
+}
+
+/// Like [`importance_stage_until`], reporting one
+/// [`ChunkStats`] into `observer` per processed sample batch — the
+/// stage-2 convergence feed of the observability layer
+/// ([`crate::observe`]).
+///
+/// The batch/check cadence, RNG consumption order and estimator content
+/// are identical to the un-observed entry points: observation never
+/// changes the numbers.
+///
+/// # Panics
+///
+/// Panics if `config.n_samples` is zero, the target is not positive, or
+/// dimensions disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn importance_stage_observed<B, S, R>(
+    oracle: &mut ClassifierOracle<'_, B>,
+    rtn: &S,
+    alternative: &GaussianMixture,
+    config: &ImportanceConfig,
+    rng: &mut R,
+    sim_count: &dyn Fn() -> u64,
+    stop_at_relative_error: Option<f64>,
+    observer: &dyn Observer,
+) -> ImportanceResult
+where
+    B: Testbench,
+    S: RtnSource,
+    R: Rng + ?Sized,
+{
     assert!(config.n_samples > 0, "need at least one importance sample");
     if let Some(t) = stop_at_relative_error {
         assert!(t > 0.0, "relative-error target must be positive");
@@ -175,8 +217,9 @@ where
     }
 
     let mut drawn = 0usize;
-    'stage: while drawn < config.n_samples {
+    while drawn < config.n_samples {
         let batch = BATCH.min(config.n_samples - drawn);
+        let sims_at_chunk_start = sim_count();
         // Serial draws from the master stream: the batched flow consumes
         // the RNG in exactly the per-sample order of a serial loop
         // (sample, then its RTN shifts, then the next sample).
@@ -221,16 +264,31 @@ where
                     ci95_half_width: estimator.ci95_half_width(),
                 });
             }
-            if let Some(target) = stop_at_relative_error {
-                if n >= WARMUP && n.is_multiple_of(CHECK_EVERY) {
-                    let est = estimator.estimate();
-                    if est > 0.0 && estimator.ci95_half_width() / est <= target {
-                        break 'stage;
-                    }
+        }
+        drawn += batch;
+
+        let n = estimator.count();
+        let sims_now = sim_count();
+        observer.chunk_finished(&ChunkStats {
+            samples: n,
+            chunk_samples: batch as u64,
+            estimate: estimator.estimate(),
+            ci95_half_width: estimator.ci95_half_width(),
+            simulations: sims_now,
+            chunk_simulations: sims_now - sims_at_chunk_start,
+        });
+
+        // The early-stopping rule fires only at multiples of CHECK_EVERY
+        // past the warm-up; batches are CHECK_EVERY samples long, so
+        // checking once per batch is exactly the per-sample rule.
+        if let Some(target) = stop_at_relative_error {
+            if n >= WARMUP && n.is_multiple_of(CHECK_EVERY) {
+                let est = estimator.estimate();
+                if est > 0.0 && estimator.ci95_half_width() / est <= target {
+                    break;
                 }
             }
         }
-        drawn += batch;
     }
 
     ImportanceResult {

@@ -25,7 +25,9 @@
 //! 3. a **two-stage Monte Carlo** flow — cheap distribution estimation,
 //!    then importance sampling from the particle mixture
 //!    ([`importance`], orchestrated in [`ecripse`]);
-//! 4. **shared initial particles** across bias conditions ([`sweep`]).
+//! 4. **shared initial particles** across bias conditions ([`sweep`]);
+//! 5. an **observability layer** — stage events, per-iteration filter
+//!    health and structured [`observe::RunReport`]s ([`observe`]).
 //!
 //! Evaluation is batch-first and parallel: testbenches expose
 //! [`bench::Testbench::fails_batch`], a sharded memo-cache ([`cache`])
@@ -67,6 +69,7 @@ pub mod ecripse;
 pub mod ensemble;
 pub mod importance;
 pub mod initial;
+pub mod observe;
 pub mod oracle;
 pub mod particle;
 pub mod rtn_source;
@@ -76,6 +79,9 @@ pub mod trace;
 pub use bench::{SimCounter, SramReadBench, SramWriteBench, Testbench};
 pub use cache::{MemoBench, MemoCacheConfig};
 pub use ecripse::{Ecripse, EcripseConfig, EcripseResult};
+pub use observe::{
+    MultiObserver, NullObserver, Observer, ProgressObserver, RunRecorder, RunReport,
+};
 pub use rtn_source::{NoRtn, RtnSource, SramRtn};
-pub use sweep::{DutySweep, SweepPoint};
+pub use sweep::{DutySweep, SweepPoint, SweepReports};
 pub use trace::{ConvergenceTrace, TracePoint};

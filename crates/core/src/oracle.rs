@@ -78,6 +78,53 @@ impl OracleStats {
     }
 }
 
+/// Near-hyperplane margin statistics of classifier-answered queries.
+///
+/// Every query the classifier answers carries a geometric margin — its
+/// signed distance to the decision surface in scaled feature space. The
+/// distribution of |margin| over *classified* queries shows how close
+/// the oracle sails to the hyperplane: a small mean or minimum means
+/// the uncertainty band ([`SvmConfig::uncertain_band`]) is doing real
+/// work and misclassification risk is concentrated right at the
+/// boundary. Simulated queries (including the uncertain ones the band
+/// routes to the simulator) are *not* counted here; see
+/// [`OracleStats::uncertain_simulated`] for those.
+///
+/// Accumulation happens in the serial routing passes of the oracle, so
+/// the statistics are bit-identical at every thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MarginStats {
+    /// Queries answered by the classifier (margins observed).
+    pub classified: u64,
+    /// Sum of |margin| over classified queries.
+    pub abs_sum: f64,
+    /// Smallest |margin| seen on a classified query (`None` until the
+    /// classifier answers its first query).
+    pub min_abs: Option<f64>,
+}
+
+impl MarginStats {
+    /// Records one classifier-answered query's geometric margin.
+    fn record(&mut self, margin: f64) {
+        let a = margin.abs();
+        self.classified += 1;
+        self.abs_sum += a;
+        self.min_abs = Some(match self.min_abs {
+            Some(m) if m <= a => m,
+            _ => a,
+        });
+    }
+
+    /// Mean |margin| of classified queries (0 when none were observed).
+    pub fn mean_abs(&self) -> f64 {
+        if self.classified == 0 {
+            0.0
+        } else {
+            self.abs_sum / self.classified as f64
+        }
+    }
+}
+
 /// The classifier-gated oracle.
 #[derive(Debug)]
 pub struct ClassifierOracle<'a, B: Testbench> {
@@ -92,6 +139,7 @@ pub struct ClassifierOracle<'a, B: Testbench> {
     pending_x: Vec<Vec<f64>>,
     pending_y: Vec<bool>,
     stats: OracleStats,
+    margins: MarginStats,
 }
 
 impl<'a, B: Testbench> ClassifierOracle<'a, B> {
@@ -106,12 +154,18 @@ impl<'a, B: Testbench> ClassifierOracle<'a, B> {
             pending_x: Vec::new(),
             pending_y: Vec::new(),
             stats: OracleStats::default(),
+            margins: MarginStats::default(),
         }
     }
 
     /// Usage statistics.
     pub fn stats(&self) -> &OracleStats {
         &self.stats
+    }
+
+    /// Margin statistics of classifier-answered queries.
+    pub fn margin_stats(&self) -> &MarginStats {
+        &self.margins
     }
 
     /// Whether a classifier has been successfully trained.
@@ -234,8 +288,10 @@ impl<'a, B: Testbench> ClassifierOracle<'a, B> {
         match &self.classifier {
             Some(clf) => {
                 for &i in rest_idx {
-                    out[i] = clf.predict(&zs[i]);
+                    let (y, margin) = clf.predict_with_margin(&zs[i]);
+                    out[i] = y;
                     self.stats.classified += 1;
+                    self.margins.record(margin);
                 }
             }
             None => {
@@ -254,10 +310,15 @@ impl<'a, B: Testbench> ClassifierOracle<'a, B> {
     /// Stage-2 policy: classify confidently-classified samples, simulate
     /// uncertain ones and learn from them.
     pub fn evaluate_accurate(&mut self, z: &[f64]) -> bool {
-        match &self.classifier {
-            Some(clf) if !clf.is_uncertain(z) => {
+        let routed = self
+            .classifier
+            .as_ref()
+            .map(|clf| (clf.predict_with_margin(z), clf.config().uncertain_band));
+        match routed {
+            Some(((y, margin), band)) if margin.abs() >= band => {
                 self.stats.classified += 1;
-                clf.predict(z)
+                self.margins.record(margin);
+                y
             }
             Some(_) => {
                 self.stats.uncertain_simulated += 1;
@@ -288,12 +349,15 @@ impl<'a, B: Testbench> ClassifierOracle<'a, B> {
         let mut sim_idx: Vec<usize> = Vec::new();
         let had_classifier = match &self.classifier {
             Some(clf) => {
+                let band = clf.config().uncertain_band;
                 for (i, z) in zs.iter().enumerate() {
-                    if clf.is_uncertain(z) {
+                    let (y, margin) = clf.predict_with_margin(z);
+                    if margin.abs() < band {
                         sim_idx.push(i);
                     } else {
-                        out[i] = clf.predict(z);
+                        out[i] = y;
                         self.stats.classified += 1;
+                        self.margins.record(margin);
                     }
                 }
                 self.stats.uncertain_simulated += sim_idx.len() as u64;
@@ -466,6 +530,44 @@ mod tests {
         assert_eq!(counter.simulations(), sims_before + 1);
         assert_eq!(oracle.stats().uncertain_simulated, 1);
         assert_eq!(oracle.stats().classified, 800 - 256 + 2);
+    }
+
+    #[test]
+    fn margin_stats_track_classified_queries() {
+        let counter = SimCounter::new(LinearBench::new(vec![1.0, 0.0], 3.0));
+        let mut oracle = ClassifierOracle::new(&counter, OracleConfig::default());
+        let mut rng = StdRng::seed_from_u64(21);
+        let zs = batch_around_boundary(800, 22);
+        let _ = oracle.evaluate_batch_rough(&mut rng, &zs);
+        assert!(oracle.has_classifier());
+        let m = *oracle.margin_stats();
+        assert_eq!(
+            m.classified,
+            oracle.stats().classified,
+            "every classified query must contribute a margin"
+        );
+        assert!(m.mean_abs() > 0.0);
+        let min = m.min_abs.expect("margins observed");
+        assert!(min >= 0.0 && min <= m.mean_abs());
+        // A far-away accurate query adds one more margin observation.
+        let _ = oracle.evaluate_accurate(&[10.0, 0.0]);
+        assert_eq!(oracle.margin_stats().classified, m.classified + 1);
+    }
+
+    #[test]
+    fn margin_stats_are_empty_without_classifier() {
+        let counter = SimCounter::new(LinearBench::new(vec![1.0, 0.0], 3.0));
+        let cfg = OracleConfig {
+            svm: None,
+            ..OracleConfig::default()
+        };
+        let mut oracle = ClassifierOracle::new(&counter, cfg);
+        let mut rng = StdRng::seed_from_u64(23);
+        let _ = oracle.evaluate_batch_rough(&mut rng, &batch_around_boundary(50, 24));
+        let m = oracle.margin_stats();
+        assert_eq!(m.classified, 0);
+        assert_eq!(m.mean_abs(), 0.0);
+        assert!(m.min_abs.is_none());
     }
 
     #[test]

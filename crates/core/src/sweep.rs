@@ -10,9 +10,11 @@
 use crate::bench::SramReadBench;
 use crate::ecripse::{Ecripse, EcripseConfig, EstimateError};
 use crate::initial::InitialParticles;
+use crate::observe::{BoundaryStats, Observer, RunRecorder, RunReport, Stage, StageTiming};
 use crate::rtn_source::SramRtn;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// One sweep point's outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -86,6 +88,17 @@ impl SweepResult {
     }
 }
 
+/// Structured run reports of an observed sweep, one per pipeline run
+/// (see [`DutySweep::run_with_reports`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReports {
+    /// Report of the RDF-only reference run. Its `boundary` entry also
+    /// covers the shared initialisation cost amortised across the sweep.
+    pub rdf_only: RunReport,
+    /// One report per duty-ratio point, in sweep order.
+    pub points: Vec<RunReport>,
+}
+
 /// The sweep driver.
 #[derive(Debug, Clone)]
 pub struct DutySweep {
@@ -131,9 +144,24 @@ impl DutySweep {
     ///
     /// Propagates the first [`EstimateError`] encountered.
     pub fn run(&self) -> Result<SweepResult, EstimateError> {
+        self.run_with_reports().map(|(result, _)| result)
+    }
+
+    /// Like [`run`](DutySweep::run), also returning a structured
+    /// [`RunReport`] for the RDF-only reference and for every duty-ratio
+    /// point (see [`crate::observe`]). The per-point reports are
+    /// collected independently, so they stay bit-identical across thread
+    /// counts apart from their wall-clock timing fields.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EstimateError`] encountered.
+    pub fn run_with_reports(&self) -> Result<(SweepResult, SweepReports), EstimateError> {
         // Shared initialisation (RDF-only indicator).
         let rdf_run = Ecripse::new(self.config, self.bench.clone());
+        let init_start = Instant::now();
         let init = rdf_run.find_initial_particles()?;
+        let init_wall = init_start.elapsed().as_secs_f64();
         let init_simulations = init.simulations;
         // Exclude the (already counted) init cost from per-point numbers.
         let amortised = InitialParticles {
@@ -141,8 +169,23 @@ impl DutySweep {
             simulations: 0,
         };
 
-        // RDF-only reference.
-        let rdf_only = rdf_run.estimate_with_initial(&amortised)?;
+        // RDF-only reference. The boundary search ran outside the
+        // estimator (it is shared by every point), so its events are
+        // emitted into the reference recorder by hand.
+        let rdf_recorder = RunRecorder::new();
+        rdf_recorder.stage_started(Stage::BoundarySearch);
+        rdf_recorder.boundary_found(&BoundaryStats {
+            particles: init.particles.len(),
+            simulations: init_simulations,
+        });
+        rdf_recorder.stage_finished(
+            Stage::BoundarySearch,
+            &StageTiming {
+                wall_seconds: init_wall,
+                simulations: init_simulations,
+            },
+        );
+        let rdf_only = rdf_run.estimate_with_initial_observed(&amortised, &rdf_recorder)?;
 
         let sigmas = self.bench.sigmas();
         // The α points are fully independent (per-point seeds are split
@@ -155,7 +198,7 @@ impl DutySweep {
             .build()
             .expect("thread pool");
         let amortised = &amortised;
-        let outcomes: Vec<Result<SweepPoint, EstimateError>> = pool.install(|| {
+        let outcomes: Vec<Result<(SweepPoint, RunReport), EstimateError>> = pool.install(|| {
             self.alphas
                 .par_iter()
                 .enumerate()
@@ -166,30 +209,45 @@ impl DutySweep {
                     config.seed = self.config.seed.wrapping_add(1 + k as u64);
                     let rtn = SramRtn::paper_model(alpha, sigmas);
                     let run = Ecripse::with_rtn(config, self.bench.clone(), rtn);
-                    run.estimate_with_initial(amortised).map(|res| SweepPoint {
-                        alpha,
-                        p_fail: res.p_fail,
-                        ci95_half_width: res.ci95_half_width,
-                        simulations: res.simulations,
-                    })
+                    let recorder = RunRecorder::new();
+                    run.estimate_with_initial_observed(amortised, &recorder)
+                        .map(|res| {
+                            (
+                                SweepPoint {
+                                    alpha,
+                                    p_fail: res.p_fail,
+                                    ci95_half_width: res.ci95_half_width,
+                                    simulations: res.simulations,
+                                },
+                                recorder.into_report(),
+                            )
+                        })
                 })
                 .collect()
         });
         let mut points = Vec::with_capacity(self.alphas.len());
+        let mut reports = Vec::with_capacity(self.alphas.len());
         let mut total = init_simulations + rdf_only.simulations;
         for outcome in outcomes {
-            let point = outcome?;
+            let (point, report) = outcome?;
             total += point.simulations;
             points.push(point);
+            reports.push(report);
         }
 
-        Ok(SweepResult {
-            points,
-            p_fail_rdf_only: rdf_only.p_fail,
-            rdf_only_ci95: rdf_only.ci95_half_width,
-            init_simulations,
-            total_simulations: total,
-        })
+        Ok((
+            SweepResult {
+                points,
+                p_fail_rdf_only: rdf_only.p_fail,
+                rdf_only_ci95: rdf_only.ci95_half_width,
+                init_simulations,
+                total_simulations: total,
+            },
+            SweepReports {
+                rdf_only: rdf_recorder.into_report(),
+                points: reports,
+            },
+        ))
     }
 }
 

@@ -158,6 +158,14 @@ impl SvmClassifier {
         self.svm.geometric_margin(&self.featurise(x))
     }
 
+    /// Predicted class and geometric margin in a single featurisation
+    /// pass — callers that need both (e.g. the oracle's margin
+    /// telemetry) avoid computing the polynomial features twice.
+    pub fn predict_with_margin(&self, x: &[f64]) -> (bool, f64) {
+        let f = self.featurise(x);
+        (self.svm.predict(&f), self.svm.geometric_margin(&f))
+    }
+
     /// Whether a sample falls inside the uncertainty band and should be
     /// verified with a transistor-level simulation.
     pub fn is_uncertain(&self, x: &[f64]) -> bool {

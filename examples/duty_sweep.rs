@@ -22,14 +22,25 @@ fn main() -> Result<(), EstimateError> {
         "running {}-point duty sweep (shared initialisation)…",
         sweep.alphas().len()
     );
-    let result = sweep.run()?;
+    // `run_with_reports` returns the same SweepResult as `run`, plus one
+    // structured RunReport per α point (and one for the RTN-free
+    // reference run) — here used for the per-point cost column.
+    let (result, reports) = sweep.run_with_reports()?;
 
-    println!("\n{:<8} {:>12} {:>12}", "α", "P_fail", "±CI95");
-    for p in &result.points {
+    println!(
+        "\n{:<8} {:>12} {:>12} {:>10}",
+        "α", "P_fail", "±CI95", "sims/spl"
+    );
+    for (p, report) in result.points.iter().zip(&reports.points) {
+        let density = report
+            .stage2_chunks
+            .last()
+            .map(|c| c.sims_per_sample())
+            .unwrap_or(0.0);
         let bar = "#".repeat((p.p_fail / result.p_fail_rdf_only).round() as usize);
         println!(
-            "{:<8} {:>12.3e} {:>12.1e}  {bar}",
-            p.alpha, p.p_fail, p.ci95_half_width
+            "{:<8} {:>12.3e} {:>12.1e} {:>10.3}  {bar}",
+            p.alpha, p.p_fail, p.ci95_half_width, density
         );
     }
     println!(

@@ -3,13 +3,22 @@
 //! ```text
 //! ecripse-cli estimate [--vdd V] [--alpha A] [--no-rtn] [--samples N]
 //!                      [--tolerance R] [--seed S] [--threads T]
+//!                      [--report PATH] [--progress]
 //! ecripse-cli sweep    [--vdd V] [--points K] [--samples N] [--seed S] [--threads T]
+//!                      [--report PATH]
 //! ecripse-cli margin   [--vdd V] [--dvth v0,v1,v2,v3,v4,v5]
 //! ecripse-cli naive    [--vdd V] [--alpha A] [--no-rtn] [--samples N] [--seed S]
 //! ```
 //!
 //! `--threads 0` (the default) uses one worker per core; any other value
 //! pins the worker count. Results are bit-identical for every setting.
+//!
+//! `--report PATH` writes the structured JSON run report (per-stage
+//! wall-clock timings, oracle/cache counters, particle-filter health and
+//! stage-2 convergence points — see `DESIGN.md` § "Observability
+//! layer"); for `sweep` the file holds the RDF-only reference report
+//! plus one report per duty point. `--progress` prints one
+//! human-readable line per pipeline event to stderr as the run advances.
 //!
 //! Threshold shifts for `margin` are in volts, canonical device order
 //! `PL, NL, PR, NR, AL, AR`.
@@ -69,6 +78,14 @@ impl Args {
     }
 }
 
+/// Writes any serialisable report as pretty-printed JSON at `path`.
+fn write_report_json<T: serde::Serialize>(path: &str, report: &T) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(report).map_err(|e| format!("--report {path}: {e}"))?;
+    std::fs::write(path, json + "\n").map_err(|e| format!("--report {path}: {e}"))?;
+    eprintln!("report written to {path}");
+    Ok(())
+}
+
 fn usage() {
     eprintln!(
         "usage: ecripse-cli <estimate|sweep|margin|naive> [options]\n\
@@ -76,8 +93,10 @@ fn usage() {
          estimate  failure probability of the paper's 6T cell\n\
          \x20          --vdd V (0.7)  --alpha A (0.5)  --no-rtn\n\
          \x20          --samples N (4000)  --tolerance R  --seed S  --threads T (0=all cores)\n\
+         \x20          --report PATH (JSON run report)  --progress (live stderr lines)\n\
          sweep     duty-ratio sweep with shared initialisation\n\
          \x20          --vdd V (0.7)  --points K (11)  --samples N (2000)  --seed S  --threads T\n\
+         \x20          --report PATH (JSON reports, one per duty point)\n\
          margin    read/hold/write margins of one cell instance\n\
          \x20          --vdd V (0.7)  --dvth v0,v1,v2,v3,v4,v5 (volts)\n\
          naive     naive Monte Carlo reference\n\
@@ -104,27 +123,40 @@ fn run() -> Result<(), String> {
             let samples: usize = args.get("samples", 4000)?;
             let tolerance: Option<f64> = args.opt("tolerance")?;
             let seed: u64 = args.get("seed", 0xec4155e)?;
+            let report_path: Option<String> = args.opt("report")?;
             let mut cfg = EcripseConfig::default();
             cfg.importance.n_samples = samples;
             cfg.seed = seed;
             cfg.threads = args.get("threads", 0)?;
+            let recorder = RunRecorder::new();
+            let progress = ProgressObserver::new();
+            let mut observers = MultiObserver::new();
+            if report_path.is_some() {
+                observers.push(&recorder);
+            }
+            if args.flag("progress") {
+                observers.push(&progress);
+            }
             let result = if args.flag("no-rtn") {
                 cfg.importance.m_rtn = 1;
                 cfg.m_rtn_stage1 = 1;
                 let run = Ecripse::new(cfg, bench);
                 match tolerance {
-                    Some(t) => run.estimate_to_tolerance(t),
-                    None => run.estimate(),
+                    Some(t) => run.estimate_to_tolerance_observed(t, &observers),
+                    None => run.estimate_observed(&observers),
                 }
             } else {
                 let rtn = SramRtn::paper_model(alpha, bench.sigmas());
                 let run = Ecripse::with_rtn(cfg, bench, rtn);
                 match tolerance {
-                    Some(t) => run.estimate_to_tolerance(t),
-                    None => run.estimate(),
+                    Some(t) => run.estimate_to_tolerance_observed(t, &observers),
+                    None => run.estimate_observed(&observers),
                 }
             }
             .map_err(|e| e.to_string())?;
+            if let Some(path) = report_path {
+                write_report_json(&path, &recorder.report())?;
+            }
             println!(
                 "P_fail = {:.4e} ± {:.2e} (rel. err. {:.3})",
                 result.p_fail,
@@ -160,8 +192,12 @@ fn run() -> Result<(), String> {
             let alphas: Vec<f64> = (0..points)
                 .map(|i| i as f64 / (points - 1) as f64)
                 .collect();
+            let report_path: Option<String> = args.opt("report")?;
             let sweep = DutySweep::new(cfg, SramReadBench::at_vdd(vdd), alphas);
-            let result = sweep.run().map_err(|e| e.to_string())?;
+            let (result, reports) = sweep.run_with_reports().map_err(|e| e.to_string())?;
+            if let Some(path) = report_path {
+                write_report_json(&path, &reports)?;
+            }
             println!("{:<8} {:>12} {:>12}", "alpha", "P_fail", "ci95");
             for p in &result.points {
                 println!(

@@ -16,9 +16,11 @@
 //! * [`stats`] — samplers, Gaussian mixtures, whitening, estimators and
 //!   resampling;
 //! * [`core`] — the ECRIPSE algorithm itself (particle-filter importance
-//!   sampling, two-stage Monte Carlo, bias-condition sweeps) and the
+//!   sampling, two-stage Monte Carlo, bias-condition sweeps), the
 //!   paper's baselines (naive MC, sequential importance sampling,
-//!   mean-shift IS, statistical blockade).
+//!   mean-shift IS, statistical blockade) and an observability layer
+//!   that turns every run into a structured
+//!   [`RunReport`](ecripse_core::observe::RunReport).
 //!
 //! ## Quick start
 //!
@@ -60,8 +62,11 @@ pub mod prelude {
     pub use ecripse_core::bench::{SimCounter, SramReadBench, Testbench};
     pub use ecripse_core::cache::{MemoBench, MemoCacheConfig};
     pub use ecripse_core::ecripse::{Ecripse, EcripseConfig, EcripseResult, EstimateError};
+    pub use ecripse_core::observe::{
+        MultiObserver, NullObserver, Observer, ProgressObserver, RunRecorder, RunReport,
+    };
     pub use ecripse_core::rtn_source::{NoRtn, RtnSource, SramRtn};
-    pub use ecripse_core::sweep::{DutySweep, SweepPoint, SweepResult};
+    pub use ecripse_core::sweep::{DutySweep, SweepPoint, SweepReports, SweepResult};
     pub use ecripse_rtn::model::RtnCellModel;
     pub use ecripse_spice::sram::{CellDevice, Sram6T};
     pub use ecripse_spice::testbench::ReadStabilityBench;

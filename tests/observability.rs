@@ -1,0 +1,205 @@
+//! The observability layer's contract, end to end through the public
+//! API: reports reflect the run's true accounting, survive JSON
+//! round-trips, and — once timings are stripped — are bit-identical
+//! across thread counts.
+
+use ecripse::prelude::*;
+use ecripse_core::bench::TwoLobeBench;
+use ecripse_core::importance::ImportanceConfig;
+use ecripse_core::initial::InitialSearchConfig;
+use ecripse_core::observe::REPORT_SCHEMA_VERSION;
+use ecripse_core::trace::TracePoint;
+
+fn config(seed: u64, threads: usize) -> EcripseConfig {
+    EcripseConfig {
+        initial: InitialSearchConfig {
+            count: 24,
+            ..InitialSearchConfig::default()
+        },
+        iterations: 5,
+        importance: ImportanceConfig {
+            n_samples: 3000,
+            m_rtn: 1,
+            trace_every: 0,
+        },
+        m_rtn_stage1: 1,
+        seed,
+        threads,
+        ..EcripseConfig::default()
+    }
+}
+
+fn bench() -> TwoLobeBench {
+    TwoLobeBench::new(vec![1.0, -0.5, 0.25], 3.0)
+}
+
+#[test]
+fn report_matches_result_accounting() {
+    let cfg = config(7, 0);
+    let (result, report) = Ecripse::new(cfg, bench())
+        .estimate_report()
+        .expect("observed run");
+
+    assert_eq!(report.schema_version, REPORT_SCHEMA_VERSION);
+    assert_eq!(report.seed, 7);
+
+    // The summary block mirrors the EcripseResult exactly.
+    assert_eq!(report.p_fail, result.p_fail);
+    assert_eq!(report.ci95_half_width, result.ci95_half_width);
+    assert_eq!(report.simulations, result.simulations);
+    assert_eq!(report.is_samples, result.is_samples);
+    assert_eq!(report.effective_sample_size, result.effective_sample_size);
+    assert_eq!(report.oracle, result.oracle_stats);
+
+    // Simulation accounting: per-stage costs sum to the total; every
+    // post-boundary simulation went through the memo-cache, so boundary
+    // sims plus cache misses is again the total; and the oracle's
+    // simulated count splits exactly into hits and misses.
+    assert_eq!(
+        report.stages.iter().map(|s| s.simulations).sum::<u64>(),
+        report.simulations
+    );
+    let boundary = report.boundary.expect("full run records the boundary");
+    assert!(boundary.particles > 0 && boundary.simulations > 0);
+    assert_eq!(
+        boundary.simulations + report.oracle.cache_misses,
+        report.simulations
+    );
+    assert_eq!(
+        report.oracle.simulated,
+        report.oracle.cache_hits + report.oracle.cache_misses
+    );
+
+    // One entry per pipeline stage, in order, with real wall-clock.
+    let names: Vec<&str> = report.stages.iter().map(|s| s.stage.name()).collect();
+    assert_eq!(
+        names,
+        ["boundary_search", "particle_filter", "importance_sampling"]
+    );
+    assert!(report.total_wall_seconds() > 0.0);
+
+    // One IterationStats per configured iteration, indexed in order,
+    // with per-filter ESS vectors of the ensemble's width.
+    assert_eq!(report.iterations.len(), cfg.iterations);
+    for (i, it) in report.iterations.iter().enumerate() {
+        assert_eq!(it.iteration, i);
+        assert_eq!(it.filters_total, cfg.ensemble.n_filters);
+        assert_eq!(it.ess.len(), cfg.ensemble.n_filters);
+        assert_eq!(
+            it.candidates,
+            cfg.ensemble.n_filters * cfg.ensemble.filter.n_particles
+        );
+        assert!(it.filters_resampled >= 1 && it.filters_resampled <= it.filters_total);
+        assert!(it.spread > 0.0);
+    }
+
+    // Stage-2 chunks: cumulative counters are monotone and end exactly
+    // at the run's totals.
+    assert!(!report.stage2_chunks.is_empty());
+    for w in report.stage2_chunks.windows(2) {
+        assert!(w[1].samples > w[0].samples);
+        assert!(w[1].simulations >= w[0].simulations);
+    }
+    assert_eq!(
+        report
+            .stage2_chunks
+            .iter()
+            .map(|c| c.chunk_samples)
+            .sum::<u64>(),
+        report.is_samples
+    );
+    let last = report.stage2_chunks.last().expect("non-empty");
+    assert_eq!(last.samples, report.is_samples);
+    assert_eq!(last.simulations, report.simulations);
+    assert_eq!(last.estimate, report.p_fail);
+    assert_eq!(last.ci95_half_width, report.ci95_half_width);
+
+    // With the classifier enabled (the default config), margin stats
+    // cover every classifier-answered query.
+    assert_eq!(report.margins.classified, report.oracle.classified);
+    assert!(report.oracle.classified > 0);
+    assert!(report.margins.mean_abs() > 0.0);
+}
+
+#[test]
+fn real_report_round_trips_through_json() {
+    let (_, report) = Ecripse::new(config(11, 0), bench())
+        .estimate_report()
+        .expect("observed run");
+    let json = serde_json::to_string_pretty(&report).expect("serialise");
+    let back: RunReport = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn trace_points_round_trip_through_json() {
+    let mut cfg = config(13, 0);
+    cfg.importance.trace_every = 500;
+    let result = Ecripse::new(cfg, bench()).estimate().expect("run");
+    let points = result.trace.points();
+    assert!(!points.is_empty());
+    let json = serde_json::to_string(&points.to_vec()).expect("serialise");
+    let back: Vec<TracePoint> = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(back, points);
+}
+
+#[test]
+fn stripped_reports_are_bit_identical_across_thread_counts() {
+    let (_, mut serial) = Ecripse::new(config(7, 1), bench())
+        .estimate_report()
+        .expect("serial run");
+    let (_, mut parallel) = Ecripse::new(config(7, 4), bench())
+        .estimate_report()
+        .expect("parallel run");
+    serial.strip_timings();
+    parallel.strip_timings();
+    // The configured worker count is the one intended difference.
+    assert_eq!(serial.threads, 1);
+    assert_eq!(parallel.threads, 4);
+    parallel.threads = serial.threads;
+    assert_eq!(serial, parallel);
+    // …including after serialisation (the form tooling diffs).
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serialise"),
+        serde_json::to_string(&parallel).expect("serialise")
+    );
+}
+
+#[test]
+fn sweep_reports_cover_every_point() {
+    let cfg = EcripseConfig {
+        initial: InitialSearchConfig {
+            count: 12,
+            max_attempts: 2000,
+            ..InitialSearchConfig::default()
+        },
+        iterations: 3,
+        importance: ImportanceConfig {
+            n_samples: 250,
+            m_rtn: 4,
+            trace_every: 0,
+        },
+        m_rtn_stage1: 2,
+        seed: 3,
+        ..EcripseConfig::default()
+    };
+    let sweep = DutySweep::new(cfg, SramReadBench::paper_cell(), vec![0.2, 0.8]);
+    let (result, reports) = sweep.run_with_reports().expect("sweep");
+
+    assert_eq!(reports.points.len(), result.points.len());
+    for (point, report) in result.points.iter().zip(&reports.points) {
+        assert_eq!(report.p_fail, point.p_fail);
+        assert_eq!(report.simulations, point.simulations);
+        // Per-point runs reuse the shared boundary set.
+        assert!(report.boundary.is_none());
+        assert_eq!(report.iterations.len(), cfg.iterations);
+    }
+    // Per-point seeds are split from the base seed by index.
+    assert_eq!(reports.points[0].seed, cfg.seed + 1);
+    assert_eq!(reports.points[1].seed, cfg.seed + 2);
+
+    // The reference report carries the shared initialisation.
+    let boundary = reports.rdf_only.boundary.expect("shared init recorded");
+    assert_eq!(boundary.simulations, result.init_simulations);
+    assert_eq!(reports.rdf_only.p_fail, result.p_fail_rdf_only);
+}

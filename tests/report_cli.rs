@@ -1,0 +1,88 @@
+//! `ecripse-cli --report` end to end: the binary must write a parseable
+//! `RunReport` whose simulation accounting matches both its own oracle
+//! counters and the numbers printed on stdout.
+
+use ecripse::prelude::*;
+use std::process::Command;
+
+#[test]
+fn cli_estimate_writes_a_consistent_report() {
+    let dir = std::env::temp_dir().join(format!("ecripse-report-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("report.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ecripse-cli"))
+        .args([
+            "estimate",
+            "--no-rtn",
+            "--samples",
+            "1000",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--report",
+        ])
+        .arg(&path)
+        .output()
+        .expect("ecripse-cli runs");
+    assert!(
+        out.status.success(),
+        "cli failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&path).expect("report file exists");
+    let report: RunReport = serde_json::from_str(&text).expect("report parses");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The report reflects the CLI invocation.
+    assert_eq!(report.seed, 7);
+    assert_eq!(report.threads, 2);
+    assert_eq!(report.is_samples, 1000);
+
+    // Simulation counts must be consistent with the oracle counters:
+    // every post-boundary simulation passed through the memo-cache, and
+    // the oracle's simulated queries split exactly into hits and misses.
+    let boundary = report
+        .boundary
+        .expect("estimate records the boundary search");
+    assert_eq!(
+        boundary.simulations + report.oracle.cache_misses,
+        report.simulations
+    );
+    assert_eq!(
+        report.oracle.simulated,
+        report.oracle.cache_hits + report.oracle.cache_misses
+    );
+    assert_eq!(
+        report.stages.iter().map(|s| s.simulations).sum::<u64>(),
+        report.simulations
+    );
+    assert_eq!(report.margins.classified, report.oracle.classified);
+
+    // Stage-2 convergence points end at the final figures.
+    let last = report.stage2_chunks.last().expect("chunks recorded");
+    assert_eq!(last.samples, report.is_samples);
+    assert_eq!(last.estimate, report.p_fail);
+
+    // The stdout cost line quotes the same totals the report carries.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let cost = stdout
+        .lines()
+        .find(|l| l.starts_with("cost:"))
+        .expect("cost line printed");
+    assert!(
+        cost.contains(&format!(
+            "{} transistor-level simulations",
+            report.simulations
+        )),
+        "stdout '{cost}' disagrees with report total {}",
+        report.simulations
+    );
+    assert!(
+        cost.contains(&format!("{} classifier answers", report.oracle.classified)),
+        "stdout '{cost}' disagrees with report classified {}",
+        report.oracle.classified
+    );
+}
