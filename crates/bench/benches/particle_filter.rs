@@ -38,6 +38,7 @@ fn bench_filter(c: &mut Criterion) {
                 n_particles,
                 sigma_prediction: 0.3,
             },
+            max_reseeds: 3,
         };
         group.bench_with_input(
             BenchmarkId::new("ensemble_step_6d", n_particles),
@@ -65,6 +66,7 @@ fn bench_filter(c: &mut Criterion) {
                 n_particles: 100,
                 sigma_prediction: 0.3,
             },
+            max_reseeds: 3,
         },
         &seeds(6),
     );

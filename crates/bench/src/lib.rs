@@ -23,6 +23,8 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod fault;
+
 use ecripse_core::ecripse::EcripseConfig;
 use ecripse_core::ensemble::EnsembleConfig;
 use ecripse_core::importance::ImportanceConfig;
@@ -42,6 +44,7 @@ pub fn paper_config(n_is: usize, m_rtn: usize) -> EcripseConfig {
                 n_particles: 100,
                 sigma_prediction: 0.3,
             },
+            max_reseeds: 3,
         },
         sigma_kernel: 0.8,
         oracle: OracleConfig {

@@ -1,0 +1,165 @@
+//! Fault-injection suite: drives the retry ladder, quarantine and
+//! per-point failure isolation with [`FaultyBench`] faults that are
+//! deterministic by sample hash.
+
+use ecripse_bench::fault::{FaultConfig, FaultyBench};
+use ecripse_core::bench::{LinearBench, Testbench};
+use ecripse_core::ecripse::EcripseConfig;
+use ecripse_core::importance::ImportanceConfig;
+use ecripse_core::initial::InitialSearchConfig;
+use ecripse_core::retry::{RetryBench, RetryPolicy};
+use ecripse_core::sweep::{DutySweep, SweepError, SweepOptions};
+
+fn bench6() -> LinearBench {
+    LinearBench::new(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0], 3.5)
+}
+
+fn samples(n: usize) -> Vec<Vec<f64>> {
+    // A deterministic spread straddling the z0 = 3.5 failure boundary.
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            vec![7.0 * t, 0.5 - t, t, -0.25, 2.0 * t - 1.0, 0.125]
+        })
+        .collect()
+}
+
+#[test]
+fn retry_ladder_heals_transient_faults_to_ground_truth() {
+    let truth = bench6();
+    let faulty = FaultyBench::new(
+        bench6(),
+        FaultConfig {
+            solver_failure_rate: 0.3,
+            transient_attempts: 2,
+            ..FaultConfig::default()
+        },
+    );
+    let retrying = RetryBench::new(&faulty, RetryPolicy { max_attempts: 3 });
+    let zs = samples(400);
+    let healed = retrying.fails_batch(&zs);
+    let expected = truth.fails_batch(&zs);
+    assert_eq!(healed, expected, "healed verdicts must equal ground truth");
+    assert!(
+        retrying.retries() > 0,
+        "some samples must have needed retries"
+    );
+    assert_eq!(
+        retrying.quarantined(),
+        0,
+        "transient faults never quarantine"
+    );
+    assert!(faulty.injected() > 0);
+}
+
+#[test]
+fn permanent_faults_are_quarantined_not_guessed() {
+    let faulty = FaultyBench::new(
+        bench6(),
+        FaultConfig {
+            solver_failure_rate: 0.25,
+            transient_attempts: usize::MAX,
+            ..FaultConfig::default()
+        },
+    );
+    let policy = RetryPolicy { max_attempts: 3 };
+    let retrying = RetryBench::new(&faulty, policy);
+    let zs = samples(400);
+    let verdicts = retrying.fails_batch(&zs);
+    assert!(
+        retrying.quarantined() > 0,
+        "permanent faults must quarantine"
+    );
+    for (z, verdict) in zs.iter().zip(&verdicts) {
+        if faulty.try_fails(z).is_err() {
+            assert!(
+                !verdict,
+                "quarantined samples report the conservative verdict"
+            );
+        } else {
+            assert_eq!(*verdict, faulty.fails(z));
+        }
+    }
+}
+
+#[test]
+fn recovery_counters_are_thread_count_independent() {
+    let run = |threads: usize| {
+        let faulty = FaultyBench::new(
+            bench6(),
+            FaultConfig {
+                solver_failure_rate: 0.4,
+                transient_attempts: 1,
+                salt: 9,
+                ..FaultConfig::default()
+            },
+        );
+        let retrying = RetryBench::new(faulty, RetryPolicy { max_attempts: 2 });
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("test pool");
+        let verdicts = pool.install(|| retrying.fails_batch(&samples(600)));
+        (verdicts, retrying.retries(), retrying.quarantined())
+    };
+    assert_eq!(
+        run(1),
+        run(4),
+        "verdicts and counters must not depend on threads"
+    );
+}
+
+fn tiny_config(seed: u64) -> EcripseConfig {
+    EcripseConfig {
+        initial: InitialSearchConfig {
+            count: 12,
+            max_attempts: 2000,
+            ..InitialSearchConfig::default()
+        },
+        iterations: 3,
+        importance: ImportanceConfig {
+            n_samples: 250,
+            m_rtn: 4,
+            trace_every: 0,
+        },
+        m_rtn_stage1: 2,
+        seed,
+        ..EcripseConfig::default()
+    }
+}
+
+#[test]
+fn keep_going_sweep_isolates_a_poisoned_point() {
+    let alphas = vec![0.0, 0.5, 1.0];
+    let clean = DutySweep::new(tiny_config(11), bench6(), alphas.clone())
+        .run()
+        .expect("fault-free sweep");
+
+    let poisoned_bench = FaultyBench::new(bench6(), FaultConfig::default()).poison_alpha(0.5);
+    let sweep = DutySweep::new(tiny_config(11), poisoned_bench, alphas);
+
+    // Default (fail-fast) semantics: the poisoned point aborts the sweep.
+    let err = sweep
+        .run_resumable(&SweepOptions::default())
+        .expect_err("poisoned point must fail the strict sweep");
+    assert!(matches!(err, SweepError::Point { index: 1, .. }));
+
+    // --keep-going: the failure stays confined to its point, and the
+    // surviving points are bit-identical to the fault-free sweep.
+    let run = sweep
+        .run_resumable(&SweepOptions {
+            keep_going: true,
+            ..SweepOptions::default()
+        })
+        .expect("keep-going sweep completes");
+    assert_eq!(run.failed_points(), 1);
+    assert!(run.outcomes[1].result.is_err());
+    for k in [0, 2] {
+        let point = run.outcomes[k].result.as_ref().expect("clean point");
+        assert_eq!(
+            *point, clean.points[k],
+            "clean points must match fault-free run"
+        );
+    }
+    assert_eq!(run.p_fail_rdf_only, clean.p_fail_rdf_only);
+}

@@ -76,12 +76,19 @@ pub fn mean_shift_is<B: Testbench, S: RtnSource>(
 
     // Most probable failure point = minimum-norm boundary particle.
     let init = find_boundary_particles(&counter, &mut rng, &config.search)?;
-    let shift_point = init
+    let shift_point = match init
         .particles
         .iter()
-        .min_by(|a, b| norm2(a).partial_cmp(&norm2(b)).expect("finite norms"))
-        .expect("at least one particle")
-        .clone();
+        .min_by(|a, b| norm2(a).total_cmp(&norm2(b)))
+    {
+        Some(p) => p.clone(),
+        None => {
+            return Err(BoundaryNotFoundError {
+                found: 0,
+                requested: config.search.count,
+            })
+        }
+    };
     let beta = norm2(&shift_point).sqrt();
 
     let alternative =

@@ -14,6 +14,8 @@ use ecripse_spice::testbench::ReadStabilityBench;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+pub use ecripse_spice::EvalError;
+
 /// A deterministic pass/fail indicator over whitened shift space.
 pub trait Testbench: Sync {
     /// Dimensionality of the variability space.
@@ -36,7 +38,50 @@ pub trait Testbench: Sync {
     fn fails_batch(&self, zs: &[Vec<f64>]) -> Vec<bool> {
         zs.iter().map(|z| self.fails(z)).collect()
     }
+
+    /// Fallible indicator: surfaces an unevaluable sample as a typed
+    /// [`EvalError`] instead of panicking or fabricating a verdict.
+    ///
+    /// Synthetic benches are total functions, so the default simply
+    /// wraps [`fails`]; circuit-level benches override it with their
+    /// genuinely fallible evaluation path.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    ///
+    /// [`fails`]: Testbench::fails
+    fn try_fails(&self, z: &[f64]) -> Result<bool, EvalError> {
+        Ok(self.fails(z))
+    }
+
+    /// Fallible indicator at a given rung of the retry ladder.
+    ///
+    /// `attempt` 0 is the normal evaluation; higher attempts may spend
+    /// more effort (the SRAM benches re-sample the butterfly curves on
+    /// a progressively finer grid, on top of the g-min / source-stepping
+    /// ladder inside the DC solver). Benches with a single evaluation
+    /// strategy ignore `attempt` — retrying them is then pointless but
+    /// harmless.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    fn try_fails_attempt(&self, z: &[f64], attempt: usize) -> Result<bool, EvalError> {
+        let _ = attempt;
+        self.try_fails(z)
+    }
+
+    /// Fallible batch evaluation, in input order (same determinism
+    /// contract as [`fails_batch`](Testbench::fails_batch)).
+    fn try_fails_batch(&self, zs: &[Vec<f64>]) -> Vec<Result<bool, EvalError>> {
+        zs.iter().map(|z| self.try_fails(z)).collect()
+    }
 }
+
+/// Highest grid-escalation exponent the SRAM benches will use: attempt
+/// `k` evaluates on `grid_points << min(k, 2)` butterfly points (4× max).
+const MAX_GRID_ESCALATION: usize = 2;
 
 /// The paper's testbench: the 6T cell read-stability check, whitened by
 /// the per-device Pelgrom sigmas.
@@ -85,6 +130,21 @@ impl Testbench for SramReadBench {
         // order-preserving parallel map.
         zs.par_iter()
             .map(|z| self.inner.fails_whitened(z))
+            .collect()
+    }
+
+    fn try_fails(&self, z: &[f64]) -> Result<bool, EvalError> {
+        self.inner.try_fails_whitened(z)
+    }
+
+    fn try_fails_attempt(&self, z: &[f64], attempt: usize) -> Result<bool, EvalError> {
+        let grid = self.inner.config().grid_points << attempt.min(MAX_GRID_ESCALATION);
+        self.inner.try_fails_whitened_at(z, grid)
+    }
+
+    fn try_fails_batch(&self, zs: &[Vec<f64>]) -> Vec<Result<bool, EvalError>> {
+        zs.par_iter()
+            .map(|z| self.inner.try_fails_whitened(z))
             .collect()
     }
 }
@@ -136,6 +196,21 @@ impl Testbench for SramWriteBench {
     fn fails_batch(&self, zs: &[Vec<f64>]) -> Vec<bool> {
         zs.par_iter()
             .map(|z| self.inner.write_fails_whitened(z))
+            .collect()
+    }
+
+    fn try_fails(&self, z: &[f64]) -> Result<bool, EvalError> {
+        self.inner.try_write_fails_whitened(z)
+    }
+
+    fn try_fails_attempt(&self, z: &[f64], attempt: usize) -> Result<bool, EvalError> {
+        let grid = self.inner.config().grid_points << attempt.min(MAX_GRID_ESCALATION);
+        self.inner.try_write_fails_whitened_at(z, grid)
+    }
+
+    fn try_fails_batch(&self, zs: &[Vec<f64>]) -> Vec<Result<bool, EvalError>> {
+        zs.par_iter()
+            .map(|z| self.inner.try_write_fails_whitened(z))
             .collect()
     }
 }
@@ -274,6 +349,23 @@ impl<B: Testbench> Testbench for SimCounter<B> {
         self.count.fetch_add(zs.len() as u64, Ordering::Relaxed);
         self.inner.fails_batch(zs)
     }
+
+    fn try_fails(&self, z: &[f64]) -> Result<bool, EvalError> {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.try_fails(z)
+    }
+
+    fn try_fails_attempt(&self, z: &[f64], attempt: usize) -> Result<bool, EvalError> {
+        // Every ladder rung is a real simulation; count them all so the
+        // cost axis reflects the retries honestly.
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.try_fails_attempt(z, attempt)
+    }
+
+    fn try_fails_batch(&self, zs: &[Vec<f64>]) -> Vec<Result<bool, EvalError>> {
+        self.count.fetch_add(zs.len() as u64, Ordering::Relaxed);
+        self.inner.try_fails_batch(zs)
+    }
 }
 
 impl<T: Testbench + ?Sized> Testbench for &T {
@@ -287,6 +379,18 @@ impl<T: Testbench + ?Sized> Testbench for &T {
 
     fn fails_batch(&self, zs: &[Vec<f64>]) -> Vec<bool> {
         (**self).fails_batch(zs)
+    }
+
+    fn try_fails(&self, z: &[f64]) -> Result<bool, EvalError> {
+        (**self).try_fails(z)
+    }
+
+    fn try_fails_attempt(&self, z: &[f64], attempt: usize) -> Result<bool, EvalError> {
+        (**self).try_fails_attempt(z, attempt)
+    }
+
+    fn try_fails_batch(&self, zs: &[Vec<f64>]) -> Vec<Result<bool, EvalError>> {
+        (**self).try_fails_batch(zs)
     }
 }
 
@@ -383,5 +487,53 @@ mod tests {
         let out = c.fails_batch(&zs);
         assert_eq!(out, vec![true, false, true]);
         assert_eq!(c.simulations(), 3);
+    }
+
+    #[test]
+    fn default_try_fails_wraps_fails() {
+        let b = LinearBench::new(vec![1.0], 1.0);
+        assert_eq!(b.try_fails(&[2.0]), Ok(true));
+        assert_eq!(b.try_fails_attempt(&[0.0], 3), Ok(false));
+        assert_eq!(
+            b.try_fails_batch(&[vec![2.0], vec![0.0]]),
+            vec![Ok(true), Ok(false)]
+        );
+    }
+
+    #[test]
+    fn sram_try_fails_surfaces_typed_errors() {
+        let b = SramReadBench::paper_cell();
+        assert!(matches!(
+            b.try_fails(&[0.0; 5]),
+            Err(EvalError::DimensionMismatch {
+                expected: 6,
+                got: 5
+            })
+        ));
+        let mut z = [0.0; 6];
+        z[0] = f64::NAN;
+        assert!(matches!(b.try_fails(&z), Err(EvalError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn sram_retry_attempts_agree_on_healthy_samples() {
+        let b = SramReadBench::paper_cell();
+        let z = [1.0, -2.0, 0.5, 0.0, -0.5, 1.5];
+        let base = b.try_fails_attempt(&z, 0).expect("attempt 0");
+        for attempt in 1..4 {
+            assert_eq!(b.try_fails_attempt(&z, attempt).expect("retry"), base);
+        }
+    }
+
+    #[test]
+    fn sim_counter_counts_every_retry_attempt() {
+        let c = SimCounter::new(LinearBench::new(vec![1.0], 0.0));
+        let _ = c.try_fails(&[1.0]);
+        let _ = c.try_fails_attempt(&[1.0], 1);
+        let _ = c.try_fails_attempt(&[1.0], 2);
+        assert_eq!(c.simulations(), 3);
+        c.reset();
+        let _ = c.try_fails_batch(&[vec![1.0], vec![-1.0]]);
+        assert_eq!(c.simulations(), 2);
     }
 }

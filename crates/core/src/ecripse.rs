@@ -26,6 +26,7 @@ use crate::observe::{
     RunSummary, Stage, StageTiming,
 };
 use crate::oracle::{ClassifierOracle, OracleConfig, OracleStats};
+use crate::retry::{RetryBench, RetryPolicy};
 use crate::rtn_source::{NoRtn, RtnSource};
 use crate::trace::ConvergenceTrace;
 use ecripse_stats::mvn::DiagGaussian;
@@ -67,6 +68,9 @@ pub struct EcripseConfig {
     pub threads: usize,
     /// Simulator memo-cache settings.
     pub cache: MemoCacheConfig,
+    /// Per-sample retry ladder for unevaluable simulations (see
+    /// [`crate::retry`]).
+    pub retry: RetryPolicy,
 }
 
 impl Default for EcripseConfig {
@@ -83,6 +87,7 @@ impl Default for EcripseConfig {
             record_particles: false,
             threads: 0,
             cache: MemoCacheConfig::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -350,11 +355,9 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         stop_at_relative_error: Option<f64>,
         observer: &dyn Observer,
     ) -> Result<EcripseResult, EstimateError> {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(self.config.threads)
-            .build()
-            .expect("thread pool");
-        pool.install(|| self.run_stages_in_pool(init, stop_at_relative_error, observer))
+        run_in_pool(self.config.threads, || {
+            self.run_stages_in_pool(init, stop_at_relative_error, observer)
+        })
     }
 
     fn run_stages_in_pool(
@@ -363,8 +366,13 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         stop_at_relative_error: Option<f64>,
         observer: &dyn Observer,
     ) -> Result<EcripseResult, EstimateError> {
+        // Bench layering, innermost first: raw bench → simulation counter
+        // (every retry attempt is a real simulation and is counted) →
+        // retry ladder with quarantine → memo-cache (so a quarantined
+        // verdict is paid for once per unique sample) → oracle.
         let counter = SimCounter::new(&self.bench);
-        let cached = MemoBench::new(&counter, self.config.cache);
+        let retrying = RetryBench::new(&counter, self.config.retry);
+        let cached = MemoBench::new(&retrying, self.config.cache);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut oracle = ClassifierOracle::new(&cached, self.config.oracle);
         let dim = self.bench.dim();
@@ -383,7 +391,13 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         let pf_start_sims = counter.simulations();
         let m1 = self.config.m_rtn_stage1.max(1);
         for iteration in 0..self.config.iterations {
-            let before = combined_stats(oracle.stats(), cached.hits(), cached.misses());
+            let before = combined_stats(
+                oracle.stats(),
+                cached.hits(),
+                cached.misses(),
+                retrying.retries(),
+                retrying.quarantined(),
+            );
             let rtn = &self.rtn;
             let oracle_ref = &mut oracle;
             let step = ensemble.step(&mut rng, |rng, candidates| {
@@ -393,13 +407,20 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
                 Ok(s) => s,
                 Err(_) => return Err(EstimateError::Degenerate { iteration }),
             };
-            let after = combined_stats(oracle.stats(), cached.hits(), cached.misses());
+            let after = combined_stats(
+                oracle.stats(),
+                cached.hits(),
+                cached.misses(),
+                retrying.retries(),
+                retrying.quarantined(),
+            );
             observer.iteration_finished(&IterationStats {
                 iteration,
                 candidates: step.candidates,
                 zero_weight_candidates: step.zero_weight_candidates,
                 ess: step.ess,
                 filters_resampled: step.filters_resampled,
+                filters_reseeded: step.filters_reseeded,
                 filters_total: self.config.ensemble.n_filters,
                 spread: ensemble.spread(),
                 oracle: OracleDelta::between(&before, &after),
@@ -444,6 +465,8 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         let mut oracle_stats = *oracle.stats();
         oracle_stats.cache_hits = cached.hits();
         oracle_stats.cache_misses = cached.misses();
+        oracle_stats.retries = retrying.retries();
+        oracle_stats.quarantined = retrying.quarantined();
 
         observer.run_finished(&RunSummary {
             p_fail: is.p_fail,
@@ -468,14 +491,34 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
     }
 }
 
-/// An [`OracleStats`] snapshot with the memo-cache counters filled in —
-/// the oracle's own copy lags the cache layer, which owns hit/miss
-/// accounting.
-fn combined_stats(stats: &OracleStats, cache_hits: u64, cache_misses: u64) -> OracleStats {
+/// An [`OracleStats`] snapshot with the memo-cache and retry-ladder
+/// counters filled in — the oracle's own copy lags those layers, which
+/// own their accounting.
+fn combined_stats(
+    stats: &OracleStats,
+    cache_hits: u64,
+    cache_misses: u64,
+    retries: u64,
+    quarantined: u64,
+) -> OracleStats {
     OracleStats {
         cache_hits,
         cache_misses,
+        retries,
+        quarantined,
         ..*stats
+    }
+}
+
+/// Runs `f` inside a dedicated rayon pool with `threads` workers (`0` =
+/// one per core). If the pool cannot be built — resource exhaustion,
+/// sandboxed environments — the closure runs on the caller's thread
+/// instead of aborting the whole estimation: results are bit-identical
+/// either way, only the wall-clock differs.
+pub(crate) fn run_in_pool<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+        Ok(pool) => pool.install(f),
+        Err(_) => f(),
     }
 }
 
@@ -543,6 +586,7 @@ mod tests {
                     n_particles: 40,
                     sigma_prediction: 0.3,
                 },
+                max_reseeds: 3,
             },
             iterations: 6,
             sigma_kernel: 0.5,
@@ -560,6 +604,7 @@ mod tests {
             record_particles: false,
             threads: 0,
             cache: crate::cache::MemoCacheConfig::default(),
+            retry: RetryPolicy::default(),
         }
     }
 

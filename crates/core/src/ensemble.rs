@@ -27,6 +27,11 @@ pub struct EnsembleConfig {
     pub n_filters: usize,
     /// Per-filter configuration.
     pub filter: ParticleFilterConfig,
+    /// Per-filter self-healing budget: how many times a filter whose
+    /// weights degenerate may be re-seeded from the surviving filters
+    /// before it is simply left to keep its previous population. `0`
+    /// disables self-healing.
+    pub max_reseeds: usize,
 }
 
 impl Default for EnsembleConfig {
@@ -34,6 +39,7 @@ impl Default for EnsembleConfig {
         Self {
             n_filters: 4,
             filter: ParticleFilterConfig::default(),
+            max_reseeds: 3,
         }
     }
 }
@@ -42,6 +48,8 @@ impl Default for EnsembleConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FilterEnsemble {
     filters: Vec<ParticleFilter>,
+    /// Remaining self-heal budget per filter.
+    reseed_budget: Vec<usize>,
 }
 
 /// Health metrics of one successful [`FilterEnsemble::step`], consumed
@@ -56,8 +64,10 @@ pub struct StepStats {
     /// filter order (`(Σw)²/Σw²`; 0 when a filter's weights all vanish).
     pub ess: Vec<f64>,
     /// Filters that resampled successfully (the rest kept their previous
-    /// population).
+    /// population or were re-seeded).
     pub filters_resampled: usize,
+    /// Degenerate filters re-seeded from the survivors this iteration.
+    pub filters_reseeded: usize,
 }
 
 impl FilterEnsemble {
@@ -92,7 +102,10 @@ impl FilterEnsemble {
                 ParticleFilter::from_seeds(rng, config.filter, &group)
             })
             .collect();
-        Self { filters }
+        Self {
+            filters,
+            reseed_budget: vec![config.max_reseeds; config.n_filters],
+        }
     }
 
     /// The filters.
@@ -124,13 +137,20 @@ impl FilterEnsemble {
     /// schedule therefore cannot influence any draw: results are
     /// bit-identical at every thread count.
     ///
-    /// Filters whose candidates all weigh zero keep their previous
-    /// population (they may recover on a later iteration); the function
-    /// only fails if *every* filter degenerates.
+    /// Filters whose candidates all weigh zero *self-heal*: while their
+    /// re-seed budget ([`EnsembleConfig::max_reseeds`]) lasts, they are
+    /// re-seeded from the surviving filters' freshly resampled particles
+    /// (serially, in filter order, each on its own deterministic RNG
+    /// stream — the healing is bit-identical at every thread count).
+    /// Once the budget is exhausted a degenerate filter keeps its
+    /// previous population (it may still recover on a later iteration).
+    /// The function only fails if *every* filter degenerates — with no
+    /// survivors there is nothing to heal from.
     ///
     /// On success, returns the iteration's [`StepStats`] — per-filter
-    /// effective sample sizes, zero-weight counts and resample outcomes
-    /// — which the observability layer records per iteration.
+    /// effective sample sizes, zero-weight counts, resample outcomes and
+    /// re-seed count — which the observability layer records per
+    /// iteration.
     ///
     /// # Errors
     ///
@@ -186,10 +206,35 @@ impl FilterEnsemble {
                     .is_ok()
             })
             .collect();
-        let filters_resampled = outcomes.into_iter().filter(|ok| *ok).count();
+        let filters_resampled = outcomes.iter().filter(|ok| **ok).count();
         if filters_resampled == 0 {
             return Err(DegenerateWeightsError);
         }
+
+        // Self-heal: re-seed degenerate filters from the survivors'
+        // freshly resampled particles. Serial, in filter order, each on
+        // the filter's own stream — deterministic across thread counts.
+        let mut filters_reseeded = 0;
+        if filters_resampled < self.filters.len() {
+            let survivor_pool: Vec<Vec<f64>> = self
+                .filters
+                .iter()
+                .zip(&outcomes)
+                .filter(|(_, ok)| **ok)
+                .flat_map(|(f, _)| f.particles().iter().cloned())
+                .collect();
+            for (k, ok) in outcomes.iter().enumerate() {
+                if *ok || self.reseed_budget[k] == 0 {
+                    continue;
+                }
+                self.reseed_budget[k] -= 1;
+                let config = *self.filters[k].config();
+                self.filters[k] =
+                    ParticleFilter::from_seeds(&mut streams[k], config, &survivor_pool);
+                filters_reseeded += 1;
+            }
+        }
+
         Ok(StepStats {
             candidates: all_candidates.len(),
             zero_weight_candidates: weights.iter().filter(|w| **w == 0.0).count(),
@@ -198,6 +243,7 @@ impl FilterEnsemble {
                 .map(|&(lo, hi)| effective_sample_size(&weights[lo..hi]))
                 .collect(),
             filters_resampled,
+            filters_reseeded,
         })
     }
 
@@ -252,9 +298,9 @@ fn kmeans_assign<R: Rng + ?Sized>(rng: &mut R, seeds: &[Vec<f64>], k: usize) -> 
                     .iter()
                     .map(|c| dist2(b, c))
                     .fold(f64::INFINITY, f64::min);
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             })
-            .expect("seeds non-empty");
+            .unwrap_or(&seeds[0]);
         centroids.push(next.clone());
     }
     let mut assign = vec![0usize; n];
@@ -263,12 +309,8 @@ fn kmeans_assign<R: Rng + ?Sized>(rng: &mut R, seeds: &[Vec<f64>], k: usize) -> 
         let mut changed = false;
         for (i, s) in seeds.iter().enumerate() {
             let best = (0..k)
-                .min_by(|&a, &b| {
-                    dist2(s, &centroids[a])
-                        .partial_cmp(&dist2(s, &centroids[b]))
-                        .expect("finite distances")
-                })
-                .expect("k > 0");
+                .min_by(|&a, &b| dist2(s, &centroids[a]).total_cmp(&dist2(s, &centroids[b])))
+                .unwrap_or(0);
             if assign[i] != best {
                 assign[i] = best;
                 changed = true;
@@ -335,6 +377,7 @@ mod tests {
                 n_particles: 40,
                 sigma_prediction: 0.25,
             },
+            max_reseeds: 3,
         };
         let mut e = FilterEnsemble::from_seeds(&mut rng, cfg, &two_lobe_seeds());
         for _ in 0..12 {
@@ -367,6 +410,7 @@ mod tests {
                     n_particles: 40,
                     sigma_prediction: 0.25,
                 },
+                max_reseeds: 3,
             };
             let mut e = FilterEnsemble::from_seeds(&mut rng, cfg, &two_lobe_seeds());
             for _ in 0..80 {
@@ -411,6 +455,7 @@ mod tests {
                 n_particles: 20,
                 sigma_prediction: 0.3,
             },
+            max_reseeds: 3,
         };
         let e = FilterEnsemble::from_seeds(&mut rng, cfg, &two_lobe_seeds());
         assert_eq!(e.total_particles(), 60);
@@ -426,6 +471,7 @@ mod tests {
                 n_particles: 40,
                 sigma_prediction: 0.25,
             },
+            max_reseeds: 3,
         };
         let mut e = FilterEnsemble::from_seeds(&mut rng, cfg, &two_lobe_seeds());
         let stats = e
@@ -455,6 +501,7 @@ mod tests {
                 n_particles: 5,
                 sigma_prediction: 0.3,
             },
+            max_reseeds: 3,
         };
         let e = FilterEnsemble::from_seeds(&mut rng, cfg, &[vec![1.5, -0.5]]);
         assert_eq!(e.spread(), 0.0);
@@ -471,6 +518,100 @@ mod tests {
         assert_eq!(e.pooled_particles(), before);
     }
 
+    /// A weight function that starves every candidate with `x₀ < 0`:
+    /// the left-lobe filter degenerates and must be healed.
+    fn right_lobe_only_weight(c: &[f64]) -> f64 {
+        if c[0] > 0.0 {
+            c.iter().map(|v| normal_pdf(*v)).product()
+        } else {
+            0.0
+        }
+    }
+
+    fn two_filter_cfg(max_reseeds: usize) -> EnsembleConfig {
+        EnsembleConfig {
+            n_filters: 2,
+            filter: ParticleFilterConfig {
+                n_particles: 30,
+                sigma_prediction: 0.25,
+            },
+            max_reseeds,
+        }
+    }
+
+    #[test]
+    fn degenerate_filter_is_reseeded_from_survivors() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut e = FilterEnsemble::from_seeds(&mut rng, two_filter_cfg(3), &two_lobe_seeds());
+        let stats = e
+            .step(&mut rng, |_, cands| {
+                cands.iter().map(|c| right_lobe_only_weight(c)).collect()
+            })
+            .expect("one filter survives");
+        assert_eq!(stats.filters_resampled, 1);
+        assert_eq!(stats.filters_reseeded, 1);
+        // Every particle — including the healed filter's — now sits in
+        // the surviving lobe.
+        assert!(
+            e.pooled_particles().iter().all(|p| p[0] > 0.0),
+            "healed filter must be re-seeded inside the surviving lobe"
+        );
+        assert_eq!(e.total_particles(), 60);
+    }
+
+    #[test]
+    fn self_heal_is_deterministic() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(12);
+            let mut e = FilterEnsemble::from_seeds(&mut rng, two_filter_cfg(3), &two_lobe_seeds());
+            for _ in 0..4 {
+                e.step(&mut rng, |_, cands| {
+                    cands.iter().map(|c| right_lobe_only_weight(c)).collect()
+                })
+                .expect("right lobe survives");
+            }
+            e.pooled_particles()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn exhausted_reseed_budget_keeps_previous_population() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut e = FilterEnsemble::from_seeds(&mut rng, two_filter_cfg(0), &two_lobe_seeds());
+        let stats = e
+            .step(&mut rng, |_, cands| {
+                cands.iter().map(|c| right_lobe_only_weight(c)).collect()
+            })
+            .expect("one filter survives");
+        assert_eq!(stats.filters_reseeded, 0, "budget 0 disables healing");
+        let left = e.pooled_particles().iter().filter(|p| p[0] < 0.0).count();
+        assert!(left > 0, "unhealed filter keeps its left-lobe particles");
+    }
+
+    #[test]
+    fn reseed_budget_is_consumed_per_filter() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut e = FilterEnsemble::from_seeds(&mut rng, two_filter_cfg(1), &two_lobe_seeds());
+        let heal = |e: &mut FilterEnsemble, rng: &mut StdRng| {
+            e.step(rng, |_, cands| {
+                // Re-starve the left half-space every iteration; the
+                // healed filter lands in the right lobe, so from the
+                // second iteration on nothing degenerates.
+                cands.iter().map(|c| right_lobe_only_weight(c)).collect()
+            })
+            .expect("survivor present")
+        };
+        let first = heal(&mut e, &mut rng);
+        assert_eq!(first.filters_reseeded, 1);
+        let second = heal(&mut e, &mut rng);
+        assert_eq!(
+            second.filters_reseeded, 0,
+            "healed filter now lives in the surviving lobe"
+        );
+        assert_eq!(second.filters_resampled, 2);
+    }
+
     #[test]
     fn more_seeds_than_filters_not_required() {
         let mut rng = StdRng::seed_from_u64(5);
@@ -480,6 +621,7 @@ mod tests {
                 n_particles: 10,
                 sigma_prediction: 0.3,
             },
+            max_reseeds: 3,
         };
         let e = FilterEnsemble::from_seeds(&mut rng, cfg, &[vec![3.0, 0.0]]);
         assert_eq!(e.total_particles(), 40);

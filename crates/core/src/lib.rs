@@ -35,6 +35,13 @@
 //! duty sweep fan work out across `EcripseConfig::threads` workers with
 //! bit-identical results for every thread count.
 //!
+//! Estimation is fault-tolerant end to end: unevaluable samples climb a
+//! per-sample retry ladder and land in a quarantine bucket ([`retry`]),
+//! degenerate particle filters are re-seeded from surviving filters
+//! ([`ensemble`]), and duty sweeps checkpoint per-point progress to disk
+//! and resume bit-identically ([`sweep`]). Every recovery event is
+//! counted in the run report.
+//!
 //! Baselines from the paper's evaluation live in [`baseline`]: naive
 //! Monte Carlo, the sequential-importance-sampling method of Katayama et
 //! al. (the paper's reference \[8\]), mean-shift importance sampling, and
@@ -61,6 +68,7 @@
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baseline;
 pub mod bench;
@@ -72,16 +80,21 @@ pub mod initial;
 pub mod observe;
 pub mod oracle;
 pub mod particle;
+pub mod retry;
 pub mod rtn_source;
 pub mod sweep;
 pub mod trace;
 
-pub use bench::{SimCounter, SramReadBench, SramWriteBench, Testbench};
+pub use bench::{EvalError, SimCounter, SramReadBench, SramWriteBench, Testbench};
 pub use cache::{MemoBench, MemoCacheConfig};
 pub use ecripse::{Ecripse, EcripseConfig, EcripseResult};
 pub use observe::{
     MultiObserver, NullObserver, Observer, ProgressObserver, RunRecorder, RunReport,
 };
+pub use retry::{RetryBench, RetryPolicy};
 pub use rtn_source::{NoRtn, RtnSource, SramRtn};
-pub use sweep::{DutySweep, SweepPoint, SweepReports};
+pub use sweep::{
+    CheckpointError, DutySweep, PointOutcome, ResumableSweep, SweepBench, SweepError, SweepOptions,
+    SweepPoint, SweepReports,
+};
 pub use trace::{ConvergenceTrace, TracePoint};

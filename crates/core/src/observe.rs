@@ -60,7 +60,12 @@ use serde::{Deserialize, Serialize};
 
 /// Schema version stamped into every [`RunReport`] so downstream
 /// tooling (regression trackers, dashboards) can detect layout changes.
-pub const REPORT_SCHEMA_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — initial observability layer;
+/// * 2 — fault-tolerance counters (retry-ladder retries, quarantined
+///   samples, re-seeded filters).
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// The three pipeline stages of Algorithm 1.
 ///
@@ -146,6 +151,10 @@ pub struct OracleDelta {
     pub cache_hits: u64,
     /// Simulator queries that missed the memo-cache.
     pub cache_misses: u64,
+    /// Extra retry-ladder attempts spent on marginal samples.
+    pub retries: u64,
+    /// Samples quarantined after exhausting the retry ladder.
+    pub quarantined: u64,
 }
 
 impl OracleDelta {
@@ -158,6 +167,8 @@ impl OracleDelta {
             retrains: after.retrains - before.retrains,
             cache_hits: after.cache_hits - before.cache_hits,
             cache_misses: after.cache_misses - before.cache_misses,
+            retries: after.retries - before.retries,
+            quarantined: after.quarantined - before.quarantined,
         }
     }
 }
@@ -177,6 +188,9 @@ pub struct IterationStats {
     pub ess: Vec<f64>,
     /// Filters that resampled successfully this iteration.
     pub filters_resampled: usize,
+    /// Filters whose weights degenerated and were re-seeded from the
+    /// surviving filters (self-healing; 0 in a healthy iteration).
+    pub filters_reseeded: usize,
     /// Total filters in the ensemble.
     pub filters_total: usize,
     /// RMS distance of the pooled particles from their centroid — a
@@ -447,7 +461,8 @@ impl RunReport {
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_json<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
-        let json = serde_json::to_string_pretty(self).expect("RunReport is serialisable");
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         w.write_all(json.as_bytes())?;
         w.write_all(b"\n")
     }
@@ -570,6 +585,18 @@ impl Observer for ProgressObserver {
             stats.oracle.cache_misses,
             stats.oracle.cache_hits,
         );
+        if stats.filters_reseeded > 0 {
+            eprintln!(
+                "[ecripse]   self-heal: {} filter(s) re-seeded from survivors",
+                stats.filters_reseeded
+            );
+        }
+        if stats.oracle.retries > 0 || stats.oracle.quarantined > 0 {
+            eprintln!(
+                "[ecripse]   retry ladder: +{} retries, {} quarantined",
+                stats.oracle.retries, stats.oracle.quarantined
+            );
+        }
     }
 
     fn chunk_finished(&self, chunk: &ChunkStats) {
@@ -643,6 +670,7 @@ mod tests {
                 zero_weight_candidates: 12,
                 ess: vec![80.0, 75.5, 90.25, 61.0],
                 filters_resampled: 4,
+                filters_reseeded: 1,
                 filters_total: 4,
                 spread: 1.25,
                 oracle: OracleDelta {
@@ -652,6 +680,8 @@ mod tests {
                     retrains: 1,
                     cache_hits: 10,
                     cache_misses: 246,
+                    retries: 3,
+                    quarantined: 1,
                 },
             }],
             stage2_chunks: vec![ChunkStats {
@@ -737,6 +767,8 @@ mod tests {
             retrains: 1,
             cache_hits: 2,
             cache_misses: 3,
+            retries: 1,
+            quarantined: 0,
         };
         let after = OracleStats {
             classified: 30,
@@ -745,6 +777,8 @@ mod tests {
             retrains: 2,
             cache_hits: 8,
             cache_misses: 5,
+            retries: 4,
+            quarantined: 2,
         };
         let d = OracleDelta::between(&before, &after);
         assert_eq!(d.classified, 20);
@@ -753,6 +787,8 @@ mod tests {
         assert_eq!(d.retrains, 1);
         assert_eq!(d.cache_hits, 6);
         assert_eq!(d.cache_misses, 2);
+        assert_eq!(d.retries, 3);
+        assert_eq!(d.quarantined, 2);
     }
 
     #[test]

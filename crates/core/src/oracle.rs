@@ -63,6 +63,13 @@ pub struct OracleStats {
     pub cache_hits: u64,
     /// Simulator queries that missed the memo-cache.
     pub cache_misses: u64,
+    /// Extra evaluation attempts spent by the retry ladder (filled in by
+    /// the run driver from the [`RetryBench`](crate::retry::RetryBench)
+    /// layered under the cache).
+    pub retries: u64,
+    /// Samples that exhausted the retry ladder and received the
+    /// conservative non-failing verdict (driver-filled, like `retries`).
+    pub quarantined: u64,
 }
 
 impl OracleStats {

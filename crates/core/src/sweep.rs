@@ -6,14 +6,25 @@
 //! are computed **once** (for the RDF-only indicator) and shared by every
 //! bias point — the failure boundary's *location* barely moves with `α`,
 //! only the weighting on top of it does.
+//!
+//! Long sweeps are *resumable*: [`DutySweep::run_resumable`] writes a
+//! versioned JSON checkpoint after the shared initialisation, after the
+//! RDF-only reference and after every completed point, and a later
+//! invocation with [`SweepOptions::resume`] reloads whatever is already
+//! done. Per-point seeds are split from the base seed by index, so a
+//! resumed sweep is bit-identical to an uninterrupted one. With
+//! [`SweepOptions::keep_going`] a point that fails estimation no longer
+//! aborts the sweep — the failure is reported per point instead.
 
-use crate::bench::SramReadBench;
-use crate::ecripse::{Ecripse, EcripseConfig, EstimateError};
+use crate::bench::{LinearBench, SramReadBench, Testbench};
+use crate::ecripse::{run_in_pool, Ecripse, EcripseConfig, EstimateError};
 use crate::initial::InitialParticles;
 use crate::observe::{BoundaryStats, Observer, RunRecorder, RunReport, Stage, StageTiming};
 use crate::rtn_source::SramRtn;
+use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// One sweep point's outcome.
@@ -51,14 +62,14 @@ impl SweepResult {
     pub fn worst(&self) -> Option<&SweepPoint> {
         self.points
             .iter()
-            .max_by(|a, b| a.p_fail.partial_cmp(&b.p_fail).expect("finite estimates"))
+            .max_by(|a, b| a.p_fail.total_cmp(&b.p_fail))
     }
 
     /// The best (smallest) failure probability across the sweep.
     pub fn best(&self) -> Option<&SweepPoint> {
         self.points
             .iter()
-            .min_by(|a, b| a.p_fail.partial_cmp(&b.p_fail).expect("finite estimates"))
+            .min_by(|a, b| a.p_fail.total_cmp(&b.p_fail))
     }
 
     /// RTN degradation factor: worst-case `P_fail` over the RDF-only
@@ -99,21 +110,277 @@ pub struct SweepReports {
     pub points: Vec<RunReport>,
 }
 
-/// The sweep driver.
+/// A testbench that can be swept over duty ratios.
+///
+/// Beyond the plain [`Testbench`] evaluation the sweep driver needs the
+/// per-device sigmas (to build each point's RTN model) and — for fault
+/// injection and other per-point specialisation — the ability to derive
+/// the bench instance used at a particular `α`.
+pub trait SweepBench: Testbench + Clone + Send + Sync {
+    /// Per-device threshold-shift sigmas \[V\] defining the whitening.
+    fn sigmas(&self) -> [f64; 6];
+
+    /// The bench instance evaluated at duty ratio `alpha`. The default
+    /// is a plain clone (the indicator does not depend on `α`; only the
+    /// RTN statistics do). Fault-injection wrappers override this to
+    /// poison specific sweep points.
+    fn at_alpha(&self, alpha: f64) -> Self {
+        let _ = alpha;
+        self.clone()
+    }
+}
+
+impl SweepBench for SramReadBench {
+    fn sigmas(&self) -> [f64; 6] {
+        SramReadBench::sigmas(self)
+    }
+}
+
+/// Synthetic 6-D sweep vehicle for tests: the RTN model still comes from
+/// the paper cell's sigma scale, but the indicator is the exact linear
+/// bench. Only meaningful for 6-dimensional instances.
+impl SweepBench for LinearBench {
+    fn sigmas(&self) -> [f64; 6] {
+        [0.025; 6]
+    }
+}
+
+/// Schema version of the on-disk sweep checkpoint.
+pub const SWEEP_CHECKPOINT_VERSION: u32 = 1;
+
+/// The RDF-only reference stored in a checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointReference {
+    /// RDF-only failure probability.
+    pub p_fail: f64,
+    /// Its CI half-width.
+    pub ci95_half_width: f64,
+    /// Simulations spent on the reference run (initialisation excluded).
+    pub simulations: u64,
+    /// The reference run's structured report.
+    pub report: RunReport,
+}
+
+/// One completed sweep point stored in a checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointPoint {
+    /// The point's result.
+    pub point: SweepPoint,
+    /// The point's structured report.
+    pub report: RunReport,
+}
+
+/// The versioned on-disk snapshot of a partially completed sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCheckpoint {
+    /// Layout version ([`SWEEP_CHECKPOINT_VERSION`]).
+    pub schema_version: u32,
+    /// FNV-1a digest of the sweep's identity (configuration with the
+    /// thread count zeroed, duty grid, bench sigmas), rendered as hex —
+    /// JSON numbers only round-trip 53 bits. A resume against a
+    /// different sweep is rejected instead of silently mixing results.
+    pub fingerprint: String,
+    /// The duty grid the checkpoint belongs to.
+    pub alphas: Vec<f64>,
+    /// Shared initial particles, once computed.
+    pub init: Option<InitialParticles>,
+    /// RDF-only reference, once computed.
+    pub rdf_only: Option<CheckpointReference>,
+    /// Per-point slots in sweep order (`None` = not yet completed).
+    pub points: Vec<Option<CheckpointPoint>>,
+}
+
+/// Why a checkpoint could not be used or written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Reading or writing the checkpoint file failed.
+    Io(String),
+    /// The file exists but is not a valid checkpoint.
+    Corrupt(String),
+    /// The checkpoint was written by an incompatible schema.
+    SchemaVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes.
+        expected: u32,
+    },
+    /// The checkpoint belongs to a different sweep (configuration, duty
+    /// grid or bench changed).
+    Mismatch,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt(e) => write!(f, "corrupt checkpoint: {e}"),
+            CheckpointError::SchemaVersion { found, expected } => write!(
+                f,
+                "checkpoint schema version {found} is not the supported {expected}"
+            ),
+            CheckpointError::Mismatch => write!(
+                f,
+                "checkpoint belongs to a different sweep (config, duty grid or bench changed)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Why a resumable sweep aborted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// The shared initialisation or the RDF-only reference failed.
+    Init(EstimateError),
+    /// A sweep point failed and [`SweepOptions::keep_going`] was off.
+    Point {
+        /// Index of the failing point in sweep order.
+        index: usize,
+        /// Its duty ratio.
+        alpha: f64,
+        /// The underlying estimation error.
+        source: EstimateError,
+    },
+    /// The checkpoint file could not be used or written.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Init(e) => write!(f, "sweep initialisation failed: {e}"),
+            SweepError::Point {
+                index,
+                alpha,
+                source,
+            } => write!(f, "sweep point {index} (alpha = {alpha}) failed: {source}"),
+            SweepError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Init(e) | SweepError::Point { source: e, .. } => Some(e),
+            SweepError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<CheckpointError> for SweepError {
+    fn from(e: CheckpointError) -> Self {
+        SweepError::Checkpoint(e)
+    }
+}
+
+/// Fault-tolerance options of [`DutySweep::run_resumable`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepOptions {
+    /// Checkpoint file updated after the initialisation, the RDF-only
+    /// reference and every completed point (written atomically via a
+    /// `.tmp` sibling). `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Load previously completed work from the checkpoint file instead
+    /// of recomputing it. Without a checkpoint path, or when no file
+    /// exists yet, the sweep simply starts fresh.
+    pub resume: bool,
+    /// Keep estimating the remaining points when one fails; failures are
+    /// reported per point in the [`ResumableSweep`].
+    pub keep_going: bool,
+}
+
+/// Outcome of one sweep point under [`DutySweep::run_resumable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome {
+    /// Index in sweep order.
+    pub index: usize,
+    /// Duty ratio.
+    pub alpha: f64,
+    /// The point's result, or why its estimation failed.
+    pub result: Result<SweepPoint, EstimateError>,
+    /// Structured report (present for completed points).
+    pub report: Option<RunReport>,
+    /// Whether the point was loaded from the checkpoint instead of
+    /// being computed this run.
+    pub from_checkpoint: bool,
+}
+
+/// Result of a fault-tolerant sweep: per-point outcomes plus the shared
+/// reference figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumableSweep {
+    /// Per-point outcomes in sweep order.
+    pub outcomes: Vec<PointOutcome>,
+    /// RDF-only failure probability.
+    pub p_fail_rdf_only: f64,
+    /// Its CI half-width.
+    pub rdf_only_ci95: f64,
+    /// Simulations spent on the shared initialisation.
+    pub init_simulations: u64,
+    /// Total simulations across initialisation, reference and all
+    /// completed points (checkpointed work included — it was paid for,
+    /// just in an earlier process).
+    pub total_simulations: u64,
+    /// The RDF-only reference report.
+    pub rdf_only_report: RunReport,
+    /// How many points were served from the checkpoint.
+    pub points_from_checkpoint: usize,
+}
+
+impl ResumableSweep {
+    /// Number of points whose estimation failed.
+    pub fn failed_points(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.is_err()).count()
+    }
+
+    /// Converts into the strict [`SweepResult`]/[`SweepReports`] pair,
+    /// surfacing the first per-point failure in sweep order.
+    ///
+    /// # Errors
+    ///
+    /// The first failed point's [`EstimateError`].
+    pub fn into_parts(self) -> Result<(SweepResult, SweepReports), EstimateError> {
+        let mut points = Vec::with_capacity(self.outcomes.len());
+        let mut reports = Vec::with_capacity(self.outcomes.len());
+        for outcome in self.outcomes {
+            let point = outcome.result?;
+            points.push(point);
+            reports.push(outcome.report.unwrap_or_default());
+        }
+        Ok((
+            SweepResult {
+                points,
+                p_fail_rdf_only: self.p_fail_rdf_only,
+                rdf_only_ci95: self.rdf_only_ci95,
+                init_simulations: self.init_simulations,
+                total_simulations: self.total_simulations,
+            },
+            SweepReports {
+                rdf_only: self.rdf_only_report,
+                points: reports,
+            },
+        ))
+    }
+}
+
+/// The sweep driver, generic over the bench so fault-injection wrappers
+/// and synthetic vehicles can be swept exactly like the paper cell.
 #[derive(Debug, Clone)]
-pub struct DutySweep {
+pub struct DutySweep<B: SweepBench = SramReadBench> {
     config: EcripseConfig,
-    bench: SramReadBench,
+    bench: B,
     alphas: Vec<f64>,
 }
 
-impl DutySweep {
+impl<B: SweepBench> DutySweep<B> {
     /// Creates a sweep over the given duty ratios.
     ///
     /// # Panics
     ///
     /// Panics if `alphas` is empty or any `α` is outside `[0, 1]`.
-    pub fn new(config: EcripseConfig, bench: SramReadBench, alphas: Vec<f64>) -> Self {
+    pub fn new(config: EcripseConfig, bench: B, alphas: Vec<f64>) -> Self {
         assert!(!alphas.is_empty(), "empty duty-ratio sweep");
         assert!(
             alphas.iter().all(|a| (0.0..=1.0).contains(a)),
@@ -127,7 +394,7 @@ impl DutySweep {
     }
 
     /// The paper's Fig. 8 grid: eleven points from 0.0 to 1.0.
-    pub fn paper_grid(config: EcripseConfig, bench: SramReadBench) -> Self {
+    pub fn paper_grid(config: EcripseConfig, bench: B) -> Self {
         let alphas = (0..=10).map(|i| i as f64 / 10.0).collect();
         Self::new(config, bench, alphas)
     }
@@ -157,11 +424,54 @@ impl DutySweep {
     ///
     /// Propagates the first [`EstimateError`] encountered.
     pub fn run_with_reports(&self) -> Result<(SweepResult, SweepReports), EstimateError> {
-        // Shared initialisation (RDF-only indicator).
+        match self.run_resumable(&SweepOptions::default()) {
+            Ok(run) => run.into_parts(),
+            Err(SweepError::Init(e)) | Err(SweepError::Point { source: e, .. }) => Err(e),
+            // No checkpoint path is configured above, so checkpoint
+            // errors cannot occur on this path.
+            Err(SweepError::Checkpoint(e)) => {
+                panic!("checkpoint error without a checkpoint configured: {e}")
+            }
+        }
+    }
+
+    /// The fault-tolerant sweep entry point: checkpointing, resume and
+    /// per-point failure isolation, governed by `options`.
+    ///
+    /// Per-point RNG seeds are split from the base seed by point index,
+    /// so the estimates are independent of which points were loaded from
+    /// a checkpoint: an interrupted-and-resumed sweep produces exactly
+    /// the [`SweepResult`] of an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Checkpoint`] when the checkpoint cannot be read
+    /// (resume) or written; [`SweepError::Init`] when the shared
+    /// initialisation or RDF-only reference fails; [`SweepError::Point`]
+    /// when a point fails and [`SweepOptions::keep_going`] is off.
+    pub fn run_resumable(&self, options: &SweepOptions) -> Result<ResumableSweep, SweepError> {
+        let fingerprint = self.fingerprint()?;
+        let mut checkpoint = match (&options.checkpoint, options.resume) {
+            (Some(path), true) if path.exists() => {
+                let loaded = load_checkpoint(path)?;
+                self.validate_checkpoint(&loaded, &fingerprint)?;
+                loaded
+            }
+            _ => self.fresh_checkpoint(fingerprint),
+        };
+
+        // Shared initialisation (RDF-only indicator), possibly resumed.
         let rdf_run = Ecripse::new(self.config, self.bench.clone());
         let init_start = Instant::now();
-        let init = rdf_run.find_initial_particles()?;
-        let init_wall = init_start.elapsed().as_secs_f64();
+        let (init, init_wall) = match checkpoint.init.take() {
+            Some(init) => (init, 0.0),
+            None => {
+                let init = rdf_run.find_initial_particles().map_err(SweepError::Init)?;
+                (init, init_start.elapsed().as_secs_f64())
+            }
+        };
+        checkpoint.init = Some(init.clone());
+        save_checkpoint(options.checkpoint.as_deref(), &checkpoint)?;
         let init_simulations = init.simulations;
         // Exclude the (already counted) init cost from per-point numbers.
         let amortised = InitialParticles {
@@ -169,86 +479,228 @@ impl DutySweep {
             simulations: 0,
         };
 
-        // RDF-only reference. The boundary search ran outside the
-        // estimator (it is shared by every point), so its events are
-        // emitted into the reference recorder by hand.
-        let rdf_recorder = RunRecorder::new();
-        rdf_recorder.stage_started(Stage::BoundarySearch);
-        rdf_recorder.boundary_found(&BoundaryStats {
-            particles: init.particles.len(),
-            simulations: init_simulations,
-        });
-        rdf_recorder.stage_finished(
-            Stage::BoundarySearch,
-            &StageTiming {
-                wall_seconds: init_wall,
-                simulations: init_simulations,
-            },
-        );
-        let rdf_only = rdf_run.estimate_with_initial_observed(&amortised, &rdf_recorder)?;
+        // RDF-only reference, possibly resumed. On a fresh run the
+        // boundary search happened outside the estimator (it is shared
+        // by every point), so its events are emitted into the reference
+        // recorder by hand.
+        let rdf_only = match checkpoint.rdf_only.take() {
+            Some(reference) => reference,
+            None => {
+                let rdf_recorder = RunRecorder::new();
+                rdf_recorder.stage_started(Stage::BoundarySearch);
+                rdf_recorder.boundary_found(&BoundaryStats {
+                    particles: init.particles.len(),
+                    simulations: init_simulations,
+                });
+                rdf_recorder.stage_finished(
+                    Stage::BoundarySearch,
+                    &StageTiming {
+                        wall_seconds: init_wall,
+                        simulations: init_simulations,
+                    },
+                );
+                let res = rdf_run
+                    .estimate_with_initial_observed(&amortised, &rdf_recorder)
+                    .map_err(SweepError::Init)?;
+                CheckpointReference {
+                    p_fail: res.p_fail,
+                    ci95_half_width: res.ci95_half_width,
+                    simulations: res.simulations,
+                    report: rdf_recorder.into_report(),
+                }
+            }
+        };
+        checkpoint.rdf_only = Some(rdf_only.clone());
+        save_checkpoint(options.checkpoint.as_deref(), &checkpoint)?;
 
         let sigmas = self.bench.sigmas();
         // The α points are fully independent (per-point seeds are split
         // from the base seed by index), so the grid runs as a parallel
-        // map. Order is preserved by construction, and the serial fold
-        // below reports the first error in sweep order, exactly like the
-        // old sequential loop.
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(self.config.threads)
-            .build()
-            .expect("thread pool");
+        // map. Completed points are checkpointed as they finish, under a
+        // mutex so the file is written consistently; the first write
+        // error is surfaced after the sweep.
+        let shared_checkpoint = Mutex::new(&mut checkpoint);
+        let save_error: Mutex<Option<CheckpointError>> = Mutex::new(None);
         let amortised = &amortised;
-        let outcomes: Vec<Result<(SweepPoint, RunReport), EstimateError>> = pool.install(|| {
+        let outcomes: Vec<PointOutcome> = run_in_pool(self.config.threads, || {
             self.alphas
                 .par_iter()
                 .enumerate()
                 .map(|(k, &alpha)| {
+                    if let Some(done) = shared_checkpoint.lock().points[k].clone() {
+                        return PointOutcome {
+                            index: k,
+                            alpha,
+                            result: Ok(done.point),
+                            report: Some(done.report),
+                            from_checkpoint: true,
+                        };
+                    }
                     let mut config = self.config;
                     // Decorrelate RNG streams across sweep points while
                     // keeping the whole sweep reproducible.
                     config.seed = self.config.seed.wrapping_add(1 + k as u64);
                     let rtn = SramRtn::paper_model(alpha, sigmas);
-                    let run = Ecripse::with_rtn(config, self.bench.clone(), rtn);
+                    let bench = self.bench.at_alpha(alpha);
+                    let run = Ecripse::with_rtn(config, bench, rtn);
                     let recorder = RunRecorder::new();
-                    run.estimate_with_initial_observed(amortised, &recorder)
-                        .map(|res| {
-                            (
-                                SweepPoint {
-                                    alpha,
-                                    p_fail: res.p_fail,
-                                    ci95_half_width: res.ci95_half_width,
-                                    simulations: res.simulations,
-                                },
-                                recorder.into_report(),
-                            )
-                        })
+                    let result = run.estimate_with_initial_observed(amortised, &recorder);
+                    match result {
+                        Ok(res) => {
+                            let point = SweepPoint {
+                                alpha,
+                                p_fail: res.p_fail,
+                                ci95_half_width: res.ci95_half_width,
+                                simulations: res.simulations,
+                            };
+                            let report = recorder.into_report();
+                            {
+                                let mut ckpt = shared_checkpoint.lock();
+                                ckpt.points[k] = Some(CheckpointPoint {
+                                    point,
+                                    report: report.clone(),
+                                });
+                                if let Err(e) =
+                                    save_checkpoint(options.checkpoint.as_deref(), &ckpt)
+                                {
+                                    let mut slot = save_error.lock();
+                                    if slot.is_none() {
+                                        if let SweepError::Checkpoint(ce) = e {
+                                            *slot = Some(ce);
+                                        }
+                                    }
+                                }
+                            }
+                            PointOutcome {
+                                index: k,
+                                alpha,
+                                result: Ok(point),
+                                report: Some(report),
+                                from_checkpoint: false,
+                            }
+                        }
+                        Err(e) => PointOutcome {
+                            index: k,
+                            alpha,
+                            result: Err(e),
+                            report: None,
+                            from_checkpoint: false,
+                        },
+                    }
                 })
                 .collect()
         });
-        let mut points = Vec::with_capacity(self.alphas.len());
-        let mut reports = Vec::with_capacity(self.alphas.len());
-        let mut total = init_simulations + rdf_only.simulations;
-        for outcome in outcomes {
-            let (point, report) = outcome?;
-            total += point.simulations;
-            points.push(point);
-            reports.push(report);
+
+        if let Some(e) = save_error.into_inner() {
+            return Err(SweepError::Checkpoint(e));
+        }
+        if !options.keep_going {
+            if let Some(failed) = outcomes.iter().find(|o| o.result.is_err()) {
+                if let Err(source) = &failed.result {
+                    return Err(SweepError::Point {
+                        index: failed.index,
+                        alpha: failed.alpha,
+                        source: source.clone(),
+                    });
+                }
+            }
         }
 
-        Ok((
-            SweepResult {
-                points,
-                p_fail_rdf_only: rdf_only.p_fail,
-                rdf_only_ci95: rdf_only.ci95_half_width,
-                init_simulations,
-                total_simulations: total,
-            },
-            SweepReports {
-                rdf_only: rdf_recorder.into_report(),
-                points: reports,
-            },
-        ))
+        let points_from_checkpoint = outcomes.iter().filter(|o| o.from_checkpoint).count();
+        let total_simulations = init_simulations
+            + rdf_only.simulations
+            + outcomes
+                .iter()
+                .filter_map(|o| o.result.as_ref().ok().map(|p| p.simulations))
+                .sum::<u64>();
+        Ok(ResumableSweep {
+            outcomes,
+            p_fail_rdf_only: rdf_only.p_fail,
+            rdf_only_ci95: rdf_only.ci95_half_width,
+            init_simulations,
+            total_simulations,
+            rdf_only_report: rdf_only.report,
+            points_from_checkpoint,
+        })
     }
+
+    fn fresh_checkpoint(&self, fingerprint: String) -> SweepCheckpoint {
+        SweepCheckpoint {
+            schema_version: SWEEP_CHECKPOINT_VERSION,
+            fingerprint,
+            alphas: self.alphas.clone(),
+            init: None,
+            rdf_only: None,
+            points: vec![None; self.alphas.len()],
+        }
+    }
+
+    fn validate_checkpoint(
+        &self,
+        checkpoint: &SweepCheckpoint,
+        fingerprint: &str,
+    ) -> Result<(), CheckpointError> {
+        if checkpoint.schema_version != SWEEP_CHECKPOINT_VERSION {
+            return Err(CheckpointError::SchemaVersion {
+                found: checkpoint.schema_version,
+                expected: SWEEP_CHECKPOINT_VERSION,
+            });
+        }
+        if checkpoint.fingerprint != fingerprint
+            || checkpoint.alphas != self.alphas
+            || checkpoint.points.len() != self.alphas.len()
+        {
+            return Err(CheckpointError::Mismatch);
+        }
+        Ok(())
+    }
+
+    /// FNV-1a digest of the sweep identity, hex-rendered. The thread
+    /// count is zeroed first: it cannot change any estimate (the
+    /// pipeline is bit-identical across thread counts), so it must not
+    /// invalidate a checkpoint either.
+    fn fingerprint(&self) -> Result<String, SweepError> {
+        let mut config = self.config;
+        config.threads = 0;
+        let config_json = serde_json::to_string(&config)
+            .map_err(|e| CheckpointError::Corrupt(format!("serialise config: {e}")))?;
+        let alphas_json = serde_json::to_string(&self.alphas)
+            .map_err(|e| CheckpointError::Corrupt(format!("serialise alphas: {e}")))?;
+        let mut hash = fnv1a(0xcbf2_9ce4_8422_2325, config_json.as_bytes());
+        hash = fnv1a(hash, alphas_json.as_bytes());
+        for sigma in self.bench.sigmas() {
+            hash = fnv1a(hash, &sigma.to_bits().to_le_bytes());
+        }
+        Ok(format!("{hash:016x}"))
+    }
+}
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn load_checkpoint(path: &Path) -> Result<SweepCheckpoint, CheckpointError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    serde_json::from_str(&text).map_err(|e| CheckpointError::Corrupt(e.to_string()))
+}
+
+/// Writes the checkpoint atomically (temp sibling + rename), so an
+/// interrupt mid-write can never corrupt an existing checkpoint. A
+/// `None` path disables checkpointing.
+fn save_checkpoint(path: Option<&Path>, checkpoint: &SweepCheckpoint) -> Result<(), SweepError> {
+    let Some(path) = path else { return Ok(()) };
+    let json = serde_json::to_string_pretty(checkpoint)
+        .map_err(|e| CheckpointError::Corrupt(format!("serialise checkpoint: {e}")))?;
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, json.as_bytes())
+        .map_err(|e| SweepError::Checkpoint(CheckpointError::Io(e.to_string())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| SweepError::Checkpoint(CheckpointError::Io(e.to_string())))?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -322,5 +774,86 @@ mod tests {
         };
         assert_eq!(result.worst().expect("non-empty").alpha, 0.0);
         assert_eq!(result.best().expect("non-empty").alpha, 0.5);
+    }
+
+    fn test_sweep(seed: u64) -> DutySweep<LinearBench> {
+        let config = EcripseConfig {
+            seed,
+            ..EcripseConfig::default()
+        };
+        let bench = LinearBench::new(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0], 3.5);
+        DutySweep::new(config, bench, vec![0.0, 0.5, 1.0])
+    }
+
+    #[test]
+    fn fingerprint_tracks_sweep_identity() {
+        let a = test_sweep(1).fingerprint().expect("fingerprint");
+        let same = test_sweep(1).fingerprint().expect("fingerprint");
+        let other_seed = test_sweep(2).fingerprint().expect("fingerprint");
+        assert_eq!(a, same, "identical sweeps share a fingerprint");
+        assert_ne!(a, other_seed, "the seed is part of the sweep identity");
+        // The thread count must NOT change the fingerprint.
+        let mut threaded = test_sweep(1);
+        threaded.config.threads = 7;
+        assert_eq!(a, threaded.fingerprint().expect("fingerprint"));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_json() {
+        let sweep = test_sweep(3);
+        let fp = sweep.fingerprint().expect("fingerprint");
+        let mut ckpt = sweep.fresh_checkpoint(fp.clone());
+        ckpt.init = Some(InitialParticles {
+            particles: vec![vec![3.5, 0.0, 0.0, 0.0, 0.0, 0.0]],
+            simulations: 120,
+        });
+        ckpt.points[1] = Some(CheckpointPoint {
+            point: SweepPoint {
+                alpha: 0.5,
+                p_fail: 2e-4,
+                ci95_half_width: 1e-5,
+                simulations: 900,
+            },
+            report: RunReport::default(),
+        });
+        let json = serde_json::to_string(&ckpt).expect("serialise");
+        let back: SweepCheckpoint = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, ckpt);
+        sweep.validate_checkpoint(&back, &fp).expect("compatible");
+    }
+
+    #[test]
+    fn incompatible_checkpoints_are_rejected() {
+        let sweep = test_sweep(4);
+        let fp = sweep.fingerprint().expect("fingerprint");
+        let mut wrong_version = sweep.fresh_checkpoint(fp.clone());
+        wrong_version.schema_version = SWEEP_CHECKPOINT_VERSION + 1;
+        assert!(matches!(
+            sweep.validate_checkpoint(&wrong_version, &fp),
+            Err(CheckpointError::SchemaVersion { .. })
+        ));
+        let foreign = sweep.fresh_checkpoint(format!("not-{fp}"));
+        assert!(matches!(
+            sweep.validate_checkpoint(&foreign, &fp),
+            Err(CheckpointError::Mismatch)
+        ));
+    }
+
+    #[test]
+    fn missing_checkpoint_file_is_an_io_error() {
+        let err = load_checkpoint(Path::new("/nonexistent/ecripse-ckpt.json"));
+        assert!(matches!(err, Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn sweep_error_messages_name_the_failing_point() {
+        let e = SweepError::Point {
+            index: 3,
+            alpha: 0.3,
+            source: EstimateError::Degenerate { iteration: 2 },
+        };
+        let text = e.to_string();
+        assert!(text.contains("point 3"));
+        assert!(text.contains("0.3"));
     }
 }

@@ -10,6 +10,7 @@
 //! static noise margin is the side of the largest square embedded in the
 //! smaller lobe (see [`crate::snm`]).
 
+use crate::error::EvalError;
 use crate::sram::{BiasCondition, Sram6T};
 use serde::{Deserialize, Serialize};
 
@@ -30,10 +31,40 @@ impl Butterfly {
     ///
     /// # Panics
     ///
-    /// Panics if `points < 2`.
+    /// Panics if `points < 2`, or if the cell parameters produce a
+    /// non-finite transfer curve (use [`Self::try_sample`] for a typed
+    /// error instead).
     pub fn sample(cell: &Sram6T, bias: &BiasCondition, points: usize) -> Self {
+        match Self::try_sample(cell, bias, points) {
+            Ok(b) => b,
+            Err(e) => panic!("butterfly sampling failed: {e}"),
+        }
+    }
+
+    /// Like [`Self::sample`], but surfaces a garbage operating point
+    /// (NaN supply, non-finite ΔVth propagating into the curves) as a
+    /// typed [`EvalError`] instead of handing back poisoned data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2` — a caller bug, not a data problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::NonFinite`] when the supply or either
+    /// transfer curve contains a NaN or infinity.
+    pub fn try_sample(
+        cell: &Sram6T,
+        bias: &BiasCondition,
+        points: usize,
+    ) -> Result<Self, EvalError> {
         assert!(points >= 2, "need at least two grid points, got {points}");
         let vdd = cell.vdd();
+        if !vdd.is_finite() {
+            return Err(EvalError::NonFinite {
+                context: "supply voltage",
+            });
+        }
         let mut grid = Vec::with_capacity(points);
         let mut curve_a = Vec::with_capacity(points);
         let mut curve_b = Vec::with_capacity(points);
@@ -46,14 +77,24 @@ impl Butterfly {
             grid.push(vin);
             hint_a = cell.vtc_right_warm(bias, vin, hint_a);
             hint_b = cell.vtc_left_warm(bias, vin, hint_b);
+            if !hint_a.is_finite() {
+                return Err(EvalError::NonFinite {
+                    context: "butterfly curve A",
+                });
+            }
+            if !hint_b.is_finite() {
+                return Err(EvalError::NonFinite {
+                    context: "butterfly curve B",
+                });
+            }
             curve_a.push(hint_a);
             curve_b.push(hint_b);
         }
-        Self {
+        Ok(Self {
             grid,
             curve_a,
             curve_b,
-        }
+        })
     }
 
     /// Number of grid points.
@@ -119,5 +160,13 @@ mod tests {
     fn rejects_degenerate_grid() {
         let cell = Sram6T::paper_cell();
         let _ = Butterfly::sample(&cell, &cell.read_bias(), 1);
+    }
+
+    #[test]
+    fn try_sample_matches_sample_on_healthy_cells() {
+        let cell = Sram6T::paper_cell();
+        let a = Butterfly::sample(&cell, &cell.read_bias(), 31);
+        let b = Butterfly::try_sample(&cell, &cell.read_bias(), 31).expect("healthy cell");
+        assert_eq!(a, b);
     }
 }

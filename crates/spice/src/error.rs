@@ -1,0 +1,100 @@
+//! Typed evaluation errors for the circuit-level testbench.
+//!
+//! Historically a bad input (wrong dimension, NaN threshold shift) or an
+//! ill-conditioned operating point either panicked deep inside the
+//! margin extraction or — worse — produced a garbage pass/fail verdict
+//! that silently distorted the failure-probability estimate. Every
+//! fallible evaluation entry point now has a `try_*` variant returning
+//! an [`EvalError`], so callers (the retry/quarantine layer in
+//! `ecripse-core`) can distinguish a genuine failing sample from a
+//! sample that could not be evaluated at all.
+
+use crate::solver::SolveError;
+
+/// Why a testbench evaluation could not produce a trustworthy verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The input vector had the wrong number of components.
+    DimensionMismatch {
+        /// Components the bench expects.
+        expected: usize,
+        /// Components the caller supplied.
+        got: usize,
+    },
+    /// A NaN or infinity appeared in the inputs or in a computed
+    /// operating point; the pass/fail verdict would be meaningless.
+    NonFinite {
+        /// Where the non-finite value was detected.
+        context: &'static str,
+    },
+    /// The transfer curves were too degenerate for margin extraction
+    /// (fewer than two usable points after rotation).
+    DegenerateCurve {
+        /// Usable points on the thinner curve.
+        usable: usize,
+    },
+    /// The underlying DC solve failed outright.
+    Solve(SolveError),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::DimensionMismatch { expected, got } => {
+                write!(f, "sample has {got} components, bench expects {expected}")
+            }
+            EvalError::NonFinite { context } => {
+                write!(f, "non-finite value in {context}")
+            }
+            EvalError::DegenerateCurve { usable } => write!(
+                f,
+                "butterfly curves too degenerate for margin extraction ({usable} usable points)"
+            ),
+            EvalError::Solve(e) => write!(f, "DC solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for EvalError {
+    fn from(e: SolveError) -> Self {
+        EvalError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = EvalError::DimensionMismatch {
+            expected: 6,
+            got: 5,
+        };
+        assert!(e.to_string().contains("5 components"));
+        assert!(e.to_string().contains("expects 6"));
+        let e = EvalError::NonFinite {
+            context: "butterfly curve A",
+        };
+        assert!(e.to_string().contains("butterfly curve A"));
+        let e = EvalError::from(SolveError::SingularJacobian);
+        assert!(e.to_string().contains("DC solve failed"));
+    }
+
+    #[test]
+    fn solve_errors_keep_their_source() {
+        use std::error::Error;
+        let e = EvalError::from(SolveError::SingularJacobian);
+        assert!(e.source().is_some());
+        assert!(matches!(e, EvalError::Solve(SolveError::SingularJacobian)));
+    }
+}

@@ -45,6 +45,7 @@
 #![deny(unsafe_code)]
 
 pub mod butterfly;
+pub mod error;
 pub mod lu;
 pub mod model;
 pub mod netlist;
@@ -54,8 +55,9 @@ pub mod solver;
 pub mod sram;
 pub mod testbench;
 
+pub use error::EvalError;
 pub use model::{Mosfet, MosfetKind, MosfetParams};
 pub use ptm::{paper_geometry, ptm16_hp_nmos, ptm16_hp_pmos, DeviceGeometry, DeviceRole};
-pub use snm::{read_noise_margin, SnmReport};
+pub use snm::{read_noise_margin, try_read_noise_margin, SnmReport};
 pub use sram::Sram6T;
 pub use testbench::ReadStabilityBench;

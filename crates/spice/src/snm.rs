@@ -16,6 +16,7 @@
 //! failure criterion.
 
 use crate::butterfly::Butterfly;
+use crate::error::EvalError;
 use serde::{Deserialize, Serialize};
 
 /// Noise margins of the two lobes and their minimum.
@@ -38,11 +39,18 @@ struct RotatedCurve {
 
 impl RotatedCurve {
     /// Rotates `(x, y)` points into `(u, v)` and enforces monotone `u`.
-    fn from_points(points: impl Iterator<Item = (f64, f64)>) -> Self {
+    /// Non-finite points are rejected with a typed error — they would
+    /// otherwise poison the interpolation silently.
+    fn from_points(points: impl Iterator<Item = (f64, f64)>) -> Result<Self, EvalError> {
         let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
         let mut u = Vec::new();
         let mut v = Vec::new();
         for (x, y) in points {
+            if !x.is_finite() || !y.is_finite() {
+                return Err(EvalError::NonFinite {
+                    context: "butterfly curve point",
+                });
+            }
             let uu = (x - y) * inv_sqrt2;
             let vv = (x + y) * inv_sqrt2;
             // Transfer curves are monotone, but bisection noise can create
@@ -55,26 +63,26 @@ impl RotatedCurve {
             u.push(uu);
             v.push(vv);
         }
-        Self { u, v }
+        Ok(Self { u, v })
     }
 
+    /// First `u` value; curves are only built with ≥ 2 points before use.
     fn u_min(&self) -> f64 {
-        *self.u.first().expect("curve has points")
+        self.u.first().copied().unwrap_or(f64::NAN)
     }
 
     fn u_max(&self) -> f64 {
-        *self.u.last().expect("curve has points")
+        self.u.last().copied().unwrap_or(f64::NAN)
     }
 
     /// Linear interpolation of `v(u)`; clamps outside the sampled range.
+    /// All `u` values are finite (enforced in `from_points`), so
+    /// `total_cmp` agrees with the ordinary ordering here.
     fn eval(&self, uu: f64) -> f64 {
-        match self
-            .u
-            .binary_search_by(|p| p.partial_cmp(&uu).expect("finite u"))
-        {
+        match self.u.binary_search_by(|p| p.total_cmp(&uu)) {
             Ok(i) => self.v[i],
             Err(0) => self.v[0],
-            Err(i) if i >= self.u.len() => *self.v.last().expect("curve has points"),
+            Err(i) if i >= self.u.len() => self.v[self.u.len() - 1],
             Err(i) => {
                 let (u0, u1) = (self.u[i - 1], self.u[i]);
                 let (v0, v1) = (self.v[i - 1], self.v[i]);
@@ -103,17 +111,36 @@ impl RotatedCurve {
 ///
 /// # Panics
 ///
-/// Panics if the butterfly has fewer than two usable points per curve.
+/// Panics if the butterfly has fewer than two usable points per curve or
+/// contains non-finite values. Use [`try_read_noise_margin`] for a typed
+/// error instead.
 pub fn read_noise_margin(butterfly: &Butterfly) -> SnmReport {
-    let a = RotatedCurve::from_points(butterfly.points_a());
+    match try_read_noise_margin(butterfly) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`read_noise_margin`]: a garbage operating point
+/// (NaN curve values, curves that collapse to fewer than two usable
+/// points) surfaces as a typed [`EvalError`] instead of a panic or a
+/// bogus margin.
+///
+/// # Errors
+///
+/// Returns [`EvalError::NonFinite`] for NaN/infinite curve points and
+/// [`EvalError::DegenerateCurve`] when either rotated curve has fewer
+/// than two usable points.
+pub fn try_read_noise_margin(butterfly: &Butterfly) -> Result<SnmReport, EvalError> {
+    let a = RotatedCurve::from_points(butterfly.points_a())?;
     // Curve B runs in descending u as sampled (its x coordinate falls as
     // the grid rises); reverse so u ascends.
     let b_pts: Vec<(f64, f64)> = butterfly.points_b().collect();
-    let b = RotatedCurve::from_points(b_pts.into_iter().rev());
-    assert!(
-        a.u.len() >= 2 && b.u.len() >= 2,
-        "butterfly curves too degenerate for margin extraction"
-    );
+    let b = RotatedCurve::from_points(b_pts.into_iter().rev())?;
+    let usable = a.u.len().min(b.u.len());
+    if usable < 2 {
+        return Err(EvalError::DegenerateCurve { usable });
+    }
 
     let lo = a.u_min().max(b.u_min());
     let hi = a.u_max().min(b.u_max());
@@ -142,14 +169,16 @@ pub fn read_noise_margin(butterfly: &Butterfly) -> SnmReport {
         // lobes live between them (g > 0 in the Q=0 lobe at low u, g < 0
         // in the Q=1 lobe at high u). Scanning between the outer
         // crossings excludes the thin truncation slivers outside them.
-        let (i_lo, i_hi) = (crossings[0], *crossings.last().expect("non-empty"));
+        let (i_lo, i_hi) = (crossings[0], crossings[crossings.len() - 1]);
         (max_over(i_lo..=i_hi, 1.0), max_over(i_lo..=i_hi, -1.0))
     } else {
         // Monostable (or tangent): only one state's lobe has a genuine
         // peak; the other lobe's gap never reaches zero. Split at the
         // surviving lobe's peak: the vanished lobe's (negative) maximum
         // lies on the far side of it. The Q=0 lobe sits at lower u than
-        // the Q=1 lobe, which fixes the scan direction.
+        // the Q=1 lobe, which fixes the scan direction. All gaps are
+        // finite here (guaranteed by `from_points`), so `total_cmp`
+        // agrees with the ordinary ordering.
         let n_all = gaps.len() - 1;
         let peak_pos = max_over(0..=n_all, 1.0);
         let peak_neg = max_over(0..=n_all, -1.0);
@@ -159,29 +188,29 @@ pub fn read_noise_margin(butterfly: &Butterfly) -> SnmReport {
             let i_peak = gaps
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite gap"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
-                .expect("non-empty");
+                .unwrap_or(0);
             (peak_pos, max_over(i_peak..=n_all, -1.0))
         } else {
             // Q=1 survives; the vanished Q=0 lobe is to the left.
             let i_peak = gaps
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite gap"))
+                .min_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
-                .expect("non-empty");
+                .unwrap_or(0);
             (max_over(0..=i_peak, 1.0), peak_neg)
         }
     };
     let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
     let snm_low = gap_pos * inv_sqrt2;
     let snm_high = gap_neg * inv_sqrt2;
-    SnmReport {
+    Ok(SnmReport {
         snm_low,
         snm_high,
         rnm: snm_low.min(snm_high),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -322,6 +351,43 @@ mod tests {
             lo.rnm,
             hi.rnm
         );
+    }
+
+    #[test]
+    fn nan_curve_yields_typed_error() {
+        let b = Butterfly {
+            grid: vec![0.0, 0.5, 1.0],
+            curve_a: vec![1.0, f64::NAN, 0.0],
+            curve_b: vec![1.0, 0.5, 0.0],
+        };
+        match try_read_noise_margin(&b) {
+            Err(EvalError::NonFinite { .. }) => {}
+            other => panic!("expected NonFinite error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collapsed_curve_yields_degenerate_error() {
+        // Every point identical → after monotone-u filtering a single
+        // usable point remains.
+        let b = Butterfly {
+            grid: vec![0.3; 4],
+            curve_a: vec![0.3; 4],
+            curve_b: vec![0.3; 4],
+        };
+        match try_read_noise_margin(&b) {
+            Err(EvalError::DegenerateCurve { usable }) => assert!(usable < 2),
+            other => panic!("expected DegenerateCurve error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_variant_matches_panicking_variant() {
+        let cell = Sram6T::paper_cell();
+        let b = Butterfly::sample(&cell, &cell.read_bias(), 61);
+        let a = read_noise_margin(&b);
+        let t = try_read_noise_margin(&b).expect("healthy butterfly");
+        assert_eq!(a, t);
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //! flow.
 
 use crate::butterfly::Butterfly;
+use crate::error::EvalError;
 use crate::ptm::{paper_geometry, A_VTH_EFFECTIVE};
-use crate::snm::read_noise_margin;
-use crate::sram::{CellDevice, Sram6T};
+use crate::snm::try_read_noise_margin;
+use crate::sram::{BiasCondition, CellDevice, Sram6T};
 use serde::{Deserialize, Serialize};
 
 /// Number of variability dimensions (one per cell transistor).
@@ -95,17 +96,68 @@ impl ReadStabilityBench {
         CellDevice::ALL.map(|d| paper_geometry(d.role()).pelgrom_sigma(A_VTH_EFFECTIVE))
     }
 
+    /// Validates a 6-component finite input vector.
+    fn check_input(xs: &[f64], context: &'static str) -> Result<(), EvalError> {
+        if xs.len() != DIM {
+            return Err(EvalError::DimensionMismatch {
+                expected: DIM,
+                got: xs.len(),
+            });
+        }
+        if xs.iter().any(|v| !v.is_finite()) {
+            return Err(EvalError::NonFinite { context });
+        }
+        Ok(())
+    }
+
+    /// Shared fallible margin extraction under an arbitrary bias, at an
+    /// arbitrary butterfly resolution. The grid override is the
+    /// escalation knob of the bench-level retry ladder: a marginal
+    /// operating point that defeats the default resolution often yields
+    /// to a finer sweep (on top of the g-min / source-stepping ladder
+    /// the DC solver already runs internally).
+    fn try_margin_at(
+        &self,
+        delta_vth: &[f64],
+        bias_of: impl Fn(&Sram6T) -> BiasCondition,
+        grid_points: usize,
+    ) -> Result<f64, EvalError> {
+        Self::check_input(delta_vth, "threshold shifts")?;
+        let cell = self.cell.with_delta_vth(delta_vth);
+        let bias = bias_of(&cell);
+        let butterfly = Butterfly::try_sample(&cell, &bias, grid_points)?;
+        let rnm = try_read_noise_margin(&butterfly)?.rnm;
+        if !rnm.is_finite() {
+            return Err(EvalError::NonFinite {
+                context: "extracted noise margin",
+            });
+        }
+        Ok(rnm)
+    }
+
     /// Read noise margin \[V\] of the cell with the given per-device
     /// threshold shifts (volts, canonical order). Negative = read failure.
     ///
     /// # Panics
     ///
-    /// Panics if `delta_vth.len() != 6`.
+    /// Panics on any [`EvalError`] (wrong dimension, non-finite input or
+    /// operating point); see [`Self::try_read_noise_margin`] for the
+    /// fallible variant.
     pub fn read_noise_margin(&self, delta_vth: &[f64]) -> f64 {
-        let cell = self.cell.with_delta_vth(delta_vth);
-        let bias = cell.read_bias();
-        let butterfly = Butterfly::sample(&cell, &bias, self.config.grid_points);
-        read_noise_margin(&butterfly).rnm
+        match self.try_read_noise_margin(delta_vth) {
+            Ok(m) => m,
+            Err(e) => panic!("read-margin evaluation failed: {e}"),
+        }
+    }
+
+    /// Fallible read noise margin: returns a typed [`EvalError`] instead
+    /// of panicking on bad inputs or garbage operating points.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    pub fn try_read_noise_margin(&self, delta_vth: &[f64]) -> Result<f64, EvalError> {
+        self.try_margin_at(delta_vth, Sram6T::read_bias, self.config.grid_points)
     }
 
     /// The paper's indicator function: `true` when the cell fails the
@@ -113,9 +165,18 @@ impl ReadStabilityBench {
     ///
     /// # Panics
     ///
-    /// Panics if `delta_vth.len() != 6`.
+    /// Panics on any [`EvalError`]; see [`Self::try_fails`].
     pub fn fails(&self, delta_vth: &[f64]) -> bool {
         self.read_noise_margin(delta_vth) < 0.0
+    }
+
+    /// Fallible indicator over physical threshold shifts.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    pub fn try_fails(&self, delta_vth: &[f64]) -> Result<bool, EvalError> {
+        Ok(self.try_read_noise_margin(delta_vth)? < 0.0)
     }
 
     /// Convenience for whitened coordinates: scales a standard-normal
@@ -125,10 +186,35 @@ impl ReadStabilityBench {
     ///
     /// # Panics
     ///
-    /// Panics if `x.len() != 6`.
+    /// Panics on any [`EvalError`] (wrong dimension, non-finite input);
+    /// see [`Self::try_fails_whitened`] for the typed-error variant.
     pub fn fails_whitened(&self, x: &[f64]) -> bool {
-        assert_eq!(x.len(), DIM, "whitened sample must have 6 components");
-        self.fails(&self.to_physical(x))
+        match self.try_fails_whitened(x) {
+            Ok(v) => v,
+            Err(e) => panic!("read-stability evaluation failed: {e}"),
+        }
+    }
+
+    /// Fallible whitened read-failure indicator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::DimensionMismatch`] when `x.len() != 6`,
+    /// [`EvalError::NonFinite`] for NaN/infinite samples or operating
+    /// points.
+    pub fn try_fails_whitened(&self, x: &[f64]) -> Result<bool, EvalError> {
+        self.try_fails_whitened_at(x, self.config.grid_points)
+    }
+
+    /// Whitened read-failure indicator at an explicit butterfly
+    /// resolution — the entry point retry ladders escalate through.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_fails_whitened`].
+    pub fn try_fails_whitened_at(&self, x: &[f64], grid_points: usize) -> Result<bool, EvalError> {
+        Self::check_input(x, "whitened sample")?;
+        Ok(self.try_margin_at(&self.to_physical(x), Sram6T::read_bias, grid_points)? < 0.0)
     }
 
     /// Hold (retention) noise margin \[V\]: word line low, so the access
@@ -137,12 +223,21 @@ impl ReadStabilityBench {
     ///
     /// # Panics
     ///
-    /// Panics if `delta_vth.len() != 6`.
+    /// Panics on any [`EvalError`]; see [`Self::try_hold_noise_margin`].
     pub fn hold_noise_margin(&self, delta_vth: &[f64]) -> f64 {
-        let cell = self.cell.with_delta_vth(delta_vth);
-        let bias = cell.hold_bias();
-        let butterfly = Butterfly::sample(&cell, &bias, self.config.grid_points);
-        read_noise_margin(&butterfly).rnm
+        match self.try_hold_noise_margin(delta_vth) {
+            Ok(m) => m,
+            Err(e) => panic!("hold-margin evaluation failed: {e}"),
+        }
+    }
+
+    /// Fallible hold noise margin.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    pub fn try_hold_noise_margin(&self, delta_vth: &[f64]) -> Result<f64, EvalError> {
+        self.try_margin_at(delta_vth, Sram6T::hold_bias, self.config.grid_points)
     }
 
     /// Write margin \[V\] for writing a "0" into node `Q` — an extension
@@ -157,12 +252,21 @@ impl ReadStabilityBench {
     ///
     /// # Panics
     ///
-    /// Panics if `delta_vth.len() != 6`.
+    /// Panics on any [`EvalError`]; see [`Self::try_write_margin`].
     pub fn write_margin(&self, delta_vth: &[f64]) -> f64 {
-        let cell = self.cell.with_delta_vth(delta_vth);
-        let bias = cell.write0_bias();
-        let butterfly = Butterfly::sample(&cell, &bias, self.config.grid_points);
-        -read_noise_margin(&butterfly).rnm
+        match self.try_write_margin(delta_vth) {
+            Ok(m) => m,
+            Err(e) => panic!("write-margin evaluation failed: {e}"),
+        }
+    }
+
+    /// Fallible write margin (see [`Self::write_margin`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    pub fn try_write_margin(&self, delta_vth: &[f64]) -> Result<f64, EvalError> {
+        Ok(-self.try_margin_at(delta_vth, Sram6T::write0_bias, self.config.grid_points)?)
     }
 
     /// Write-failure indicator in whitened coordinates (see
@@ -170,10 +274,37 @@ impl ReadStabilityBench {
     ///
     /// # Panics
     ///
-    /// Panics if `x.len() != 6`.
+    /// Panics on any [`EvalError`]; see
+    /// [`Self::try_write_fails_whitened`].
     pub fn write_fails_whitened(&self, x: &[f64]) -> bool {
-        assert_eq!(x.len(), DIM, "whitened sample must have 6 components");
-        self.write_margin(&self.to_physical(x)) < 0.0
+        match self.try_write_fails_whitened(x) {
+            Ok(v) => v,
+            Err(e) => panic!("write-stability evaluation failed: {e}"),
+        }
+    }
+
+    /// Fallible whitened write-failure indicator.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_fails_whitened`].
+    pub fn try_write_fails_whitened(&self, x: &[f64]) -> Result<bool, EvalError> {
+        self.try_write_fails_whitened_at(x, self.config.grid_points)
+    }
+
+    /// Whitened write-failure indicator at an explicit butterfly
+    /// resolution (the retry-ladder entry point).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_fails_whitened`].
+    pub fn try_write_fails_whitened_at(
+        &self,
+        x: &[f64],
+        grid_points: usize,
+    ) -> Result<bool, EvalError> {
+        Self::check_input(x, "whitened sample")?;
+        Ok(self.try_margin_at(&self.to_physical(x), Sram6T::write0_bias, grid_points)? > 0.0)
     }
 
     /// Scales a whitened vector back to physical threshold shifts \[V\].
@@ -279,10 +410,70 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "whitened sample must have 6 components")]
-    fn rejects_wrong_dimension() {
+    fn rejects_wrong_dimension_with_typed_error() {
         let bench = ReadStabilityBench::paper_cell();
-        let _ = bench.fails_whitened(&[0.0; 5]);
+        assert_eq!(
+            bench.try_fails_whitened(&[0.0; 5]),
+            Err(EvalError::DimensionMismatch {
+                expected: 6,
+                got: 5
+            })
+        );
+        assert_eq!(
+            bench.try_write_fails_whitened(&[0.0; 7]),
+            Err(EvalError::DimensionMismatch {
+                expected: 6,
+                got: 7
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_samples_with_typed_error() {
+        let bench = ReadStabilityBench::paper_cell();
+        let mut x = [0.0; 6];
+        x[3] = f64::NAN;
+        assert_eq!(
+            bench.try_fails_whitened(&x),
+            Err(EvalError::NonFinite {
+                context: "whitened sample"
+            })
+        );
+        x[3] = f64::INFINITY;
+        assert_eq!(
+            bench.try_read_noise_margin(&x),
+            Err(EvalError::NonFinite {
+                context: "threshold shifts"
+            })
+        );
+    }
+
+    #[test]
+    fn try_variants_match_panicking_variants_on_healthy_samples() {
+        let bench = ReadStabilityBench::paper_cell();
+        let x = [0.4, -0.7, 0.1, 0.0, -0.2, 0.5];
+        assert_eq!(bench.try_fails_whitened(&x), Ok(bench.fails_whitened(&x)));
+        let dv = [0.0, -0.02, 0.0, 0.02, 0.0, 0.0];
+        assert_eq!(
+            bench.try_read_noise_margin(&dv),
+            Ok(bench.read_noise_margin(&dv))
+        );
+        assert_eq!(bench.try_write_margin(&dv), Ok(bench.write_margin(&dv)));
+        assert_eq!(
+            bench.try_hold_noise_margin(&dv),
+            Ok(bench.hold_noise_margin(&dv))
+        );
+    }
+
+    #[test]
+    fn finer_grids_refine_the_margin_estimate() {
+        // The retry ladder escalates butterfly resolution; the verdict on
+        // a comfortably passing sample must not flip with the grid.
+        let bench = ReadStabilityBench::paper_cell();
+        let x = [0.1, -0.1, 0.0, 0.0, 0.0, 0.0];
+        let coarse = bench.try_fails_whitened_at(&x, 31).expect("coarse grid");
+        let fine = bench.try_fails_whitened_at(&x, 121).expect("fine grid");
+        assert_eq!(coarse, fine);
     }
 
     #[test]

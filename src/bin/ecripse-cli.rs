@@ -5,7 +5,7 @@
 //!                      [--tolerance R] [--seed S] [--threads T]
 //!                      [--report PATH] [--progress]
 //! ecripse-cli sweep    [--vdd V] [--points K] [--samples N] [--seed S] [--threads T]
-//!                      [--report PATH]
+//!                      [--report PATH] [--checkpoint PATH] [--resume] [--keep-going]
 //! ecripse-cli margin   [--vdd V] [--dvth v0,v1,v2,v3,v4,v5]
 //! ecripse-cli naive    [--vdd V] [--alpha A] [--no-rtn] [--samples N] [--seed S]
 //! ```
@@ -19,6 +19,12 @@
 //! layer"); for `sweep` the file holds the RDF-only reference report
 //! plus one report per duty point. `--progress` prints one
 //! human-readable line per pipeline event to stderr as the run advances.
+//!
+//! Long sweeps are fault-tolerant: `--checkpoint PATH` saves a versioned
+//! JSON snapshot after the shared initialisation and after every
+//! completed duty point, `--resume` reloads whatever that file already
+//! holds (a resumed sweep is bit-identical to an uninterrupted one), and
+//! `--keep-going` reports a failing point instead of aborting the sweep.
 //!
 //! Threshold shifts for `margin` are in volts, canonical device order
 //! `PL, NL, PR, NR, AL, AR`.
@@ -97,6 +103,8 @@ fn usage() {
          sweep     duty-ratio sweep with shared initialisation\n\
          \x20          --vdd V (0.7)  --points K (11)  --samples N (2000)  --seed S  --threads T\n\
          \x20          --report PATH (JSON reports, one per duty point)\n\
+         \x20          --checkpoint PATH (save progress per point)  --resume (reload checkpoint)\n\
+         \x20          --keep-going (report failed points instead of aborting)\n\
          margin    read/hold/write margins of one cell instance\n\
          \x20          --vdd V (0.7)  --dvth v0,v1,v2,v3,v4,v5 (volts)\n\
          naive     naive Monte Carlo reference\n\
@@ -193,24 +201,49 @@ fn run() -> Result<(), String> {
                 .map(|i| i as f64 / (points - 1) as f64)
                 .collect();
             let report_path: Option<String> = args.opt("report")?;
+            let options = SweepOptions {
+                checkpoint: args.opt::<String>("checkpoint")?.map(Into::into),
+                resume: args.flag("resume"),
+                keep_going: args.flag("keep-going"),
+            };
             let sweep = DutySweep::new(cfg, SramReadBench::at_vdd(vdd), alphas);
-            let (result, reports) = sweep.run_with_reports().map_err(|e| e.to_string())?;
-            if let Some(path) = report_path {
-                write_report_json(&path, &reports)?;
-            }
-            println!("{:<8} {:>12} {:>12}", "alpha", "P_fail", "ci95");
-            for p in &result.points {
-                println!(
-                    "{:<8} {:>12.4e} {:>12.2e}",
-                    p.alpha, p.p_fail, p.ci95_half_width
+            let run = sweep.run_resumable(&options).map_err(|e| e.to_string())?;
+            if run.points_from_checkpoint > 0 {
+                eprintln!(
+                    "resumed {} of {} points from checkpoint",
+                    run.points_from_checkpoint,
+                    run.outcomes.len()
                 );
             }
-            println!(
-                "rdf-only: {:.4e}   worst-case RTN degradation: {:.2}x   total sims: {}",
-                result.p_fail_rdf_only,
-                result.rtn_degradation_factor(),
-                result.total_simulations
-            );
+            let failed = run.failed_points();
+            println!("{:<8} {:>12} {:>12}", "alpha", "P_fail", "ci95");
+            for outcome in &run.outcomes {
+                match &outcome.result {
+                    Ok(p) => println!(
+                        "{:<8} {:>12.4e} {:>12.2e}",
+                        p.alpha, p.p_fail, p.ci95_half_width
+                    ),
+                    Err(e) => println!("{:<8} {:>12} {:>12}   {e}", outcome.alpha, "FAILED", "-"),
+                }
+            }
+            if failed == 0 {
+                let (result, reports) = run.into_parts().map_err(|e| e.to_string())?;
+                if let Some(path) = report_path {
+                    write_report_json(&path, &reports)?;
+                }
+                println!(
+                    "rdf-only: {:.4e}   worst-case RTN degradation: {:.2}x   total sims: {}",
+                    result.p_fail_rdf_only,
+                    result.rtn_degradation_factor(),
+                    result.total_simulations
+                );
+            } else {
+                println!(
+                    "rdf-only: {:.4e}   {failed} point(s) FAILED   total sims: {}",
+                    run.p_fail_rdf_only, run.total_simulations
+                );
+                return Err(format!("{failed} sweep point(s) failed"));
+            }
         }
         "margin" => {
             let dvth_str: String = args.get("dvth", "0,0,0,0,0,0".to_string())?;

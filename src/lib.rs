@@ -65,9 +65,14 @@ pub mod prelude {
     pub use ecripse_core::observe::{
         MultiObserver, NullObserver, Observer, ProgressObserver, RunRecorder, RunReport,
     };
+    pub use ecripse_core::retry::{RetryBench, RetryPolicy};
     pub use ecripse_core::rtn_source::{NoRtn, RtnSource, SramRtn};
-    pub use ecripse_core::sweep::{DutySweep, SweepPoint, SweepReports, SweepResult};
+    pub use ecripse_core::sweep::{
+        CheckpointError, DutySweep, PointOutcome, ResumableSweep, SweepBench, SweepError,
+        SweepOptions, SweepPoint, SweepReports, SweepResult,
+    };
     pub use ecripse_rtn::model::RtnCellModel;
+    pub use ecripse_spice::error::EvalError;
     pub use ecripse_spice::sram::{CellDevice, Sram6T};
     pub use ecripse_spice::testbench::ReadStabilityBench;
 }
