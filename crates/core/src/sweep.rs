@@ -244,6 +244,17 @@ pub enum SweepError {
     },
     /// The checkpoint file could not be used or written.
     Checkpoint(CheckpointError),
+    /// A cooperative stop was requested
+    /// ([`DutySweep::run_resumable_interruptible`]): in-flight points
+    /// were drained into the checkpoint and the remaining points were
+    /// skipped. Resume with [`SweepOptions::resume`] to continue.
+    Interrupted {
+        /// Points completed so far (this run and earlier checkpointed
+        /// runs combined).
+        completed: usize,
+        /// Points still pending when the stop was honoured.
+        remaining: usize,
+    },
 }
 
 impl std::fmt::Display for SweepError {
@@ -256,6 +267,14 @@ impl std::fmt::Display for SweepError {
                 source,
             } => write!(f, "sweep point {index} (alpha = {alpha}) failed: {source}"),
             SweepError::Checkpoint(e) => write!(f, "{e}"),
+            SweepError::Interrupted {
+                completed,
+                remaining,
+            } => write!(
+                f,
+                "sweep interrupted: {completed} point(s) complete, {remaining} pending; \
+                 checkpoint flushed — rerun with resume to continue"
+            ),
         }
     }
 }
@@ -265,6 +284,7 @@ impl std::error::Error for SweepError {
         match self {
             SweepError::Init(e) | SweepError::Point { source: e, .. } => Some(e),
             SweepError::Checkpoint(e) => Some(e),
+            SweepError::Interrupted { .. } => None,
         }
     }
 }
@@ -427,10 +447,14 @@ impl<B: SweepBench> DutySweep<B> {
         match self.run_resumable(&SweepOptions::default()) {
             Ok(run) => run.into_parts(),
             Err(SweepError::Init(e)) | Err(SweepError::Point { source: e, .. }) => Err(e),
-            // No checkpoint path is configured above, so checkpoint
-            // errors cannot occur on this path.
+            // No checkpoint path and no stop flag are configured above,
+            // so neither checkpoint errors nor interrupts can occur on
+            // this path.
             Err(SweepError::Checkpoint(e)) => {
                 panic!("checkpoint error without a checkpoint configured: {e}")
+            }
+            Err(e @ SweepError::Interrupted { .. }) => {
+                panic!("interrupt without a stop flag configured: {e}")
             }
         }
     }
@@ -450,6 +474,67 @@ impl<B: SweepBench> DutySweep<B> {
     /// initialisation or RDF-only reference fails; [`SweepError::Point`]
     /// when a point fails and [`SweepOptions::keep_going`] is off.
     pub fn run_resumable(&self, options: &SweepOptions) -> Result<ResumableSweep, SweepError> {
+        self.run_resumable_inner(options, None)
+    }
+
+    /// Like [`run_resumable`](DutySweep::run_resumable), but honouring a
+    /// cooperative stop flag (set it from a Ctrl-C handler or a service
+    /// shutdown path). The flag is checked before each not-yet-completed
+    /// point: points already in flight are *drained* — they finish and
+    /// are written to the checkpoint — while pending points are skipped.
+    /// When anything was skipped the call returns
+    /// [`SweepError::Interrupted`] after one final checkpoint flush, so
+    /// a later resume run continues bit-identically from where the stop
+    /// landed. A stop request that arrives after every point finished is
+    /// a no-op and the sweep completes normally.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run_resumable`](DutySweep::run_resumable) can
+    /// return, plus [`SweepError::Interrupted`] when the stop flag cut
+    /// the sweep short.
+    pub fn run_resumable_interruptible(
+        &self,
+        options: &SweepOptions,
+        stop: &std::sync::atomic::AtomicBool,
+    ) -> Result<ResumableSweep, SweepError> {
+        self.run_resumable_inner(options, Some(stop))
+    }
+
+    /// Primes `path` with an empty checkpoint describing this sweep
+    /// without running any estimation, so a later
+    /// [`SweepOptions::resume`] run can pick the sweep up from scratch.
+    /// An existing checkpoint that already belongs to this sweep is left
+    /// untouched (partial progress is preserved); a missing file, a
+    /// corrupt file or a foreign sweep's checkpoint is replaced by a
+    /// fresh one.
+    ///
+    /// Returns `true` when a fresh checkpoint was written and `false`
+    /// when a compatible one already existed.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Checkpoint`] when the sweep identity cannot be
+    /// fingerprinted or the file cannot be written.
+    pub fn ensure_checkpoint(&self, path: &Path) -> Result<bool, SweepError> {
+        let fingerprint = self.fingerprint()?;
+        if path.exists() {
+            if let Ok(existing) = load_checkpoint(path) {
+                if self.validate_checkpoint(&existing, &fingerprint).is_ok() {
+                    return Ok(false);
+                }
+            }
+        }
+        save_checkpoint(Some(path), &self.fresh_checkpoint(fingerprint))?;
+        Ok(true)
+    }
+
+    fn run_resumable_inner(
+        &self,
+        options: &SweepOptions,
+        stop: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Result<ResumableSweep, SweepError> {
+        use std::sync::atomic::Ordering;
         let fingerprint = self.fingerprint()?;
         let mut checkpoint = match (&options.checkpoint, options.resume) {
             (Some(path), true) if path.exists() => {
@@ -519,22 +604,27 @@ impl<B: SweepBench> DutySweep<B> {
         // map. Completed points are checkpointed as they finish, under a
         // mutex so the file is written consistently; the first write
         // error is surfaced after the sweep.
-        let shared_checkpoint = Mutex::new(&mut checkpoint);
         let save_error: Mutex<Option<CheckpointError>> = Mutex::new(None);
         let amortised = &amortised;
-        let outcomes: Vec<PointOutcome> = run_in_pool(self.config.threads, || {
+        // `None` marks a point skipped because the stop flag was raised
+        // before it started; in-flight points drain to completion.
+        let shared_checkpoint = Mutex::new(&mut checkpoint);
+        let outcomes: Vec<Option<PointOutcome>> = run_in_pool(self.config.threads, || {
             self.alphas
                 .par_iter()
                 .enumerate()
                 .map(|(k, &alpha)| {
                     if let Some(done) = shared_checkpoint.lock().points[k].clone() {
-                        return PointOutcome {
+                        return Some(PointOutcome {
                             index: k,
                             alpha,
                             result: Ok(done.point),
                             report: Some(done.report),
                             from_checkpoint: true,
-                        };
+                        });
+                    }
+                    if stop.is_some_and(|s| s.load(Ordering::SeqCst)) {
+                        return None;
                     }
                     let mut config = self.config;
                     // Decorrelate RNG streams across sweep points while
@@ -571,29 +661,44 @@ impl<B: SweepBench> DutySweep<B> {
                                     }
                                 }
                             }
-                            PointOutcome {
+                            Some(PointOutcome {
                                 index: k,
                                 alpha,
                                 result: Ok(point),
                                 report: Some(report),
                                 from_checkpoint: false,
-                            }
+                            })
                         }
-                        Err(e) => PointOutcome {
+                        Err(e) => Some(PointOutcome {
                             index: k,
                             alpha,
                             result: Err(e),
                             report: None,
                             from_checkpoint: false,
-                        },
+                        }),
                     }
                 })
                 .collect()
         });
 
+        // Release the `&mut checkpoint` borrow held by the mutex.
+        let _ = shared_checkpoint.into_inner();
         if let Some(e) = save_error.into_inner() {
             return Err(SweepError::Checkpoint(e));
         }
+        let skipped = outcomes.iter().filter(|o| o.is_none()).count();
+        if skipped > 0 {
+            // Make sure the drained state is on disk before reporting
+            // the interrupt (per-point saves already ran, but a final
+            // flush also covers the nothing-completed-yet case).
+            save_checkpoint(options.checkpoint.as_deref(), &checkpoint)?;
+            let completed = checkpoint.points.iter().filter(|p| p.is_some()).count();
+            return Err(SweepError::Interrupted {
+                completed,
+                remaining: skipped,
+            });
+        }
+        let outcomes: Vec<PointOutcome> = outcomes.into_iter().flatten().collect();
         if !options.keep_going {
             if let Some(failed) = outcomes.iter().find(|o| o.result.is_err()) {
                 if let Err(source) = &failed.result {

@@ -1,0 +1,259 @@
+//! A small blocking client for the service.
+//!
+//! One TCP connection per request (the server speaks
+//! `Connection: close`), JSON in, JSON out, typed errors. Used by
+//! `ecripse-cli submit` and the integration tests; it deliberately has
+//! no retry logic of its own — backpressure surfaces as
+//! [`ClientError::Busy`] with the server's `Retry-After` hint, and the
+//! caller decides.
+
+use crate::http;
+use crate::protocol::{
+    ApiError, Health, JobReport, JobStatus, Metrics, SubmitRequest, PROTOCOL_VERSION,
+};
+use serde::Deserialize;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Connecting, reading or writing the socket failed.
+    Io(String),
+    /// The queue is full; the server asked us to come back later.
+    Busy {
+        /// The server's `Retry-After` hint.
+        retry_after_seconds: u64,
+    },
+    /// The server answered with a non-2xx status.
+    Api {
+        /// HTTP status code.
+        status: u16,
+        /// Machine-readable error code from the body.
+        code: String,
+        /// Human-readable message from the body.
+        message: String,
+    },
+    /// The server's bytes did not parse as the expected protocol type.
+    Protocol(String),
+    /// [`Client::wait`] ran out of time.
+    Timeout {
+        /// The job that did not reach a terminal state in time.
+        id: u64,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Busy {
+                retry_after_seconds,
+            } => write!(f, "server busy; retry after {retry_after_seconds}s"),
+            ClientError::Api {
+                status,
+                code,
+                message,
+            } => write!(f, "server error {status} ({code}): {message}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Timeout { id } => write!(f, "timed out waiting for job {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<http::HttpError> for ClientError {
+    fn from(e: http::HttpError) -> Self {
+        match e {
+            http::HttpError::Io(m) => ClientError::Io(m),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// A blocking client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `"127.0.0.1:7878"`) with a 30 s
+    /// per-request socket timeout.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the per-request socket timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<http::RawResponse, ClientError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        http::write_request(&mut stream, method, path, body)?;
+        Ok(http::read_response(&mut stream)?)
+    }
+
+    fn expect_json<T: Deserialize>(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<T, ClientError> {
+        let (status, headers, text) = self.request(method, path, body)?;
+        if (200..300).contains(&status) {
+            return serde_json::from_str(&text)
+                .map_err(|e| ClientError::Protocol(format!("bad {path} response body: {e}")));
+        }
+        let error: Option<ApiError> = serde_json::from_str(&text).ok();
+        if status == 429 {
+            let retry_after_seconds = error
+                .as_ref()
+                .and_then(|e| e.retry_after_seconds)
+                .or_else(|| {
+                    headers
+                        .iter()
+                        .find(|(n, _)| n == "retry-after")
+                        .and_then(|(_, v)| v.parse().ok())
+                })
+                .unwrap_or(1);
+            return Err(ClientError::Busy {
+                retry_after_seconds,
+            });
+        }
+        let (code, message) = error
+            .map(|e| (e.error, e.message))
+            .unwrap_or_else(|| ("unknown".to_string(), text));
+        Err(ClientError::Api {
+            status,
+            code,
+            message,
+        })
+    }
+
+    /// Submits a job (`POST /v1/jobs`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Busy`] on backpressure, [`ClientError::Api`] on
+    /// rejection, plus the transport errors.
+    pub fn submit(&self, request: &SubmitRequest) -> Result<JobStatus, ClientError> {
+        let body = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("serialise submission: {e}")))?;
+        self.expect_json("POST", "/v1/jobs", Some(&body))
+    }
+
+    /// Fetches a job's lifecycle snapshot (`GET /v1/jobs/{id}`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn status(&self, id: u64) -> Result<JobStatus, ClientError> {
+        self.expect_json("GET", &format!("/v1/jobs/{id}"), None)
+    }
+
+    /// Fetches a terminal job's full report (`GET /v1/jobs/{id}/report`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with code `not_ready` while the job is
+    /// still queued or running.
+    pub fn report(&self, id: u64) -> Result<JobReport, ClientError> {
+        self.expect_json("GET", &format!("/v1/jobs/{id}/report"), None)
+    }
+
+    /// Cancels a queued job (`DELETE /v1/jobs/{id}`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with code `conflict` when the job already
+    /// started or finished.
+    pub fn cancel(&self, id: u64) -> Result<JobStatus, ClientError> {
+        self.expect_json("DELETE", &format!("/v1/jobs/{id}"), None)
+    }
+
+    /// Fetches `GET /healthz`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn health(&self) -> Result<Health, ClientError> {
+        self.expect_json("GET", "/healthz", None)
+    }
+
+    /// Checks the server speaks this client's protocol version.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on a version mismatch.
+    pub fn handshake(&self) -> Result<Health, ClientError> {
+        let health = self.health()?;
+        if health.protocol != PROTOCOL_VERSION {
+            return Err(ClientError::Protocol(format!(
+                "server speaks protocol {}, client speaks {PROTOCOL_VERSION}",
+                health.protocol
+            )));
+        }
+        Ok(health)
+    }
+
+    /// Fetches `GET /metrics`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn metrics(&self) -> Result<Metrics, ClientError> {
+        self.expect_json("GET", "/metrics", None)
+    }
+
+    /// Polls a job's status until it reaches a terminal state.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] when `timeout` elapses first; transport
+    /// errors pass through.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Result<JobStatus, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(id)?;
+            if status.state.is_terminal() {
+                return Ok(status);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout { id });
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// [`wait`](Client::wait), then fetch the report.
+    ///
+    /// # Errors
+    ///
+    /// See [`wait`](Client::wait) and [`report`](Client::report).
+    pub fn wait_for_report(&self, id: u64, timeout: Duration) -> Result<JobReport, ClientError> {
+        self.wait(id, timeout)?;
+        self.report(id)
+    }
+}

@@ -1,0 +1,317 @@
+//! A deliberately minimal HTTP/1.1 layer over `std::net`.
+//!
+//! The service speaks exactly the subset the protocol needs — one
+//! request per connection (`Connection: close`), JSON bodies sized by
+//! `Content-Length`, no chunked encoding, no keep-alive, no TLS. Both
+//! the server and the blocking [`client`](crate::client) are built on
+//! the readers/writers here, so the two ends cannot drift apart.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// A raw client-side response: status code, headers (names
+/// lower-cased) and body text.
+pub type RawResponse = (u16, Vec<(String, String)>, String);
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Largest accepted message body.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Request path, e.g. `/v1/jobs/3/report` (query strings are kept
+    /// verbatim; the protocol does not use them).
+    pub path: String,
+    /// Header name/value pairs in wire order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw message body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the named header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP response about to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+}
+
+/// Why reading a message failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Socket-level failure.
+    Io(String),
+    /// The bytes on the wire are not the HTTP subset we speak.
+    Malformed(String),
+    /// The head or body exceeds the configured limits.
+    TooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "http i/o error: {e}"),
+            HttpError::Malformed(e) => write!(f, "malformed http message: {e}"),
+            HttpError::TooLarge => write!(f, "http message exceeds size limits"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e.to_string())
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Reads bytes until the `\r\n\r\n` head terminator, returning
+/// `(head, leftover-body-bytes)`.
+fn read_head(stream: &mut TcpStream) -> Result<(String, Vec<u8>), HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(pos) = find_head_end(&buf) {
+            let head = String::from_utf8(buf[..pos].to_vec())
+                .map_err(|_| HttpError::Malformed("head is not utf-8".into()))?;
+            let rest = buf[pos + 4..].to_vec();
+            return Ok((head, rest));
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_headers(lines: std::str::Lines<'_>) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without colon: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+fn content_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
+    let Some((_, v)) = headers.iter().find(|(n, _)| n == "content-length") else {
+        return Ok(0);
+    };
+    let n: usize = v
+        .parse()
+        .map_err(|_| HttpError::Malformed(format!("bad content-length: {v:?}")))?;
+    if n > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    Ok(n)
+}
+
+fn read_body(
+    stream: &mut TcpStream,
+    mut body: Vec<u8>,
+    expected: usize,
+) -> Result<Vec<u8>, HttpError> {
+    body.truncate(body.len().min(expected));
+    let already = body.len();
+    body.resize(expected, 0);
+    if expected > already {
+        stream.read_exact(&mut body[already..])?;
+    }
+    Ok(body)
+}
+
+/// Reads and parses one request from the stream.
+///
+/// # Errors
+///
+/// [`HttpError`] on socket failure, malformed framing or a message that
+/// exceeds [`MAX_HEAD_BYTES`]/[`MAX_BODY_BYTES`].
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let (head, leftover) = read_head(stream)?;
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing path".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let headers = parse_headers(lines)?;
+    let expected = content_length(&headers)?;
+    let body = read_body(stream, leftover, expected)?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Writes a response and flushes. The connection is always marked
+/// `Connection: close`; the caller drops the stream afterwards.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len()
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes a client request (JSON body optional) and flushes.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<()> {
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: ecripse-serve\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads a response from the server side of the wire: status, headers
+/// (names lower-cased) and body.
+///
+/// # Errors
+///
+/// [`HttpError`] on socket failure or malformed framing.
+pub fn read_response(stream: &mut TcpStream) -> Result<RawResponse, HttpError> {
+    let (head, leftover) = read_head(stream)?;
+    let mut lines = head.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
+    let headers = parse_headers(lines)?;
+    let expected = content_length(&headers)?;
+    let body = read_body(stream, leftover, expected)?;
+    let body =
+        String::from_utf8(body).map_err(|_| HttpError::Malformed("body is not utf-8".into()))?;
+    Ok((status, headers, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn header_parsing_is_case_insensitive() {
+        let headers =
+            parse_headers("Content-Length: 12\r\nX-Thing: a:b".lines()).expect("valid headers");
+        assert_eq!(content_length(&headers).expect("length"), 12);
+        assert_eq!(headers[1], ("x-thing".into(), "a:b".into()));
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected() {
+        let headers = vec![("content-length".to_string(), "999999999999".to_string())];
+        assert_eq!(content_length(&headers), Err(HttpError::TooLarge));
+    }
+}

@@ -1,0 +1,434 @@
+//! The versioned JSON wire protocol.
+//!
+//! Every type here is a plain data carrier: flat structs of numbers,
+//! strings, `Option`s and the existing report types from
+//! `ecripse-core`. Enums cross the wire as snake_case strings (the
+//! [`Stage`](ecripse_core::observe::Stage) idiom), so the JSON stays
+//! self-describing and diffable. [`PROTOCOL_VERSION`] gates submissions:
+//! a client speaking a different protocol gets a `400` with code
+//! `protocol_mismatch` instead of a silently misinterpreted job.
+
+use ecripse_core::ecripse::EcripseConfig;
+use ecripse_core::observe::RunReport;
+use ecripse_core::oracle::OracleStats;
+use ecripse_core::sweep::{SweepPoint, SweepReports};
+use serde::{Deserialize, Serialize};
+
+/// Version of the wire protocol this build speaks. Bumped on any
+/// incompatible change to the types in this module.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// What kind of work a job performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// One failure-probability estimate (RDF-only or at one duty ratio).
+    Estimate,
+    /// A duty-ratio sweep sharing one initial particle set.
+    Sweep,
+}
+
+impl JobKind {
+    /// The snake_case wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Estimate => "estimate",
+            JobKind::Sweep => "sweep",
+        }
+    }
+}
+
+impl Serialize for JobKind {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::Value::String(self.name().to_owned())
+    }
+}
+
+impl Deserialize for JobKind {
+    fn from_value(value: &serde::json::Value) -> Option<Self> {
+        match value.as_str()? {
+            "estimate" => Some(JobKind::Estimate),
+            "sweep" => Some(JobKind::Sweep),
+            _ => None,
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished successfully; the report is available.
+    Completed,
+    /// Finished with an estimation error; see the status `error` field.
+    Failed,
+    /// Removed from the queue before it ran.
+    Cancelled,
+    /// A queued sweep persisted to a resumable checkpoint during
+    /// graceful shutdown instead of being executed.
+    Persisted,
+}
+
+impl JobState {
+    /// The snake_case wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Persisted => "persisted",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Cancelled | JobState::Persisted
+        )
+    }
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Serialize for JobState {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::Value::String(self.name().to_owned())
+    }
+}
+
+impl Deserialize for JobState {
+    fn from_value(value: &serde::json::Value) -> Option<Self> {
+        match value.as_str()? {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "completed" => Some(JobState::Completed),
+            "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
+            "persisted" => Some(JobState::Persisted),
+            _ => None,
+        }
+    }
+}
+
+/// What to estimate: the bias point, the duty ratio(s), the kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Estimate or sweep.
+    pub kind: JobKind,
+    /// Supply voltage the bench factory receives.
+    pub vdd: f64,
+    /// Duty ratio for an RTN-aware estimate; `None` = RDF-only.
+    /// Ignored for sweeps.
+    pub alpha: Option<f64>,
+    /// Duty-ratio grid for sweeps; required for [`JobKind::Sweep`],
+    /// forbidden for [`JobKind::Estimate`].
+    pub alphas: Option<Vec<f64>>,
+}
+
+impl JobSpec {
+    /// An RDF-only (no RTN) estimate at the given supply.
+    pub fn rdf_only(vdd: f64) -> Self {
+        Self {
+            kind: JobKind::Estimate,
+            vdd,
+            alpha: None,
+            alphas: None,
+        }
+    }
+
+    /// An RTN-aware estimate at one duty ratio.
+    pub fn estimate(vdd: f64, alpha: f64) -> Self {
+        Self {
+            kind: JobKind::Estimate,
+            vdd,
+            alpha: Some(alpha),
+            alphas: None,
+        }
+    }
+
+    /// A duty-ratio sweep.
+    pub fn sweep(vdd: f64, alphas: Vec<f64>) -> Self {
+        Self {
+            kind: JobKind::Sweep,
+            vdd,
+            alpha: None,
+            alphas: Some(alphas),
+        }
+    }
+
+    /// Checks the spec for internal consistency before it is accepted
+    /// into the queue (so a worker can never panic on bad input).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.vdd.is_finite() || self.vdd <= 0.0 || self.vdd > 2.0 {
+            return Err(format!(
+                "vdd must be finite and in (0, 2] V, got {}",
+                self.vdd
+            ));
+        }
+        if let Some(alpha) = self.alpha {
+            if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) {
+                return Err(format!("alpha must be in [0, 1], got {alpha}"));
+            }
+        }
+        match self.kind {
+            JobKind::Estimate => {
+                if self.alphas.is_some() {
+                    return Err("estimate jobs take `alpha`, not `alphas`".into());
+                }
+            }
+            JobKind::Sweep => {
+                let Some(alphas) = &self.alphas else {
+                    return Err("sweep jobs require a non-empty `alphas` grid".into());
+                };
+                if alphas.is_empty() {
+                    return Err("sweep jobs require a non-empty `alphas` grid".into());
+                }
+                if alphas
+                    .iter()
+                    .any(|a| !a.is_finite() || !(0.0..=1.0).contains(a))
+                {
+                    return Err("every sweep alpha must be in [0, 1]".into());
+                }
+                if self.alpha.is_some() {
+                    return Err("sweep jobs take `alphas`, not `alpha`".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A job submission: protocol version, full estimator configuration and
+/// the work spec. The config travels verbatim — the served run uses
+/// exactly the seed, sample counts and cache/retry settings submitted,
+/// which is what makes served results bit-identical to direct calls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitRequest {
+    /// Must equal [`PROTOCOL_VERSION`].
+    pub protocol: u32,
+    /// Full estimator configuration (seed included).
+    pub config: EcripseConfig,
+    /// What to run.
+    pub job: JobSpec,
+}
+
+impl SubmitRequest {
+    /// A submission speaking this build's protocol version.
+    pub fn new(config: EcripseConfig, job: JobSpec) -> Self {
+        Self {
+            protocol: PROTOCOL_VERSION,
+            config,
+            job,
+        }
+    }
+}
+
+/// A job's lifecycle snapshot (`POST /v1/jobs`, `GET /v1/jobs/{id}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// Server-assigned job id.
+    pub id: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Position in the queue while [`JobState::Queued`] (0 = next).
+    pub queue_position: Option<u64>,
+    /// Error description for [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+/// A completed estimate's numbers plus its full structured report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimateOutcome {
+    /// Failure-probability estimate.
+    pub p_fail: f64,
+    /// 95 % confidence half-width.
+    pub ci95_half_width: f64,
+    /// Transistor-level simulations spent.
+    pub simulations: u64,
+    /// Importance samples drawn in stage 2.
+    pub is_samples: u64,
+    /// The schema-v2 run report, bit-identical (timings aside) to the
+    /// report of the equivalent direct library call.
+    pub report: RunReport,
+}
+
+/// A completed sweep's numbers plus all structured reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// RDF-only reference failure probability.
+    pub p_fail_rdf_only: f64,
+    /// Its CI half-width.
+    pub rdf_only_ci95: f64,
+    /// Simulations spent on the shared initialisation.
+    pub init_simulations: u64,
+    /// Total simulations across the sweep.
+    pub total_simulations: u64,
+    /// Per-α results in sweep order.
+    pub points: Vec<SweepPoint>,
+    /// Per-point and reference reports.
+    pub reports: SweepReports,
+}
+
+/// The full result document (`GET /v1/jobs/{id}/report`). Exactly one
+/// of `estimate`/`sweep` is populated for completed jobs; failed jobs
+/// carry neither and describe the failure in `error`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobReport {
+    /// Job id.
+    pub id: u64,
+    /// Terminal state the job reached.
+    pub state: JobState,
+    /// Error description for failed jobs.
+    pub error: Option<String>,
+    /// Estimate outcome, for completed [`JobKind::Estimate`] jobs.
+    pub estimate: Option<EstimateOutcome>,
+    /// Sweep outcome, for completed [`JobKind::Sweep`] jobs.
+    pub sweep: Option<SweepOutcome>,
+}
+
+/// The JSON body of every non-2xx response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiError {
+    /// Machine-readable error code (`queue_full`, `unknown_job`,
+    /// `protocol_mismatch`, `invalid_job`, `not_ready`, `bad_request`,
+    /// `shutting_down`, `conflict`, `not_found`, `method_not_allowed`,
+    /// `internal`).
+    pub error: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Backpressure hint mirrored from the `Retry-After` header, for
+    /// `429` responses.
+    pub retry_after_seconds: Option<u64>,
+}
+
+impl ApiError {
+    /// A new error body without a retry hint.
+    pub fn new(error: &str, message: impl Into<String>) -> Self {
+        Self {
+            error: error.to_string(),
+            message: message.into(),
+            retry_after_seconds: None,
+        }
+    }
+}
+
+/// The `GET /healthz` body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Health {
+    /// `"ok"` while accepting, `"draining"` during graceful shutdown.
+    pub status: String,
+    /// Protocol version the server speaks.
+    pub protocol: u32,
+}
+
+/// The `GET /metrics` body: queue, worker, job and cache counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: u64,
+    /// Bound of the queue.
+    pub queue_capacity: u64,
+    /// Jobs currently executing.
+    pub in_flight: u64,
+    /// Size of the worker pool.
+    pub workers: u64,
+    /// Jobs ever accepted.
+    pub submitted: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs finished with an estimation error.
+    pub failed: u64,
+    /// Jobs cancelled before running.
+    pub cancelled: u64,
+    /// Queued sweeps persisted to checkpoints during shutdown.
+    pub persisted: u64,
+    /// Submissions bounced with `429`.
+    pub rejected: u64,
+    /// Entries resident in the process-wide verdict cache.
+    pub cache_entries: u64,
+    /// Verdict-cache hits since startup.
+    pub cache_hits: u64,
+    /// Verdict-cache misses since startup.
+    pub cache_misses: u64,
+    /// Hit fraction, absent until the cache has seen traffic.
+    pub cache_hit_rate: Option<f64>,
+    /// Oracle statistics summed over every completed job (classified /
+    /// simulated / retrains / retries / quarantined, …).
+    pub oracle: OracleStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enums_round_trip_as_snake_case() {
+        for kind in [JobKind::Estimate, JobKind::Sweep] {
+            let v = kind.to_value();
+            assert_eq!(JobKind::from_value(&v), Some(kind));
+        }
+        for state in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Completed,
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::Persisted,
+        ] {
+            let v = state.to_value();
+            assert_eq!(v.as_str(), Some(state.name()));
+            assert_eq!(JobState::from_value(&v), Some(state));
+        }
+        assert!(JobState::from_value(&serde::json::Value::String("nope".into())).is_none());
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Completed.is_terminal());
+        assert!(JobState::Persisted.is_terminal());
+    }
+
+    #[test]
+    fn spec_validation_catches_inconsistencies() {
+        assert!(JobSpec::rdf_only(1.0).validate().is_ok());
+        assert!(JobSpec::estimate(1.0, 0.3).validate().is_ok());
+        assert!(JobSpec::sweep(1.0, vec![0.0, 0.5, 1.0]).validate().is_ok());
+
+        assert!(JobSpec::rdf_only(f64::NAN).validate().is_err());
+        assert!(JobSpec::rdf_only(-0.5).validate().is_err());
+        assert!(JobSpec::estimate(1.0, 1.5).validate().is_err());
+        assert!(JobSpec::sweep(1.0, vec![]).validate().is_err());
+        assert!(JobSpec::sweep(1.0, vec![0.5, 2.0]).validate().is_err());
+
+        let mut mixed = JobSpec::estimate(1.0, 0.3);
+        mixed.alphas = Some(vec![0.1]);
+        assert!(mixed.validate().is_err());
+        let mut mixed = JobSpec::sweep(1.0, vec![0.1]);
+        mixed.alpha = Some(0.2);
+        assert!(mixed.validate().is_err());
+    }
+
+    #[test]
+    fn submit_request_uses_current_protocol() {
+        let req = SubmitRequest::new(EcripseConfig::default(), JobSpec::rdf_only(1.0));
+        assert_eq!(req.protocol, PROTOCOL_VERSION);
+        let json = serde_json::to_string(&req).expect("serialise");
+        let back: SubmitRequest = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, req);
+    }
+}

@@ -1,0 +1,743 @@
+//! The estimation server: bounded queue, fixed worker pool,
+//! backpressure and graceful drain.
+//!
+//! # Endpoints
+//!
+//! | Method & path              | Purpose                                      |
+//! |----------------------------|----------------------------------------------|
+//! | `POST /v1/jobs`            | Submit a [`SubmitRequest`]; `202` + status   |
+//! | `GET /v1/jobs/{id}`        | Lifecycle snapshot ([`JobStatus`])           |
+//! | `GET /v1/jobs/{id}/report` | Full [`JobReport`] once terminal             |
+//! | `DELETE /v1/jobs/{id}`     | Cancel a queued job                          |
+//! | `GET /healthz`             | Liveness + protocol version                  |
+//! | `GET /metrics`             | Queue/worker/job/cache counters              |
+//!
+//! # Backpressure
+//!
+//! The queue is bounded ([`ServeConfig::queue_capacity`]). A submission
+//! against a full queue is bounced with `429 Too Many Requests`, a
+//! `Retry-After` header and the same hint in the JSON body; the hint is
+//! an exponentially smoothed estimate of how long the backlog needs to
+//! clear one slot. Nothing is ever silently dropped once accepted.
+//!
+//! # Graceful shutdown
+//!
+//! [`Server::shutdown`] stops accepting (new submissions get `503`),
+//! lets in-flight jobs run to completion, persists still-queued sweep
+//! jobs as resumable checkpoints in the spool directory (state
+//! [`JobState::Persisted`]) via the existing core checkpoint machinery,
+//! cancels still-queued estimates, and joins every thread.
+
+use crate::http::{self, Request, Response};
+use crate::protocol::{
+    ApiError, EstimateOutcome, Health, JobKind, JobReport, JobSpec, JobState, JobStatus, Metrics,
+    SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
+};
+use crate::shared::{tag_for, SharedBench, VerdictCache};
+use ecripse_core::cache::MemoCacheConfig;
+use ecripse_core::ecripse::{Ecripse, EcripseConfig};
+use ecripse_core::observe::RunRecorder;
+use ecripse_core::oracle::OracleStats;
+use ecripse_core::rtn_source::SramRtn;
+use ecripse_core::sweep::{DutySweep, SweepBench, SweepOptions};
+use ecripse_core::SramReadBench;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Service settings.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bound of the pending-job queue (in-flight jobs excluded).
+    pub queue_capacity: usize,
+    /// Directory for sweep checkpoints: running sweeps checkpoint into
+    /// it as they go, and graceful shutdown persists still-queued
+    /// sweeps there. `None` disables both.
+    pub spool: Option<PathBuf>,
+    /// Process-wide verdict-cache settings (grid quantum, shards,
+    /// enabled flag).
+    pub cache: MemoCacheConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 16,
+            spool: None,
+            cache: MemoCacheConfig::default(),
+        }
+    }
+}
+
+/// What [`Server::shutdown`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownSummary {
+    /// Jobs that were in flight when the drain started and ran to
+    /// completion.
+    pub drained: u64,
+    /// Queued sweep jobs persisted as resumable checkpoints.
+    pub persisted: u64,
+    /// Queued jobs cancelled (estimates, or sweeps without a spool).
+    pub cancelled: u64,
+}
+
+/// A finished job's payload.
+enum JobOutput {
+    Estimate(EstimateOutcome),
+    Sweep(SweepOutcome),
+}
+
+/// Everything the server remembers about one job.
+struct JobRecord {
+    spec: JobSpec,
+    config: EcripseConfig,
+    state: JobState,
+    error: Option<String>,
+    output: Option<JobOutput>,
+}
+
+/// Queue and job-table state behind one lock.
+struct QueueState {
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, JobRecord>,
+    next_id: u64,
+    in_flight: u64,
+    draining: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    persisted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Locks the queue state, recovering from lock poisoning (a panicking
+/// job is already downgraded to a failure before the lock is taken, so
+/// a poisoned guard still holds consistent state).
+fn lock_state<B>(shared: &Shared<B>) -> std::sync::MutexGuard<'_, QueueState> {
+    shared
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct Shared<B> {
+    config: ServeConfig,
+    factory: Box<dyn Fn(f64) -> B + Send + Sync>,
+    cache: Arc<VerdictCache>,
+    state: std::sync::Mutex<QueueState>,
+    work_ready: std::sync::Condvar,
+    counters: Counters,
+    oracle_totals: Mutex<OracleStats>,
+    /// Smoothed seconds-per-job, feeding the `Retry-After` hint.
+    ewma_job_seconds: Mutex<f64>,
+    stop_accepting: AtomicBool,
+}
+
+/// The estimation service. Generic over the bench the factory builds,
+/// so the integration tests can serve synthetic benches; the default is
+/// the paper's read-stability cell at the requested supply.
+pub struct Server<B: SweepBench + 'static = SramReadBench> {
+    shared: Arc<Shared<B>>,
+    addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server<SramReadBench> {
+    /// Binds the paper-cell service: each job's bench is
+    /// [`SramReadBench::at_vdd`] of the job's supply voltage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
+        Self::bind_with(addr, config, SramReadBench::at_vdd)
+    }
+}
+
+impl<B: SweepBench + 'static> Server<B> {
+    /// Binds a service whose per-job bench comes from `factory(vdd)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+        factory: impl Fn(f64) -> B + Send + Sync + 'static,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            cache: Arc::new(VerdictCache::new(config.cache)),
+            config,
+            factory: Box::new(factory),
+            state: std::sync::Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                next_id: 1,
+                in_flight: 0,
+                draining: false,
+            }),
+            work_ready: std::sync::Condvar::new(),
+            counters: Counters::default(),
+            oracle_totals: Mutex::new(OracleStats::default()),
+            ewma_job_seconds: Mutex::new(1.0),
+            stop_accepting: AtomicBool::new(false),
+        });
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Self {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The process-wide verdict cache.
+    pub fn cache(&self) -> &Arc<VerdictCache> {
+        &self.shared.cache
+    }
+
+    /// Current service metrics (the `GET /metrics` document).
+    pub fn metrics(&self) -> Metrics {
+        collect_metrics(&self.shared)
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight jobs, persist
+    /// queued sweeps as resumable checkpoints (when a spool directory is
+    /// configured), cancel queued estimates, join every thread.
+    pub fn shutdown(mut self) -> ShutdownSummary {
+        self.shared.stop_accepting.store(true, Ordering::SeqCst);
+        let (drained, persisted, cancelled) = {
+            let mut state = lock_state(&self.shared);
+            state.draining = true;
+            let drained = state.in_flight;
+            let mut persisted = 0u64;
+            let mut cancelled = 0u64;
+            while let Some(id) = state.queue.pop_front() {
+                let Some(record) = state.jobs.get_mut(&id) else {
+                    continue;
+                };
+                if persist_queued_sweep(&self.shared, id, record) {
+                    record.state = JobState::Persisted;
+                    self.shared
+                        .counters
+                        .persisted
+                        .fetch_add(1, Ordering::Relaxed);
+                    persisted += 1;
+                } else {
+                    record.state = JobState::Cancelled;
+                    self.shared
+                        .counters
+                        .cancelled
+                        .fetch_add(1, Ordering::Relaxed);
+                    cancelled += 1;
+                }
+            }
+            (drained, persisted, cancelled)
+        };
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        ShutdownSummary {
+            drained,
+            persisted,
+            cancelled,
+        }
+    }
+}
+
+impl<B: SweepBench + 'static> Drop for Server<B> {
+    fn drop(&mut self) {
+        // `shutdown` consumed the handles; if the server is dropped
+        // without it, signal the threads so they exit instead of
+        // parking forever (they detach, nothing joins them).
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.shared.stop_accepting.store(true, Ordering::SeqCst);
+            lock_state(&self.shared).draining = true;
+            self.shared.work_ready.notify_all();
+        }
+    }
+}
+
+/// The checkpoint file a sweep job uses inside the spool directory.
+fn spool_path<B>(shared: &Shared<B>, id: u64) -> Option<PathBuf> {
+    shared
+        .config
+        .spool
+        .as_ref()
+        .map(|dir| dir.join(format!("job-{id}.json")))
+}
+
+/// Writes (or preserves) a resumable checkpoint for a queued sweep job
+/// during shutdown. Returns `false` when the job is not a sweep, no
+/// spool is configured, or the checkpoint could not be written.
+fn persist_queued_sweep<B: SweepBench>(shared: &Shared<B>, id: u64, record: &JobRecord) -> bool {
+    if record.spec.kind != JobKind::Sweep {
+        return false;
+    }
+    let Some(path) = spool_path(shared, id) else {
+        return false;
+    };
+    let Some(alphas) = record.spec.alphas.clone() else {
+        return false;
+    };
+    let bench = job_bench(shared, &record.spec);
+    let sweep = DutySweep::new(record.config, bench, alphas);
+    sweep.ensure_checkpoint(&path).is_ok()
+}
+
+/// The bench a job evaluates: the factory's bench for the job's supply,
+/// wrapped in the process-wide verdict cache. The tag namespaces
+/// verdicts by supply voltage; `at_alpha` (inside sweeps) further folds
+/// in the duty ratio.
+fn job_bench<B: SweepBench>(shared: &Shared<B>, spec: &JobSpec) -> SharedBench<B> {
+    SharedBench::new(
+        (shared.factory)(spec.vdd),
+        tag_for(&[spec.vdd.to_bits()]),
+        Arc::clone(&shared.cache),
+        shared.config.cache.enabled,
+    )
+}
+
+fn accept_loop<B: SweepBench + 'static>(listener: &TcpListener, shared: &Arc<Shared<B>>) {
+    loop {
+        if shared.stop_accepting.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection<B: SweepBench>(mut stream: TcpStream, shared: &Shared<B>) {
+    // Accepted sockets must block regardless of the listener's mode.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let response = match http::read_request(&mut stream) {
+        Ok(request) => route(shared, &request),
+        Err(e) => error_response(400, "bad_request", e.to_string()),
+    };
+    let _ = http::write_response(&mut stream, &response);
+}
+
+fn json_body<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|_| "{}".to_string())
+}
+
+fn error_response(status: u16, code: &str, message: impl Into<String>) -> Response {
+    Response::json(status, json_body(&ApiError::new(code, message)))
+}
+
+fn route<B: SweepBench>(shared: &Shared<B>, request: &Request) -> Response {
+    let path = request.path.trim_end_matches('/');
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["v1", "jobs"]) => submit(shared, &request.body),
+        ("GET", ["v1", "jobs", id]) => with_job_id(id, |id| status(shared, id)),
+        ("GET", ["v1", "jobs", id, "report"]) => with_job_id(id, |id| report(shared, id)),
+        ("DELETE", ["v1", "jobs", id]) => with_job_id(id, |id| cancel(shared, id)),
+        ("GET", ["healthz"]) => healthz(shared),
+        ("GET", ["metrics"]) => Response::json(200, json_body(&collect_metrics(shared))),
+        (_, ["v1", "jobs"] | ["v1", "jobs", ..] | ["healthz"] | ["metrics"]) => {
+            error_response(405, "method_not_allowed", "method not allowed on this path")
+        }
+        _ => error_response(404, "not_found", format!("no such path: {}", request.path)),
+    }
+}
+
+fn with_job_id(raw: &str, f: impl FnOnce(u64) -> Response) -> Response {
+    match raw.parse::<u64>() {
+        Ok(id) => f(id),
+        Err(_) => error_response(
+            400,
+            "bad_request",
+            format!("job id must be numeric: {raw:?}"),
+        ),
+    }
+}
+
+fn submit<B: SweepBench>(shared: &Shared<B>, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return error_response(400, "bad_request", "body is not utf-8");
+    };
+    let request: SubmitRequest = match serde_json::from_str(text) {
+        Ok(request) => request,
+        Err(e) => return error_response(400, "bad_request", format!("invalid submission: {e}")),
+    };
+    if request.protocol != PROTOCOL_VERSION {
+        return error_response(
+            400,
+            "protocol_mismatch",
+            format!(
+                "client speaks protocol {}, server speaks {PROTOCOL_VERSION}",
+                request.protocol
+            ),
+        );
+    }
+    if let Err(reason) = request.job.validate() {
+        return error_response(400, "invalid_job", reason);
+    }
+
+    let mut state = lock_state(shared);
+    if state.draining || shared.stop_accepting.load(Ordering::SeqCst) {
+        return error_response(
+            503,
+            "shutting_down",
+            "server is draining; resubmit elsewhere",
+        );
+    }
+    if state.queue.len() >= shared.config.queue_capacity {
+        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        let hint = retry_after_seconds(shared, &state);
+        let mut body = ApiError::new("queue_full", "job queue is full; retry later");
+        body.retry_after_seconds = Some(hint);
+        return Response::json(429, json_body(&body)).with_header("retry-after", hint.to_string());
+    }
+    let id = state.next_id;
+    state.next_id += 1;
+    state.jobs.insert(
+        id,
+        JobRecord {
+            spec: request.job,
+            config: request.config,
+            state: JobState::Queued,
+            error: None,
+            output: None,
+        },
+    );
+    state.queue.push_back(id);
+    let position = (state.queue.len() - 1) as u64;
+    drop(state);
+    shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+    shared.work_ready.notify_one();
+    Response::json(
+        202,
+        json_body(&JobStatus {
+            id,
+            state: JobState::Queued,
+            queue_position: Some(position),
+            error: None,
+        }),
+    )
+}
+
+/// Backpressure hint: smoothed seconds-per-job × backlog ÷ workers,
+/// clamped to `[1, 600]` seconds.
+fn retry_after_seconds<B>(shared: &Shared<B>, state: &QueueState) -> u64 {
+    let per_job = *shared.ewma_job_seconds.lock();
+    let backlog = (state.queue.len() as u64 + state.in_flight).max(1);
+    let workers = shared.config.workers.max(1) as f64;
+    let estimate = (per_job * backlog as f64 / workers).ceil();
+    (estimate as u64).clamp(1, 600)
+}
+
+fn job_status(state: &QueueState, id: u64) -> Option<JobStatus> {
+    let record = state.jobs.get(&id)?;
+    let queue_position = state
+        .queue
+        .iter()
+        .position(|&queued| queued == id)
+        .map(|p| p as u64);
+    Some(JobStatus {
+        id,
+        state: record.state,
+        queue_position,
+        error: record.error.clone(),
+    })
+}
+
+fn status<B>(shared: &Shared<B>, id: u64) -> Response {
+    match job_status(&lock_state(shared), id) {
+        Some(status) => Response::json(200, json_body(&status)),
+        None => error_response(404, "unknown_job", format!("no job {id}")),
+    }
+}
+
+fn report<B>(shared: &Shared<B>, id: u64) -> Response {
+    let state = lock_state(shared);
+    let Some(record) = state.jobs.get(&id) else {
+        return error_response(404, "unknown_job", format!("no job {id}"));
+    };
+    match record.state {
+        JobState::Completed | JobState::Failed => {
+            let mut report = JobReport {
+                id,
+                state: record.state,
+                error: record.error.clone(),
+                estimate: None,
+                sweep: None,
+            };
+            match &record.output {
+                Some(JobOutput::Estimate(outcome)) => report.estimate = Some(outcome.clone()),
+                Some(JobOutput::Sweep(outcome)) => report.sweep = Some(outcome.clone()),
+                None => {}
+            }
+            Response::json(200, json_body(&report))
+        }
+        state => error_response(
+            409,
+            "not_ready",
+            format!("job {id} is {state}; no report yet"),
+        ),
+    }
+}
+
+fn cancel<B>(shared: &Shared<B>, id: u64) -> Response {
+    let mut state = lock_state(shared);
+    let Some(record) = state.jobs.get(&id) else {
+        return error_response(404, "unknown_job", format!("no job {id}"));
+    };
+    match record.state {
+        JobState::Queued => {
+            state.queue.retain(|&queued| queued != id);
+            if let Some(record) = state.jobs.get_mut(&id) {
+                record.state = JobState::Cancelled;
+            }
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            let status = job_status(&state, id);
+            Response::json(200, json_body(&status))
+        }
+        JobState::Running => error_response(
+            409,
+            "conflict",
+            format!("job {id} is already running and cannot be cancelled"),
+        ),
+        state => error_response(409, "conflict", format!("job {id} is already {state}")),
+    }
+}
+
+fn healthz<B>(shared: &Shared<B>) -> Response {
+    let draining = shared.stop_accepting.load(Ordering::SeqCst) || lock_state(shared).draining;
+    Response::json(
+        200,
+        json_body(&Health {
+            status: if draining { "draining" } else { "ok" }.to_string(),
+            protocol: PROTOCOL_VERSION,
+        }),
+    )
+}
+
+fn collect_metrics<B>(shared: &Shared<B>) -> Metrics {
+    let (queue_depth, in_flight) = {
+        let state = lock_state(shared);
+        (state.queue.len() as u64, state.in_flight)
+    };
+    let c = &shared.counters;
+    Metrics {
+        queue_depth,
+        queue_capacity: shared.config.queue_capacity as u64,
+        in_flight,
+        workers: shared.config.workers.max(1) as u64,
+        submitted: c.submitted.load(Ordering::Relaxed),
+        completed: c.completed.load(Ordering::Relaxed),
+        failed: c.failed.load(Ordering::Relaxed),
+        cancelled: c.cancelled.load(Ordering::Relaxed),
+        persisted: c.persisted.load(Ordering::Relaxed),
+        rejected: c.rejected.load(Ordering::Relaxed),
+        cache_entries: shared.cache.len() as u64,
+        cache_hits: shared.cache.hits(),
+        cache_misses: shared.cache.misses(),
+        cache_hit_rate: shared.cache.hit_rate(),
+        oracle: *shared.oracle_totals.lock(),
+    }
+}
+
+fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
+    loop {
+        let (id, spec, config) = {
+            let mut state = lock_state(shared);
+            loop {
+                if let Some(id) = state.queue.pop_front() {
+                    state.in_flight += 1;
+                    let Some(record) = state.jobs.get_mut(&id) else {
+                        state.in_flight -= 1;
+                        continue;
+                    };
+                    record.state = JobState::Running;
+                    let job = (id, record.spec.clone(), record.config);
+                    break job;
+                }
+                if state.draining {
+                    return;
+                }
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let started = Instant::now();
+        let outcome = execute(shared, id, &spec, config);
+        let elapsed = started.elapsed().as_secs_f64();
+        {
+            let mut per_job = shared.ewma_job_seconds.lock();
+            *per_job = 0.7 * *per_job + 0.3 * elapsed;
+        }
+        let mut state = lock_state(shared);
+        state.in_flight -= 1;
+        if let Some(record) = state.jobs.get_mut(&id) {
+            match outcome {
+                Ok((output, oracle)) => {
+                    record.state = JobState::Completed;
+                    record.output = Some(output);
+                    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    add_oracle(&mut shared.oracle_totals.lock(), &oracle);
+                }
+                Err(message) => {
+                    record.state = JobState::Failed;
+                    record.error = Some(message);
+                    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+fn add_oracle(total: &mut OracleStats, delta: &OracleStats) {
+    total.classified += delta.classified;
+    total.simulated += delta.simulated;
+    total.uncertain_simulated += delta.uncertain_simulated;
+    total.retrains += delta.retrains;
+    total.cache_hits += delta.cache_hits;
+    total.cache_misses += delta.cache_misses;
+    total.retries += delta.retries;
+    total.quarantined += delta.quarantined;
+}
+
+/// Runs one job through the exact pipeline of a direct library call.
+/// Panics inside the estimation stack (dimension mismatches from exotic
+/// bench factories, …) are caught and reported as job failures so a bad
+/// job can never take a worker down.
+fn execute<B: SweepBench + 'static>(
+    shared: &Arc<Shared<B>>,
+    id: u64,
+    spec: &JobSpec,
+    config: EcripseConfig,
+) -> Result<(JobOutput, OracleStats), String> {
+    let shared = Arc::clone(shared);
+    let spec = spec.clone();
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        execute_inner(&shared, id, &spec, config)
+    }))
+    .unwrap_or_else(|panic| {
+        let message = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unknown panic".to_string());
+        Err(format!("job panicked: {message}"))
+    })
+}
+
+fn execute_inner<B: SweepBench + 'static>(
+    shared: &Shared<B>,
+    id: u64,
+    spec: &JobSpec,
+    config: EcripseConfig,
+) -> Result<(JobOutput, OracleStats), String> {
+    let bench = job_bench(shared, spec);
+    match spec.kind {
+        JobKind::Estimate => {
+            let recorder = RunRecorder::new();
+            let result = match spec.alpha {
+                None => Ecripse::new(config, bench)
+                    .estimate_observed(&recorder)
+                    .map_err(|e| e.to_string())?,
+                Some(alpha) => {
+                    let rtn = SramRtn::paper_model(alpha, bench.sigmas());
+                    Ecripse::with_rtn(config, bench, rtn)
+                        .estimate_observed(&recorder)
+                        .map_err(|e| e.to_string())?
+                }
+            };
+            let oracle = result.oracle_stats;
+            Ok((
+                JobOutput::Estimate(EstimateOutcome {
+                    p_fail: result.p_fail,
+                    ci95_half_width: result.ci95_half_width,
+                    simulations: result.simulations,
+                    is_samples: result.is_samples,
+                    report: recorder.into_report(),
+                }),
+                oracle,
+            ))
+        }
+        JobKind::Sweep => {
+            let alphas = spec.alphas.clone().unwrap_or_default();
+            let sweep = DutySweep::new(config, bench, alphas);
+            let options = SweepOptions {
+                checkpoint: spool_path(shared, id),
+                resume: true,
+                keep_going: false,
+            };
+            let run = sweep.run_resumable(&options).map_err(|e| e.to_string())?;
+            let (result, reports) = run.into_parts().map_err(|e| e.to_string())?;
+            // The job is done; its spool checkpoint has served its
+            // purpose.
+            if let Some(path) = spool_path(shared, id) {
+                let _ = std::fs::remove_file(path);
+            }
+            let mut oracle = OracleStats::default();
+            add_oracle(&mut oracle, &reports.rdf_only.oracle);
+            for point in &reports.points {
+                add_oracle(&mut oracle, &point.oracle);
+            }
+            Ok((
+                JobOutput::Sweep(SweepOutcome {
+                    p_fail_rdf_only: result.p_fail_rdf_only,
+                    rdf_only_ci95: result.rdf_only_ci95,
+                    init_simulations: result.init_simulations,
+                    total_simulations: result.total_simulations,
+                    points: result.points,
+                    reports,
+                }),
+                oracle,
+            ))
+        }
+    }
+}

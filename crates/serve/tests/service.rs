@@ -1,0 +1,411 @@
+//! End-to-end tests driving a real server on an ephemeral loopback
+//! port: the bit-identity contract (a served job equals the direct
+//! library call), backpressure (429 + `Retry-After`), the job
+//! lifecycle, and graceful shutdown (drain + persisted sweep
+//! checkpoints that resume bit-identically).
+
+use ecripse_core::bench::{LinearBench, Testbench};
+use ecripse_core::ecripse::{Ecripse, EcripseConfig};
+use ecripse_core::importance::ImportanceConfig;
+use ecripse_core::initial::InitialSearchConfig;
+use ecripse_core::rtn_source::SramRtn;
+use ecripse_core::sweep::{DutySweep, SweepBench, SweepOptions};
+use ecripse_serve::protocol::{JobSpec, JobState, SubmitRequest, PROTOCOL_VERSION};
+use ecripse_serve::{http, Client, ClientError, ServeConfig, Server};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn tiny_config(seed: u64) -> EcripseConfig {
+    EcripseConfig {
+        initial: InitialSearchConfig {
+            count: 12,
+            max_attempts: 2000,
+            ..InitialSearchConfig::default()
+        },
+        iterations: 3,
+        importance: ImportanceConfig {
+            n_samples: 250,
+            m_rtn: 4,
+            trace_every: 0,
+        },
+        m_rtn_stage1: 2,
+        seed,
+        ..EcripseConfig::default()
+    }
+}
+
+fn linear_bench() -> LinearBench {
+    LinearBench::new(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0], 3.5)
+}
+
+/// A bench whose evaluations block until the gate opens — the handle
+/// the backpressure and shutdown tests use to keep a job in flight.
+#[derive(Clone)]
+struct GateBench {
+    inner: LinearBench,
+    gate: Arc<AtomicBool>,
+}
+
+impl GateBench {
+    fn new(gate: Arc<AtomicBool>) -> Self {
+        Self {
+            inner: linear_bench(),
+            gate,
+        }
+    }
+}
+
+impl Testbench for GateBench {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn fails(&self, z: &[f64]) -> bool {
+        while !self.gate.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.inner.fails(z)
+    }
+}
+
+impl SweepBench for GateBench {
+    fn sigmas(&self) -> [f64; 6] {
+        SweepBench::sigmas(&self.inner)
+    }
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ecripse-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn wait_until_running(client: &Client, id: u64) {
+    for _ in 0..2000 {
+        let status = client.status(id).expect("status while waiting");
+        if status.state == JobState::Running {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("job {id} never started running");
+}
+
+#[test]
+fn served_jobs_are_bit_identical_to_direct_runs() {
+    let server = Server::bind_with("127.0.0.1:0", ServeConfig::default(), |_vdd| linear_bench())
+        .expect("bind");
+    let client = Client::new(server.local_addr().to_string());
+    client.handshake().expect("protocol handshake");
+
+    // RDF-only estimate, served twice: the second run hits the warm
+    // process-wide cache yet must return the exact same report.
+    let request = SubmitRequest::new(tiny_config(42), JobSpec::rdf_only(1.0));
+    let (direct_result, mut direct_report) = Ecripse::new(tiny_config(42), linear_bench())
+        .estimate_report()
+        .expect("direct estimate");
+    direct_report.strip_timings();
+    for round in 0..2 {
+        let submitted = client.submit(&request).expect("submit");
+        let report = client
+            .wait_for_report(submitted.id, WAIT)
+            .expect("served report");
+        assert_eq!(report.state, JobState::Completed);
+        let outcome = report.estimate.expect("estimate outcome");
+        assert_eq!(outcome.p_fail, direct_result.p_fail, "round {round}");
+        assert_eq!(outcome.ci95_half_width, direct_result.ci95_half_width);
+        assert_eq!(outcome.simulations, direct_result.simulations);
+        assert_eq!(outcome.is_samples, direct_result.is_samples);
+        let mut served_report = outcome.report;
+        served_report.strip_timings();
+        assert_eq!(
+            served_report, direct_report,
+            "served run must be bit-identical to the direct library call (round {round})"
+        );
+    }
+    assert!(
+        server.cache().hits() > 0,
+        "the second served run must hit the shared verdict cache"
+    );
+
+    // RTN-aware estimate at one duty ratio.
+    let request = SubmitRequest::new(tiny_config(7), JobSpec::estimate(1.0, 0.3));
+    let submitted = client.submit(&request).expect("submit rtn job");
+    let report = client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("served rtn report");
+    let outcome = report.estimate.expect("rtn outcome");
+    let rtn = SramRtn::paper_model(0.3, SweepBench::sigmas(&linear_bench()));
+    let direct = Ecripse::with_rtn(tiny_config(7), linear_bench(), rtn)
+        .estimate()
+        .expect("direct rtn estimate");
+    assert_eq!(outcome.p_fail, direct.p_fail);
+    assert_eq!(outcome.simulations, direct.simulations);
+
+    // Sweep job against the direct sweep driver.
+    let alphas = vec![0.0, 0.5, 1.0];
+    let request = SubmitRequest::new(tiny_config(9), JobSpec::sweep(1.0, alphas.clone()));
+    let submitted = client.submit(&request).expect("submit sweep");
+    let report = client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("served sweep report");
+    let outcome = report.sweep.expect("sweep outcome");
+    let direct = DutySweep::new(tiny_config(9), linear_bench(), alphas)
+        .run()
+        .expect("direct sweep");
+    assert_eq!(outcome.points, direct.points);
+    assert_eq!(outcome.p_fail_rdf_only, direct.p_fail_rdf_only);
+    assert_eq!(outcome.total_simulations, direct.total_simulations);
+
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.completed, 4);
+    assert_eq!(metrics.failed, 0);
+    assert!(metrics.cache_hits > 0);
+    assert!(metrics.oracle.simulated > 0);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_yields_429_with_retry_after() {
+    let gate = Arc::new(AtomicBool::new(false));
+    let factory_gate = Arc::clone(&gate);
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_with("127.0.0.1:0", config, move |_vdd| {
+        GateBench::new(Arc::clone(&factory_gate))
+    })
+    .expect("bind");
+    let client = Client::new(server.local_addr().to_string());
+
+    let request = SubmitRequest::new(tiny_config(1), JobSpec::rdf_only(1.0));
+    let first = client.submit(&request).expect("first job accepted");
+    wait_until_running(&client, first.id);
+    let second = client.submit(&request).expect("second job queued");
+    assert_eq!(second.queue_position, Some(0));
+
+    // Queue full: the typed client surfaces Busy with the server hint…
+    match client.submit(&request) {
+        Err(ClientError::Busy {
+            retry_after_seconds,
+        }) => assert!(retry_after_seconds >= 1),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    // …and on the raw wire it is a 429 with a Retry-After header.
+    let body = serde_json::to_string(&request).expect("serialise");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect for raw 429 check");
+    http::write_request(&mut stream, "POST", "/v1/jobs", Some(&body)).expect("write");
+    let (status, headers, _) = http::read_response(&mut stream).expect("read");
+    assert_eq!(status, 429);
+    let retry_after = headers
+        .iter()
+        .find(|(name, _)| name == "retry-after")
+        .map(|(_, value)| value.parse::<u64>().expect("numeric Retry-After"))
+        .expect("429 must carry a Retry-After header");
+    assert!(retry_after >= 1);
+
+    // Open the gate: the backlog drains and new submissions are
+    // accepted again.
+    gate.store(true, Ordering::SeqCst);
+    client.wait(first.id, WAIT).expect("first job finishes");
+    client.wait(second.id, WAIT).expect("second job finishes");
+    let third = client.submit(&request).expect("queue has space again");
+    client.wait(third.id, WAIT).expect("third job finishes");
+
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.rejected >= 2);
+    assert_eq!(metrics.completed, 3);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_and_persists_queued_sweeps() {
+    let spool = scratch_dir("spool");
+    let gate = Arc::new(AtomicBool::new(false));
+    let factory_gate = Arc::clone(&gate);
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 8,
+        spool: Some(spool.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_with("127.0.0.1:0", config, move |_vdd| {
+        GateBench::new(Arc::clone(&factory_gate))
+    })
+    .expect("bind");
+    let client = Client::new(server.local_addr().to_string());
+
+    // Job 1 runs (blocked on the gate), job 2 is a queued sweep, job 3
+    // a queued estimate.
+    let estimate = SubmitRequest::new(tiny_config(5), JobSpec::rdf_only(1.0));
+    let alphas = vec![0.0, 0.5, 1.0];
+    let sweep = SubmitRequest::new(tiny_config(6), JobSpec::sweep(1.0, alphas.clone()));
+    let running = client.submit(&estimate).expect("submit running job");
+    wait_until_running(&client, running.id);
+    let queued_sweep = client.submit(&sweep).expect("submit queued sweep");
+    let queued_estimate = client.submit(&estimate).expect("submit queued estimate");
+
+    // Open the gate shortly after the drain starts, then shut down.
+    let opener = {
+        let gate = Arc::clone(&gate);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(200));
+            gate.store(true, Ordering::SeqCst);
+        })
+    };
+    let summary = server.shutdown();
+    opener.join().expect("gate opener");
+    assert_eq!(summary.drained, 1, "the in-flight job must be drained");
+    assert_eq!(summary.persisted, 1, "the queued sweep must be persisted");
+    assert_eq!(summary.cancelled, 1, "the queued estimate is cancelled");
+    let _ = queued_estimate;
+
+    // The persisted checkpoint resumes bit-identically through the
+    // ordinary core sweep driver (the served config, the same grid).
+    let checkpoint = spool.join(format!("job-{}.json", queued_sweep.id));
+    assert!(checkpoint.exists(), "persisted sweep checkpoint missing");
+    let resumed = DutySweep::new(tiny_config(6), linear_bench(), alphas.clone())
+        .run_resumable(&SweepOptions {
+            checkpoint: Some(checkpoint),
+            resume: true,
+            keep_going: false,
+        })
+        .expect("resume persisted sweep");
+    let (resumed_result, _) = resumed.into_parts().expect("resumed parts");
+    let baseline = DutySweep::new(tiny_config(6), linear_bench(), alphas)
+        .run()
+        .expect("baseline sweep");
+    assert_eq!(
+        resumed_result, baseline,
+        "resuming the persisted checkpoint must be bit-identical"
+    );
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn job_lifecycle_cancel_and_errors() {
+    let gate = Arc::new(AtomicBool::new(false));
+    let factory_gate = Arc::clone(&gate);
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_with("127.0.0.1:0", config, move |_vdd| {
+        GateBench::new(Arc::clone(&factory_gate))
+    })
+    .expect("bind");
+    let client = Client::new(server.local_addr().to_string());
+    let request = SubmitRequest::new(tiny_config(3), JobSpec::rdf_only(1.0));
+
+    let running = client.submit(&request).expect("running job");
+    wait_until_running(&client, running.id);
+    let queued = client.submit(&request).expect("queued job");
+
+    // A queued job cancels cleanly; every later transition conflicts.
+    let cancelled = client.cancel(queued.id).expect("cancel queued job");
+    assert_eq!(cancelled.state, JobState::Cancelled);
+    match client.report(queued.id) {
+        Err(ClientError::Api {
+            status: 409, code, ..
+        }) => assert_eq!(code, "not_ready"),
+        other => panic!("expected 409 for a cancelled job's report, got {other:?}"),
+    }
+    match client.cancel(queued.id) {
+        Err(ClientError::Api {
+            status: 409, code, ..
+        }) => assert_eq!(code, "conflict"),
+        other => panic!("expected conflict on double cancel, got {other:?}"),
+    }
+    match client.cancel(running.id) {
+        Err(ClientError::Api { status: 409, .. }) => {}
+        other => panic!("expected conflict cancelling a running job, got {other:?}"),
+    }
+    // A running job's report is not ready yet.
+    match client.report(running.id) {
+        Err(ClientError::Api {
+            status: 409, code, ..
+        }) => assert_eq!(code, "not_ready"),
+        other => panic!("expected 409 for a running job's report, got {other:?}"),
+    }
+    // Unknown ids are 404s.
+    match client.status(999) {
+        Err(ClientError::Api {
+            status: 404, code, ..
+        }) => assert_eq!(code, "unknown_job"),
+        other => panic!("expected 404, got {other:?}"),
+    }
+    match client.report(999) {
+        Err(ClientError::Api { status: 404, .. }) => {}
+        other => panic!("expected 404, got {other:?}"),
+    }
+
+    gate.store(true, Ordering::SeqCst);
+    let done = client.wait(running.id, WAIT).expect("job finishes");
+    assert_eq!(done.state, JobState::Completed);
+    match client.cancel(running.id) {
+        Err(ClientError::Api { status: 409, .. }) => {}
+        other => panic!("expected conflict cancelling a completed job, got {other:?}"),
+    }
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.cancelled, 1);
+    assert_eq!(metrics.completed, 1);
+    server.shutdown();
+}
+
+#[test]
+fn protocol_and_routing_errors() {
+    let server = Server::bind_with("127.0.0.1:0", ServeConfig::default(), |_vdd| linear_bench())
+        .expect("bind");
+    let client = Client::new(server.local_addr().to_string());
+
+    // Wrong protocol version.
+    let mut request = SubmitRequest::new(tiny_config(1), JobSpec::rdf_only(1.0));
+    request.protocol = PROTOCOL_VERSION + 1;
+    match client.submit(&request) {
+        Err(ClientError::Api {
+            status: 400, code, ..
+        }) => assert_eq!(code, "protocol_mismatch"),
+        other => panic!("expected protocol_mismatch, got {other:?}"),
+    }
+
+    // Inconsistent job spec.
+    let request = SubmitRequest::new(tiny_config(1), JobSpec::estimate(1.0, 2.0));
+    match client.submit(&request) {
+        Err(ClientError::Api {
+            status: 400, code, ..
+        }) => assert_eq!(code, "invalid_job"),
+        other => panic!("expected invalid_job, got {other:?}"),
+    }
+
+    // Raw wire-level failures: garbage JSON, bad method, bad path.
+    let addr = server.local_addr();
+    let raw = |method: &str, path: &str, body: Option<&str>| -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        http::write_request(&mut stream, method, path, body).expect("write");
+        let (status, _, body) = http::read_response(&mut stream).expect("read");
+        (status, body)
+    };
+    let (status, body) = raw("POST", "/v1/jobs", Some("{ not json"));
+    assert_eq!(status, 400);
+    assert!(body.contains("bad_request"));
+    let (status, _) = raw("PUT", "/v1/jobs", None);
+    assert_eq!(status, 405);
+    let (status, _) = raw("GET", "/nope", None);
+    assert_eq!(status, 404);
+    let (status, _) = raw("GET", "/v1/jobs/not-a-number", None);
+    assert_eq!(status, 400);
+
+    let health = client.health().expect("healthz");
+    assert_eq!(health.status, "ok");
+    assert_eq!(health.protocol, PROTOCOL_VERSION);
+    server.shutdown();
+}

@@ -1,0 +1,255 @@
+//! Property tests: every wire type survives a JSON round-trip exactly.
+//!
+//! The vendored `serde_json` prints `f64`s in shortest-roundtrip form,
+//! so finite floats compare **bit-exactly** after
+//! serialise → parse → deserialise — the same guarantee the service
+//! relies on for its bit-identity contract.
+
+use ecripse_core::ecripse::EcripseConfig;
+use ecripse_core::observe::{RunReport, Stage, StageReport};
+use ecripse_core::oracle::OracleStats;
+use ecripse_core::sweep::{SweepPoint, SweepReports};
+use ecripse_serve::protocol::{
+    ApiError, EstimateOutcome, Health, JobReport, JobSpec, JobState, JobStatus, Metrics,
+    SubmitRequest, SweepOutcome,
+};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+fn roundtrip<T: Serialize + Deserialize>(value: &T) -> T {
+    let json = serde_json::to_string(value).expect("serialise");
+    serde_json::from_str(&json).expect("deserialise")
+}
+
+fn job_state(pick: u32) -> JobState {
+    match pick % 6 {
+        0 => JobState::Queued,
+        1 => JobState::Running,
+        2 => JobState::Completed,
+        3 => JobState::Failed,
+        4 => JobState::Cancelled,
+        _ => JobState::Persisted,
+    }
+}
+
+fn oracle_stats(counts: &[u64]) -> OracleStats {
+    OracleStats {
+        classified: counts[0],
+        simulated: counts[1],
+        uncertain_simulated: counts[2],
+        retrains: counts[3],
+        cache_hits: counts[4],
+        cache_misses: counts[5],
+        retries: counts[6],
+        quarantined: counts[7],
+    }
+}
+
+fn run_report(seed: u64, p_fail: f64, wall: f64, sims: u64, counts: &[u64]) -> RunReport {
+    RunReport {
+        seed,
+        threads: (seed % 9) as usize,
+        stages: vec![
+            StageReport {
+                stage: Stage::BoundarySearch,
+                wall_seconds: wall,
+                simulations: sims,
+            },
+            StageReport {
+                stage: Stage::ParticleFilter,
+                wall_seconds: wall * 3.0,
+                simulations: sims.saturating_mul(2),
+            },
+            StageReport {
+                stage: Stage::ImportanceSampling,
+                wall_seconds: wall / 7.0,
+                simulations: sims / 2,
+            },
+        ],
+        p_fail,
+        ci95_half_width: p_fail / 10.0,
+        simulations: sims,
+        is_samples: sims.saturating_mul(3),
+        effective_sample_size: p_fail * 100.0,
+        oracle: oracle_stats(counts),
+        ..RunReport::default()
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_job_spec_roundtrips(
+        is_sweep in proptest::bool::ANY,
+        vdd in 0.1f64..2.0,
+        has_alpha in proptest::bool::ANY,
+        alpha in 0.0f64..1.0,
+        alphas in proptest::collection::vec(0.0f64..1.0, 3),
+    ) {
+        let spec = if is_sweep {
+            JobSpec::sweep(vdd, alphas)
+        } else if has_alpha {
+            JobSpec::estimate(vdd, alpha)
+        } else {
+            JobSpec::rdf_only(vdd)
+        };
+        prop_assert_eq!(roundtrip(&spec), spec);
+    }
+
+    #[test]
+    fn prop_submit_request_roundtrips(
+        seed in 0u64..(1 << 53),
+        n_samples in 1usize..100_000,
+        iterations in 1usize..20,
+        alpha in 0.0f64..1.0,
+    ) {
+        let mut config = EcripseConfig {
+            seed,
+            iterations,
+            ..EcripseConfig::default()
+        };
+        config.importance.n_samples = n_samples;
+        let request = SubmitRequest::new(config, JobSpec::estimate(1.0, alpha));
+        prop_assert_eq!(roundtrip(&request), request);
+    }
+
+    #[test]
+    fn prop_job_status_roundtrips(
+        id in 0u64..(1 << 53),
+        pick in 0u32..6,
+        has_position in proptest::bool::ANY,
+        position in 0u64..10_000,
+        has_error in proptest::bool::ANY,
+    ) {
+        let status = JobStatus {
+            id,
+            state: job_state(pick),
+            queue_position: if has_position { Some(position) } else { None },
+            error: if has_error { Some(format!("boom #{id}")) } else { None },
+        };
+        prop_assert_eq!(roundtrip(&status), status);
+    }
+
+    #[test]
+    fn prop_estimate_report_roundtrips(
+        id in 0u64..(1 << 53),
+        seed in 0u64..(1 << 53),
+        p_fail in 1e-12f64..1.0,
+        wall in 0.0f64..100.0,
+        sims in 0u64..(1 << 50),
+        counts in proptest::collection::vec(0u64..(1 << 50), 8),
+    ) {
+        let report = run_report(seed, p_fail, wall, sims, &counts);
+        let outcome = EstimateOutcome {
+            p_fail,
+            ci95_half_width: p_fail / 3.0,
+            simulations: sims,
+            is_samples: sims * 2,
+            report,
+        };
+        let document = JobReport {
+            id,
+            state: JobState::Completed,
+            error: None,
+            estimate: Some(outcome),
+            sweep: None,
+        };
+        prop_assert_eq!(roundtrip(&document), document);
+    }
+
+    #[test]
+    fn prop_sweep_report_roundtrips(
+        id in 0u64..(1 << 53),
+        seed in 0u64..(1 << 53),
+        alphas in proptest::collection::vec(0.0f64..1.0, 3),
+        p_fails in proptest::collection::vec(1e-12f64..1.0, 4),
+        sims in 0u64..(1 << 50),
+        counts in proptest::collection::vec(0u64..(1 << 50), 8),
+    ) {
+        let points: Vec<SweepPoint> = alphas
+            .iter()
+            .zip(&p_fails)
+            .map(|(&alpha, &p_fail)| SweepPoint {
+                alpha,
+                p_fail,
+                ci95_half_width: p_fail / 5.0,
+                simulations: sims,
+            })
+            .collect();
+        let outcome = SweepOutcome {
+            p_fail_rdf_only: p_fails[3],
+            rdf_only_ci95: p_fails[3] / 4.0,
+            init_simulations: sims / 3,
+            total_simulations: sims,
+            points,
+            reports: SweepReports {
+                rdf_only: run_report(seed, p_fails[3], 0.5, sims, &counts),
+                points: p_fails[..3]
+                    .iter()
+                    .map(|&p| run_report(seed ^ 1, p, 0.25, sims / 2, &counts))
+                    .collect(),
+            },
+        };
+        let document = JobReport {
+            id,
+            state: JobState::Completed,
+            error: None,
+            estimate: None,
+            sweep: Some(outcome),
+        };
+        prop_assert_eq!(roundtrip(&document), document);
+    }
+
+    #[test]
+    fn prop_api_error_roundtrips(
+        code_pick in 0u32..4,
+        retry_pick in 0u32..3,
+        retry in 1u64..600,
+    ) {
+        let code = ["queue_full", "unknown_job", "conflict", "not_ready"][code_pick as usize];
+        let mut error = ApiError::new(code, format!("{code} happened"));
+        if retry_pick == 1 {
+            error.retry_after_seconds = Some(retry);
+        }
+        prop_assert_eq!(roundtrip(&error), error);
+    }
+
+    #[test]
+    fn prop_health_and_metrics_roundtrip(
+        protocol in 0u32..100,
+        draining in proptest::bool::ANY,
+        counts in proptest::collection::vec(0u64..(1 << 50), 8),
+        depth in 0u64..1000,
+        hits in 0u64..(1 << 50),
+        misses in 0u64..(1 << 50),
+    ) {
+        let health = Health {
+            status: if draining { "draining" } else { "ok" }.to_string(),
+            protocol,
+        };
+        prop_assert_eq!(roundtrip(&health), health);
+
+        let total = hits + misses;
+        let metrics = Metrics {
+            queue_depth: depth,
+            queue_capacity: depth + 1,
+            in_flight: depth / 2,
+            workers: 4,
+            submitted: counts[0],
+            completed: counts[1],
+            failed: counts[2],
+            cancelled: counts[3],
+            persisted: counts[4],
+            rejected: counts[5],
+            cache_entries: counts[6],
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if total > 0 {
+                Some(hits as f64 / total as f64)
+            } else {
+                None
+            },
+            oracle: oracle_stats(&counts),
+        };
+        prop_assert_eq!(roundtrip(&metrics), metrics);
+    }
+}

@@ -1,0 +1,74 @@
+//! Serving: run the estimation service in-process and submit two
+//! concurrent jobs.
+//!
+//! Binds an [`ecripse::serve::Server`] on an ephemeral loopback port,
+//! submits an RDF-only job and an RTN-aware job from two client
+//! threads, waits for both reports and prints them side by side. The
+//! two workers share one process-wide verdict cache, yet each report is
+//! bit-identical to the equivalent direct library call.
+//!
+//! ```sh
+//! cargo run --release --example service_client
+//! ```
+
+use ecripse::prelude::*;
+use ecripse::serve::protocol::EstimateOutcome;
+use std::time::Duration;
+
+fn submit_and_wait(addr: String, request: SubmitRequest) -> EstimateOutcome {
+    let client = Client::new(addr);
+    let submitted = client.submit(&request).expect("submit job");
+    println!("submitted job {} ({:?})", submitted.id, request.job.alpha);
+    let report = client
+        .wait_for_report(submitted.id, Duration::from_secs(600))
+        .expect("job report");
+    assert_eq!(report.state, JobState::Completed, "{:?}", report.error);
+    report.estimate.expect("estimate outcome")
+}
+
+fn main() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind service");
+    let addr = server.local_addr().to_string();
+    println!("service listening on http://{addr}");
+
+    let mut config = EcripseConfig::default();
+    config.importance.n_samples = 2_000;
+    let rdf_only = SubmitRequest::new(config, JobSpec::rdf_only(0.7));
+    let with_rtn = SubmitRequest::new(config, JobSpec::estimate(0.7, 0.5));
+
+    // Two clients race; the queue and worker pool sort it out.
+    let handles = [rdf_only, with_rtn].map(|request| {
+        let addr = addr.clone();
+        std::thread::spawn(move || submit_and_wait(addr, request))
+    });
+    let [rdf, rtn] = handles.map(|h| h.join().expect("client thread"));
+
+    println!("\n{:<24} {:>12} {:>12}", "", "rdf-only", "rtn α=0.5");
+    println!(
+        "{:<24} {:>12.3e} {:>12.3e}",
+        "P_fail", rdf.p_fail, rtn.p_fail
+    );
+    println!(
+        "{:<24} {:>12.2e} {:>12.2e}",
+        "ci95 half-width", rdf.ci95_half_width, rtn.ci95_half_width
+    );
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "simulations", rdf.simulations, rtn.simulations
+    );
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "classifier answers", rdf.report.oracle.classified, rtn.report.oracle.classified
+    );
+
+    let metrics = server.metrics();
+    println!(
+        "\nshared cache: {} entries, {} hits / {} misses across both jobs",
+        metrics.cache_entries, metrics.cache_hits, metrics.cache_misses
+    );
+    let summary = server.shutdown();
+    println!(
+        "graceful shutdown: {} drained, {} persisted, {} cancelled",
+        summary.drained, summary.persisted, summary.cancelled
+    );
+}

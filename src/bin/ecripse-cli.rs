@@ -4,10 +4,14 @@
 //! ecripse-cli estimate [--vdd V] [--alpha A] [--no-rtn] [--samples N]
 //!                      [--tolerance R] [--seed S] [--threads T]
 //!                      [--report PATH] [--progress]
-//! ecripse-cli sweep    [--vdd V] [--points K] [--samples N] [--seed S] [--threads T]
-//!                      [--report PATH] [--checkpoint PATH] [--resume] [--keep-going]
+//! ecripse-cli sweep    [--vdd V] [--points K] [--samples N] [--m-rtn M] [--seed S]
+//!                      [--threads T] [--report PATH] [--checkpoint PATH] [--resume]
+//!                      [--keep-going]
 //! ecripse-cli margin   [--vdd V] [--dvth v0,v1,v2,v3,v4,v5]
 //! ecripse-cli naive    [--vdd V] [--alpha A] [--no-rtn] [--samples N] [--seed S]
+//! ecripse-cli serve    [--addr HOST:PORT] [--workers W] [--queue Q] [--spool DIR]
+//! ecripse-cli submit   --addr HOST:PORT [--vdd V] [--alpha A] [--no-rtn]
+//!                      [--samples N] [--seed S] [--threads T] [--timeout SECS]
 //! ```
 //!
 //! `--threads 0` (the default) uses one worker per core; any other value
@@ -25,6 +29,15 @@
 //! completed duty point, `--resume` reloads whatever that file already
 //! holds (a resumed sweep is bit-identical to an uninterrupted one), and
 //! `--keep-going` reports a failing point instead of aborting the sweep.
+//! A checkpointed sweep also installs a Ctrl-C (SIGINT) handler: in-flight
+//! points drain, pending points are skipped, the checkpoint is flushed and
+//! the process exits non-zero — rerunning with `--resume` continues
+//! bit-identically.
+//!
+//! `serve` runs the [`ecripse::serve`] job-queue service until Ctrl-C,
+//! then shuts down gracefully (drains in-flight jobs, persists queued
+//! sweeps into `--spool DIR` as resumable checkpoints). `submit` sends
+//! one estimate job to a running server and waits for the result.
 //!
 //! Threshold shifts for `margin` are in volts, canonical device order
 //! `PL, NL, PR, NR, AL, AR`.
@@ -34,6 +47,44 @@ use ecripse::spice::butterfly::Butterfly;
 use ecripse::spice::snm::read_noise_margin;
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+/// SIGINT (Ctrl-C) latch shared by `serve` and checkpointed sweeps.
+///
+/// Hand-rolled `signal(2)` FFI instead of a crate dependency: the
+/// handler only stores into an `AtomicBool`, which is async-signal-safe.
+mod interrupt {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    #[allow(unsafe_code)]
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the latch as the process SIGINT handler.
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        #[allow(unsafe_code)]
+        unsafe {
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    /// The latch itself, for APIs that poll a stop flag.
+    pub fn flag() -> &'static AtomicBool {
+        &REQUESTED
+    }
+
+    /// Whether Ctrl-C has been pressed since [`install`].
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
 
 /// Minimal `--key value` / `--flag` parser.
 struct Args {
@@ -94,21 +145,28 @@ fn write_report_json<T: serde::Serialize>(path: &str, report: &T) -> Result<(), 
 
 fn usage() {
     eprintln!(
-        "usage: ecripse-cli <estimate|sweep|margin|naive> [options]\n\
+        "usage: ecripse-cli <estimate|sweep|margin|naive|serve|submit> [options]\n\
          \n\
          estimate  failure probability of the paper's 6T cell\n\
          \x20          --vdd V (0.7)  --alpha A (0.5)  --no-rtn\n\
          \x20          --samples N (4000)  --tolerance R  --seed S  --threads T (0=all cores)\n\
          \x20          --report PATH (JSON run report)  --progress (live stderr lines)\n\
          sweep     duty-ratio sweep with shared initialisation\n\
-         \x20          --vdd V (0.7)  --points K (11)  --samples N (2000)  --seed S  --threads T\n\
-         \x20          --report PATH (JSON reports, one per duty point)\n\
-         \x20          --checkpoint PATH (save progress per point)  --resume (reload checkpoint)\n\
+         \x20          --vdd V (0.7)  --points K (11)  --samples N (2000)  --m-rtn M (20)\n\
+         \x20          --seed S  --threads T  --report PATH (JSON reports, one per duty point)\n\
+         \x20          --checkpoint PATH (save progress per point; Ctrl-C flushes + exits)\n\
+         \x20          --resume (reload checkpoint)\n\
          \x20          --keep-going (report failed points instead of aborting)\n\
          margin    read/hold/write margins of one cell instance\n\
          \x20          --vdd V (0.7)  --dvth v0,v1,v2,v3,v4,v5 (volts)\n\
          naive     naive Monte Carlo reference\n\
-         \x20          --vdd V (0.7)  --alpha A  --no-rtn  --samples N (100000)  --seed S"
+         \x20          --vdd V (0.7)  --alpha A  --no-rtn  --samples N (100000)  --seed S\n\
+         serve     job-queue estimation service (runs until Ctrl-C)\n\
+         \x20          --addr HOST:PORT (127.0.0.1:7878)  --workers W (2)  --queue Q (16)\n\
+         \x20          --spool DIR (persist queued sweeps on shutdown)\n\
+         submit    send one estimate job to a running server and wait\n\
+         \x20          --addr HOST:PORT (required)  --vdd V (0.7)  --alpha A (0.5)  --no-rtn\n\
+         \x20          --samples N (4000)  --seed S  --threads T  --timeout SECS (600)"
     );
 }
 
@@ -194,7 +252,7 @@ fn run() -> Result<(), String> {
             let seed: u64 = args.get("seed", 0xec4155e)?;
             let mut cfg = EcripseConfig::default();
             cfg.importance.n_samples = samples;
-            cfg.importance.m_rtn = 20;
+            cfg.importance.m_rtn = args.get("m-rtn", 20)?;
             cfg.seed = seed;
             cfg.threads = args.get("threads", 0)?;
             let alphas: Vec<f64> = (0..points)
@@ -207,7 +265,20 @@ fn run() -> Result<(), String> {
                 keep_going: args.flag("keep-going"),
             };
             let sweep = DutySweep::new(cfg, SramReadBench::at_vdd(vdd), alphas);
-            let run = sweep.run_resumable(&options).map_err(|e| e.to_string())?;
+            // With a checkpoint configured, Ctrl-C drains in-flight
+            // points, flushes the checkpoint and exits non-zero.
+            let run = if options.checkpoint.is_some() {
+                interrupt::install();
+                sweep.run_resumable_interruptible(&options, interrupt::flag())
+            } else {
+                sweep.run_resumable(&options)
+            };
+            let run = match run {
+                Err(e @ SweepError::Interrupted { .. }) => {
+                    return Err(e.to_string());
+                }
+                other => other.map_err(|e| e.to_string())?,
+            };
             if run.points_from_checkpoint > 0 {
                 eprintln!(
                     "resumed {} of {} points from checkpoint",
@@ -306,6 +377,77 @@ fn run() -> Result<(), String> {
                 result.interval.hi,
                 result.failures,
                 result.simulations
+            );
+        }
+        "serve" => {
+            let addr: String = args.get("addr", "127.0.0.1:7878".to_string())?;
+            let config = ServeConfig {
+                workers: args.get("workers", 2)?,
+                queue_capacity: args.get("queue", 16)?,
+                spool: args.opt::<String>("spool")?.map(Into::into),
+                ..ServeConfig::default()
+            };
+            let workers = config.workers.max(1);
+            let server = Server::bind(&addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
+            // The test harness parses this line to discover the port
+            // (stdout is line-buffered even when piped).
+            println!("listening on http://{}", server.local_addr());
+            println!("{workers} worker(s); press Ctrl-C to drain and shut down");
+            interrupt::install();
+            while !interrupt::requested() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            eprintln!("shutting down: draining in-flight jobs...");
+            let summary = server.shutdown();
+            println!(
+                "shutdown complete: {} drained, {} persisted, {} cancelled",
+                summary.drained, summary.persisted, summary.cancelled
+            );
+        }
+        "submit" => {
+            let Some(addr) = args.opt::<String>("addr")? else {
+                return Err("submit requires --addr HOST:PORT".into());
+            };
+            let mut cfg = EcripseConfig::default();
+            cfg.importance.n_samples = args.get("samples", 4000)?;
+            cfg.seed = args.get("seed", 0xec4155e)?;
+            cfg.threads = args.get("threads", 0)?;
+            let job = if args.flag("no-rtn") {
+                cfg.importance.m_rtn = 1;
+                cfg.m_rtn_stage1 = 1;
+                JobSpec::rdf_only(vdd)
+            } else {
+                JobSpec::estimate(vdd, args.get("alpha", 0.5)?)
+            };
+            let timeout = std::time::Duration::from_secs(args.get("timeout", 600)?);
+            let client = Client::new(addr.clone())
+                .with_timeout(timeout.min(std::time::Duration::from_secs(30)));
+            client.handshake().map_err(|e| format!("{addr}: {e}"))?;
+            let submitted = client
+                .submit(&SubmitRequest::new(cfg, job))
+                .map_err(|e| e.to_string())?;
+            println!("job {} accepted (state: {})", submitted.id, submitted.state);
+            let report = client
+                .wait_for_report(submitted.id, timeout)
+                .map_err(|e| e.to_string())?;
+            if report.state != JobState::Completed {
+                return Err(format!(
+                    "job {} finished as {}: {}",
+                    report.id,
+                    report.state,
+                    report.error.unwrap_or_else(|| "no error recorded".into())
+                ));
+            }
+            let outcome = report
+                .estimate
+                .ok_or_else(|| "completed job carried no estimate outcome".to_string())?;
+            println!(
+                "P_fail = {:.4e} ± {:.2e}",
+                outcome.p_fail, outcome.ci95_half_width
+            );
+            println!(
+                "cost: {} transistor-level simulations, {} importance samples",
+                outcome.simulations, outcome.is_samples
             );
         }
         "help" | "--help" | "-h" => usage(),

@@ -20,7 +20,11 @@
 //!   paper's baselines (naive MC, sequential importance sampling,
 //!   mean-shift IS, statistical blockade) and an observability layer
 //!   that turns every run into a structured
-//!   [`RunReport`](ecripse_core::observe::RunReport).
+//!   [`RunReport`](ecripse_core::observe::RunReport);
+//! * [`serve`] — a job-queue estimation service over plain TCP: a
+//!   bounded queue, a fixed worker pool sharing one process-wide
+//!   verdict cache, a versioned JSON wire protocol and a blocking
+//!   client. Served runs are bit-identical to direct library calls.
 //!
 //! ## Quick start
 //!
@@ -49,6 +53,7 @@
 
 pub use ecripse_core as core;
 pub use ecripse_rtn as rtn;
+pub use ecripse_serve as serve;
 pub use ecripse_spice as spice;
 pub use ecripse_stats as stats;
 pub use ecripse_svm as svm;
@@ -72,6 +77,9 @@ pub mod prelude {
         SweepOptions, SweepPoint, SweepReports, SweepResult,
     };
     pub use ecripse_rtn::model::RtnCellModel;
+    pub use ecripse_serve::{
+        Client, ClientError, JobSpec, JobState, ServeConfig, Server, SubmitRequest,
+    };
     pub use ecripse_spice::error::EvalError;
     pub use ecripse_spice::sram::{CellDevice, Sram6T};
     pub use ecripse_spice::testbench::ReadStabilityBench;

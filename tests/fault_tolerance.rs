@@ -171,3 +171,76 @@ fn corrupt_checkpoints_are_rejected_not_misread() {
     ));
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn stop_flag_interrupt_flushes_checkpoint_and_resumes_bit_identically() {
+    let baseline = test_sweep(77).run().expect("uninterrupted sweep");
+
+    // A pre-raised stop flag: the interrupt "arrives" before any duty
+    // point starts, so the shared initialisation and the RDF-only
+    // reference complete but all three points are skipped — exactly the
+    // state a Ctrl-C during the point phase leaves behind.
+    let path = scratch_file("interrupt-flush.json");
+    let options = SweepOptions {
+        checkpoint: Some(path.clone()),
+        resume: false,
+        keep_going: false,
+    };
+    let stop = std::sync::atomic::AtomicBool::new(true);
+    let err = test_sweep(77)
+        .run_resumable_interruptible(&options, &stop)
+        .expect_err("a raised stop flag must interrupt the sweep");
+    match err {
+        SweepError::Interrupted {
+            completed,
+            remaining,
+        } => {
+            assert_eq!(completed, 0);
+            assert_eq!(remaining, 3);
+        }
+        other => panic!("expected SweepError::Interrupted, got {other}"),
+    }
+
+    // The flushed checkpoint holds the expensive shared state...
+    let json = std::fs::read_to_string(&path).expect("checkpoint must be flushed");
+    let checkpoint: SweepCheckpoint = serde_json::from_str(&json).expect("parse checkpoint");
+    assert!(checkpoint.init.is_some(), "init must be checkpointed");
+    assert!(
+        checkpoint.rdf_only.is_some(),
+        "reference must be checkpointed"
+    );
+    assert!(checkpoint.points.iter().all(Option::is_none));
+
+    // ...and resuming from it completes bit-identically.
+    let resumed = test_sweep(77)
+        .run_resumable(&SweepOptions {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            keep_going: false,
+        })
+        .expect("resume after interrupt");
+    assert_eq!(resumed.points_from_checkpoint, 0);
+    let (result, _) = resumed.into_parts().expect("resumed sweep result");
+    assert_eq!(result, baseline, "resume must be bit-identical");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unraised_stop_flag_leaves_the_sweep_untouched() {
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let path = scratch_file("interrupt-noop.json");
+    let run = test_sweep(8)
+        .run_resumable_interruptible(
+            &SweepOptions {
+                checkpoint: Some(path.clone()),
+                resume: false,
+                keep_going: false,
+            },
+            &stop,
+        )
+        .expect("unraised flag must not interrupt");
+    let baseline = test_sweep(8).run().expect("baseline");
+    let (result, _) = run.into_parts().expect("sweep result");
+    assert_eq!(result, baseline);
+    let _ = std::fs::remove_file(&path);
+}

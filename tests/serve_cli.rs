@@ -1,0 +1,219 @@
+//! The serving CLI end to end, as real processes: `ecripse-cli serve`
+//! answering an `ecripse-cli submit`, SIGINT-driven graceful shutdown,
+//! and Ctrl-C during a checkpointed sweep flushing a checkpoint that
+//! resumes bit-identically.
+
+use std::io::{BufRead, Read};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ecripse-cli"))
+}
+
+fn send_sigint(child: &Child) {
+    let status = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill -INT failed");
+}
+
+/// The `P_fail = X ± Y` portion of a stdout line (both `estimate` and
+/// `submit` print it; `estimate` appends a relative-error suffix).
+fn p_fail_line(stdout: &str) -> String {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("P_fail = "))
+        .unwrap_or_else(|| panic!("no P_fail line in {stdout:?}"));
+    line.split(" (")
+        .next()
+        .expect("split never empty")
+        .trim()
+        .to_string()
+}
+
+#[test]
+fn serve_answers_submit_and_shuts_down_on_sigint() {
+    let mut server = cli()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--queue",
+            "4",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+
+    // The first stdout line announces the bound address.
+    let mut stdout = std::io::BufReader::new(server.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected first line {line:?}"))
+        .to_string();
+
+    // A served RDF-only job...
+    let submit = cli()
+        .args(["submit", "--addr", &addr, "--no-rtn"])
+        .args([
+            "--vdd",
+            "0.7",
+            "--samples",
+            "250",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("submit runs");
+    assert!(
+        submit.status.success(),
+        "submit failed: {}",
+        String::from_utf8_lossy(&submit.stderr)
+    );
+    let submit_stdout = String::from_utf8_lossy(&submit.stdout);
+    assert!(submit_stdout.contains("accepted"), "{submit_stdout:?}");
+
+    // ...prints the same numbers as the direct CLI estimate.
+    let direct = cli()
+        .args(["estimate", "--no-rtn"])
+        .args([
+            "--vdd",
+            "0.7",
+            "--samples",
+            "250",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("estimate runs");
+    assert!(
+        direct.status.success(),
+        "estimate failed: {}",
+        String::from_utf8_lossy(&direct.stderr)
+    );
+    assert_eq!(
+        p_fail_line(&submit_stdout),
+        p_fail_line(&String::from_utf8_lossy(&direct.stdout)),
+        "served and direct runs must print identical estimates"
+    );
+
+    // SIGINT drains and exits cleanly with a shutdown summary.
+    send_sigint(&server);
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "serve must exit zero after SIGINT");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("drain stdout");
+    assert!(
+        rest.contains("shutdown complete:"),
+        "missing shutdown summary in {rest:?}"
+    );
+}
+
+#[test]
+fn sigint_during_checkpointed_sweep_flushes_and_resumes_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("ecripse-sigint-sweep-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let checkpoint = dir.join("sweep.json");
+    let sweep_args = [
+        "sweep",
+        "--points",
+        "3",
+        "--samples",
+        "200",
+        "--m-rtn",
+        "2",
+        "--threads",
+        "1",
+        "--seed",
+        "5",
+    ];
+
+    let mut interrupted = cli()
+        .args(sweep_args)
+        .arg("--checkpoint")
+        .arg(&checkpoint)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("sweep spawns");
+
+    // Wait until the checkpoint records a completed duty point (with
+    // --threads 1 the next point is then in flight and the rest are
+    // pending), then interrupt.
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        assert!(Instant::now() < deadline, "no duty point ever checkpointed");
+        assert!(
+            interrupted.try_wait().expect("try_wait").is_none(),
+            "sweep exited before it could be interrupted"
+        );
+        // Saves are atomic (tmp + rename), so a parse never sees a
+        // half-written file.
+        if let Ok(json) = std::fs::read_to_string(&checkpoint) {
+            let parsed: ecripse::core::sweep::SweepCheckpoint =
+                serde_json::from_str(&json).expect("checkpoint parses");
+            if parsed.points.iter().any(Option::is_some) {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    send_sigint(&interrupted);
+    let out = interrupted.wait_with_output().expect("sweep exits");
+    assert!(
+        !out.status.success(),
+        "an interrupted sweep must exit non-zero"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("sweep interrupted"),
+        "missing interrupt notice in {stderr:?}"
+    );
+    assert!(checkpoint.exists(), "checkpoint must survive the interrupt");
+
+    // Resuming completes the sweep; its stdout is bit-identical to an
+    // uninterrupted run of the same configuration.
+    let resumed = cli()
+        .args(sweep_args)
+        .arg("--checkpoint")
+        .arg(&checkpoint)
+        .arg("--resume")
+        .output()
+        .expect("resumed sweep runs");
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&resumed.stderr).contains("from checkpoint"),
+        "resume must report checkpointed points"
+    );
+    let baseline = cli()
+        .args(sweep_args)
+        .output()
+        .expect("baseline sweep runs");
+    assert!(
+        baseline.status.success(),
+        "baseline failed: {}",
+        String::from_utf8_lossy(&baseline.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&resumed.stdout),
+        String::from_utf8_lossy(&baseline.stdout),
+        "resumed sweep output must match an uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
