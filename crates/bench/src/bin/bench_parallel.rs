@@ -17,6 +17,7 @@ use ecripse_bench::{fmt_count, paper_config, quick_mode};
 use ecripse_core::bench::SramReadBench;
 use ecripse_core::cache::MemoCacheConfig;
 use ecripse_core::ecripse::{Ecripse, EcripseConfig, EcripseResult};
+use ecripse_core::telemetry::{MetricsRegistry, TelemetryObserver};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -31,6 +32,13 @@ struct ConfigReport {
     cache_hits: u64,
     cache_misses: u64,
     cache_hit_rate: f64,
+    /// Raw simulator batches observed by the telemetry bridge.
+    sim_batches: u64,
+    /// Simulator-batch latency percentiles in seconds (0 when no
+    /// batches were recorded).
+    sim_batch_p50_s: f64,
+    sim_batch_p90_s: f64,
+    sim_batch_p99_s: f64,
 }
 
 #[derive(Serialize)]
@@ -50,17 +58,28 @@ fn run(name: &'static str, mut cfg: EcripseConfig, threads: usize, cache: bool) 
         enabled: cache,
         ..MemoCacheConfig::default()
     };
+    // A per-config registry: the telemetry bridge times every raw
+    // simulator batch, giving latency percentiles next to wall-clock.
+    let registry = MetricsRegistry::new();
+    let bridge = TelemetryObserver::new(&registry);
     let t = Instant::now();
     let res: EcripseResult = Ecripse::new(cfg, SramReadBench::paper_cell())
-        .estimate()
+        .estimate_observed(&bridge)
         .expect("estimate");
     let seconds = t.elapsed().as_secs_f64();
+    let batches = registry.histogram(
+        "ecripse_sim_batch_seconds",
+        "Wall-clock latency of one raw simulator batch",
+    );
+    let (p50, p90, p99) = batches.percentiles().unwrap_or((0.0, 0.0, 0.0));
     println!(
-        "{name:<24} {seconds:>8.2} s   P_fail {:.4e}   {} sims   cache {}/{}",
+        "{name:<24} {seconds:>8.2} s   P_fail {:.4e}   {} sims   cache {}/{}   batch p50/p99 {:.1e}/{:.1e} s",
         res.p_fail,
         fmt_count(res.simulations),
         res.oracle_stats.cache_hits,
         res.oracle_stats.cache_misses,
+        p50,
+        p99,
     );
     ConfigReport {
         name,
@@ -72,6 +91,10 @@ fn run(name: &'static str, mut cfg: EcripseConfig, threads: usize, cache: bool) 
         cache_hits: res.oracle_stats.cache_hits,
         cache_misses: res.oracle_stats.cache_misses,
         cache_hit_rate: res.oracle_stats.cache_hit_rate(),
+        sim_batches: batches.count(),
+        sim_batch_p50_s: p50,
+        sim_batch_p90_s: p90,
+        sim_batch_p99_s: p99,
     }
 }
 

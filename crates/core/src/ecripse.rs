@@ -14,7 +14,7 @@
 //! [`SimCounter`]; results carry the totals and optional convergence
 //! traces so the Fig. 6/7 regenerators can plot estimate-vs-cost curves.
 
-use crate::bench::{SimCounter, Testbench};
+use crate::bench::{EvalError, SimCounter, Testbench};
 use crate::cache::{MemoBench, MemoCacheConfig};
 use crate::ensemble::{EnsembleConfig, FilterEnsemble};
 use crate::importance::{importance_stage_observed, ImportanceConfig};
@@ -23,7 +23,7 @@ use crate::initial::{
 };
 use crate::observe::{
     BoundaryStats, IterationStats, NullObserver, Observer, OracleDelta, RunRecorder, RunReport,
-    RunSummary, Stage, StageTiming,
+    RunSummary, SimBatchStats, Stage, StageTiming,
 };
 use crate::oracle::{ClassifierOracle, OracleConfig, OracleStats};
 use crate::retry::{RetryBench, RetryPolicy};
@@ -208,7 +208,21 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
     /// Returns [`EstimateError::Boundary`] when the failure boundary is
     /// out of reach.
     pub fn find_initial_particles(&self) -> Result<InitialParticles, EstimateError> {
-        let counter = SimCounter::new(&self.bench);
+        self.find_initial_particles_observed(&NullObserver)
+    }
+
+    /// Step (1) with raw simulator-batch latencies reported into
+    /// `observer` (the boundary-search events themselves are emitted by
+    /// the estimation entry points, which know the stage framing).
+    pub(crate) fn find_initial_particles_observed(
+        &self,
+        observer: &dyn Observer,
+    ) -> Result<InitialParticles, EstimateError> {
+        let timed = TimingBench {
+            inner: &self.bench,
+            observer,
+        };
+        let counter = SimCounter::new(&timed);
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x1717);
         let init = find_boundary_particles(&counter, &mut rng, &self.config.initial)?;
         Ok(init)
@@ -258,7 +272,7 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
     fn boundary_stage(&self, observer: &dyn Observer) -> Result<InitialParticles, EstimateError> {
         observer.stage_started(Stage::BoundarySearch);
         let start = Instant::now();
-        let init = self.find_initial_particles()?;
+        let init = self.find_initial_particles_observed(observer)?;
         observer.boundary_found(&BoundaryStats {
             particles: init.particles.len(),
             simulations: init.simulations,
@@ -366,11 +380,17 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         stop_at_relative_error: Option<f64>,
         observer: &dyn Observer,
     ) -> Result<EcripseResult, EstimateError> {
-        // Bench layering, innermost first: raw bench → simulation counter
-        // (every retry attempt is a real simulation and is counted) →
-        // retry ladder with quarantine → memo-cache (so a quarantined
-        // verdict is paid for once per unique sample) → oracle.
-        let counter = SimCounter::new(&self.bench);
+        // Bench layering, innermost first: raw bench → batch timer
+        // (wall-clock only; feeds latency histograms, never reports) →
+        // simulation counter (every retry attempt is a real simulation
+        // and is counted) → retry ladder with quarantine → memo-cache
+        // (so a quarantined verdict is paid for once per unique sample)
+        // → oracle.
+        let timed = TimingBench {
+            inner: &self.bench,
+            observer,
+        };
+        let counter = SimCounter::new(&timed);
         let retrying = RetryBench::new(&counter, self.config.retry);
         let cached = MemoBench::new(&retrying, self.config.cache);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -507,6 +527,57 @@ fn combined_stats(
         retries,
         quarantined,
         ..*stats
+    }
+}
+
+/// Times every raw simulator batch and reports it to the observer as a
+/// [`SimBatchStats`] event. Sits directly on top of the raw bench —
+/// *below* the counting/retry/cache layers — so it sees exactly the
+/// batches that reach the simulator (cache hits never arrive here).
+///
+/// Strictly observation-only: verdicts pass through untouched and the
+/// only payload is wall-clock time, so the determinism contract holds
+/// with or without an observer attached.
+struct TimingBench<'a, B> {
+    inner: &'a B,
+    observer: &'a dyn Observer,
+}
+
+impl<B: Testbench> TimingBench<'_, B> {
+    fn timed<T>(&self, batch: u64, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.observer.sim_batch_finished(&SimBatchStats {
+            batch,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        });
+        out
+    }
+}
+
+impl<B: Testbench> Testbench for TimingBench<'_, B> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn fails(&self, z: &[f64]) -> bool {
+        self.timed(1, || self.inner.fails(z))
+    }
+
+    fn fails_batch(&self, zs: &[Vec<f64>]) -> Vec<bool> {
+        self.timed(zs.len() as u64, || self.inner.fails_batch(zs))
+    }
+
+    fn try_fails(&self, z: &[f64]) -> Result<bool, EvalError> {
+        self.timed(1, || self.inner.try_fails(z))
+    }
+
+    fn try_fails_attempt(&self, z: &[f64], attempt: usize) -> Result<bool, EvalError> {
+        self.timed(1, || self.inner.try_fails_attempt(z, attempt))
+    }
+
+    fn try_fails_batch(&self, zs: &[Vec<f64>]) -> Vec<Result<bool, EvalError>> {
+        self.timed(zs.len() as u64, || self.inner.try_fails_batch(zs))
     }
 }
 

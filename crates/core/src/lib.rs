@@ -83,6 +83,7 @@ pub mod particle;
 pub mod retry;
 pub mod rtn_source;
 pub mod sweep;
+pub mod telemetry;
 pub mod trace;
 
 pub use bench::{EvalError, SimCounter, SramReadBench, SramWriteBench, Testbench};
@@ -96,5 +97,9 @@ pub use rtn_source::{NoRtn, RtnSource, SramRtn};
 pub use sweep::{
     CheckpointError, DutySweep, PointOutcome, ResumableSweep, SweepBench, SweepError, SweepOptions,
     SweepPoint, SweepReports,
+};
+pub use telemetry::{
+    Counter, Gauge, Histogram, MemorySink, MetricsRegistry, RotatingFileSink, TelemetryObserver,
+    TraceSink, Tracer,
 };
 pub use trace::{ConvergenceTrace, TracePoint};

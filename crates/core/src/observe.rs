@@ -241,6 +241,23 @@ impl ChunkStats {
     }
 }
 
+/// Timing of one raw simulator batch, delivered to
+/// [`Observer::sim_batch_finished`].
+///
+/// Unlike every other payload in this module, batch events may arrive
+/// **concurrently** (parallel sweep points share one observer) and in a
+/// thread-count-dependent order, and they carry wall-clock time — so
+/// they are never folded into a [`RunReport`]. They exist to feed
+/// latency histograms (see [`crate::telemetry::TelemetryObserver`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimBatchStats {
+    /// Samples evaluated by the batch.
+    pub batch: u64,
+    /// Wall-clock seconds the batch took (a **timing quantity**:
+    /// excluded from the determinism contract).
+    pub wall_seconds: f64,
+}
+
 /// Final figures of a completed run, delivered to
 /// [`Observer::run_finished`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -281,6 +298,11 @@ pub trait Observer: Sync {
     fn iteration_finished(&self, _stats: &IterationStats) {}
     /// One stage-2 importance-sampling chunk completed.
     fn chunk_finished(&self, _chunk: &ChunkStats) {}
+    /// One raw simulator batch was evaluated. Unlike the other events
+    /// this one may fire concurrently and in thread-count-dependent
+    /// order (see [`SimBatchStats`]); implementations that fold events
+    /// into deterministic reports must ignore it.
+    fn sim_batch_finished(&self, _stats: &SimBatchStats) {}
     /// The run completed with these final figures.
     fn run_finished(&self, _summary: &RunSummary) {}
 }
@@ -355,6 +377,12 @@ impl Observer for MultiObserver<'_> {
     fn chunk_finished(&self, chunk: &ChunkStats) {
         for o in &self.observers {
             o.chunk_finished(chunk);
+        }
+    }
+
+    fn sim_batch_finished(&self, stats: &SimBatchStats) {
+        for o in &self.observers {
+            o.sim_batch_finished(stats);
         }
     }
 

@@ -19,7 +19,10 @@
 use crate::bench::{LinearBench, SramReadBench, Testbench};
 use crate::ecripse::{run_in_pool, Ecripse, EcripseConfig, EstimateError};
 use crate::initial::InitialParticles;
-use crate::observe::{BoundaryStats, Observer, RunRecorder, RunReport, Stage, StageTiming};
+use crate::observe::{
+    BoundaryStats, MultiObserver, NullObserver, Observer, RunRecorder, RunReport, Stage,
+    StageTiming,
+};
 use crate::rtn_source::SramRtn;
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -474,7 +477,31 @@ impl<B: SweepBench> DutySweep<B> {
     /// initialisation or RDF-only reference fails; [`SweepError::Point`]
     /// when a point fails and [`SweepOptions::keep_going`] is off.
     pub fn run_resumable(&self, options: &SweepOptions) -> Result<ResumableSweep, SweepError> {
-        self.run_resumable_inner(options, None)
+        self.run_resumable_inner(options, None, &NullObserver)
+    }
+
+    /// Like [`run_resumable`](DutySweep::run_resumable), additionally
+    /// reporting every pipeline event into `observer` — on top of the
+    /// internal per-point recorders, which keep collecting the
+    /// checkpoint reports exactly as before.
+    ///
+    /// Sweep points run in parallel, so `observer` receives events from
+    /// **several concurrent runs interleaved** (each point emits its own
+    /// `run_started`…`run_finished` sequence). Observers that aggregate
+    /// across runs — progress trackers, telemetry bridges — must
+    /// accumulate rather than overwrite. Points loaded from a
+    /// checkpoint emit no events (their work happened in an earlier
+    /// process).
+    ///
+    /// # Errors
+    ///
+    /// See [`run_resumable`](DutySweep::run_resumable).
+    pub fn run_resumable_observed(
+        &self,
+        options: &SweepOptions,
+        observer: &dyn Observer,
+    ) -> Result<ResumableSweep, SweepError> {
+        self.run_resumable_inner(options, None, observer)
     }
 
     /// Like [`run_resumable`](DutySweep::run_resumable), but honouring a
@@ -498,7 +525,25 @@ impl<B: SweepBench> DutySweep<B> {
         options: &SweepOptions,
         stop: &std::sync::atomic::AtomicBool,
     ) -> Result<ResumableSweep, SweepError> {
-        self.run_resumable_inner(options, Some(stop))
+        self.run_resumable_inner(options, Some(stop), &NullObserver)
+    }
+
+    /// Like
+    /// [`run_resumable_interruptible`](DutySweep::run_resumable_interruptible),
+    /// additionally reporting every pipeline event into `observer` (with
+    /// the same concurrent-interleaving caveat as
+    /// [`run_resumable_observed`](DutySweep::run_resumable_observed)).
+    ///
+    /// # Errors
+    ///
+    /// See [`run_resumable_interruptible`](DutySweep::run_resumable_interruptible).
+    pub fn run_resumable_interruptible_observed(
+        &self,
+        options: &SweepOptions,
+        stop: &std::sync::atomic::AtomicBool,
+        observer: &dyn Observer,
+    ) -> Result<ResumableSweep, SweepError> {
+        self.run_resumable_inner(options, Some(stop), observer)
     }
 
     /// Primes `path` with an empty checkpoint describing this sweep
@@ -533,6 +578,7 @@ impl<B: SweepBench> DutySweep<B> {
         &self,
         options: &SweepOptions,
         stop: Option<&std::sync::atomic::AtomicBool>,
+        observer: &dyn Observer,
     ) -> Result<ResumableSweep, SweepError> {
         use std::sync::atomic::Ordering;
         let fingerprint = self.fingerprint()?;
@@ -551,7 +597,9 @@ impl<B: SweepBench> DutySweep<B> {
         let (init, init_wall) = match checkpoint.init.take() {
             Some(init) => (init, 0.0),
             None => {
-                let init = rdf_run.find_initial_particles().map_err(SweepError::Init)?;
+                let init = rdf_run
+                    .find_initial_particles_observed(observer)
+                    .map_err(SweepError::Init)?;
                 (init, init_start.elapsed().as_secs_f64())
             }
         };
@@ -584,8 +632,11 @@ impl<B: SweepBench> DutySweep<B> {
                         simulations: init_simulations,
                     },
                 );
+                let mut fanout = MultiObserver::new();
+                fanout.push(&rdf_recorder);
+                fanout.push(observer);
                 let res = rdf_run
-                    .estimate_with_initial_observed(&amortised, &rdf_recorder)
+                    .estimate_with_initial_observed(&amortised, &fanout)
                     .map_err(SweepError::Init)?;
                 CheckpointReference {
                     p_fail: res.p_fail,
@@ -634,7 +685,10 @@ impl<B: SweepBench> DutySweep<B> {
                     let bench = self.bench.at_alpha(alpha);
                     let run = Ecripse::with_rtn(config, bench, rtn);
                     let recorder = RunRecorder::new();
-                    let result = run.estimate_with_initial_observed(amortised, &recorder);
+                    let mut fanout = MultiObserver::new();
+                    fanout.push(&recorder);
+                    fanout.push(observer);
+                    let result = run.estimate_with_initial_observed(amortised, &fanout);
                     match result {
                         Ok(res) => {
                             let point = SweepPoint {

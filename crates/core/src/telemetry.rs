@@ -1,0 +1,1142 @@
+//! Process-wide telemetry: a metrics registry, latency histograms and a
+//! structured trace log.
+//!
+//! The per-run observability layer ([`crate::observe`]) answers "what did
+//! *this* estimation do"; this module answers the fleet-level questions —
+//! how fast are simulator batches, where does wall-clock go, how many
+//! runs has this process completed — in a form scrapers can consume:
+//!
+//! * [`MetricsRegistry`] — a named collection of [`Counter`]s,
+//!   [`Gauge`]s and [`Histogram`]s with get-or-create registration and a
+//!   [Prometheus text exposition](MetricsRegistry::render_prometheus)
+//!   renderer;
+//! * [`Histogram`] — lock-free log-linear-bucket latency histogram with
+//!   p50/p90/p99 [quantile estimates](Histogram::quantile);
+//! * [`Tracer`] / [`SpanGuard`] — a span API that times nested phases
+//!   and emits JSONL trace events through a pluggable [`TraceSink`]
+//!   ([`RotatingFileSink`] rotates by size; [`MemorySink`] backs tests);
+//! * [`TelemetryObserver`] — the bridge from the [`Observer`] event
+//!   stream into registry metrics (and optionally a trace log).
+//!
+//! # Determinism contract
+//!
+//! Telemetry is **observation-only**. Every metric is derived either
+//! from wall-clock time (which is excluded from the determinism contract
+//! anyway) or from counters the deterministic pipeline already produces;
+//! nothing here feeds back into any estimate. Attaching a
+//! [`TelemetryObserver`] to a run changes no report field:
+//! `tests/observability.rs` asserts that stripped [`RunReport`]s stay
+//! bit-identical across thread counts with telemetry enabled.
+//!
+//! [`RunReport`]: crate::observe::RunReport
+//!
+//! # Example
+//!
+//! ```
+//! use ecripse_core::telemetry::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let requests = registry.counter("requests_total", "Requests served.");
+//! let latency = registry.histogram("latency_seconds", "Request latency.");
+//! requests.inc();
+//! latency.record(0.012);
+//! let exposition = registry.render_prometheus();
+//! assert!(exposition.contains("# TYPE requests_total counter"));
+//! assert!(exposition.contains("latency_seconds_bucket"));
+//! ```
+
+use crate::observe::{
+    BoundaryStats, ChunkStats, IterationStats, Observer, RunSummary, SimBatchStats, Stage,
+    StageTiming,
+};
+use parking_lot::{Mutex, RwLock};
+use serde::json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Atomic f64 helpers (the registry is lock-free on the hot path).
+// ---------------------------------------------------------------------
+
+fn atomic_f64_add(bits: &AtomicU64, delta: f64) {
+    let mut current = bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(current) + delta).to_bits();
+        match bits.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+fn atomic_f64_min(bits: &AtomicU64, value: f64) {
+    let mut current = bits.load(Ordering::Relaxed);
+    loop {
+        if f64::from_bits(current) <= value {
+            return;
+        }
+        match bits.compare_exchange_weak(
+            current,
+            value.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+fn atomic_f64_max(bits: &AtomicU64, value: f64) {
+    let mut current = bits.load(Ordering::Relaxed);
+    loop {
+        if f64::from_bits(current) >= value {
+            return;
+        }
+        match bits.compare_exchange_weak(
+            current,
+            value.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Counter & Gauge
+// ---------------------------------------------------------------------
+
+/// A monotonically increasing `u64` metric. Cloning shares the value.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable `f64` metric. Cloning shares the value.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            bits: Arc::new(AtomicU64::new(0.0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (negative values decrement).
+    pub fn add(&self, delta: f64) {
+        atomic_f64_add(&self.bits, delta);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+/// Log-linear bucket upper bounds: four linear sub-buckets per power of
+/// two, covering ~1 µs to ~4096 s — a fixed layout, so histograms from
+/// different processes aggregate bucket-by-bucket.
+fn default_bounds() -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(32 * 4);
+    for exp in -20..=11_i32 {
+        let base = 2.0f64.powi(exp);
+        let width = base / 4.0;
+        for sub in 1..=4_i32 {
+            bounds.push(base + width * f64::from(sub));
+        }
+    }
+    bounds
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Strictly increasing bucket upper bounds; `counts` has one extra
+    /// slot for the overflow (`+Inf`) bucket.
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// A lock-free latency histogram with log-linear buckets.
+///
+/// Values are seconds by convention. Negative values clamp to zero and
+/// non-finite values are dropped — a histogram observation must never
+/// poison the aggregate. Cloning shares the underlying buckets.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh histogram with the default log-linear bucket layout.
+    pub fn new() -> Self {
+        let bounds = default_bounds();
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            core: Arc::new(HistogramCore {
+                bounds,
+                counts,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0.0f64.to_bits()),
+                min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+                max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let v = value.max(0.0);
+        // First bucket whose upper bound covers `v` (`le` semantics).
+        let idx = self.core.bounds.partition_point(|&b| b < v);
+        self.core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.core.sum_bits, v);
+        atomic_f64_min(&self.core.min_bits, v);
+        atomic_f64_max(&self.core.max_bits, v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Smallest recorded observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(f64::from_bits(self.core.min_bits.load(Ordering::Relaxed)))
+        }
+    }
+
+    /// Largest recorded observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(f64::from_bits(self.core.max_bits.load(Ordering::Relaxed)))
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` clamps to `[0, 1]`) from the
+    /// bucket counts: the upper bound of the bucket holding the rank-`q`
+    /// observation, clamped into `[min, max]`. The estimate is monotone
+    /// in `q` and always bounded by the recorded extremes — the
+    /// invariants `tests/telemetry_props.rs` property-tests.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let (min, max) = match (self.min(), self.max()) {
+            (Some(min), Some(max)) => (min, max),
+            _ => return None,
+        };
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.core.counts.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= target {
+                let bound = self.core.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                return Some(bound.clamp(min, max));
+            }
+        }
+        Some(max)
+    }
+
+    /// Convenience accessor: the (p50, p90, p99) quantile estimates.
+    pub fn percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.90)?,
+            self.quantile(0.99)?,
+        ))
+    }
+
+    /// Renders this histogram's Prometheus series (`_bucket`, `_sum`,
+    /// `_count`) into `out`. Empty buckets are skipped — cumulative `le`
+    /// counts stay correct — and the mandatory `+Inf` bucket is always
+    /// emitted.
+    fn render_prometheus_into(&self, name: &str, out: &mut String) {
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.core.counts.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            cumulative += n;
+            let last = i == self.core.counts.len() - 1;
+            if n == 0 && !last {
+                continue;
+            }
+            let le = if last {
+                "+Inf".to_string()
+            } else {
+                fmt_prom_f64(self.core.bounds[i])
+            };
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_sum {}", fmt_prom_f64(self.sum()));
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+/// Prometheus-style float rendering (`+Inf`/`-Inf`/`NaN` for the
+/// non-finite values the text format defines).
+fn fmt_prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Clone, Debug)]
+struct Registered {
+    help: String,
+    metric: Metric,
+}
+
+/// A named collection of metrics with get-or-create registration.
+///
+/// Handles returned by [`counter`](Self::counter) /
+/// [`gauge`](Self::gauge) / [`histogram`](Self::histogram) share state
+/// with the registry, so recording is lock-free; the registry lock is
+/// only taken at registration and render time. Names should follow
+/// Prometheus conventions (`[a-zA-Z_:][a-zA-Z0-9_:]*`). Re-registering
+/// a name with a *different* metric kind returns a fresh detached
+/// instance instead of panicking — the original keeps the name.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<String, Registered>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide shared registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    fn register<T: Clone>(
+        &self,
+        name: &str,
+        help: &str,
+        wrap: impl Fn(T) -> Metric,
+        unwrap: impl Fn(&Metric) -> Option<T>,
+        fresh: impl Fn() -> T,
+    ) -> T {
+        if let Some(existing) = self.metrics.read().get(name) {
+            if let Some(metric) = unwrap(&existing.metric) {
+                return metric;
+            }
+            return fresh(); // kind mismatch: detached instance
+        }
+        let mut map = self.metrics.write();
+        if let Some(existing) = map.get(name) {
+            return unwrap(&existing.metric).unwrap_or_else(&fresh);
+        }
+        let metric = fresh();
+        map.insert(
+            name.to_string(),
+            Registered {
+                help: help.to_string(),
+                metric: wrap(metric.clone()),
+            },
+        );
+        metric
+    }
+
+    /// Gets or creates a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.register(
+            name,
+            help,
+            Metric::Counter,
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            Counter::new,
+        )
+    }
+
+    /// Gets or creates a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.register(
+            name,
+            help,
+            Metric::Gauge,
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            Gauge::new,
+        )
+    }
+
+    /// Gets or creates a histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.register(
+            name,
+            help,
+            Metric::Histogram,
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            Histogram::new,
+        )
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.read().len()
+    }
+
+    /// Whether no metric is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.read().is_empty()
+    }
+
+    /// Renders every registered metric in the
+    /// [Prometheus text exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+    /// `# HELP`/`# TYPE` headers plus one sample line per series, in
+    /// stable (sorted-by-name) order.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, reg) in self.metrics.read().iter() {
+            let help = reg.help.replace('\\', "\\\\").replace('\n', "\\n");
+            let _ = writeln!(out, "# HELP {name} {help}");
+            match &reg.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", fmt_prom_f64(g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    h.render_prometheus_into(name, &mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace sinks
+// ---------------------------------------------------------------------
+
+/// Destination for JSONL trace events. Implementations must tolerate
+/// concurrent writers and must never panic — telemetry cannot be allowed
+/// to take down an estimation.
+pub trait TraceSink: Send + Sync {
+    /// Appends one line (no trailing newline) to the log.
+    fn write_line(&self, line: &str);
+}
+
+/// An in-memory sink for tests and programmatic inspection.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the captured lines, in write order.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn write_line(&self, line: &str) {
+        self.lines.lock().push(line.to_string());
+    }
+}
+
+#[derive(Debug)]
+struct FileSinkState {
+    file: Option<File>,
+    written: u64,
+}
+
+/// A file sink with size-based rotation: when the active file would
+/// exceed `max_bytes` it is renamed to `<path>.1` (replacing any
+/// previous rotation) and a fresh file is started. Write errors are
+/// swallowed — losing trace lines is preferable to failing the run.
+#[derive(Debug)]
+pub struct RotatingFileSink {
+    path: PathBuf,
+    max_bytes: u64,
+    state: Mutex<FileSinkState>,
+}
+
+impl RotatingFileSink {
+    /// Creates (truncating) the log file at `path`. `max_bytes` caps the
+    /// active file's size before rotation; it must be positive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the file cannot be created.
+    pub fn create(path: impl Into<PathBuf>, max_bytes: u64) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        Ok(Self {
+            path,
+            max_bytes: max_bytes.max(1),
+            state: Mutex::new(FileSinkState {
+                file: Some(file),
+                written: 0,
+            }),
+        })
+    }
+
+    /// The path of the active log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn rotated_path(&self) -> PathBuf {
+        let mut name = self.path.file_name().unwrap_or_default().to_os_string();
+        name.push(".1");
+        self.path.with_file_name(name)
+    }
+}
+
+impl TraceSink for RotatingFileSink {
+    fn write_line(&self, line: &str) {
+        let mut state = self.state.lock();
+        let incoming = line.len() as u64 + 1;
+        if state.written > 0 && state.written + incoming > self.max_bytes {
+            state.file = None; // close before renaming
+            let _ = std::fs::rename(&self.path, self.rotated_path());
+            state.file = File::create(&self.path).ok();
+            state.written = 0;
+        }
+        if let Some(file) = state.file.as_mut() {
+            if writeln!(file, "{line}").is_ok() {
+                state.written += incoming;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tracer & spans
+// ---------------------------------------------------------------------
+
+struct TracerInner {
+    sink: Arc<dyn TraceSink>,
+    epoch: Instant,
+    depth: AtomicU64,
+}
+
+/// Emits structured JSONL trace events through a [`TraceSink`].
+///
+/// Each line is one JSON object with at least `type`, `name` and `t_s`
+/// (seconds since the tracer was created). [`span`](Self::span) times a
+/// phase: the event is emitted when the returned [`SpanGuard`] drops,
+/// carrying `duration_s` and the nesting `depth` at entry. Cloning
+/// shares the sink and the time base.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("depth", &self.inner.depth.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer writing to `sink`; the time base starts now.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Self {
+            inner: Arc::new(TracerInner {
+                sink,
+                epoch: Instant::now(),
+                depth: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn emit(&self, kind: &str, name: &str, extra: Vec<(String, Value)>) {
+        let mut fields = vec![
+            ("type".to_string(), Value::String(kind.to_string())),
+            ("name".to_string(), Value::String(name.to_string())),
+            (
+                "t_s".to_string(),
+                Value::Number(self.inner.epoch.elapsed().as_secs_f64()),
+            ),
+        ];
+        fields.extend(extra);
+        let line = serde_json::to_string(&Value::Object(fields)).unwrap_or_default();
+        self.inner.sink.write_line(&line);
+    }
+
+    /// Emits a point-in-time event with arbitrary extra fields.
+    pub fn event(&self, name: &str, fields: &[(&str, Value)]) {
+        let extra = fields
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect();
+        self.emit("event", name, extra);
+    }
+
+    /// Starts a timed span; the event is emitted when the guard drops.
+    /// Spans opened while another span is live record a deeper `depth`,
+    /// reconstructing the phase nesting offline.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let depth = self.inner.depth.fetch_add(1, Ordering::Relaxed);
+        SpanGuard {
+            tracer: self.clone(),
+            name: name.to_string(),
+            start: Instant::now(),
+            depth,
+        }
+    }
+}
+
+/// Guard of a live [`Tracer::span`]; emits the span event on drop.
+pub struct SpanGuard {
+    tracer: Tracer,
+    name: String,
+    start: Instant,
+    depth: u64,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("name", &self.name)
+            .field("depth", &self.depth)
+            .finish()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.tracer.inner.depth.fetch_sub(1, Ordering::Relaxed);
+        self.tracer.emit(
+            "span",
+            &self.name,
+            vec![
+                (
+                    "duration_s".to_string(),
+                    Value::Number(self.start.elapsed().as_secs_f64()),
+                ),
+                ("depth".to_string(), Value::Number(self.depth as f64)),
+            ],
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Observer → registry bridge
+// ---------------------------------------------------------------------
+
+/// Bridges the [`Observer`] event stream into a [`MetricsRegistry`] —
+/// and, when a [`Tracer`] is attached, into a JSONL trace log.
+///
+/// Registered metrics (with the default `ecripse` prefix):
+///
+/// | metric | kind | source |
+/// |---|---|---|
+/// | `ecripse_runs_started_total` | counter | `run_started` |
+/// | `ecripse_runs_finished_total` | counter | `run_finished` |
+/// | `ecripse_filter_iterations_total` | counter | `iteration_finished` |
+/// | `ecripse_stage2_chunks_total` | counter | `chunk_finished` |
+/// | `ecripse_simulations_total` | counter | `sim_batch_finished` |
+/// | `ecripse_cache_hits_total` | counter | `iteration_finished` |
+/// | `ecripse_cache_misses_total` | counter | `iteration_finished` |
+/// | `ecripse_classified_total` | counter | `iteration_finished` |
+/// | `ecripse_sim_batch_seconds` | histogram | `sim_batch_finished` |
+/// | `ecripse_stage_seconds` | histogram | `stage_finished` |
+/// | `ecripse_last_estimate` | gauge | `run_finished` |
+///
+/// All state is atomic, so one bridge may observe concurrently running
+/// sweep points. Everything recorded is wall-clock or derived from the
+/// deterministic counters — attaching the bridge never changes a result
+/// or a report (see the module-level determinism notes).
+pub struct TelemetryObserver {
+    runs_started: Counter,
+    runs_finished: Counter,
+    iterations: Counter,
+    chunks: Counter,
+    simulations: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    classified: Counter,
+    sim_batch_seconds: Histogram,
+    stage_seconds: Histogram,
+    last_estimate: Gauge,
+    tracer: Option<Tracer>,
+}
+
+impl std::fmt::Debug for TelemetryObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryObserver")
+            .field("runs_started", &self.runs_started.get())
+            .field("runs_finished", &self.runs_finished.get())
+            .field("traced", &self.tracer.is_some())
+            .finish()
+    }
+}
+
+impl TelemetryObserver {
+    /// A bridge registering its metrics under the `ecripse` prefix.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        Self::with_prefix(registry, "ecripse")
+    }
+
+    /// A bridge registering its metrics under a custom prefix.
+    pub fn with_prefix(registry: &MetricsRegistry, prefix: &str) -> Self {
+        Self {
+            runs_started: registry.counter(
+                &format!("{prefix}_runs_started_total"),
+                "Estimation runs started.",
+            ),
+            runs_finished: registry.counter(
+                &format!("{prefix}_runs_finished_total"),
+                "Estimation runs completed.",
+            ),
+            iterations: registry.counter(
+                &format!("{prefix}_filter_iterations_total"),
+                "Particle-filter iterations completed.",
+            ),
+            chunks: registry.counter(
+                &format!("{prefix}_stage2_chunks_total"),
+                "Stage-2 importance-sampling chunks completed.",
+            ),
+            simulations: registry.counter(
+                &format!("{prefix}_simulations_total"),
+                "Transistor-level simulations evaluated.",
+            ),
+            cache_hits: registry.counter(
+                &format!("{prefix}_cache_hits_total"),
+                "Simulator queries served from the memo-cache.",
+            ),
+            cache_misses: registry.counter(
+                &format!("{prefix}_cache_misses_total"),
+                "Simulator queries that missed the memo-cache.",
+            ),
+            classified: registry.counter(
+                &format!("{prefix}_classified_total"),
+                "Indicator queries answered by the classifier.",
+            ),
+            sim_batch_seconds: registry.histogram(
+                &format!("{prefix}_sim_batch_seconds"),
+                "Wall-clock latency of raw simulator batches.",
+            ),
+            stage_seconds: registry.histogram(
+                &format!("{prefix}_stage_seconds"),
+                "Wall-clock latency of completed pipeline stages.",
+            ),
+            last_estimate: registry.gauge(
+                &format!("{prefix}_last_estimate"),
+                "Most recent failure-probability estimate.",
+            ),
+            tracer: None,
+        }
+    }
+
+    /// Attaches a tracer: pipeline events additionally emit JSONL trace
+    /// lines.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+}
+
+impl Observer for TelemetryObserver {
+    fn run_started(&self, seed: u64, threads: usize) {
+        self.runs_started.inc();
+        if let Some(t) = &self.tracer {
+            t.event(
+                "run_started",
+                &[
+                    ("seed", Value::Number(seed as f64)),
+                    ("threads", Value::Number(threads as f64)),
+                ],
+            );
+        }
+    }
+
+    fn stage_started(&self, stage: Stage) {
+        if let Some(t) = &self.tracer {
+            t.event(
+                "stage_started",
+                &[("stage", Value::String(stage.name().to_string()))],
+            );
+        }
+    }
+
+    fn stage_finished(&self, stage: Stage, timing: &StageTiming) {
+        self.stage_seconds.record(timing.wall_seconds);
+        if let Some(t) = &self.tracer {
+            t.event(
+                "stage_finished",
+                &[
+                    ("stage", Value::String(stage.name().to_string())),
+                    ("duration_s", Value::Number(timing.wall_seconds)),
+                    ("simulations", Value::Number(timing.simulations as f64)),
+                ],
+            );
+        }
+    }
+
+    fn boundary_found(&self, stats: &BoundaryStats) {
+        if let Some(t) = &self.tracer {
+            t.event(
+                "boundary_found",
+                &[
+                    ("particles", Value::Number(stats.particles as f64)),
+                    ("simulations", Value::Number(stats.simulations as f64)),
+                ],
+            );
+        }
+    }
+
+    fn iteration_finished(&self, stats: &IterationStats) {
+        self.iterations.inc();
+        self.cache_hits.add(stats.oracle.cache_hits);
+        self.cache_misses.add(stats.oracle.cache_misses);
+        self.classified.add(stats.oracle.classified);
+        if let Some(t) = &self.tracer {
+            t.event(
+                "iteration_finished",
+                &[
+                    ("iteration", Value::Number(stats.iteration as f64)),
+                    ("spread", Value::Number(stats.spread)),
+                    ("resampled", Value::Number(stats.filters_resampled as f64)),
+                ],
+            );
+        }
+    }
+
+    fn chunk_finished(&self, chunk: &ChunkStats) {
+        self.chunks.inc();
+        if let Some(t) = &self.tracer {
+            t.event(
+                "chunk_finished",
+                &[
+                    ("samples", Value::Number(chunk.samples as f64)),
+                    ("estimate", Value::Number(chunk.estimate)),
+                    ("ci95_half_width", Value::Number(chunk.ci95_half_width)),
+                ],
+            );
+        }
+    }
+
+    fn sim_batch_finished(&self, stats: &SimBatchStats) {
+        self.simulations.add(stats.batch);
+        self.sim_batch_seconds.record(stats.wall_seconds);
+    }
+
+    fn run_finished(&self, summary: &RunSummary) {
+        self.runs_finished.inc();
+        self.last_estimate.set(summary.p_fail);
+        if let Some(t) = &self.tracer {
+            t.event(
+                "run_finished",
+                &[
+                    ("p_fail", Value::Number(summary.p_fail)),
+                    ("ci95_half_width", Value::Number(summary.ci95_half_width)),
+                    ("simulations", Value::Number(summary.simulations as f64)),
+                ],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_state_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        let g2 = g.clone();
+        g.set(2.5);
+        g2.add(-0.5);
+        assert_eq!(g.get(), 2.0);
+    }
+
+    #[test]
+    fn histogram_bounds_are_strictly_increasing() {
+        let bounds = default_bounds();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert!(bounds[0] < 2e-6, "covers microseconds: {}", bounds[0]);
+        assert!(
+            *bounds.last().unwrap() >= 4000.0,
+            "covers over an hour: {}",
+            bounds.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn histogram_basic_accounting() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.quantile(0.5).is_none());
+        for v in [0.001, 0.002, 0.004, 0.008, 0.016] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 0.031).abs() < 1e-12);
+        assert_eq!(h.min(), Some(0.001));
+        assert_eq!(h.max(), Some(0.016));
+        // Non-finite records are dropped; negatives clamp to zero.
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 5);
+        h.record(-3.0);
+        assert_eq!(h.min(), Some(0.0));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0);
+        }
+        let (p50, p90, p99) = h.percentiles().expect("recorded");
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p50 >= 0.4 && p50 <= 0.6, "p50 = {p50}");
+        assert!(p99 >= 0.9 && p99 <= 1.0, "p99 = {p99}");
+        assert!(h.quantile(0.0).expect("min side") >= h.min().unwrap());
+        assert!(h.quantile(1.0).expect("max side") <= h.max().unwrap());
+    }
+
+    #[test]
+    fn registry_get_or_create_returns_shared_handles() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x_total", "x");
+        let b = r.counter("x_total", "x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.len(), 1);
+        // Kind mismatch: detached instance, registry untouched.
+        let g = r.gauge("x_total", "not a counter");
+        g.set(9.0);
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_contains_all_series() {
+        let r = MetricsRegistry::new();
+        r.counter("jobs_total", "Jobs.").add(3);
+        r.gauge("queue_depth", "Depth.").set(1.5);
+        let h = r.histogram("latency_seconds", "Latency.");
+        h.record(0.125);
+        h.record(0.250);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP jobs_total Jobs.\n"));
+        assert!(text.contains("# TYPE jobs_total counter\njobs_total 3\n"));
+        assert!(text.contains("# TYPE queue_depth gauge\nqueue_depth 1.5\n"));
+        assert!(text.contains("# TYPE latency_seconds histogram\n"));
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("latency_seconds_sum 0.375\n"));
+        assert!(text.contains("latency_seconds_count 2\n"));
+        // Cumulative bucket counts are non-decreasing.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last, "cumulative counts must not decrease: {line}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn tracer_emits_jsonl_events_and_spans() {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        tracer.event("hello", &[("k", Value::Number(1.0))]);
+        {
+            let _outer = tracer.span("outer");
+            let _inner = tracer.span("inner");
+        }
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).expect("valid JSON");
+            assert!(v.get("type").is_some());
+            assert!(v.get("name").is_some());
+            assert!(v.get("t_s").and_then(Value::as_f64).is_some());
+        }
+        // Inner drops first and carries the deeper depth.
+        let inner: Value = serde_json::from_str(&lines[1]).unwrap();
+        assert_eq!(inner.get("name").and_then(Value::as_str), Some("inner"));
+        assert_eq!(inner.get("depth").and_then(Value::as_f64), Some(1.0));
+        let outer: Value = serde_json::from_str(&lines[2]).unwrap();
+        assert_eq!(outer.get("depth").and_then(Value::as_f64), Some(0.0));
+        assert!(outer.get("duration_s").and_then(Value::as_f64).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn rotating_sink_rotates_by_size() {
+        let dir = std::env::temp_dir().join(format!("ecripse-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let sink = RotatingFileSink::create(&path, 64).unwrap();
+        let line = "x".repeat(40);
+        sink.write_line(&line); // 41 bytes: stays
+        sink.write_line(&line); // would exceed 64: rotate first
+        let active = std::fs::read_to_string(&path).unwrap();
+        let rotated = std::fs::read_to_string(sink.rotated_path()).unwrap();
+        assert_eq!(active.lines().count(), 1);
+        assert_eq!(rotated.lines().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_observer_bridges_events_into_metrics() {
+        let registry = MetricsRegistry::new();
+        let sink = Arc::new(MemorySink::new());
+        let bridge = TelemetryObserver::new(&registry).with_tracer(Tracer::new(sink.clone()));
+        bridge.run_started(7, 2);
+        bridge.sim_batch_finished(&SimBatchStats {
+            batch: 32,
+            wall_seconds: 0.004,
+        });
+        bridge.stage_finished(
+            Stage::ParticleFilter,
+            &StageTiming {
+                wall_seconds: 0.5,
+                simulations: 32,
+            },
+        );
+        bridge.run_finished(&RunSummary {
+            p_fail: 1.25e-4,
+            ci95_half_width: 1e-5,
+            simulations: 32,
+            is_samples: 100,
+            effective_sample_size: 10.0,
+            oracle: crate::oracle::OracleStats::default(),
+            margins: crate::oracle::MarginStats::default(),
+        });
+        let text = registry.render_prometheus();
+        assert!(text.contains("ecripse_runs_started_total 1"));
+        assert!(text.contains("ecripse_runs_finished_total 1"));
+        assert!(text.contains("ecripse_simulations_total 32"));
+        assert!(text.contains("ecripse_sim_batch_seconds_count 1"));
+        assert!(text.contains("ecripse_stage_seconds_count 1"));
+        assert!(text.contains("ecripse_last_estimate 0.000125"));
+        assert!(!sink.lines().is_empty());
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = MetricsRegistry::global();
+        let b = MetricsRegistry::global();
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -227,6 +227,28 @@ impl Client {
         self.expect_json("GET", "/metrics", None)
     }
 
+    /// Fetches `GET /metrics` as Prometheus text exposition (the
+    /// `Accept: text/plain` content negotiation a scraper performs).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn metrics_prometheus(&self) -> Result<String, ClientError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        http::write_request_accepting(&mut stream, "GET", "/metrics", None, "text/plain")?;
+        let (status, _, body) = http::read_response(&mut stream)?;
+        if (200..300).contains(&status) {
+            return Ok(body);
+        }
+        Err(ClientError::Api {
+            status,
+            code: "unknown".to_string(),
+            message: body,
+        })
+    }
+
     /// Polls a job's status until it reaches a terminal state.
     ///
     /// # Errors

@@ -50,7 +50,9 @@ pub struct Response {
     pub status: u16,
     /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
     pub headers: Vec<(String, String)>,
-    /// JSON body.
+    /// `Content-Type` of the body.
+    pub content_type: String,
+    /// Message body.
     pub body: String,
 }
 
@@ -60,6 +62,18 @@ impl Response {
         Self {
             status,
             headers: Vec::new(),
+            content_type: "application/json".to_string(),
+            body,
+        }
+    }
+
+    /// A plain-text response with the given status (used for Prometheus
+    /// exposition, which scrapers expect as `text/plain`).
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; version=0.0.4".to_string(),
             body,
         }
     }
@@ -228,9 +242,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
 /// Propagates socket write errors.
 pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
         response.status,
         reason(response.status),
+        response.content_type,
         response.body.len()
     );
     for (name, value) in &response.headers {
@@ -256,9 +271,26 @@ pub fn write_request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<()> {
+    write_request_accepting(stream, method, path, body, "application/json")
+}
+
+/// Writes a client request with an explicit `Accept` header and
+/// flushes. The server's `GET /metrics` route negotiates its body on
+/// this header: `text/plain` selects Prometheus exposition.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn write_request_accepting(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    accept: &str,
+) -> std::io::Result<()> {
     let body = body.unwrap_or("");
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: ecripse-serve\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nhost: ecripse-serve\r\ncontent-type: application/json\r\naccept: {accept}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;

@@ -59,8 +59,8 @@ pub mod shared;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    ApiError, EstimateOutcome, Health, JobKind, JobReport, JobSpec, JobState, JobStatus, Metrics,
-    SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
+    ApiError, EstimateOutcome, Health, JobKind, JobProgress, JobReport, JobSpec, JobState,
+    JobStatus, Metrics, SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server, ShutdownSummary};
 pub use shared::{SharedBench, VerdictCache};

@@ -247,6 +247,30 @@ pub struct JobStatus {
     pub queue_position: Option<u64>,
     /// Error description for [`JobState::Failed`].
     pub error: Option<String>,
+    /// Live execution progress while [`JobState::Running`]; absent
+    /// before the worker picks the job up and after it finishes.
+    pub progress: Option<JobProgress>,
+}
+
+/// Live progress of a running job, fed from the worker's observer.
+///
+/// The numbers are monotone snapshots — polling the status endpoint
+/// twice while a job runs shows `simulations`/`iterations` advancing.
+/// They are *observational only*: nothing here feeds back into the
+/// estimation pipeline, so the final report stays bit-identical to the
+/// equivalent direct library call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobProgress {
+    /// Pipeline stage currently executing (snake_case stage name).
+    pub stage: Option<String>,
+    /// Particle-filter iterations finished so far.
+    pub iterations: u64,
+    /// Transistor-level simulations spent so far.
+    pub simulations: u64,
+    /// Importance samples drawn so far (stage 2).
+    pub is_samples: u64,
+    /// Latest running failure-probability estimate, once one exists.
+    pub estimate: Option<f64>,
 }
 
 /// A completed estimate's numbers plus its full structured report.
@@ -365,6 +389,11 @@ pub struct Metrics {
     pub cache_misses: u64,
     /// Hit fraction, absent until the cache has seen traffic.
     pub cache_hit_rate: Option<f64>,
+    /// Seconds since the server bound its socket.
+    pub uptime_seconds: f64,
+    /// Jobs in a terminal state (completed + failed + cancelled +
+    /// persisted).
+    pub jobs_in_terminal_state: u64,
     /// Oracle statistics summed over every completed job (classified /
     /// simulated / retrains / retries / quarantined, …).
     pub oracle: OracleStats,

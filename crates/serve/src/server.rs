@@ -30,16 +30,19 @@
 
 use crate::http::{self, Request, Response};
 use crate::protocol::{
-    ApiError, EstimateOutcome, Health, JobKind, JobReport, JobSpec, JobState, JobStatus, Metrics,
-    SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
+    ApiError, EstimateOutcome, Health, JobKind, JobProgress, JobReport, JobSpec, JobState,
+    JobStatus, Metrics, SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
 };
 use crate::shared::{tag_for, SharedBench, VerdictCache};
 use ecripse_core::cache::MemoCacheConfig;
 use ecripse_core::ecripse::{Ecripse, EcripseConfig};
-use ecripse_core::observe::RunRecorder;
+use ecripse_core::observe::{
+    ChunkStats, MultiObserver, Observer, RunRecorder, RunSummary, SimBatchStats, Stage,
+};
 use ecripse_core::oracle::OracleStats;
 use ecripse_core::rtn_source::SramRtn;
 use ecripse_core::sweep::{DutySweep, SweepBench, SweepOptions};
+use ecripse_core::telemetry::{Histogram, MetricsRegistry, TelemetryObserver};
 use ecripse_core::SramReadBench;
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -102,6 +105,124 @@ struct JobRecord {
     state: JobState,
     error: Option<String>,
     output: Option<JobOutput>,
+    /// When the job entered the queue (feeds the queue-wait histogram).
+    queued_at: Instant,
+    /// Live progress, fed by the worker's observer while the job runs.
+    progress: Arc<ProgressTracker>,
+}
+
+/// Lock-free live-progress accumulator: the worker registers it as an
+/// [`Observer`] alongside the deterministic recorder, and the status
+/// endpoint snapshots it into a [`JobProgress`].
+///
+/// Everything here is *accumulated* (never overwritten) except the
+/// stage and estimate, which are latest-wins — sweep points run
+/// concurrently and interleave their events on one tracker, so only
+/// monotone counters and "most recent" scalars are meaningful.
+#[derive(Default)]
+struct ProgressTracker {
+    /// 0 = no stage yet; 1..=3 = `Stage` in pipeline order.
+    stage: AtomicU64,
+    iterations: AtomicU64,
+    simulations: AtomicU64,
+    is_samples: AtomicU64,
+    /// f64 bits of the latest running estimate.
+    estimate_bits: AtomicU64,
+    has_estimate: AtomicBool,
+}
+
+impl ProgressTracker {
+    fn snapshot(&self) -> JobProgress {
+        let stage = match self.stage.load(Ordering::Relaxed) {
+            1 => Some(Stage::BoundarySearch),
+            2 => Some(Stage::ParticleFilter),
+            3 => Some(Stage::ImportanceSampling),
+            _ => None,
+        };
+        JobProgress {
+            stage: stage.map(|s| s.name().to_string()),
+            iterations: self.iterations.load(Ordering::Relaxed),
+            simulations: self.simulations.load(Ordering::Relaxed),
+            is_samples: self.is_samples.load(Ordering::Relaxed),
+            estimate: self
+                .has_estimate
+                .load(Ordering::Relaxed)
+                .then(|| f64::from_bits(self.estimate_bits.load(Ordering::Relaxed))),
+        }
+    }
+
+    fn set_estimate(&self, value: f64) {
+        self.estimate_bits.store(value.to_bits(), Ordering::Relaxed);
+        self.has_estimate.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Observer for ProgressTracker {
+    fn stage_started(&self, stage: Stage) {
+        let index = match stage {
+            Stage::BoundarySearch => 1,
+            Stage::ParticleFilter => 2,
+            Stage::ImportanceSampling => 3,
+        };
+        self.stage.store(index, Ordering::Relaxed);
+    }
+
+    fn iteration_finished(&self, _stats: &ecripse_core::observe::IterationStats) {
+        self.iterations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn chunk_finished(&self, chunk: &ChunkStats) {
+        self.is_samples
+            .fetch_add(chunk.chunk_samples, Ordering::Relaxed);
+        self.set_estimate(chunk.estimate);
+    }
+
+    fn sim_batch_finished(&self, stats: &SimBatchStats) {
+        self.simulations.fetch_add(stats.batch, Ordering::Relaxed);
+    }
+
+    fn run_finished(&self, summary: &RunSummary) {
+        self.set_estimate(summary.p_fail);
+    }
+}
+
+/// The server's telemetry handles: a per-server [`MetricsRegistry`]
+/// (kept off the process-global one so concurrently bound servers —
+/// e.g. in tests — stay hermetic), the three service histograms, and
+/// the core observer bridge that folds every worker's pipeline events
+/// into the same registry.
+struct ServeTelemetry {
+    registry: MetricsRegistry,
+    http_seconds: Histogram,
+    queue_wait_seconds: Histogram,
+    job_seconds: Histogram,
+    bridge: TelemetryObserver,
+}
+
+impl ServeTelemetry {
+    fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        let http_seconds = registry.histogram(
+            "ecripse_serve_http_request_seconds",
+            "Wall-clock latency of handling one HTTP request",
+        );
+        let queue_wait_seconds = registry.histogram(
+            "ecripse_serve_queue_wait_seconds",
+            "Time a job spent queued before a worker picked it up",
+        );
+        let job_seconds = registry.histogram(
+            "ecripse_serve_job_seconds",
+            "Wall-clock duration of one job's execution",
+        );
+        let bridge = TelemetryObserver::new(&registry);
+        Self {
+            registry,
+            http_seconds,
+            queue_wait_seconds,
+            job_seconds,
+            bridge,
+        }
+    }
 }
 
 /// Queue and job-table state behind one lock.
@@ -144,6 +265,9 @@ struct Shared<B> {
     /// Smoothed seconds-per-job, feeding the `Retry-After` hint.
     ewma_job_seconds: Mutex<f64>,
     stop_accepting: AtomicBool,
+    /// When the server bound its socket (feeds `uptime_seconds`).
+    started: Instant,
+    telemetry: ServeTelemetry,
 }
 
 /// The estimation service. Generic over the bench the factory builds,
@@ -199,6 +323,8 @@ impl<B: SweepBench + 'static> Server<B> {
             oracle_totals: Mutex::new(OracleStats::default()),
             ewma_job_seconds: Mutex::new(1.0),
             stop_accepting: AtomicBool::new(false),
+            started: Instant::now(),
+            telemetry: ServeTelemetry::new(),
         });
         let worker_handles = (0..workers)
             .map(|_| {
@@ -231,6 +357,12 @@ impl<B: SweepBench + 'static> Server<B> {
     /// Current service metrics (the `GET /metrics` document).
     pub fn metrics(&self) -> Metrics {
         collect_metrics(&self.shared)
+    }
+
+    /// The Prometheus text exposition `GET /metrics` serves when asked
+    /// for `Accept: text/plain`.
+    pub fn prometheus_metrics(&self) -> String {
+        render_prometheus_document(&self.shared, &collect_metrics(&self.shared))
     }
 
     /// Graceful shutdown: stop accepting, drain in-flight jobs, persist
@@ -358,11 +490,16 @@ fn handle_connection<B: SweepBench>(mut stream: TcpStream, shared: &Shared<B>) {
         return;
     }
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let started = Instant::now();
     let response = match http::read_request(&mut stream) {
         Ok(request) => route(shared, &request),
         Err(e) => error_response(400, "bad_request", e.to_string()),
     };
     let _ = http::write_response(&mut stream, &response);
+    shared
+        .telemetry
+        .http_seconds
+        .record(started.elapsed().as_secs_f64());
 }
 
 fn json_body<T: Serialize>(value: &T) -> String {
@@ -382,7 +519,7 @@ fn route<B: SweepBench>(shared: &Shared<B>, request: &Request) -> Response {
         ("GET", ["v1", "jobs", id, "report"]) => with_job_id(id, |id| report(shared, id)),
         ("DELETE", ["v1", "jobs", id]) => with_job_id(id, |id| cancel(shared, id)),
         ("GET", ["healthz"]) => healthz(shared),
-        ("GET", ["metrics"]) => Response::json(200, json_body(&collect_metrics(shared))),
+        ("GET", ["metrics"]) => metrics_response(shared, request),
         (_, ["v1", "jobs"] | ["v1", "jobs", ..] | ["healthz"] | ["metrics"]) => {
             error_response(405, "method_not_allowed", "method not allowed on this path")
         }
@@ -448,6 +585,8 @@ fn submit<B: SweepBench>(shared: &Shared<B>, body: &[u8]) -> Response {
             state: JobState::Queued,
             error: None,
             output: None,
+            queued_at: Instant::now(),
+            progress: Arc::new(ProgressTracker::default()),
         },
     );
     state.queue.push_back(id);
@@ -462,6 +601,7 @@ fn submit<B: SweepBench>(shared: &Shared<B>, body: &[u8]) -> Response {
             state: JobState::Queued,
             queue_position: Some(position),
             error: None,
+            progress: None,
         }),
     )
 }
@@ -488,6 +628,7 @@ fn job_status(state: &QueueState, id: u64) -> Option<JobStatus> {
         state: record.state,
         queue_position,
         error: record.error.clone(),
+        progress: (record.state == JobState::Running).then(|| record.progress.snapshot()),
     })
 }
 
@@ -568,28 +709,180 @@ fn collect_metrics<B>(shared: &Shared<B>) -> Metrics {
         (state.queue.len() as u64, state.in_flight)
     };
     let c = &shared.counters;
+    let completed = c.completed.load(Ordering::Relaxed);
+    let failed = c.failed.load(Ordering::Relaxed);
+    let cancelled = c.cancelled.load(Ordering::Relaxed);
+    let persisted = c.persisted.load(Ordering::Relaxed);
     Metrics {
         queue_depth,
         queue_capacity: shared.config.queue_capacity as u64,
         in_flight,
         workers: shared.config.workers.max(1) as u64,
         submitted: c.submitted.load(Ordering::Relaxed),
-        completed: c.completed.load(Ordering::Relaxed),
-        failed: c.failed.load(Ordering::Relaxed),
-        cancelled: c.cancelled.load(Ordering::Relaxed),
-        persisted: c.persisted.load(Ordering::Relaxed),
+        completed,
+        failed,
+        cancelled,
+        persisted,
         rejected: c.rejected.load(Ordering::Relaxed),
         cache_entries: shared.cache.len() as u64,
         cache_hits: shared.cache.hits(),
         cache_misses: shared.cache.misses(),
         cache_hit_rate: shared.cache.hit_rate(),
+        uptime_seconds: shared.started.elapsed().as_secs_f64(),
+        jobs_in_terminal_state: completed + failed + cancelled + persisted,
         oracle: *shared.oracle_totals.lock(),
     }
 }
 
+/// Serves `GET /metrics`: Prometheus text exposition when the client's
+/// `Accept` header asks for `text/plain`, the JSON document otherwise.
+fn metrics_response<B>(shared: &Shared<B>, request: &Request) -> Response {
+    let metrics = collect_metrics(shared);
+    let wants_prometheus = request
+        .header("accept")
+        .is_some_and(|accept| accept.contains("text/plain"));
+    if wants_prometheus {
+        Response::text(200, render_prometheus_document(shared, &metrics))
+    } else {
+        Response::json(200, json_body(&metrics))
+    }
+}
+
+/// One `# HELP`/`# TYPE`/sample triple of Prometheus exposition.
+fn prom_scalar(out: &mut String, name: &str, kind: &str, help: &str, value: f64) {
+    use std::fmt::Write as _;
+    let rendered = if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{value}")
+    };
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {rendered}");
+}
+
+/// Builds the full Prometheus document: scalar series synthesised from
+/// the *same* [`Metrics`] snapshot the JSON endpoint serves (so the two
+/// representations always agree), followed by the registry's rendered
+/// histograms (HTTP latency, queue wait, job duration, and the core
+/// observer bridge's pipeline metrics).
+fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
+    let mut out = String::new();
+    let gauges: [(&str, &str, f64); 8] = [
+        (
+            "queue_depth",
+            "Jobs waiting in the queue",
+            m.queue_depth as f64,
+        ),
+        (
+            "queue_capacity",
+            "Bound of the job queue",
+            m.queue_capacity as f64,
+        ),
+        ("in_flight", "Jobs currently executing", m.in_flight as f64),
+        ("workers", "Size of the worker pool", m.workers as f64),
+        (
+            "cache_entries",
+            "Entries in the process-wide verdict cache",
+            m.cache_entries as f64,
+        ),
+        (
+            "cache_hit_rate",
+            "Verdict-cache hit fraction (NaN before any traffic)",
+            m.cache_hit_rate.unwrap_or(f64::NAN),
+        ),
+        (
+            "uptime_seconds",
+            "Seconds since the server bound its socket",
+            m.uptime_seconds,
+        ),
+        (
+            "jobs_in_terminal_state",
+            "Jobs completed, failed, cancelled or persisted",
+            m.jobs_in_terminal_state as f64,
+        ),
+    ];
+    for (name, help, value) in gauges {
+        prom_scalar(
+            &mut out,
+            &format!("ecripse_serve_{name}"),
+            "gauge",
+            help,
+            value,
+        );
+    }
+    let counters: [(&str, &str, u64); 14] = [
+        ("submitted_total", "Jobs ever accepted", m.submitted),
+        ("completed_total", "Jobs finished successfully", m.completed),
+        (
+            "failed_total",
+            "Jobs finished with an estimation error",
+            m.failed,
+        ),
+        (
+            "cancelled_total",
+            "Jobs cancelled before running",
+            m.cancelled,
+        ),
+        (
+            "persisted_total",
+            "Queued sweeps persisted during shutdown",
+            m.persisted,
+        ),
+        ("rejected_total", "Submissions bounced with 429", m.rejected),
+        ("cache_hits_total", "Verdict-cache hits", m.cache_hits),
+        ("cache_misses_total", "Verdict-cache misses", m.cache_misses),
+        (
+            "oracle_classified_total",
+            "Queries answered by the classifier",
+            m.oracle.classified,
+        ),
+        (
+            "oracle_simulated_total",
+            "Queries answered by simulation",
+            m.oracle.simulated,
+        ),
+        (
+            "oracle_retrains_total",
+            "Classifier retraining rounds",
+            m.oracle.retrains,
+        ),
+        (
+            "oracle_retries_total",
+            "Retry-ladder attempts",
+            m.oracle.retries,
+        ),
+        (
+            "oracle_quarantined_total",
+            "Samples quarantined",
+            m.oracle.quarantined,
+        ),
+        (
+            "oracle_uncertain_simulated_total",
+            "Stage-2 simulations triggered by the uncertainty band",
+            m.oracle.uncertain_simulated,
+        ),
+    ];
+    for (name, help, value) in counters {
+        prom_scalar(
+            &mut out,
+            &format!("ecripse_serve_{name}"),
+            "counter",
+            help,
+            value as f64,
+        );
+    }
+    out.push_str(&shared.telemetry.registry.render_prometheus());
+    out
+}
+
 fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
     loop {
-        let (id, spec, config) = {
+        let (id, spec, config, progress) = {
             let mut state = lock_state(shared);
             loop {
                 if let Some(id) = state.queue.pop_front() {
@@ -599,7 +892,16 @@ fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
                         continue;
                     };
                     record.state = JobState::Running;
-                    let job = (id, record.spec.clone(), record.config);
+                    shared
+                        .telemetry
+                        .queue_wait_seconds
+                        .record(record.queued_at.elapsed().as_secs_f64());
+                    let job = (
+                        id,
+                        record.spec.clone(),
+                        record.config,
+                        Arc::clone(&record.progress),
+                    );
                     break job;
                 }
                 if state.draining {
@@ -612,8 +914,9 @@ fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
             }
         };
         let started = Instant::now();
-        let outcome = execute(shared, id, &spec, config);
+        let outcome = execute(shared, id, &spec, config, &progress);
         let elapsed = started.elapsed().as_secs_f64();
+        shared.telemetry.job_seconds.record(elapsed);
         {
             let mut per_job = shared.ewma_job_seconds.lock();
             *per_job = 0.7 * *per_job + 0.3 * elapsed;
@@ -658,11 +961,13 @@ fn execute<B: SweepBench + 'static>(
     id: u64,
     spec: &JobSpec,
     config: EcripseConfig,
+    progress: &Arc<ProgressTracker>,
 ) -> Result<(JobOutput, OracleStats), String> {
     let shared = Arc::clone(shared);
     let spec = spec.clone();
+    let progress = Arc::clone(progress);
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-        execute_inner(&shared, id, &spec, config)
+        execute_inner(&shared, id, &spec, config, &progress)
     }))
     .unwrap_or_else(|panic| {
         let message = panic
@@ -679,19 +984,30 @@ fn execute_inner<B: SweepBench + 'static>(
     id: u64,
     spec: &JobSpec,
     config: EcripseConfig,
+    progress: &ProgressTracker,
 ) -> Result<(JobOutput, OracleStats), String> {
     let bench = job_bench(shared, spec);
+    // Everything beyond the deterministic recorder is observational:
+    // the live-progress tracker and the registry bridge see the same
+    // event stream but never feed back into the estimation, so served
+    // reports stay bit-identical to direct library calls.
+    let mut side = MultiObserver::new();
+    side.push(progress);
+    side.push(&shared.telemetry.bridge);
     match spec.kind {
         JobKind::Estimate => {
             let recorder = RunRecorder::new();
+            let mut fanout = MultiObserver::new();
+            fanout.push(&recorder);
+            fanout.push(&side);
             let result = match spec.alpha {
                 None => Ecripse::new(config, bench)
-                    .estimate_observed(&recorder)
+                    .estimate_observed(&fanout)
                     .map_err(|e| e.to_string())?,
                 Some(alpha) => {
                     let rtn = SramRtn::paper_model(alpha, bench.sigmas());
                     Ecripse::with_rtn(config, bench, rtn)
-                        .estimate_observed(&recorder)
+                        .estimate_observed(&fanout)
                         .map_err(|e| e.to_string())?
                 }
             };
@@ -715,7 +1031,9 @@ fn execute_inner<B: SweepBench + 'static>(
                 resume: true,
                 keep_going: false,
             };
-            let run = sweep.run_resumable(&options).map_err(|e| e.to_string())?;
+            let run = sweep
+                .run_resumable_observed(&options, &side)
+                .map_err(|e| e.to_string())?;
             let (result, reports) = run.into_parts().map_err(|e| e.to_string())?;
             // The job is done; its spool checkpoint has served its
             // purpose.

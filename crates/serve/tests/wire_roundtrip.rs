@@ -10,8 +10,8 @@ use ecripse_core::observe::{RunReport, Stage, StageReport};
 use ecripse_core::oracle::OracleStats;
 use ecripse_core::sweep::{SweepPoint, SweepReports};
 use ecripse_serve::protocol::{
-    ApiError, EstimateOutcome, Health, JobReport, JobSpec, JobState, JobStatus, Metrics,
-    SubmitRequest, SweepOutcome,
+    ApiError, EstimateOutcome, Health, JobProgress, JobReport, JobSpec, JobState, JobStatus,
+    Metrics, SubmitRequest, SweepOutcome,
 };
 use proptest::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -119,14 +119,51 @@ proptest! {
         has_position in proptest::bool::ANY,
         position in 0u64..10_000,
         has_error in proptest::bool::ANY,
+        has_progress in proptest::bool::ANY,
+        iterations in 0u64..(1 << 50),
+        simulations in 0u64..(1 << 50),
+        estimate in 1e-12f64..1.0,
+        stage_pick in 0u32..4,
     ) {
         let status = JobStatus {
             id,
             state: job_state(pick),
             queue_position: if has_position { Some(position) } else { None },
             error: if has_error { Some(format!("boom #{id}")) } else { None },
+            progress: if has_progress {
+                Some(JobProgress {
+                    stage: match stage_pick {
+                        0 => None,
+                        1 => Some("boundary_search".to_string()),
+                        2 => Some("particle_filter".to_string()),
+                        _ => Some("importance_sampling".to_string()),
+                    },
+                    iterations,
+                    simulations,
+                    is_samples: simulations / 2,
+                    estimate: if stage_pick > 1 { Some(estimate) } else { None },
+                })
+            } else {
+                None
+            },
         };
         prop_assert_eq!(roundtrip(&status), status);
+    }
+
+    #[test]
+    fn prop_old_wire_job_status_still_parses(
+        id in 0u64..(1 << 53),
+        pick in 0u32..6,
+    ) {
+        // A protocol-1 peer that predates the `progress` field sends
+        // documents without it; `Option::from_missing` keeps them valid.
+        let old = format!(
+            "{{\"id\":{id},\"state\":\"{}\",\"queue_position\":null,\"error\":null}}",
+            job_state(pick)
+        );
+        let parsed: JobStatus = serde_json::from_str(&old).expect("old wire form parses");
+        prop_assert_eq!(parsed.id, id);
+        prop_assert_eq!(parsed.progress, None);
     }
 
     #[test]
@@ -248,8 +285,40 @@ proptest! {
             } else {
                 None
             },
+            uptime_seconds: depth as f64 * 0.125,
+            jobs_in_terminal_state: counts[1] + counts[2] + counts[3] + counts[4],
             oracle: oracle_stats(&counts),
         };
         prop_assert_eq!(roundtrip(&metrics), metrics);
+    }
+
+    #[test]
+    fn prop_non_finite_floats_survive_the_wire(
+        id in 0u64..(1 << 53),
+        positive in proptest::bool::ANY,
+    ) {
+        // The vendored serde writes non-finite floats as string
+        // sentinels instead of the `null` stock serde_json emits, so an
+        // infinite relative error (zero estimate) survives a round trip.
+        // NaN cannot be asserted with equality, so the proptest covers
+        // the infinities and a unit test covers NaN field-by-field.
+        let inf = if positive { f64::INFINITY } else { f64::NEG_INFINITY };
+        let status = JobStatus {
+            id,
+            state: JobState::Running,
+            queue_position: None,
+            error: None,
+            progress: Some(JobProgress {
+                stage: Some("importance_sampling".to_string()),
+                iterations: 1,
+                simulations: 2,
+                is_samples: 3,
+                estimate: Some(inf),
+            }),
+        };
+        let json = serde_json::to_string(&status).expect("serialise");
+        let sentinel = if positive { "\"estimate\":\"Infinity\"" } else { "\"estimate\":\"-Infinity\"" };
+        prop_assert!(json.contains(sentinel), "expected the string sentinel in {json}");
+        prop_assert_eq!(roundtrip(&status), status);
     }
 }

@@ -3,10 +3,10 @@
 //! ```text
 //! ecripse-cli estimate [--vdd V] [--alpha A] [--no-rtn] [--samples N]
 //!                      [--tolerance R] [--seed S] [--threads T]
-//!                      [--report PATH] [--progress]
+//!                      [--report PATH] [--progress] [--trace-log PATH]
 //! ecripse-cli sweep    [--vdd V] [--points K] [--samples N] [--m-rtn M] [--seed S]
 //!                      [--threads T] [--report PATH] [--checkpoint PATH] [--resume]
-//!                      [--keep-going]
+//!                      [--keep-going] [--trace-log PATH]
 //! ecripse-cli margin   [--vdd V] [--dvth v0,v1,v2,v3,v4,v5]
 //! ecripse-cli naive    [--vdd V] [--alpha A] [--no-rtn] [--samples N] [--seed S]
 //! ecripse-cli serve    [--addr HOST:PORT] [--workers W] [--queue Q] [--spool DIR]
@@ -23,6 +23,9 @@
 //! layer"); for `sweep` the file holds the RDF-only reference report
 //! plus one report per duty point. `--progress` prints one
 //! human-readable line per pipeline event to stderr as the run advances.
+//! `--trace-log PATH` appends one JSON object per pipeline event to a
+//! size-rotated JSONL file and prints simulator-batch latency
+//! percentiles (p50/p90/p99) once the run finishes.
 //!
 //! Long sweeps are fault-tolerant: `--checkpoint PATH` saves a versioned
 //! JSON snapshot after the shared initialisation and after every
@@ -143,6 +146,40 @@ fn write_report_json<T: serde::Serialize>(path: &str, report: &T) -> Result<(), 
     Ok(())
 }
 
+/// Cap on one `--trace-log` file before it rotates to `<path>.1`.
+const TRACE_LOG_MAX_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Builds the `--trace-log` bridge: a metrics registry fed by every
+/// pipeline event plus a JSONL tracer writing structured events to a
+/// size-rotated file at `path`.
+fn trace_telemetry(path: &str) -> Result<(MetricsRegistry, TelemetryObserver), String> {
+    let sink = RotatingFileSink::create(path, TRACE_LOG_MAX_BYTES)
+        .map_err(|e| format!("--trace-log {path}: {e}"))?;
+    let registry = MetricsRegistry::new();
+    let tracer = Tracer::new(std::sync::Arc::new(sink));
+    let observer = TelemetryObserver::new(&registry).with_tracer(tracer);
+    Ok((registry, observer))
+}
+
+/// Prints the simulator-batch latency percentiles the `--trace-log`
+/// registry accumulated (stderr, like the other progress output).
+fn print_latency_summary(registry: &MetricsRegistry, path: &str) {
+    let batches = registry.histogram(
+        "ecripse_sim_batch_seconds",
+        "Wall-clock latency of one raw simulator batch",
+    );
+    if let Some((p50, p90, p99)) = batches.percentiles() {
+        eprintln!(
+            "sim-batch latency over {} batches: p50 {:.3e} s, p90 {:.3e} s, p99 {:.3e} s",
+            batches.count(),
+            p50,
+            p90,
+            p99
+        );
+    }
+    eprintln!("trace log written to {path}");
+}
+
 fn usage() {
     eprintln!(
         "usage: ecripse-cli <estimate|sweep|margin|naive|serve|submit> [options]\n\
@@ -151,12 +188,14 @@ fn usage() {
          \x20          --vdd V (0.7)  --alpha A (0.5)  --no-rtn\n\
          \x20          --samples N (4000)  --tolerance R  --seed S  --threads T (0=all cores)\n\
          \x20          --report PATH (JSON run report)  --progress (live stderr lines)\n\
+         \x20          --trace-log PATH (JSONL trace events + latency percentiles)\n\
          sweep     duty-ratio sweep with shared initialisation\n\
          \x20          --vdd V (0.7)  --points K (11)  --samples N (2000)  --m-rtn M (20)\n\
          \x20          --seed S  --threads T  --report PATH (JSON reports, one per duty point)\n\
          \x20          --checkpoint PATH (save progress per point; Ctrl-C flushes + exits)\n\
          \x20          --resume (reload checkpoint)\n\
          \x20          --keep-going (report failed points instead of aborting)\n\
+         \x20          --trace-log PATH (JSONL trace events + latency percentiles)\n\
          margin    read/hold/write margins of one cell instance\n\
          \x20          --vdd V (0.7)  --dvth v0,v1,v2,v3,v4,v5 (volts)\n\
          naive     naive Monte Carlo reference\n\
@@ -196,12 +235,17 @@ fn run() -> Result<(), String> {
             cfg.threads = args.get("threads", 0)?;
             let recorder = RunRecorder::new();
             let progress = ProgressObserver::new();
+            let trace_path: Option<String> = args.opt("trace-log")?;
+            let telemetry = trace_path.as_deref().map(trace_telemetry).transpose()?;
             let mut observers = MultiObserver::new();
             if report_path.is_some() {
                 observers.push(&recorder);
             }
             if args.flag("progress") {
                 observers.push(&progress);
+            }
+            if let Some((_, bridge)) = &telemetry {
+                observers.push(bridge);
             }
             let result = if args.flag("no-rtn") {
                 cfg.importance.m_rtn = 1;
@@ -222,6 +266,9 @@ fn run() -> Result<(), String> {
             .map_err(|e| e.to_string())?;
             if let Some(path) = report_path {
                 write_report_json(&path, &recorder.report())?;
+            }
+            if let (Some((registry, _)), Some(path)) = (&telemetry, &trace_path) {
+                print_latency_summary(registry, path);
             }
             println!(
                 "P_fail = {:.4e} ± {:.2e} (rel. err. {:.3})",
@@ -264,14 +311,20 @@ fn run() -> Result<(), String> {
                 resume: args.flag("resume"),
                 keep_going: args.flag("keep-going"),
             };
+            let trace_path: Option<String> = args.opt("trace-log")?;
+            let telemetry = trace_path.as_deref().map(trace_telemetry).transpose()?;
+            let mut observers = MultiObserver::new();
+            if let Some((_, bridge)) = &telemetry {
+                observers.push(bridge);
+            }
             let sweep = DutySweep::new(cfg, SramReadBench::at_vdd(vdd), alphas);
             // With a checkpoint configured, Ctrl-C drains in-flight
             // points, flushes the checkpoint and exits non-zero.
             let run = if options.checkpoint.is_some() {
                 interrupt::install();
-                sweep.run_resumable_interruptible(&options, interrupt::flag())
+                sweep.run_resumable_interruptible_observed(&options, interrupt::flag(), &observers)
             } else {
-                sweep.run_resumable(&options)
+                sweep.run_resumable_observed(&options, &observers)
             };
             let run = match run {
                 Err(e @ SweepError::Interrupted { .. }) => {
@@ -285,6 +338,9 @@ fn run() -> Result<(), String> {
                     run.points_from_checkpoint,
                     run.outcomes.len()
                 );
+            }
+            if let (Some((registry, _)), Some(path)) = (&telemetry, &trace_path) {
+                print_latency_summary(registry, path);
             }
             let failed = run.failed_points();
             println!("{:<8} {:>12} {:>12}", "alpha", "P_fail", "ci95");

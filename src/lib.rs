@@ -76,6 +76,9 @@ pub mod prelude {
         CheckpointError, DutySweep, PointOutcome, ResumableSweep, SweepBench, SweepError,
         SweepOptions, SweepPoint, SweepReports, SweepResult,
     };
+    pub use ecripse_core::telemetry::{
+        Counter, Gauge, Histogram, MetricsRegistry, RotatingFileSink, TelemetryObserver, Tracer,
+    };
     pub use ecripse_rtn::model::RtnCellModel;
     pub use ecripse_serve::{
         Client, ClientError, JobSpec, JobState, ServeConfig, Server, SubmitRequest,

@@ -165,6 +165,84 @@ fn stripped_reports_are_bit_identical_across_thread_counts() {
     );
 }
 
+/// Runs one estimate with the full telemetry stack attached — a
+/// [`RunRecorder`] and a [`TelemetryObserver`] fanned out side by side —
+/// and returns the recorded report.
+fn telemetry_observed_report(threads: usize) -> RunReport {
+    let registry = MetricsRegistry::new();
+    let bridge = TelemetryObserver::new(&registry);
+    let recorder = RunRecorder::new();
+    let mut observers = MultiObserver::new();
+    observers.push(&recorder);
+    observers.push(&bridge);
+    Ecripse::new(config(7, threads), bench())
+        .estimate_observed(&observers)
+        .expect("observed run");
+    // The bridge really saw the run: raw simulator batches were timed.
+    let batches = registry.histogram(
+        "ecripse_sim_batch_seconds",
+        "Wall-clock latency of one raw simulator batch",
+    );
+    assert!(batches.count() > 0, "telemetry bridge observed no batches");
+    recorder.into_report()
+}
+
+#[test]
+fn stripped_reports_stay_bit_identical_with_telemetry_enabled() {
+    // Telemetry is observation-only: latency histograms and trace
+    // events may differ run to run, but the estimation itself — and the
+    // stripped report that records it — must not move at all.
+    let mut serial = telemetry_observed_report(1);
+    let mut parallel = telemetry_observed_report(4);
+    serial.strip_timings();
+    parallel.strip_timings();
+    assert_eq!(serial.threads, 1);
+    assert_eq!(parallel.threads, 4);
+    parallel.threads = serial.threads;
+    assert_eq!(serial, parallel);
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serialise"),
+        serde_json::to_string(&parallel).expect("serialise")
+    );
+}
+
+#[test]
+fn non_finite_report_values_survive_json() {
+    // A zero estimate makes the derived relative error infinite — the
+    // situation that forces non-finite floats into serialised output.
+    let zero = TracePoint {
+        simulations: 10,
+        samples: 20,
+        estimate: 0.0,
+        ci95_half_width: 0.5,
+    };
+    assert!(zero.relative_error().is_infinite());
+    let json = serde_json::to_string(&vec![zero.clone()]).expect("serialise trace");
+    let back: Vec<TracePoint> = serde_json::from_str(&json).expect("deserialise trace");
+    assert_eq!(back, vec![zero]);
+
+    // A report carrying an infinite half-width (a run whose estimate
+    // never left zero) survives `write_json` with the string sentinels
+    // instead of producing invalid JSON.
+    let (_, mut report) = Ecripse::new(config(11, 0), bench())
+        .estimate_report()
+        .expect("observed run");
+    report.ci95_half_width = f64::INFINITY;
+    if let Some(chunk) = report.stage2_chunks.first_mut() {
+        chunk.estimate = 0.0;
+        assert!(chunk.relative_error().is_infinite());
+    }
+    let mut buf = Vec::new();
+    report.write_json(&mut buf).expect("write_json");
+    let json = String::from_utf8(buf).expect("utf-8");
+    assert!(
+        json.contains("\"Infinity\""),
+        "non-finite values must serialise as string sentinels"
+    );
+    let back: RunReport = serde_json::from_str(&json).expect("sentinel JSON parses back");
+    assert_eq!(back, report);
+}
+
 #[test]
 fn sweep_reports_cover_every_point() {
     let cfg = EcripseConfig {

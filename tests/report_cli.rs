@@ -1,6 +1,8 @@
 //! `ecripse-cli --report` end to end: the binary must write a parseable
 //! `RunReport` whose simulation accounting matches both its own oracle
-//! counters and the numbers printed on stdout.
+//! counters and the numbers printed on stdout — and the observability
+//! flags (`--progress`, `--trace-log`) must route diagnostics to stderr
+//! and a JSONL trace file without disturbing the stdout contract.
 
 use ecripse::prelude::*;
 use std::process::Command;
@@ -85,4 +87,91 @@ fn cli_estimate_writes_a_consistent_report() {
         "stdout '{cost}' disagrees with report classified {}",
         report.oracle.classified
     );
+}
+
+#[test]
+fn cli_progress_goes_to_stderr_and_trace_log_is_jsonl() {
+    let dir = std::env::temp_dir().join(format!("ecripse-trace-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace = dir.join("trace.jsonl");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ecripse-cli"))
+        .args([
+            "estimate",
+            "--no-rtn",
+            "--samples",
+            "1000",
+            "--seed",
+            "7",
+            "--progress",
+            "--trace-log",
+        ])
+        .arg(&trace)
+        .output()
+        .expect("ecripse-cli runs");
+    assert!(
+        out.status.success(),
+        "cli failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Progress narration and the latency summary live on stderr only;
+    // stdout stays the machine-consumable result block.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stderr.contains("[ecripse] run started"),
+        "progress lines must go to stderr, got: {stderr}"
+    );
+    assert!(
+        !stdout.contains("[ecripse]"),
+        "stdout must stay free of progress narration, got: {stdout}"
+    );
+    assert!(
+        stderr.contains("sim-batch latency over"),
+        "latency summary missing from stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("trace log written to"),
+        "trace-log pointer missing from stderr: {stderr}"
+    );
+
+    // The trace log is non-empty JSONL: one JSON object per line, each
+    // naming its event, bracketed by run_started … run_finished.
+    let text = std::fs::read_to_string(&trace).expect("trace log exists");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut names = Vec::new();
+    for line in text.lines() {
+        let value: serde_json::Value = serde_json::from_str(line).expect("trace line parses");
+        assert!(
+            value.as_object().is_some(),
+            "trace line is not an object: {line}"
+        );
+        let name = value
+            .get("name")
+            .and_then(serde_json::Value::as_str)
+            .expect("trace line names its event")
+            .to_string();
+        let t_s = value
+            .get("t_s")
+            .and_then(serde_json::Value::as_f64)
+            .expect("trace line carries a timestamp");
+        assert!(t_s.is_finite() && t_s >= 0.0);
+        if name == "run_finished" {
+            let p_fail = value
+                .get("p_fail")
+                .and_then(serde_json::Value::as_f64)
+                .expect("run_finished carries p_fail");
+            assert!(p_fail.is_finite());
+        }
+        names.push(name);
+    }
+    assert_eq!(names.first().map(String::as_str), Some("run_started"));
+    assert_eq!(names.last().map(String::as_str), Some("run_finished"));
+    for expected in ["stage_finished", "iteration_finished", "chunk_finished"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "trace log lacks {expected} events: {names:?}"
+        );
+    }
 }

@@ -61,11 +61,31 @@ macro_rules! impl_float {
     ($($ty:ty),*) => {$(
         impl Serialize for $ty {
             fn to_value(&self) -> json::Value {
-                json::Value::Number(*self as f64)
+                let x = *self as f64;
+                if x.is_finite() {
+                    json::Value::Number(x)
+                } else if x.is_nan() {
+                    // JSON has no non-finite numbers; a bare `null` (what
+                    // upstream serde_json emits) silently destroys the
+                    // value on a round-trip. Use string sentinels instead.
+                    json::Value::String("NaN".to_owned())
+                } else if x > 0.0 {
+                    json::Value::String("Infinity".to_owned())
+                } else {
+                    json::Value::String("-Infinity".to_owned())
+                }
             }
         }
         impl Deserialize for $ty {
             fn from_value(value: &json::Value) -> Option<Self> {
+                if let Some(sentinel) = value.as_str() {
+                    return match sentinel {
+                        "Infinity" => Some(<$ty>::INFINITY),
+                        "-Infinity" => Some(<$ty>::NEG_INFINITY),
+                        "NaN" => Some(<$ty>::NAN),
+                        _ => None,
+                    };
+                }
                 value.as_f64().map(|x| x as $ty)
             }
         }
