@@ -10,11 +10,49 @@
 //! [`SimCounter`] wraps any bench and counts invocations — the
 //! "number of transistor-level simulations" axis of Figs. 6 and 7.
 
+use ecripse_spice::butterfly::Butterfly;
 use ecripse_spice::testbench::ReadStabilityBench;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub use ecripse_spice::EvalError;
+
+/// Cumulative inner-solver effort behind a bench's verdicts.
+///
+/// For the SRAM benches the 1-D bisection steps of the VTC solver play
+/// the role of Newton iterations and each solved transfer-curve point is
+/// one factorisation-equivalent; synthetic benches report zeros. Totals
+/// are monotone — consumers read before/after deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolveEffort {
+    /// Inner-solver iterations (bisection steps for the SRAM benches).
+    pub newton_iters: u64,
+    /// Solver invocations (butterfly curve points for the SRAM benches).
+    pub factorisations: u64,
+    /// Evaluations that ran inside a warm-start seeded bracket.
+    pub warm_start_seeds: u64,
+}
+
+impl SolveEffort {
+    /// Component-wise `self - earlier` (saturating, for counter resets).
+    pub fn delta(&self, earlier: &SolveEffort) -> SolveEffort {
+        SolveEffort {
+            newton_iters: self.newton_iters.saturating_sub(earlier.newton_iters),
+            factorisations: self.factorisations.saturating_sub(earlier.factorisations),
+            warm_start_seeds: self
+                .warm_start_seeds
+                .saturating_sub(earlier.warm_start_seeds),
+        }
+    }
+
+    /// Component-wise accumulation.
+    pub fn add(&mut self, other: &SolveEffort) {
+        self.newton_iters += other.newton_iters;
+        self.factorisations += other.factorisations;
+        self.warm_start_seeds += other.warm_start_seeds;
+    }
+}
 
 /// A deterministic pass/fail indicator over whitened shift space.
 pub trait Testbench: Sync {
@@ -77,6 +115,37 @@ pub trait Testbench: Sync {
     fn try_fails_batch(&self, zs: &[Vec<f64>]) -> Vec<Result<bool, EvalError>> {
         zs.iter().map(|z| self.try_fails(z)).collect()
     }
+
+    /// Cumulative inner-solver effort behind this bench's verdicts so
+    /// far. Synthetic benches have no inner solver and keep the zeroed
+    /// default; wrappers forward to the wrapped bench.
+    fn solve_effort(&self) -> SolveEffort {
+        SolveEffort::default()
+    }
+}
+
+/// A bench whose evaluations can be warm-started from the by-product of
+/// a *nearby* earlier evaluation.
+///
+/// `try_fails_seeded` must return the same verdict as
+/// [`Testbench::try_fails`] for every seed — seeds accelerate, never
+/// decide. The returned seed (if any) is the reusable by-product of this
+/// evaluation, suitable for caching keyed by operating point.
+pub trait SeedableBench: Testbench {
+    /// The reusable evaluation by-product (butterfly curves for the SRAM
+    /// benches).
+    type Seed: Clone + Send + Sync;
+
+    /// Evaluates `z`, optionally warm-started by a neighbour's seed.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    fn try_fails_seeded(
+        &self,
+        z: &[f64],
+        seed: Option<&Self::Seed>,
+    ) -> Result<(bool, Option<Self::Seed>), EvalError>;
 }
 
 /// Highest grid-escalation exponent the SRAM benches will use: attempt
@@ -102,6 +171,18 @@ impl SramReadBench {
     pub fn at_vdd(vdd: f64) -> Self {
         Self {
             inner: ReadStabilityBench::at_vdd(vdd),
+        }
+    }
+
+    /// Full circuit-bench configuration control (grid, supply, adaptive
+    /// resolution policy).
+    ///
+    /// # Panics
+    ///
+    /// See [`ReadStabilityBench::with_config`].
+    pub fn with_config(config: ecripse_spice::testbench::BenchConfig) -> Self {
+        Self {
+            inner: ReadStabilityBench::with_config(config),
         }
     }
 
@@ -146,6 +227,27 @@ impl Testbench for SramReadBench {
         zs.par_iter()
             .map(|z| self.inner.try_fails_whitened(z))
             .collect()
+    }
+
+    fn solve_effort(&self) -> SolveEffort {
+        let e = self.inner.effort();
+        SolveEffort {
+            newton_iters: e.bisect_iters,
+            factorisations: e.curve_solves,
+            warm_start_seeds: e.seeded_curves,
+        }
+    }
+}
+
+impl SeedableBench for SramReadBench {
+    type Seed = Butterfly;
+
+    fn try_fails_seeded(
+        &self,
+        z: &[f64],
+        seed: Option<&Butterfly>,
+    ) -> Result<(bool, Option<Butterfly>), EvalError> {
+        self.inner.try_fails_whitened_seeded(z, seed)
     }
 }
 
@@ -212,6 +314,27 @@ impl Testbench for SramWriteBench {
         zs.par_iter()
             .map(|z| self.inner.try_write_fails_whitened(z))
             .collect()
+    }
+
+    fn solve_effort(&self) -> SolveEffort {
+        let e = self.inner.effort();
+        SolveEffort {
+            newton_iters: e.bisect_iters,
+            factorisations: e.curve_solves,
+            warm_start_seeds: e.seeded_curves,
+        }
+    }
+}
+
+impl SeedableBench for SramWriteBench {
+    type Seed = Butterfly;
+
+    fn try_fails_seeded(
+        &self,
+        z: &[f64],
+        seed: Option<&Butterfly>,
+    ) -> Result<(bool, Option<Butterfly>), EvalError> {
+        self.inner.try_write_fails_whitened_seeded(z, seed)
     }
 }
 
@@ -366,6 +489,10 @@ impl<B: Testbench> Testbench for SimCounter<B> {
         self.count.fetch_add(zs.len() as u64, Ordering::Relaxed);
         self.inner.try_fails_batch(zs)
     }
+
+    fn solve_effort(&self) -> SolveEffort {
+        self.inner.solve_effort()
+    }
 }
 
 impl<T: Testbench + ?Sized> Testbench for &T {
@@ -391,6 +518,22 @@ impl<T: Testbench + ?Sized> Testbench for &T {
 
     fn try_fails_batch(&self, zs: &[Vec<f64>]) -> Vec<Result<bool, EvalError>> {
         (**self).try_fails_batch(zs)
+    }
+
+    fn solve_effort(&self) -> SolveEffort {
+        (**self).solve_effort()
+    }
+}
+
+impl<B: SeedableBench> SeedableBench for &B {
+    type Seed = B::Seed;
+
+    fn try_fails_seeded(
+        &self,
+        z: &[f64],
+        seed: Option<&Self::Seed>,
+    ) -> Result<(bool, Option<Self::Seed>), EvalError> {
+        (**self).try_fails_seeded(z, seed)
     }
 }
 
@@ -523,6 +666,37 @@ mod tests {
         for attempt in 1..4 {
             assert_eq!(b.try_fails_attempt(&z, attempt).expect("retry"), base);
         }
+    }
+
+    #[test]
+    fn synthetic_benches_report_zero_solve_effort() {
+        let b = LinearBench::new(vec![1.0], 0.0);
+        let _ = b.fails(&[1.0]);
+        assert_eq!(b.solve_effort(), SolveEffort::default());
+    }
+
+    #[test]
+    fn sram_solve_effort_grows_and_forwards_through_wrappers() {
+        let c = SimCounter::new(SramReadBench::paper_cell());
+        let before = c.solve_effort();
+        let _ = c.fails(&[0.5, -0.5, 0.0, 0.0, 0.0, 0.0]);
+        let delta = c.solve_effort().delta(&before);
+        assert!(
+            delta.factorisations > 0,
+            "curve solves uncounted: {delta:?}"
+        );
+        assert!(delta.newton_iters > delta.factorisations);
+    }
+
+    #[test]
+    fn seeded_evaluation_matches_plain_evaluation() {
+        let b = SramReadBench::paper_cell();
+        let z0 = [0.4, -0.4, 0.0, 0.4, 0.0, 0.0];
+        let (v0, seed) = b.try_fails_seeded(&z0, None).expect("cold eval");
+        assert_eq!(Ok(v0), b.try_fails(&z0));
+        let z1 = [0.45, -0.35, 0.0, 0.4, 0.0, 0.0];
+        let (v1, _) = b.try_fails_seeded(&z1, seed.as_ref()).expect("seeded eval");
+        assert_eq!(Ok(v1), b.try_fails(&z1));
     }
 
     #[test]

@@ -390,6 +390,7 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
             inner: &self.bench,
             observer,
         };
+        let effort_start = self.bench.solve_effort();
         let counter = SimCounter::new(&timed);
         let retrying = RetryBench::new(&counter, self.config.retry);
         let cached = MemoBench::new(&retrying, self.config.cache);
@@ -487,6 +488,10 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         oracle_stats.cache_misses = cached.misses();
         oracle_stats.retries = retrying.retries();
         oracle_stats.quarantined = retrying.quarantined();
+        let effort = self.bench.solve_effort().delta(&effort_start);
+        oracle_stats.newton_iters = effort.newton_iters;
+        oracle_stats.factorisations = effort.factorisations;
+        oracle_stats.warm_start_seeds = effort.warm_start_seeds;
 
         observer.run_finished(&RunSummary {
             p_fail: is.p_fail,
@@ -578,6 +583,10 @@ impl<B: Testbench> Testbench for TimingBench<'_, B> {
 
     fn try_fails_batch(&self, zs: &[Vec<f64>]) -> Vec<Result<bool, EvalError>> {
         self.timed(zs.len() as u64, || self.inner.try_fails_batch(zs))
+    }
+
+    fn solve_effort(&self) -> crate::bench::SolveEffort {
+        self.inner.solve_effort()
     }
 }
 

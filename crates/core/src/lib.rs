@@ -86,8 +86,10 @@ pub mod sweep;
 pub mod telemetry;
 pub mod trace;
 
-pub use bench::{EvalError, SimCounter, SramReadBench, SramWriteBench, Testbench};
-pub use cache::{MemoBench, MemoCacheConfig};
+pub use bench::{
+    EvalError, SeedableBench, SimCounter, SolveEffort, SramReadBench, SramWriteBench, Testbench,
+};
+pub use cache::{MemoBench, MemoCacheConfig, WarmBench, WarmCacheConfig, WarmCacheStats};
 pub use ecripse::{Ecripse, EcripseConfig, EcripseResult};
 pub use observe::{
     MultiObserver, NullObserver, Observer, ProgressObserver, RunRecorder, RunReport,

@@ -797,6 +797,7 @@ mod tests {
             cache_misses: 3,
             retries: 1,
             quarantined: 0,
+            ..OracleStats::default()
         };
         let after = OracleStats {
             classified: 30,
@@ -807,6 +808,7 @@ mod tests {
             cache_misses: 5,
             retries: 4,
             quarantined: 2,
+            ..OracleStats::default()
         };
         let d = OracleDelta::between(&before, &after);
         assert_eq!(d.classified, 20);

@@ -70,6 +70,19 @@ pub struct OracleStats {
     /// Samples that exhausted the retry ladder and received the
     /// conservative non-failing verdict (driver-filled, like `retries`).
     pub quarantined: u64,
+    /// Inner-solver iterations behind this run's simulations
+    /// (driver-filled from the bench's
+    /// [`SolveEffort`](crate::bench::SolveEffort) delta).
+    #[serde(default)]
+    pub newton_iters: u64,
+    /// Inner-solver invocations (factorisation-equivalents;
+    /// driver-filled, like `newton_iters`).
+    #[serde(default)]
+    pub factorisations: u64,
+    /// Evaluations that ran inside a warm-start seeded bracket
+    /// (driver-filled, like `newton_iters`).
+    #[serde(default)]
+    pub warm_start_seeds: u64,
 }
 
 impl OracleStats {

@@ -169,6 +169,10 @@ impl<B: Testbench> Testbench for RetryBench<B> {
     fn try_fails_batch(&self, zs: &[Vec<f64>]) -> Vec<Result<bool, EvalError>> {
         zs.par_iter().map(|z| self.climb(z)).collect()
     }
+
+    fn solve_effort(&self) -> crate::bench::SolveEffort {
+        self.inner.solve_effort()
+    }
 }
 
 #[cfg(test)]

@@ -1008,8 +1008,8 @@ mod tests {
         }
         let (p50, p90, p99) = h.percentiles().expect("recorded");
         assert!(p50 <= p90 && p90 <= p99);
-        assert!(p50 >= 0.4 && p50 <= 0.6, "p50 = {p50}");
-        assert!(p99 >= 0.9 && p99 <= 1.0, "p99 = {p99}");
+        assert!((0.4..=0.6).contains(&p50), "p50 = {p50}");
+        assert!((0.9..=1.0).contains(&p99), "p99 = {p99}");
         assert!(h.quantile(0.0).expect("min side") >= h.min().unwrap());
         assert!(h.quantile(1.0).expect("max side") <= h.max().unwrap());
     }

@@ -63,4 +63,4 @@ pub use protocol::{
     JobStatus, Metrics, SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server, ShutdownSummary};
-pub use shared::{SharedBench, VerdictCache};
+pub use shared::{SharedBench, SnapshotError, VerdictCache, CACHE_SNAPSHOT_VERSION};

@@ -389,6 +389,10 @@ pub struct Metrics {
     pub cache_misses: u64,
     /// Hit fraction, absent until the cache has seen traffic.
     pub cache_hit_rate: Option<f64>,
+    /// Verdicts restored from the persistent store at startup (0 when
+    /// no store is configured or the snapshot was rejected).
+    #[serde(default)]
+    pub cache_loaded_entries: u64,
     /// Seconds since the server bound its socket.
     pub uptime_seconds: f64,
     /// Jobs in a terminal state (completed + failed + cancelled +

@@ -67,6 +67,10 @@ pub struct ServeConfig {
     /// Process-wide verdict-cache settings (grid quantum, shards,
     /// enabled flag).
     pub cache: MemoCacheConfig,
+    /// Persistent verdict store: loaded (if present and compatible) at
+    /// bind time, saved atomically by graceful shutdown, so a restarted
+    /// service resumes warm. `None` keeps the cache process-lifetime.
+    pub cache_store: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +80,7 @@ impl Default for ServeConfig {
             queue_capacity: 16,
             spool: None,
             cache: MemoCacheConfig::default(),
+            cache_store: None,
         }
     }
 }
@@ -258,6 +263,8 @@ struct Shared<B> {
     config: ServeConfig,
     factory: Box<dyn Fn(f64) -> B + Send + Sync>,
     cache: Arc<VerdictCache>,
+    /// Verdicts restored from the persistent store at bind time.
+    cache_loaded: u64,
     state: std::sync::Mutex<QueueState>,
     work_ready: std::sync::Condvar,
     counters: Counters,
@@ -307,8 +314,26 @@ impl<B: SweepBench + 'static> Server<B> {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let cache = Arc::new(VerdictCache::new(config.cache));
+        let cache_loaded = match &config.cache_store {
+            // A missing store is the normal first boot; any other load
+            // failure is worth a line on stderr, but never fatal — the
+            // service just starts cold.
+            Some(path) if path.exists() => match cache.load_snapshot(path) {
+                Ok(count) => count as u64,
+                Err(error) => {
+                    eprintln!(
+                        "ecripse-serve: ignoring verdict store {}: {error}",
+                        path.display()
+                    );
+                    0
+                }
+            },
+            _ => 0,
+        };
         let shared = Arc::new(Shared {
-            cache: Arc::new(VerdictCache::new(config.cache)),
+            cache,
+            cache_loaded,
             config,
             factory: Box::new(factory),
             state: std::sync::Mutex::new(QueueState {
@@ -404,6 +429,16 @@ impl<B: SweepBench + 'static> Server<B> {
         }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
+        }
+        // Workers are quiet: persist the warm verdicts so the next
+        // process starts where this one left off.
+        if let Some(path) = &self.shared.config.cache_store {
+            if let Err(error) = self.shared.cache.save_snapshot(path) {
+                eprintln!(
+                    "ecripse-serve: could not save verdict store {}: {error}",
+                    path.display()
+                );
+            }
         }
         ShutdownSummary {
             drained,
@@ -728,6 +763,7 @@ fn collect_metrics<B>(shared: &Shared<B>) -> Metrics {
         cache_hits: shared.cache.hits(),
         cache_misses: shared.cache.misses(),
         cache_hit_rate: shared.cache.hit_rate(),
+        cache_loaded_entries: shared.cache_loaded,
         uptime_seconds: shared.started.elapsed().as_secs_f64(),
         jobs_in_terminal_state: completed + failed + cancelled + persisted,
         oracle: *shared.oracle_totals.lock(),
@@ -772,7 +808,7 @@ fn prom_scalar(out: &mut String, name: &str, kind: &str, help: &str, value: f64)
 /// observer bridge's pipeline metrics).
 fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
     let mut out = String::new();
-    let gauges: [(&str, &str, f64); 8] = [
+    let gauges: [(&str, &str, f64); 9] = [
         (
             "queue_depth",
             "Jobs waiting in the queue",
@@ -796,6 +832,11 @@ fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
             m.cache_hit_rate.unwrap_or(f64::NAN),
         ),
         (
+            "cache_loaded_entries",
+            "Verdicts restored from the persistent store at startup",
+            m.cache_loaded_entries as f64,
+        ),
+        (
             "uptime_seconds",
             "Seconds since the server bound its socket",
             m.uptime_seconds,
@@ -815,7 +856,7 @@ fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
             value,
         );
     }
-    let counters: [(&str, &str, u64); 14] = [
+    let counters: [(&str, &str, u64); 17] = [
         ("submitted_total", "Jobs ever accepted", m.submitted),
         ("completed_total", "Jobs finished successfully", m.completed),
         (
@@ -865,6 +906,21 @@ fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
             "oracle_uncertain_simulated_total",
             "Stage-2 simulations triggered by the uncertainty band",
             m.oracle.uncertain_simulated,
+        ),
+        (
+            "newton_iters_total",
+            "Bisection/Newton iterations spent in the circuit solver",
+            m.oracle.newton_iters,
+        ),
+        (
+            "factorisations_total",
+            "Operating-point curve solves (LU factorisations)",
+            m.oracle.factorisations,
+        ),
+        (
+            "warm_start_seeds_total",
+            "Butterfly evaluations warm-started from a neighbour seed",
+            m.oracle.warm_start_seeds,
         ),
     ];
     for (name, help, value) in counters {
@@ -950,6 +1006,9 @@ fn add_oracle(total: &mut OracleStats, delta: &OracleStats) {
     total.cache_misses += delta.cache_misses;
     total.retries += delta.retries;
     total.quarantined += delta.quarantined;
+    total.newton_iters += delta.newton_iters;
+    total.factorisations += delta.factorisations;
+    total.warm_start_seeds += delta.warm_start_seeds;
 }
 
 /// Runs one job through the exact pipeline of a direct library call.

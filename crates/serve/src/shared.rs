@@ -20,11 +20,13 @@
 //! benches implement with different grid resolutions. Errors are never
 //! cached — a transient failure must stay retryable.
 
-use ecripse_core::bench::{EvalError, Testbench};
+use ecripse_core::bench::{EvalError, SolveEffort, Testbench};
 use ecripse_core::cache::MemoCacheConfig;
 use ecripse_core::sweep::SweepBench;
 use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -132,7 +134,159 @@ impl VerdictCache {
             .write()
             .insert(key, verdict);
     }
+
+    /// Compatibility fingerprint of this cache's key space: any change
+    /// to the snapshot schema or the quantisation grid invalidates
+    /// persisted verdicts (a verdict keyed on a different grid would be
+    /// silently wrong, not just stale).
+    pub fn fingerprint(&self) -> String {
+        let mut hash = fnv1a_u64(0xcbf2_9ce4_8422_2325, u64::from(CACHE_SNAPSHOT_VERSION));
+        hash = fnv1a_u64(hash, self.quantum.to_bits());
+        format!("{hash:016x}")
+    }
+
+    /// Persists every resident verdict to `path` atomically (`.tmp`
+    /// sibling + rename, the sweep-checkpoint discipline) and returns
+    /// the number of entries written. Entries are sorted by key so the
+    /// file is byte-identical for identical cache contents.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on filesystem failures,
+    /// [`SnapshotError::Malformed`] if serialisation fails.
+    pub fn save_snapshot(&self, path: &Path) -> Result<usize, SnapshotError> {
+        let mut entries: Vec<SnapshotEntry> = Vec::new();
+        for shard in &self.shards {
+            for ((tag, mode, key), verdict) in shard.read().iter() {
+                entries.push(SnapshotEntry {
+                    // Full-range u64 tags would lose precision as JSON
+                    // numbers; hex strings round-trip exactly.
+                    tag: format!("{tag:016x}"),
+                    mode: *mode,
+                    key: key.clone(),
+                    verdict: *verdict,
+                });
+            }
+        }
+        entries.sort_by(|a, b| (&a.tag, a.mode, &a.key).cmp(&(&b.tag, b.mode, &b.key)));
+        let count = entries.len();
+        let snapshot = CacheSnapshot {
+            schema_version: CACHE_SNAPSHOT_VERSION,
+            fingerprint: self.fingerprint(),
+            entries,
+        };
+        let json = serde_json::to_string(&snapshot)
+            .map_err(|e| SnapshotError::Malformed(format!("serialise snapshot: {e}")))?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json.as_bytes()).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Ok(count)
+    }
+
+    /// Loads a snapshot previously written by [`Self::save_snapshot`]
+    /// into this cache and returns the number of entries restored. The
+    /// schema version is validated first, then the fingerprint; a
+    /// mismatch on either leaves the cache untouched — stale verdicts
+    /// are worse than a cold start.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the file cannot be read (including a
+    /// simple not-found on first boot), [`SnapshotError::Malformed`] on
+    /// parse failures, [`SnapshotError::SchemaVersion`] /
+    /// [`SnapshotError::Fingerprint`] on compatibility mismatches.
+    pub fn load_snapshot(&self, path: &Path) -> Result<usize, SnapshotError> {
+        let text = std::fs::read_to_string(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        let snapshot: CacheSnapshot =
+            serde_json::from_str(&text).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        if snapshot.schema_version != CACHE_SNAPSHOT_VERSION {
+            return Err(SnapshotError::SchemaVersion {
+                found: snapshot.schema_version,
+                expected: CACHE_SNAPSHOT_VERSION,
+            });
+        }
+        let expected = self.fingerprint();
+        if snapshot.fingerprint != expected {
+            return Err(SnapshotError::Fingerprint {
+                found: snapshot.fingerprint,
+                expected,
+            });
+        }
+        let mut count = 0usize;
+        for entry in snapshot.entries {
+            let tag = u64::from_str_radix(&entry.tag, 16)
+                .map_err(|e| SnapshotError::Malformed(format!("tag {:?}: {e}", entry.tag)))?;
+            self.insert((tag, entry.mode, entry.key), entry.verdict);
+            count += 1;
+        }
+        Ok(count)
+    }
 }
+
+/// Schema version of the on-disk verdict snapshot; bump on any change to
+/// [`CacheSnapshot`]'s layout or key semantics.
+pub const CACHE_SNAPSHOT_VERSION: u32 = 1;
+
+/// One persisted verdict (the cache key with a hex-encoded tag).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SnapshotEntry {
+    tag: String,
+    mode: u16,
+    key: Vec<i64>,
+    verdict: bool,
+}
+
+/// The on-disk form of a [`VerdictCache`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    schema_version: u32,
+    fingerprint: String,
+    entries: Vec<SnapshotEntry>,
+}
+
+/// Why a snapshot could not be saved or restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Filesystem failure (including not-found on first boot).
+    Io(String),
+    /// The file is not a valid snapshot.
+    Malformed(String),
+    /// The snapshot was written by an incompatible schema.
+    SchemaVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes.
+        expected: u32,
+    },
+    /// The snapshot's key space differs from this cache's (e.g. another
+    /// quantisation grid).
+    Fingerprint {
+        /// Fingerprint found in the file.
+        found: String,
+        /// Fingerprint of this cache.
+        expected: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "snapshot io: {e}"),
+            Self::Malformed(e) => write!(f, "snapshot malformed: {e}"),
+            Self::SchemaVersion { found, expected } => {
+                write!(f, "snapshot schema v{found}, this build writes v{expected}")
+            }
+            Self::Fingerprint { found, expected } => {
+                write!(
+                    f,
+                    "snapshot fingerprint {found} does not match cache {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 fn fnv1a_u64(mut hash: u64, value: u64) -> u64 {
     for b in value.to_le_bytes() {
@@ -345,6 +499,10 @@ impl<B: Testbench> Testbench for SharedBench<B> {
             })
             .collect()
     }
+
+    fn solve_effort(&self) -> SolveEffort {
+        self.inner.solve_effort()
+    }
 }
 
 impl<B: SweepBench> SweepBench for SharedBench<B> {
@@ -448,5 +606,160 @@ mod tests {
         let _ = shared.at_alpha(0.5).fails(&z);
         assert_eq!(cache.misses(), 2, "per-α verdicts are namespaced");
         assert_eq!(shared.at_alpha(0.5).sigmas(), shared.sigmas());
+    }
+
+    /// A bench that counts real evaluations, to prove restored verdicts
+    /// are served without touching the inner model.
+    struct CountingBench {
+        inner: LinearBench,
+        evals: AtomicU64,
+    }
+
+    impl Testbench for CountingBench {
+        fn dim(&self) -> usize {
+            self.inner.dim()
+        }
+
+        fn fails(&self, z: &[f64]) -> bool {
+            self.evals.fetch_add(1, Ordering::Relaxed);
+            self.inner.fails(z)
+        }
+    }
+
+    fn snapshot_path(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ecripse-snapshot-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join("verdicts.json")
+    }
+
+    #[test]
+    fn snapshot_roundtrip_serves_verdicts_without_reevaluation() {
+        let path = snapshot_path("roundtrip");
+        let store = cache();
+        let shared = SharedBench::new(bench(), 7, Arc::clone(&store), true);
+        let hot = vec![3.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let cold = vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let expected_hot = shared.fails(&hot);
+        let expected_cold = shared.try_fails(&cold).expect("linear bench is total");
+        let saved = store.save_snapshot(&path).expect("save snapshot");
+        assert_eq!(saved, 2);
+
+        // A fresh process: new cache, counting inner bench.
+        let restored = cache();
+        let loaded = restored.load_snapshot(&path).expect("load snapshot");
+        assert_eq!(loaded, saved);
+        let counting = CountingBench {
+            inner: bench(),
+            evals: AtomicU64::new(0),
+        };
+        let warm = SharedBench::new(counting, 7, Arc::clone(&restored), true);
+        assert_eq!(warm.fails(&hot), expected_hot);
+        assert_eq!(
+            warm.try_fails(&cold).expect("linear bench is total"),
+            expected_cold
+        );
+        assert_eq!(
+            warm.inner().evals.load(Ordering::Relaxed),
+            0,
+            "restored verdicts must be served from the store"
+        );
+        assert_eq!(restored.hits(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_bytes() {
+        let path_a = snapshot_path("bytes-a");
+        let path_b = snapshot_path("bytes-b");
+        let cache_a = cache();
+        let cache_b = cache();
+        // Populate in different orders; the sorted snapshot is identical.
+        let zs: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![f64::from(i), 0.0, 0.0, 0.0, 0.0, 0.0])
+            .collect();
+        let shared_a = SharedBench::new(bench(), 7, Arc::clone(&cache_a), true);
+        let shared_b = SharedBench::new(bench(), 7, Arc::clone(&cache_b), true);
+        for z in &zs {
+            let _ = shared_a.fails(z);
+        }
+        for z in zs.iter().rev() {
+            let _ = shared_b.fails(z);
+        }
+        cache_a.save_snapshot(&path_a).expect("save a");
+        cache_b.save_snapshot(&path_b).expect("save b");
+        let bytes_a = std::fs::read(&path_a).expect("read a");
+        let bytes_b = std::fs::read(&path_b).expect("read b");
+        assert_eq!(bytes_a, bytes_b);
+        std::fs::remove_file(&path_a).ok();
+        std::fs::remove_file(&path_b).ok();
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_rejected_and_leaves_cache_empty() {
+        let path = snapshot_path("corrupt");
+        std::fs::write(&path, b"{ this is not json").expect("write corrupt file");
+        let cache = cache();
+        let err = cache.load_snapshot(&path).expect_err("corrupt must fail");
+        assert!(matches!(err, SnapshotError::Malformed(_)), "got {err}");
+        assert!(cache.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quantum_mismatch_is_rejected_by_fingerprint() {
+        let path = snapshot_path("quantum");
+        let coarse = cache();
+        let shared = SharedBench::new(bench(), 7, Arc::clone(&coarse), true);
+        let _ = shared.fails(&[3.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        coarse.save_snapshot(&path).expect("save snapshot");
+
+        let mut other_grid = MemoCacheConfig::default();
+        other_grid.quantum *= 10.0;
+        let fine = Arc::new(VerdictCache::new(other_grid));
+        let err = fine
+            .load_snapshot(&path)
+            .expect_err("grid mismatch must fail");
+        assert!(
+            matches!(err, SnapshotError::Fingerprint { .. }),
+            "got {err}"
+        );
+        assert!(fine.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn future_schema_version_is_rejected() {
+        let path = snapshot_path("version");
+        let cache = cache();
+        cache.save_snapshot(&path).expect("save snapshot");
+        let text = std::fs::read_to_string(&path).expect("read snapshot");
+        let bumped = text.replace(
+            &format!("\"schema_version\":{CACHE_SNAPSHOT_VERSION}"),
+            &format!("\"schema_version\":{}", CACHE_SNAPSHOT_VERSION + 1),
+        );
+        assert_ne!(text, bumped, "version field must be present to rewrite");
+        std::fs::write(&path, bumped).expect("rewrite snapshot");
+        let err = cache
+            .load_snapshot(&path)
+            .expect_err("future schema must fail");
+        assert!(
+            matches!(
+                err,
+                SnapshotError::SchemaVersion { found, expected }
+                    if found == CACHE_SNAPSHOT_VERSION + 1 && expected == CACHE_SNAPSHOT_VERSION
+            ),
+            "got {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_is_an_io_error() {
+        let cache = cache();
+        let err = cache
+            .load_snapshot(Path::new("/nonexistent/ecripse-verdicts.json"))
+            .expect_err("missing file must fail");
+        assert!(matches!(err, SnapshotError::Io(_)), "got {err}");
     }
 }

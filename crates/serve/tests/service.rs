@@ -362,6 +362,61 @@ fn job_lifecycle_cancel_and_errors() {
 }
 
 #[test]
+fn restarted_server_serves_from_the_persistent_store() {
+    let dir = scratch_dir("store");
+    let store = dir.join("verdicts.json");
+    let request = SubmitRequest::new(tiny_config(42), JobSpec::rdf_only(1.0));
+    let config = || ServeConfig {
+        cache_store: Some(store.clone()),
+        ..ServeConfig::default()
+    };
+
+    // First process: run a job cold, persist the verdicts on shutdown.
+    let first = Server::bind_with("127.0.0.1:0", config(), |_vdd| linear_bench()).expect("bind");
+    let client = Client::new(first.local_addr().to_string());
+    assert_eq!(first.metrics().cache_loaded_entries, 0, "no store yet");
+    let submitted = client.submit(&request).expect("submit cold job");
+    let cold = client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("cold report");
+    let entries = first.cache().len();
+    assert!(entries > 0, "the cold run must populate the cache");
+    first.shutdown();
+    assert!(store.exists(), "shutdown must write the verdict store");
+
+    // Second process: starts warm from the store and serves the same
+    // job bit-identically with every verdict answered from the cache.
+    let second = Server::bind_with("127.0.0.1:0", config(), |_vdd| linear_bench()).expect("bind");
+    let client = Client::new(second.local_addr().to_string());
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.cache_loaded_entries, entries as u64);
+    assert_eq!(metrics.cache_entries, entries as u64);
+    let submitted = client.submit(&request).expect("submit warm job");
+    let warm = client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("warm report");
+    let cold_outcome = cold.estimate.expect("cold outcome");
+    let warm_outcome = warm.estimate.expect("warm outcome");
+    assert_eq!(warm_outcome.p_fail, cold_outcome.p_fail);
+    assert_eq!(warm_outcome.simulations, cold_outcome.simulations);
+    assert_eq!(
+        second.cache().misses(),
+        0,
+        "a restored store must answer every repeat verdict"
+    );
+    second.shutdown();
+
+    // Third process: a corrupted store is ignored, the server starts
+    // cold instead of serving garbage.
+    std::fs::write(&store, b"{ not a snapshot").expect("corrupt the store");
+    let third = Server::bind_with("127.0.0.1:0", config(), |_vdd| linear_bench()).expect("bind");
+    assert_eq!(third.metrics().cache_loaded_entries, 0);
+    assert!(third.cache().is_empty());
+    third.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn protocol_and_routing_errors() {
     let server = Server::bind_with("127.0.0.1:0", ServeConfig::default(), |_vdd| linear_bench())
         .expect("bind");

@@ -42,6 +42,10 @@ fn oracle_stats(counts: &[u64]) -> OracleStats {
         cache_misses: counts[5],
         retries: counts[6],
         quarantined: counts[7],
+        // Stay under 2^53: wire numbers are f64-backed JSON.
+        newton_iters: counts[0] / 2,
+        factorisations: counts[1] / 3,
+        warm_start_seeds: counts[2] / 2,
     }
 }
 
@@ -285,6 +289,7 @@ proptest! {
             } else {
                 None
             },
+            cache_loaded_entries: counts[6] / 2,
             uptime_seconds: depth as f64 * 0.125,
             jobs_in_terminal_state: counts[1] + counts[2] + counts[3] + counts[4],
             oracle: oracle_stats(&counts),

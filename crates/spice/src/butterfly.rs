@@ -11,8 +11,33 @@
 //! smaller lobe (see [`crate::snm`]).
 
 use crate::error::EvalError;
-use crate::sram::{BiasCondition, Sram6T};
+use crate::sram::{BiasCondition, Sram6T, VtcSolve};
 use serde::{Deserialize, Serialize};
+
+/// Work spent sampling one butterfly, for effort accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleEffort {
+    /// Transfer-curve points solved (two per grid point).
+    pub solves: u64,
+    /// Total bisection steps across all solves — the 1-D analogue of
+    /// Newton iterations.
+    pub bisect_iters: u64,
+    /// Solves that converged inside a seed-derived bracket.
+    pub seeded_points: u64,
+    /// Solves where the seed bracket missed and the full-width sweep ran
+    /// instead.
+    pub fallback_points: u64,
+}
+
+impl SampleEffort {
+    /// Accumulates another effort record into this one.
+    pub fn add(&mut self, other: &SampleEffort) {
+        self.solves += other.solves;
+        self.bisect_iters += other.bisect_iters;
+        self.seeded_points += other.seeded_points;
+        self.fallback_points += other.fallback_points;
+    }
+}
 
 /// The two transfer curves of a cell sampled on a uniform input grid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,6 +83,36 @@ impl Butterfly {
         bias: &BiasCondition,
         points: usize,
     ) -> Result<Self, EvalError> {
+        Self::try_sample_seeded(cell, bias, points, 1e-7, None, 0.0).map(|(b, _)| b)
+    }
+
+    /// The full-control sampler behind [`Self::try_sample`]: an explicit
+    /// bisection `resolution`, an optional `seed` butterfly from a nearby
+    /// operating point, and effort counters.
+    ///
+    /// When a seed is given, each solve first tries the bracket
+    /// `seed(vin) ± band`; the bracket is validated and, if it does not
+    /// contain the root (the neighbour was too far away), the solve falls
+    /// back to the ordinary monotone-hint sweep, so the result is correct
+    /// for any seed. With `resolution = 1e-7` and no seed this is
+    /// bit-identical to [`Self::try_sample`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2` — a caller bug, not a data problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::NonFinite`] when the supply or either
+    /// transfer curve contains a NaN or infinity.
+    pub fn try_sample_seeded(
+        cell: &Sram6T,
+        bias: &BiasCondition,
+        points: usize,
+        resolution: f64,
+        seed: Option<&Butterfly>,
+        band: f64,
+    ) -> Result<(Self, SampleEffort), EvalError> {
         assert!(points >= 2, "need at least two grid points, got {points}");
         let vdd = cell.vdd();
         if !vdd.is_finite() {
@@ -65,6 +120,8 @@ impl Butterfly {
                 context: "supply voltage",
             });
         }
+        let seed = seed.filter(|s| s.len() >= 2 && band > 0.0);
+        let mut effort = SampleEffort::default();
         let mut grid = Vec::with_capacity(points);
         let mut curve_a = Vec::with_capacity(points);
         let mut curve_b = Vec::with_capacity(points);
@@ -75,8 +132,30 @@ impl Butterfly {
         for i in 0..points {
             let vin = vdd * i as f64 / (points - 1) as f64;
             grid.push(vin);
-            hint_a = cell.vtc_right_warm(bias, vin, hint_a);
-            hint_b = cell.vtc_left_warm(bias, vin, hint_b);
+            let solve_a = Self::seeded_solve(
+                cell,
+                bias,
+                vin,
+                resolution,
+                seed,
+                band,
+                hint_a,
+                true,
+                &mut effort,
+            );
+            let solve_b = Self::seeded_solve(
+                cell,
+                bias,
+                vin,
+                resolution,
+                seed,
+                band,
+                hint_b,
+                false,
+                &mut effort,
+            );
+            hint_a = solve_a.v;
+            hint_b = solve_b.v;
             if !hint_a.is_finite() {
                 return Err(EvalError::NonFinite {
                     context: "butterfly curve A",
@@ -90,11 +169,94 @@ impl Butterfly {
             curve_a.push(hint_a);
             curve_b.push(hint_b);
         }
-        Ok(Self {
-            grid,
-            curve_a,
-            curve_b,
-        })
+        Ok((
+            Self {
+                grid,
+                curve_a,
+                curve_b,
+            },
+            effort,
+        ))
+    }
+
+    /// One curve-point solve: seed-derived bracket first, monotone-hint
+    /// sweep as the fallback.
+    #[allow(clippy::too_many_arguments)]
+    fn seeded_solve(
+        cell: &Sram6T,
+        bias: &BiasCondition,
+        vin: f64,
+        resolution: f64,
+        seed: Option<&Butterfly>,
+        band: f64,
+        hint: f64,
+        right: bool,
+        effort: &mut SampleEffort,
+    ) -> VtcSolve {
+        effort.solves += 1;
+        if let Some(s) = seed {
+            let predicted = if right {
+                s.interp_a(vin)
+            } else {
+                s.interp_b(vin)
+            };
+            if predicted.is_finite() {
+                let solved = if right {
+                    cell.vtc_right_bracketed(
+                        bias,
+                        vin,
+                        predicted - band,
+                        predicted + band,
+                        resolution,
+                    )
+                } else {
+                    cell.vtc_left_bracketed(
+                        bias,
+                        vin,
+                        predicted - band,
+                        predicted + band,
+                        resolution,
+                    )
+                };
+                if let Some(v) = solved {
+                    effort.seeded_points += 1;
+                    effort.bisect_iters += v.iters as u64;
+                    return v;
+                }
+            }
+            effort.fallback_points += 1;
+        }
+        let v = if right {
+            cell.vtc_right_effort(bias, vin, Some(hint), resolution)
+        } else {
+            cell.vtc_left_effort(bias, vin, Some(hint), resolution)
+        };
+        effort.bisect_iters += v.iters as u64;
+        v
+    }
+
+    /// Linear interpolation of curve A (`f_R`) at an arbitrary input,
+    /// clamped to the sampled range.
+    pub fn interp_a(&self, vin: f64) -> f64 {
+        Self::interp(&self.grid, &self.curve_a, vin)
+    }
+
+    /// Linear interpolation of curve B (`f_L`) at an arbitrary input,
+    /// clamped to the sampled range.
+    pub fn interp_b(&self, vin: f64) -> f64 {
+        Self::interp(&self.grid, &self.curve_b, vin)
+    }
+
+    fn interp(grid: &[f64], curve: &[f64], vin: f64) -> f64 {
+        match grid.binary_search_by(|g| g.total_cmp(&vin)) {
+            Ok(i) => curve[i],
+            Err(0) => curve[0],
+            Err(i) if i >= grid.len() => curve[grid.len() - 1],
+            Err(i) => {
+                let t = (vin - grid[i - 1]) / (grid[i] - grid[i - 1]);
+                curve[i - 1] + t * (curve[i] - curve[i - 1])
+            }
+        }
     }
 
     /// Number of grid points.
@@ -168,5 +330,73 @@ mod tests {
         let a = Butterfly::sample(&cell, &cell.read_bias(), 31);
         let b = Butterfly::try_sample(&cell, &cell.read_bias(), 31).expect("healthy cell");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeded_sampling_cuts_bisection_work() {
+        let cell = Sram6T::paper_cell();
+        let bias = cell.read_bias();
+        let (seed, cold) =
+            Butterfly::try_sample_seeded(&cell, &bias, 31, 1e-7, None, 0.0).expect("cold");
+        // A tiny perturbation of the same cell: the seed curves are
+        // excellent brackets.
+        let near = cell.with_delta_vth(&[0.002, -0.001, 0.0, 0.001, 0.0, -0.002]);
+        let (_, unseeded) =
+            Butterfly::try_sample_seeded(&near, &bias, 31, 1e-7, None, 0.0).expect("unseeded");
+        let (warm_b, warm) =
+            Butterfly::try_sample_seeded(&near, &bias, 31, 1e-7, Some(&seed), 0.05)
+                .expect("seeded");
+        assert!(warm.seeded_points > 0, "seed brackets should engage");
+        assert!(
+            warm.bisect_iters < unseeded.bisect_iters,
+            "seeded {} vs unseeded {} bisection steps",
+            warm.bisect_iters,
+            unseeded.bisect_iters
+        );
+        assert_eq!(cold.seeded_points, 0);
+        // And the curves agree with the unseeded solve to the bisection
+        // resolution.
+        let (plain, _) =
+            Butterfly::try_sample_seeded(&near, &bias, 31, 1e-7, None, 0.0).expect("plain");
+        for (a, b) in warm_b.curve_a.iter().zip(&plain.curve_a) {
+            assert!((a - b).abs() < 2e-7, "seeded {a} vs plain {b}");
+        }
+    }
+
+    #[test]
+    fn far_seed_falls_back_to_full_sweep() {
+        let cell = Sram6T::paper_cell();
+        let bias = cell.read_bias();
+        // A nonsense seed: constant mid-rail curves bracket almost no
+        // roots, so nearly every point must fall back — and the result
+        // must still be correct.
+        let bogus = Butterfly {
+            grid: vec![0.0, cell.vdd()],
+            curve_a: vec![0.35, 0.35],
+            curve_b: vec![0.35, 0.35],
+        };
+        let (b, eff) = Butterfly::try_sample_seeded(&cell, &bias, 21, 1e-7, Some(&bogus), 0.01)
+            .expect("fallback path");
+        assert!(eff.fallback_points > 0);
+        let plain = Butterfly::try_sample(&cell, &bias, 21).expect("plain");
+        for (a, p) in b.curve_a.iter().zip(&plain.curve_a) {
+            assert!((a - p).abs() < 2e-7);
+        }
+    }
+
+    #[test]
+    fn interpolation_clamps_and_matches_grid_points() {
+        let cell = Sram6T::paper_cell();
+        let b = Butterfly::sample(&cell, &cell.read_bias(), 21);
+        for (i, &g) in b.grid.iter().enumerate() {
+            assert_eq!(b.interp_a(g), b.curve_a[i]);
+            assert_eq!(b.interp_b(g), b.curve_b[i]);
+        }
+        assert_eq!(b.interp_a(-1.0), b.curve_a[0]);
+        assert_eq!(b.interp_a(b.grid[20] + 1.0), b.curve_a[20]);
+        // Midpoints interpolate between neighbours.
+        let mid = 0.5 * (b.grid[3] + b.grid[4]);
+        let want = 0.5 * (b.curve_a[3] + b.curve_a[4]);
+        assert!((b.interp_a(mid) - want).abs() < 1e-12);
     }
 }

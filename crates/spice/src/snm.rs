@@ -30,6 +30,16 @@ pub struct SnmReport {
     pub rnm: f64,
 }
 
+impl SnmReport {
+    /// Whether the margin's *sign* is trustworthy at a coarser sampling
+    /// resolution: finite and at least `threshold` volts away from zero.
+    /// Adaptive evaluation accepts a coarse verdict only when this holds
+    /// with a threshold well above the coarse-vs-fine margin drift.
+    pub fn decisive(&self, threshold: f64) -> bool {
+        self.rnm.is_finite() && self.rnm.abs() >= threshold
+    }
+}
+
 /// A polyline resampled as a single-valued function of the rotated
 /// coordinate `u`.
 struct RotatedCurve {

@@ -104,6 +104,19 @@ pub struct BiasCondition {
     pub blb: f64,
 }
 
+/// One transfer-curve solve: the root voltage plus the bisection steps
+/// it cost — the workspace's "Newton iteration" unit for effort
+/// accounting (each bisection step plays the role of one solver
+/// iteration of the inner 1-D solve).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VtcSolve {
+    /// The solved output voltage \[V\].
+    pub v: f64,
+    /// Function evaluations spent (bisection steps plus any bracket
+    /// validation probes).
+    pub iters: u32,
+}
+
 /// A 6T SRAM cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sram6T {
@@ -263,33 +276,156 @@ impl Sram6T {
         self.bisect(|v| self.left_node_current(bias, v_qb, v), Some(upper_hint))
     }
 
+    /// Effort-counting variant of [`Self::vtc_right_warm`] with an
+    /// explicit resolution target. With `resolution = 1e-7` the returned
+    /// voltage is bit-identical to the legacy warm solve.
+    pub fn vtc_right_effort(
+        &self,
+        bias: &BiasCondition,
+        v_q: f64,
+        upper_hint: Option<f64>,
+        resolution: f64,
+    ) -> VtcSolve {
+        let (lo, hi) = self.hint_bracket(upper_hint, resolution);
+        let (v, iters) = self.bisect_res(
+            |v| self.right_node_current(bias, v_q, v),
+            lo,
+            hi,
+            resolution,
+        );
+        VtcSolve { v, iters }
+    }
+
+    /// Effort-counting variant of [`Self::vtc_left_warm`]; see
+    /// [`Self::vtc_right_effort`].
+    pub fn vtc_left_effort(
+        &self,
+        bias: &BiasCondition,
+        v_qb: f64,
+        upper_hint: Option<f64>,
+        resolution: f64,
+    ) -> VtcSolve {
+        let (lo, hi) = self.hint_bracket(upper_hint, resolution);
+        let (v, iters) = self.bisect_res(
+            |v| self.left_node_current(bias, v_qb, v),
+            lo,
+            hi,
+            resolution,
+        );
+        VtcSolve { v, iters }
+    }
+
+    /// Solves the right transfer curve inside a caller-supplied bracket
+    /// (e.g. interpolated from a neighbouring cell's solved curve). The
+    /// bracket is clipped to the extended rails and *validated* with two
+    /// probe evaluations; `None` means the guess does not bracket the
+    /// root and the caller must fall back to a full-width solve.
+    pub fn vtc_right_bracketed(
+        &self,
+        bias: &BiasCondition,
+        v_q: f64,
+        lo: f64,
+        hi: f64,
+        resolution: f64,
+    ) -> Option<VtcSolve> {
+        self.bisect_bracketed(
+            |v| self.right_node_current(bias, v_q, v),
+            lo,
+            hi,
+            resolution,
+        )
+    }
+
+    /// Left-curve variant of [`Self::vtc_right_bracketed`].
+    pub fn vtc_left_bracketed(
+        &self,
+        bias: &BiasCondition,
+        v_qb: f64,
+        lo: f64,
+        hi: f64,
+        resolution: f64,
+    ) -> Option<VtcSolve> {
+        self.bisect_bracketed(
+            |v| self.left_node_current(bias, v_qb, v),
+            lo,
+            hi,
+            resolution,
+        )
+    }
+
+    /// The legacy bracket from an optional monotone upper hint. The
+    /// guard band scales with the resolution target (ten steps' worth,
+    /// floored at the legacy 1 µV) so coarser solves still produce hints
+    /// that safely bound the next root.
+    fn hint_bracket(&self, upper_hint: Option<f64>, resolution: f64) -> (f64, f64) {
+        let guard = (10.0 * resolution).max(1e-6);
+        let hi = match upper_hint {
+            Some(h) => (h + guard).min(self.vdd + 0.2),
+            None => self.vdd + 0.2,
+        };
+        (-0.2, hi)
+    }
+
+    fn bisect_bracketed(
+        &self,
+        f: impl Fn(f64) -> f64,
+        lo: f64,
+        hi: f64,
+        resolution: f64,
+    ) -> Option<VtcSolve> {
+        let lo = lo.max(-0.2);
+        let hi = hi.min(self.vdd + 0.2);
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return None;
+        }
+        // Two probe evaluations confirm the root is inside.
+        if f(lo) <= 0.0 || f(hi) >= 0.0 {
+            return None;
+        }
+        let (v, iters) = self.bisect_res(f, lo, hi, resolution);
+        Some(VtcSolve {
+            v,
+            iters: iters + 2,
+        })
+    }
+
     /// Bisection on a strictly decreasing current function, to 0.1 µV
     /// resolution (three orders of magnitude below any noise-margin
     /// feature of interest). The bracket extends slightly beyond the rails;
     /// `upper_hint` (if given) must be a known upper bound on the root —
     /// it is widened by a small guard band to absorb rounding.
     fn bisect(&self, f: impl Fn(f64) -> f64, upper_hint: Option<f64>) -> f64 {
-        let mut lo = -0.2;
-        let mut hi = match upper_hint {
-            Some(h) => (h + 1e-6).min(self.vdd + 0.2),
-            None => self.vdd + 0.2,
-        };
+        let (lo, hi) = self.hint_bracket(upper_hint, 1e-7);
+        self.bisect_res(f, lo, hi, 1e-7).0
+    }
+
+    /// Bisection core with an explicit resolution target; returns the
+    /// root and the number of function evaluations spent. A fixed
+    /// resolution target rather than a fixed iteration count means
+    /// warm-started (narrow) brackets converge in fewer steps.
+    fn bisect_res(
+        &self,
+        f: impl Fn(f64) -> f64,
+        mut lo: f64,
+        mut hi: f64,
+        resolution: f64,
+    ) -> (f64, u32) {
         debug_assert!(f(lo) > 0.0, "current should be positive at the low rail");
         debug_assert!(
             f(hi) < 0.0,
             "current should be negative above the upper bracket"
         );
-        // Fixed resolution target rather than a fixed iteration count, so
-        // warm-started (narrow) brackets converge in fewer steps.
-        while hi - lo > 1e-7 {
+        let mut iters = 0u32;
+        while hi - lo > resolution {
             let mid = 0.5 * (lo + hi);
             if f(mid) > 0.0 {
                 lo = mid;
             } else {
                 hi = mid;
             }
+            iters += 1;
         }
-        0.5 * (lo + hi)
+        (0.5 * (lo + hi), iters)
     }
 }
 
@@ -457,6 +593,58 @@ mod tests {
                 op.node_voltages[out]
             );
         }
+    }
+
+    #[test]
+    fn effort_solve_is_bit_identical_to_legacy_warm_solve() {
+        let cell = Sram6T::paper_cell().with_delta_vth(&[0.01, -0.02, 0.0, 0.03, -0.01, 0.02]);
+        let bias = cell.read_bias();
+        let mut hint = cell.vdd() + 0.2;
+        for i in 0..=10 {
+            let vin = cell.vdd() * i as f64 / 10.0;
+            let legacy = cell.vtc_right_warm(&bias, vin, hint);
+            let effort = cell.vtc_right_effort(&bias, vin, Some(hint), 1e-7);
+            assert_eq!(legacy, effort.v, "divergence at vin={vin}");
+            assert!(effort.iters > 0);
+            hint = legacy;
+        }
+    }
+
+    #[test]
+    fn bracketed_solve_converges_faster_inside_a_tight_band() {
+        let cell = Sram6T::paper_cell();
+        let bias = cell.read_bias();
+        let vin = 0.3;
+        let full = cell.vtc_right_effort(&bias, vin, None, 1e-7);
+        let tight = cell
+            .vtc_right_bracketed(&bias, vin, full.v - 0.02, full.v + 0.02, 1e-7)
+            .expect("true root is inside the band");
+        assert!((tight.v - full.v).abs() < 1e-6);
+        assert!(
+            tight.iters < full.iters,
+            "tight bracket {} should beat full sweep {}",
+            tight.iters,
+            full.iters
+        );
+    }
+
+    #[test]
+    fn bracketed_solve_rejects_a_bad_band() {
+        let cell = Sram6T::paper_cell();
+        let bias = cell.read_bias();
+        let root = cell.vtc_right(&bias, 0.3);
+        // Band entirely below the root: f > 0 at both ends.
+        assert!(cell
+            .vtc_right_bracketed(&bias, 0.3, root - 0.1, root - 0.05, 1e-7)
+            .is_none());
+        // Degenerate band.
+        assert!(cell
+            .vtc_right_bracketed(&bias, 0.3, 0.5, 0.4, 1e-7)
+            .is_none());
+        // Left-curve variant agrees on validity checking.
+        assert!(cell
+            .vtc_left_bracketed(&bias, 0.3, root - 0.05, root + 0.05, 1e-7)
+            .is_some());
     }
 
     #[test]

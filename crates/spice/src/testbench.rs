@@ -12,15 +12,54 @@
 //! operation in the workspace, just as SPICE runs are in the original
 //! flow.
 
-use crate::butterfly::Butterfly;
+use crate::butterfly::{Butterfly, SampleEffort};
 use crate::error::EvalError;
 use crate::ptm::{paper_geometry, A_VTH_EFFECTIVE};
 use crate::snm::try_read_noise_margin;
 use crate::sram::{BiasCondition, CellDevice, Sram6T};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Number of variability dimensions (one per cell transistor).
 pub const DIM: usize = 6;
+
+/// Adaptive butterfly-resolution policy for the *indicator* paths.
+///
+/// Far from the failure boundary only the margin's sign matters, so a
+/// coarse, low-resolution butterfly decides most samples; whenever the
+/// coarse margin lands inside `margin_threshold` of zero the bench
+/// escalates to the exact fixed-resolution evaluation (bit-identical to
+/// the non-adaptive path), preserving every verdict that could possibly
+/// be grid-sensitive. Margin-returning APIs never use this policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Master switch for coarse-first indicator evaluation.
+    pub enabled: bool,
+    /// Grid points of the coarse screening butterfly.
+    pub coarse_points: usize,
+    /// Bisection resolution of the coarse pass \[V\].
+    pub coarse_resolution: f64,
+    /// Coarse margins closer to zero than this escalate to the exact
+    /// full-resolution evaluation \[V\]. Must comfortably exceed the
+    /// worst coarse-vs-fine margin drift (see the calibration test).
+    pub margin_threshold: f64,
+    /// Half-width of the seed-derived bisection bracket \[V\] when a
+    /// neighbouring operating point is available.
+    pub seed_band: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            coarse_points: 31,
+            coarse_resolution: 3e-4,
+            margin_threshold: 0.003,
+            seed_band: 0.02,
+        }
+    }
+}
 
 /// Configuration of the read-stability bench.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -29,6 +68,9 @@ pub struct BenchConfig {
     pub vdd: f64,
     /// Butterfly sampling resolution (grid points per curve).
     pub grid_points: usize,
+    /// Coarse-first indicator evaluation policy.
+    #[serde(default)]
+    pub adaptive: AdaptiveConfig,
 }
 
 impl Default for BenchConfig {
@@ -36,15 +78,81 @@ impl Default for BenchConfig {
         Self {
             vdd: crate::ptm::VDD_NOMINAL,
             grid_points: 61,
+            adaptive: AdaptiveConfig::default(),
         }
     }
 }
 
+/// Shared solve-effort counters of a bench (and all its clones).
+///
+/// Counters are monotone and relaxed: they are read as before/after
+/// deltas whose totals are schedule-independent, never as synchronisation.
+#[derive(Debug, Default)]
+pub struct SolveCounters {
+    bisect_iters: AtomicU64,
+    curve_solves: AtomicU64,
+    seeded_curves: AtomicU64,
+    coarse_accepts: AtomicU64,
+    escalations: AtomicU64,
+}
+
+impl SolveCounters {
+    fn record(&self, effort: &SampleEffort) {
+        self.bisect_iters
+            .fetch_add(effort.bisect_iters, Ordering::Relaxed);
+        self.curve_solves
+            .fetch_add(effort.solves, Ordering::Relaxed);
+        self.seeded_curves
+            .fetch_add(effort.seeded_points, Ordering::Relaxed);
+    }
+
+    fn note_accept(&self) {
+        self.coarse_accepts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_escalation(&self) {
+        self.escalations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> EffortSnapshot {
+        EffortSnapshot {
+            bisect_iters: self.bisect_iters.load(Ordering::Relaxed),
+            curve_solves: self.curve_solves.load(Ordering::Relaxed),
+            seeded_curves: self.seeded_curves.load(Ordering::Relaxed),
+            coarse_accepts: self.coarse_accepts.load(Ordering::Relaxed),
+            escalations: self.escalations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`SolveCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EffortSnapshot {
+    /// Total bisection steps — the 1-D solver's "Newton iterations".
+    pub bisect_iters: u64,
+    /// Transfer-curve points solved — one per inner solver invocation.
+    pub curve_solves: u64,
+    /// Curve points solved inside a neighbour-seeded bracket.
+    pub seeded_curves: u64,
+    /// Indicator evaluations decided by the coarse pass alone.
+    pub coarse_accepts: u64,
+    /// Indicator evaluations escalated to the exact full-resolution pass.
+    pub escalations: u64,
+}
+
 /// The read-stability testbench.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ReadStabilityBench {
     cell: Sram6T,
     config: BenchConfig,
+    counters: Arc<SolveCounters>,
+}
+
+impl PartialEq for ReadStabilityBench {
+    fn eq(&self, other: &Self) -> bool {
+        // Effort counters are observability state, not identity.
+        self.cell == other.cell && self.config == other.config
+    }
 }
 
 impl ReadStabilityBench {
@@ -68,15 +176,31 @@ impl ReadStabilityBench {
     /// Panics if the supply is non-positive or the grid is degenerate.
     pub fn with_config(config: BenchConfig) -> Self {
         assert!(config.grid_points >= 2, "grid too coarse");
+        if config.adaptive.enabled {
+            assert!(config.adaptive.coarse_points >= 2, "coarse grid too coarse");
+            assert!(
+                config.adaptive.coarse_resolution > 0.0 && config.adaptive.margin_threshold > 0.0,
+                "adaptive knobs must be positive"
+            );
+            assert!(config.adaptive.seed_band >= 0.0, "negative seed band");
+        }
         Self {
             cell: Sram6T::paper_cell_at(config.vdd),
             config,
+            counters: Arc::new(SolveCounters::default()),
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &BenchConfig {
         &self.config
+    }
+
+    /// Cumulative solve effort of this bench and every clone of it (the
+    /// counters live behind a shared [`Arc`], so thread-pool clones all
+    /// feed one ledger).
+    pub fn effort(&self) -> EffortSnapshot {
+        self.counters.snapshot()
     }
 
     /// The underlying nominal cell.
@@ -125,7 +249,21 @@ impl ReadStabilityBench {
         Self::check_input(delta_vth, "threshold shifts")?;
         let cell = self.cell.with_delta_vth(delta_vth);
         let bias = bias_of(&cell);
-        let butterfly = Butterfly::try_sample(&cell, &bias, grid_points)?;
+        self.margin_of(&cell, &bias, grid_points)
+    }
+
+    /// Exact full-resolution margin of a concrete skewed cell under a
+    /// concrete bias — bit-identical to the historical fixed path, but
+    /// routed through the counted sampler so effort ledgers stay honest.
+    fn margin_of(
+        &self,
+        cell: &Sram6T,
+        bias: &BiasCondition,
+        grid_points: usize,
+    ) -> Result<f64, EvalError> {
+        let (butterfly, effort) =
+            Butterfly::try_sample_seeded(cell, bias, grid_points, 1e-7, None, 0.0)?;
+        self.counters.record(&effort);
         let rnm = try_read_noise_margin(&butterfly)?.rnm;
         if !rnm.is_finite() {
             return Err(EvalError::NonFinite {
@@ -133,6 +271,96 @@ impl ReadStabilityBench {
             });
         }
         Ok(rnm)
+    }
+
+    /// Coarse-first, optionally neighbour-seeded indicator evaluation.
+    ///
+    /// The verdict contract: for every input on which both paths succeed,
+    /// the returned boolean equals the fixed-resolution path's verdict —
+    /// decisive coarse margins (beyond `margin_threshold`, chosen far
+    /// above the coarse-vs-fine margin drift) share the exact sign, and
+    /// indecisive ones re-evaluate through [`Self::margin_of`], which is
+    /// bit-identical to the non-adaptive evaluation.
+    fn indicator_seeded(
+        &self,
+        x: &[f64],
+        bias_of: impl Fn(&Sram6T) -> BiasCondition,
+        fails_when_positive: bool,
+        seed: Option<&Butterfly>,
+    ) -> Result<(bool, Option<Butterfly>), EvalError> {
+        Self::check_input(x, "whitened sample")?;
+        let cell = self.cell.with_delta_vth(&self.to_physical(x));
+        let bias = bias_of(&cell);
+        let verdict = |rnm: f64| {
+            if fails_when_positive {
+                rnm > 0.0
+            } else {
+                rnm < 0.0
+            }
+        };
+        let adaptive = self.config.adaptive;
+        if adaptive.enabled {
+            let coarse = Butterfly::try_sample_seeded(
+                &cell,
+                &bias,
+                adaptive.coarse_points,
+                adaptive.coarse_resolution,
+                seed,
+                adaptive.seed_band,
+            );
+            if let Ok((coarse_bfly, effort)) = coarse {
+                self.counters.record(&effort);
+                if let Ok(report) = try_read_noise_margin(&coarse_bfly) {
+                    if report.decisive(adaptive.margin_threshold) {
+                        self.counters.note_accept();
+                        return Ok((verdict(report.rnm), Some(coarse_bfly)));
+                    }
+                }
+                // Indecisive coarse margin: the exact path decides, but
+                // the coarse curves still seed neighbouring samples.
+                self.counters.note_escalation();
+                let rnm = self.margin_of(&cell, &bias, self.config.grid_points)?;
+                return Ok((verdict(rnm), Some(coarse_bfly)));
+            }
+            // The coarse pass failed outright; decide exactly, seedless.
+            self.counters.note_escalation();
+        }
+        let rnm = self.margin_of(&cell, &bias, self.config.grid_points)?;
+        Ok((verdict(rnm), None))
+    }
+
+    /// Whitened read-failure indicator with neighbour seeding: an
+    /// optional previously computed [`Butterfly`] from a nearby operating
+    /// point narrows the coarse pass's bisection brackets, and the coarse
+    /// butterfly computed here is handed back for caching. Verdicts are
+    /// identical to [`Self::try_fails_whitened`]: decisive coarse
+    /// margins share the exact path's sign by construction, and
+    /// indecisive ones escalate to the bit-identical fixed-resolution
+    /// evaluation, which is never seeded.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_fails_whitened`].
+    pub fn try_fails_whitened_seeded(
+        &self,
+        x: &[f64],
+        seed: Option<&Butterfly>,
+    ) -> Result<(bool, Option<Butterfly>), EvalError> {
+        self.indicator_seeded(x, Sram6T::read_bias, false, seed)
+    }
+
+    /// Whitened write-failure indicator with neighbour seeding (see
+    /// [`Self::try_fails_whitened_seeded`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_fails_whitened`].
+    pub fn try_write_fails_whitened_seeded(
+        &self,
+        x: &[f64],
+        seed: Option<&Butterfly>,
+    ) -> Result<(bool, Option<Butterfly>), EvalError> {
+        self.indicator_seeded(x, Sram6T::write0_bias, true, seed)
     }
 
     /// Read noise margin \[V\] of the cell with the given per-device
@@ -213,6 +441,11 @@ impl ReadStabilityBench {
     ///
     /// See [`Self::try_fails_whitened`].
     pub fn try_fails_whitened_at(&self, x: &[f64], grid_points: usize) -> Result<bool, EvalError> {
+        if self.config.adaptive.enabled && grid_points == self.config.grid_points {
+            return self
+                .indicator_seeded(x, Sram6T::read_bias, false, None)
+                .map(|(fails, _)| fails);
+        }
         Self::check_input(x, "whitened sample")?;
         Ok(self.try_margin_at(&self.to_physical(x), Sram6T::read_bias, grid_points)? < 0.0)
     }
@@ -303,6 +536,11 @@ impl ReadStabilityBench {
         x: &[f64],
         grid_points: usize,
     ) -> Result<bool, EvalError> {
+        if self.config.adaptive.enabled && grid_points == self.config.grid_points {
+            return self
+                .indicator_seeded(x, Sram6T::write0_bias, true, None)
+                .map(|(fails, _)| fails);
+        }
         Self::check_input(x, "whitened sample")?;
         Ok(self.try_margin_at(&self.to_physical(x), Sram6T::write0_bias, grid_points)? > 0.0)
     }
@@ -513,6 +751,110 @@ mod tests {
             prev < 0.0,
             "extreme skew should break the write, margin = {prev}"
         );
+    }
+
+    fn fixed_bench() -> ReadStabilityBench {
+        let mut config = BenchConfig::default();
+        config.adaptive.enabled = false;
+        ReadStabilityBench::with_config(config)
+    }
+
+    /// Deterministic pseudo-random stream in (-1, 1).
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    #[test]
+    fn adaptive_and_fixed_oracles_agree_everywhere() {
+        let adaptive = ReadStabilityBench::paper_cell();
+        let fixed = fixed_bench();
+        // Bulk samples plus jittered points straddling the worst-case
+        // failure boundary, where coarse margins are least trustworthy.
+        let mut state = 0x243F_6A88_85A3_08D3_u64;
+        let dir = [1.0, -1.0, -1.0, 1.0, 0.0, 0.0].map(|v: f64| v / 2.0);
+        let mut samples: Vec<[f64; 6]> = Vec::new();
+        for _ in 0..24 {
+            let mut x = [0.0; 6];
+            for v in &mut x {
+                *v = 3.0 * lcg(&mut state);
+            }
+            samples.push(x);
+        }
+        for k in 0..12 {
+            let r = 5.0 + 0.35 * k as f64;
+            let mut x = dir.map(|d| d * r);
+            for v in &mut x {
+                *v += 0.2 * lcg(&mut state);
+            }
+            samples.push(x);
+        }
+        for x in &samples {
+            assert_eq!(
+                adaptive.try_fails_whitened(x),
+                fixed.try_fails_whitened(x),
+                "adaptive verdict drifted at {x:?}"
+            );
+        }
+        let effort = adaptive.effort();
+        assert_eq!(
+            effort.coarse_accepts + effort.escalations,
+            samples.len() as u64
+        );
+        assert!(effort.coarse_accepts > 0, "coarse pass never decided");
+    }
+
+    #[test]
+    fn margins_ignore_the_adaptive_policy() {
+        let adaptive = ReadStabilityBench::paper_cell();
+        let fixed = fixed_bench();
+        let dv = [0.0, -0.02, 0.0, 0.02, 0.0, 0.0];
+        assert_eq!(
+            adaptive.read_noise_margin(&dv).to_bits(),
+            fixed.read_noise_margin(&dv).to_bits()
+        );
+        assert_eq!(adaptive.try_write_margin(&dv), fixed.try_write_margin(&dv));
+        assert_eq!(
+            adaptive.try_hold_noise_margin(&dv),
+            fixed.try_hold_noise_margin(&dv)
+        );
+    }
+
+    #[test]
+    fn neighbour_seed_reuses_curves_and_preserves_verdicts() {
+        let bench = ReadStabilityBench::paper_cell();
+        let x0 = [0.5, -0.5, 0.0, 0.5, 0.0, 0.0];
+        let (v0, seed) = bench
+            .try_fails_whitened_seeded(&x0, None)
+            .expect("first eval");
+        let seed = seed.expect("adaptive evaluation must hand back a seed");
+        let x1 = [0.55, -0.45, 0.0, 0.5, 0.05, 0.0];
+        let before = bench.effort();
+        let (v1, _) = bench
+            .try_fails_whitened_seeded(&x1, Some(&seed))
+            .expect("seeded eval");
+        let after = bench.effort();
+        assert!(after.seeded_curves > before.seeded_curves, "seed unused");
+        let (v1_cold, _) = bench
+            .try_fails_whitened_seeded(&x1, None)
+            .expect("cold eval");
+        assert_eq!(v1, v1_cold, "a neighbour seed changed a verdict");
+        assert_eq!(v0, fixed_bench().fails_whitened(&x0));
+    }
+
+    #[test]
+    fn clones_share_one_effort_ledger() {
+        let bench = ReadStabilityBench::paper_cell();
+        let clone = bench.clone();
+        clone.fails_whitened(&[0.2, -0.2, 0.0, 0.0, 0.0, 0.0]);
+        let effort = bench.effort();
+        assert!(
+            effort.curve_solves > 0,
+            "clone's work invisible: {effort:?}"
+        );
+        assert!(effort.bisect_iters > effort.curve_solves);
     }
 
     #[test]

@@ -18,6 +18,12 @@ pub struct PolynomialFeatures {
     /// Exponent vectors, one per output feature, in graded
     /// lexicographic order starting with the constant term.
     exponents: Vec<Vec<u32>>,
+    /// Each non-constant monomial as `(variable, parent)`: feature `f`
+    /// equals `x[variable] * feature[parent]`, where the parent (one
+    /// lower total degree) always precedes `f` in the graded order. One
+    /// multiply per feature, instead of a `dim`-wide product over a
+    /// powers table — `transform` runs once per classified sample.
+    chain: Vec<(u32, u32)>,
 }
 
 impl PolynomialFeatures {
@@ -35,10 +41,28 @@ impl PolynomialFeatures {
         for total in 0..=degree {
             enumerate_compositions(&mut current, 0, total, &mut exponents);
         }
+        // Link every non-constant monomial to a parent one degree lower:
+        // divide by the first variable with a positive exponent.
+        let index: std::collections::HashMap<&[u32], u32> = exponents
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.as_slice(), i as u32))
+            .collect();
+        let chain = exponents
+            .iter()
+            .skip(1)
+            .map(|e| {
+                let var = e.iter().position(|&p| p > 0).expect("non-constant");
+                let mut parent = e.clone();
+                parent[var] -= 1;
+                (var as u32, index[parent.as_slice()])
+            })
+            .collect();
         Self {
             dim,
             degree,
             exponents,
+            chain,
         }
     }
 
@@ -69,23 +93,13 @@ impl PolynomialFeatures {
     /// Panics if `x.len() != dim`.
     pub fn transform(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.dim, "input dimension mismatch");
-        // Precompute powers of each coordinate up to the degree.
-        let mut powers = vec![1.0; self.dim * (self.degree as usize + 1)];
-        for (i, xi) in x.iter().enumerate() {
-            for p in 1..=self.degree as usize {
-                powers[i * (self.degree as usize + 1) + p] =
-                    powers[i * (self.degree as usize + 1) + p - 1] * xi;
-            }
+        let mut out = Vec::with_capacity(self.exponents.len());
+        out.push(1.0);
+        for &(var, parent) in &self.chain {
+            let v = x[var as usize] * out[parent as usize];
+            out.push(v);
         }
-        self.exponents
-            .iter()
-            .map(|e| {
-                e.iter()
-                    .enumerate()
-                    .map(|(i, &p)| powers[i * (self.degree as usize + 1) + p as usize])
-                    .product()
-            })
-            .collect()
+        out
     }
 }
 

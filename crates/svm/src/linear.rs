@@ -26,8 +26,15 @@ use serde::{Deserialize, Serialize};
 pub struct SvmOptions {
     /// Misclassification cost `C`.
     pub cost: f64,
-    /// Maximum passes over the training set.
+    /// Maximum passes over the training set for an initial (cold) fit.
     pub max_epochs: usize,
+    /// Maximum passes for a warm-started incremental update, where the
+    /// retained `α` vector already solves the bulk of the problem and a
+    /// short correction pass suffices. Retraining cost is linear in this
+    /// knob, and it sits on the estimator's simulation-free floor (one
+    /// forced retrain per particle-filter batch).
+    #[serde(default = "default_incremental_epochs")]
+    pub incremental_epochs: usize,
     /// Stop when the largest projected-gradient violation in a pass
     /// drops below this.
     pub tolerance: f64,
@@ -36,11 +43,16 @@ pub struct SvmOptions {
     pub positive_weight: f64,
 }
 
+fn default_incremental_epochs() -> usize {
+    20
+}
+
 impl Default for SvmOptions {
     fn default() -> Self {
         Self {
             cost: 10.0,
             max_epochs: 100,
+            incremental_epochs: default_incremental_epochs(),
             tolerance: 1e-4,
             positive_weight: 1.0,
         }
@@ -51,6 +63,10 @@ impl SvmOptions {
     fn validate(&self) {
         assert!(self.cost > 0.0, "cost must be positive");
         assert!(self.max_epochs > 0, "need at least one epoch");
+        assert!(
+            self.incremental_epochs > 0,
+            "need at least one incremental epoch"
+        );
         assert!(self.tolerance > 0.0, "tolerance must be positive");
         assert!(
             self.positive_weight > 0.0,
@@ -118,6 +134,13 @@ impl LinearSvm {
             "training bank shrank between calls"
         );
         let dim = self.weights.len();
+        // A cold fit gets the full epoch budget; a warm-started update
+        // (retained dual variables) only needs a short correction pass.
+        let epochs = if self.alphas.is_empty() {
+            options.max_epochs
+        } else {
+            options.incremental_epochs
+        };
         self.alphas.resize(xs.len(), 0.0);
 
         // Per-sample upper bound and diagonal of the Gram matrix
@@ -141,7 +164,7 @@ impl LinearSvm {
             .collect();
 
         let mut order: Vec<usize> = (0..xs.len()).collect();
-        for _ in 0..options.max_epochs {
+        for _ in 0..epochs {
             order.shuffle(rng);
             let mut max_violation = 0.0_f64;
             for &i in &order {

@@ -10,6 +10,7 @@
 //! ecripse-cli margin   [--vdd V] [--dvth v0,v1,v2,v3,v4,v5]
 //! ecripse-cli naive    [--vdd V] [--alpha A] [--no-rtn] [--samples N] [--seed S]
 //! ecripse-cli serve    [--addr HOST:PORT] [--workers W] [--queue Q] [--spool DIR]
+//!                      [--cache-store PATH]
 //! ecripse-cli submit   --addr HOST:PORT [--vdd V] [--alpha A] [--no-rtn]
 //!                      [--samples N] [--seed S] [--threads T] [--timeout SECS]
 //! ```
@@ -39,8 +40,12 @@
 //!
 //! `serve` runs the [`ecripse::serve`] job-queue service until Ctrl-C,
 //! then shuts down gracefully (drains in-flight jobs, persists queued
-//! sweeps into `--spool DIR` as resumable checkpoints). `submit` sends
-//! one estimate job to a running server and waits for the result.
+//! sweeps into `--spool DIR` as resumable checkpoints). With
+//! `--cache-store PATH` the process-wide verdict cache is restored from
+//! that file at startup (ignored if missing, corrupt, or written for a
+//! different grid) and saved atomically at shutdown, so a restarted
+//! service resumes warm. `submit` sends one estimate job to a running
+//! server and waits for the result.
 //!
 //! Threshold shifts for `margin` are in volts, canonical device order
 //! `PL, NL, PR, NR, AL, AR`.
@@ -203,6 +208,7 @@ fn usage() {
          serve     job-queue estimation service (runs until Ctrl-C)\n\
          \x20          --addr HOST:PORT (127.0.0.1:7878)  --workers W (2)  --queue Q (16)\n\
          \x20          --spool DIR (persist queued sweeps on shutdown)\n\
+         \x20          --cache-store PATH (persist the verdict cache across restarts)\n\
          submit    send one estimate job to a running server and wait\n\
          \x20          --addr HOST:PORT (required)  --vdd V (0.7)  --alpha A (0.5)  --no-rtn\n\
          \x20          --samples N (4000)  --seed S  --threads T  --timeout SECS (600)"
@@ -441,6 +447,7 @@ fn run() -> Result<(), String> {
                 workers: args.get("workers", 2)?,
                 queue_capacity: args.get("queue", 16)?,
                 spool: args.opt::<String>("spool")?.map(Into::into),
+                cache_store: args.opt::<String>("cache-store")?.map(Into::into),
                 ..ServeConfig::default()
             };
             let workers = config.workers.max(1);

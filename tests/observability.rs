@@ -217,7 +217,7 @@ fn non_finite_report_values_survive_json() {
         ci95_half_width: 0.5,
     };
     assert!(zero.relative_error().is_infinite());
-    let json = serde_json::to_string(&vec![zero.clone()]).expect("serialise trace");
+    let json = serde_json::to_string(&vec![zero]).expect("serialise trace");
     let back: Vec<TracePoint> = serde_json::from_str(&json).expect("deserialise trace");
     assert_eq!(back, vec![zero]);
 

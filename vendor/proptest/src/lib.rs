@@ -320,6 +320,18 @@ macro_rules! prop_assert_eq {
             });
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if left != right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError {
+                message: format!(
+                    "assertion failed: {left:?} != {right:?}: {}",
+                    format!($($fmt)+)
+                ),
+            });
+        }
+    }};
 }
 
 /// Asserts inequality inside a property test.

@@ -13,8 +13,16 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// A named struct field and its parsed `#[serde(...)]` options.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing key deserializes via
+    /// `Default::default()` instead of failing.
+    default: bool,
+}
+
 enum Shape {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
     UnitEnum(Vec<String>),
@@ -26,7 +34,7 @@ struct Input {
 }
 
 /// Derives the vendored `serde::Serialize` trait.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     gen_serialize(&parsed)
@@ -35,7 +43,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the vendored `serde::Deserialize` trait.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     gen_deserialize(&parsed)
@@ -116,15 +124,19 @@ fn parse_body(
     }
 }
 
-fn parse_named_fields(body: TokenStream, name: &str) -> Vec<String> {
+fn parse_named_fields(body: TokenStream, name: &str) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut iter = body.into_iter().peekable();
     loop {
-        // Field attributes.
+        // Field attributes; `#[serde(default)]` is honoured, everything
+        // else is skipped.
+        let mut default = false;
         while let Some(TokenTree::Punct(p)) = iter.peek() {
             if p.as_char() == '#' {
                 iter.next();
-                iter.next(); // the [...] group
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    default |= is_serde_default(g.stream());
+                }
             } else {
                 break;
             }
@@ -142,7 +154,10 @@ fn parse_named_fields(body: TokenStream, name: &str) -> Vec<String> {
         }
         match iter.next() {
             Some(TokenTree::Ident(id)) => {
-                fields.push(id.to_string());
+                fields.push(Field {
+                    name: id.to_string(),
+                    default,
+                });
                 match iter.next() {
                     Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
                     other => panic!("derive: expected `:` after field in `{name}`, got {other:?}"),
@@ -175,6 +190,24 @@ fn parse_named_fields(body: TokenStream, name: &str) -> Vec<String> {
         }
     }
     fields
+}
+
+/// Whether an attribute body (the tokens inside `#[...]`) is
+/// `serde(default)`.
+fn is_serde_default(attr: TokenStream) -> bool {
+    let mut iter = attr.into_iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let mut inner = g.stream().into_iter();
+            matches!(
+                (inner.next(), inner.next()),
+                (Some(TokenTree::Ident(opt)), None) if opt.to_string() == "default"
+            )
+        }
+        _ => false,
+    }
 }
 
 fn count_tuple_fields(body: TokenStream) -> usize {
@@ -245,6 +278,7 @@ fn gen_serialize(input: &Input) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f}))"
@@ -293,10 +327,16 @@ fn gen_deserialize(input: &Input) -> String {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let missing = if f.default {
+                        "::std::default::Default::default()"
+                    } else {
+                        "::serde::Deserialize::from_missing()?"
+                    };
+                    let f = &f.name;
                     format!(
                         "{f}: match value.get(\"{f}\") {{ \
                          ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?, \
-                         ::std::option::Option::None => ::serde::Deserialize::from_missing()? }}"
+                         ::std::option::Option::None => {missing} }}"
                     )
                 })
                 .collect();
