@@ -24,6 +24,7 @@ use ecripse_bench::{fmt_count, paper_config, quick_mode};
 use ecripse_core::bench::{SramReadBench, Testbench};
 use ecripse_core::cache::{MemoCacheConfig, WarmBench, WarmCacheConfig};
 use ecripse_core::ecripse::{Ecripse, EcripseConfig, EcripseResult};
+use ecripse_core::scenario::{Scenario, SramScenarioBench};
 use ecripse_core::telemetry::{MetricsRegistry, TelemetryObserver};
 use ecripse_serve::shared::{tag_for, SharedBench, VerdictCache};
 use ecripse_spice::testbench::BenchConfig;
@@ -299,18 +300,41 @@ fn main() -> ExitCode {
         }
     };
 
+    // 5. One non-default scenario: the hold-snm indicator through the
+    //    same pipeline. Its estimate answers a different question, so it
+    //    stays out of the cross-config invariance loop below; the
+    //    `--check` pass still pins its own estimate bit-exactly.
+    let hold_snm = {
+        let mut hold_cfg = cfg;
+        hold_cfg.scenario = Scenario::HoldSnm;
+        hold_cfg.initial.r_max = hold_cfg
+            .initial
+            .r_max
+            .max(Scenario::HoldSnm.recommended_r_max());
+        run_bench(
+            "hold_snm_scenario",
+            hold_cfg,
+            0,
+            true,
+            SramScenarioBench::paper_cell(Scenario::HoldSnm),
+            (0, 0),
+        )
+    };
+
     let configs = vec![
         serial_fixed,
         serial_warm,
         all_cores_warm,
         cold_serve,
         warm_serve,
+        hold_snm,
     ];
 
     // The determinism contract: thread count, the adaptive resolution
     // policy, and every cache tier must not change the estimate or the
-    // simulation count.
-    for c in &configs[1..] {
+    // simulation count. The hold-snm scenario (last config) estimates a
+    // different indicator and is exempt.
+    for c in &configs[1..5] {
         assert_eq!(
             c.p_fail.to_bits(),
             configs[0].p_fail.to_bits(),
@@ -330,6 +354,10 @@ fn main() -> ExitCode {
     assert!(
         configs[4].warm_exact_hits > 0,
         "the restored store must serve the resubmission"
+    );
+    assert!(
+        configs[5].p_fail.to_bits() != configs[0].p_fail.to_bits(),
+        "hold-snm estimates a different indicator and must not echo the read-snm number"
     );
 
     let speedup_batch_solver = configs[0].seconds / configs[1].seconds;
@@ -356,7 +384,10 @@ fn main() -> ExitCode {
              overhead. serial_fixed disables the adaptive butterfly policy and all \
              warm-start caches; warm_serve resubmits against a verdict cache \
              restored from the persistent snapshot. P_fail and simulation counts \
-             are asserted bit-identical across all configurations."
+             are asserted bit-identical across all read-snm configurations; \
+             hold_snm_scenario runs the hold-retention indicator through the same \
+             pipeline and is pinned by --check but exempt from cross-config \
+             invariance."
         ),
     };
 

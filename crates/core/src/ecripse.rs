@@ -28,6 +28,7 @@ use crate::observe::{
 use crate::oracle::{ClassifierOracle, OracleConfig, OracleStats};
 use crate::retry::{RetryBench, RetryPolicy};
 use crate::rtn_source::{NoRtn, RtnSource};
+use crate::scenario::Scenario;
 use crate::trace::ConvergenceTrace;
 use ecripse_stats::mvn::DiagGaussian;
 use rand::rngs::StdRng;
@@ -43,6 +44,13 @@ use std::time::Instant;
 /// table in the repository `README.md`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EcripseConfig {
+    /// Which registered SRAM workload the run estimates (see
+    /// [`crate::scenario`]). Purely declarative for the estimator — the
+    /// caller builds the matching bench — but carried in configs,
+    /// reports and the serve wire so a run's indicator is never
+    /// ambiguous. Defaults to the paper's `read-snm`.
+    #[serde(default)]
+    pub scenario: Scenario,
     /// Step (1): boundary search settings.
     pub initial: InitialSearchConfig,
     /// Steps (2)–(4): particle-filter ensemble settings.
@@ -76,6 +84,7 @@ pub struct EcripseConfig {
 impl Default for EcripseConfig {
     fn default() -> Self {
         Self {
+            scenario: Scenario::default(),
             initial: InitialSearchConfig::default(),
             ensemble: EnsembleConfig::default(),
             iterations: 10,
@@ -250,6 +259,7 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         observer: &dyn Observer,
     ) -> Result<EcripseResult, EstimateError> {
         observer.run_started(self.config.seed, self.config.threads);
+        observer.scenario_selected(self.config.scenario);
         let init = self.boundary_stage(observer)?;
         self.run_stages(&init, None, observer)
     }
@@ -322,6 +332,7 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
     ) -> Result<EcripseResult, EstimateError> {
         assert!(target > 0.0, "relative-error target must be positive");
         observer.run_started(self.config.seed, self.config.threads);
+        observer.scenario_selected(self.config.scenario);
         let init = self.boundary_stage(observer)?;
         self.run_stages(&init, Some(target), observer)
     }
@@ -357,6 +368,7 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         observer: &dyn Observer,
     ) -> Result<EcripseResult, EstimateError> {
         observer.run_started(self.config.seed, self.config.threads);
+        observer.scenario_selected(self.config.scenario);
         self.run_stages(init, None, observer)
     }
 
@@ -654,6 +666,7 @@ mod tests {
 
     fn fast_config() -> EcripseConfig {
         EcripseConfig {
+            scenario: Scenario::default(),
             initial: InitialSearchConfig {
                 count: 24,
                 r_max: 8.0,

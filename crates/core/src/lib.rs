@@ -82,6 +82,7 @@ pub mod oracle;
 pub mod particle;
 pub mod retry;
 pub mod rtn_source;
+pub mod scenario;
 pub mod sweep;
 pub mod telemetry;
 pub mod trace;
@@ -96,6 +97,7 @@ pub use observe::{
 };
 pub use retry::{RetryBench, RetryPolicy};
 pub use rtn_source::{NoRtn, RtnSource, SramRtn};
+pub use scenario::{registry, registry_digest, Scenario, ScenarioInfo, SramScenarioBench};
 pub use sweep::{
     CheckpointError, DutySweep, PointOutcome, ResumableSweep, SweepBench, SweepError, SweepOptions,
     SweepPoint, SweepReports,

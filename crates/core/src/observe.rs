@@ -55,6 +55,7 @@
 //! ```
 
 use crate::oracle::{MarginStats, OracleStats};
+use crate::scenario::Scenario;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -288,6 +289,9 @@ pub struct RunSummary {
 pub trait Observer: Sync {
     /// A run is starting with this seed and worker-thread setting.
     fn run_started(&self, _seed: u64, _threads: usize) {}
+    /// The run evaluates this registered scenario (emitted right after
+    /// [`run_started`](Observer::run_started)).
+    fn scenario_selected(&self, _scenario: Scenario) {}
     /// A pipeline stage is starting.
     fn stage_started(&self, _stage: Stage) {}
     /// A pipeline stage finished with this timing/cost accounting.
@@ -347,6 +351,12 @@ impl Observer for MultiObserver<'_> {
     fn run_started(&self, seed: u64, threads: usize) {
         for o in &self.observers {
             o.run_started(seed, threads);
+        }
+    }
+
+    fn scenario_selected(&self, scenario: Scenario) {
+        for o in &self.observers {
+            o.scenario_selected(scenario);
         }
     }
 
@@ -418,6 +428,10 @@ pub struct RunReport {
     pub schema_version: u32,
     /// RNG seed of the run.
     pub seed: u64,
+    /// The registered scenario the run estimated (default `read-snm`,
+    /// so PR-6-era reports parse unchanged).
+    #[serde(default)]
+    pub scenario: Scenario,
     /// Configured worker-thread count (0 = one per core). Reports are
     /// bit-identical across thread counts apart from timing fields.
     pub threads: usize,
@@ -452,6 +466,7 @@ impl Default for RunReport {
         Self {
             schema_version: REPORT_SCHEMA_VERSION,
             seed: 0,
+            scenario: Scenario::default(),
             threads: 0,
             stages: Vec::new(),
             boundary: None,
@@ -533,6 +548,10 @@ impl Observer for RunRecorder {
         r.threads = threads;
     }
 
+    fn scenario_selected(&self, scenario: Scenario) {
+        self.state.lock().scenario = scenario;
+    }
+
     fn stage_finished(&self, stage: Stage, timing: &StageTiming) {
         self.state.lock().stages.push(StageReport {
             stage,
@@ -585,6 +604,10 @@ impl Observer for ProgressObserver {
             format!("{threads} threads")
         };
         eprintln!("[ecripse] run started (seed {seed:#x}, {t})");
+    }
+
+    fn scenario_selected(&self, scenario: Scenario) {
+        eprintln!("[ecripse] scenario: {scenario}");
     }
 
     fn boundary_found(&self, stats: &BoundaryStats) {
@@ -670,6 +693,7 @@ mod tests {
         RunReport {
             schema_version: REPORT_SCHEMA_VERSION,
             seed: 42,
+            scenario: Scenario::HoldSnm,
             threads: 2,
             stages: vec![
                 StageReport {

@@ -11,6 +11,7 @@
 use ecripse_core::ecripse::EcripseConfig;
 use ecripse_core::observe::RunReport;
 use ecripse_core::oracle::OracleStats;
+use ecripse_core::scenario::Scenario;
 use ecripse_core::sweep::{SweepPoint, SweepReports};
 use serde::{Deserialize, Serialize};
 
@@ -219,6 +220,13 @@ impl JobSpec {
 pub struct SubmitRequest {
     /// Must equal [`PROTOCOL_VERSION`].
     pub protocol: u32,
+    /// Which registered scenario the job evaluates. Omitting the field
+    /// (the PR-6-era wire shape) means the paper's `read-snm`; unknown
+    /// ids are rejected at parse time, so a job can never run under a
+    /// misread indicator. The server copies this into the run's
+    /// [`EcripseConfig::scenario`] — the wire field is authoritative.
+    #[serde(default)]
+    pub scenario: Scenario,
     /// Full estimator configuration (seed included).
     pub config: EcripseConfig,
     /// What to run.
@@ -226,13 +234,22 @@ pub struct SubmitRequest {
 }
 
 impl SubmitRequest {
-    /// A submission speaking this build's protocol version.
+    /// A submission speaking this build's protocol version, inheriting
+    /// the scenario declared in `config`.
     pub fn new(config: EcripseConfig, job: JobSpec) -> Self {
         Self {
             protocol: PROTOCOL_VERSION,
+            scenario: config.scenario,
             config,
             job,
         }
+    }
+
+    /// A submission for an explicit scenario (also stamped into the
+    /// carried config, keeping the two views consistent).
+    pub fn with_scenario(scenario: Scenario, mut config: EcripseConfig, job: JobSpec) -> Self {
+        config.scenario = scenario;
+        Self::new(config, job)
     }
 }
 
@@ -241,6 +258,10 @@ impl SubmitRequest {
 pub struct JobStatus {
     /// Server-assigned job id.
     pub id: u64,
+    /// The scenario the job evaluates (default `read-snm`, so PR-6-era
+    /// status documents parse unchanged).
+    #[serde(default)]
+    pub scenario: Scenario,
     /// Current lifecycle state.
     pub state: JobState,
     /// Position in the queue while [`JobState::Queued`] (0 = next).
@@ -313,6 +334,9 @@ pub struct SweepOutcome {
 pub struct JobReport {
     /// Job id.
     pub id: u64,
+    /// The scenario the job evaluated (default `read-snm`).
+    #[serde(default)]
+    pub scenario: Scenario,
     /// Terminal state the job reached.
     pub state: JobState,
     /// Error description for failed jobs.
@@ -398,9 +422,23 @@ pub struct Metrics {
     /// Jobs in a terminal state (completed + failed + cancelled +
     /// persisted).
     pub jobs_in_terminal_state: u64,
+    /// Completed jobs per registered scenario, in registry order (one
+    /// entry per scenario, zero counts included). Absent in PR-6-era
+    /// documents.
+    #[serde(default)]
+    pub scenario_jobs: Vec<ScenarioJobCount>,
     /// Oracle statistics summed over every completed job (classified /
     /// simulated / retrains / retries / quarantined, …).
     pub oracle: OracleStats,
+}
+
+/// Completed-job count of one registered scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioJobCount {
+    /// The scenario id (`read-snm`, `hold-snm`, …).
+    pub scenario: String,
+    /// Jobs of this scenario that completed successfully.
+    pub completed: u64,
 }
 
 #[cfg(test)]

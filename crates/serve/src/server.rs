@@ -31,7 +31,7 @@
 use crate::http::{self, Request, Response};
 use crate::protocol::{
     ApiError, EstimateOutcome, Health, JobKind, JobProgress, JobReport, JobSpec, JobState,
-    JobStatus, Metrics, SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
+    JobStatus, Metrics, ScenarioJobCount, SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
 };
 use crate::shared::{tag_for, SharedBench, VerdictCache};
 use ecripse_core::cache::MemoCacheConfig;
@@ -41,9 +41,9 @@ use ecripse_core::observe::{
 };
 use ecripse_core::oracle::OracleStats;
 use ecripse_core::rtn_source::SramRtn;
+use ecripse_core::scenario::{registry_digest, Scenario, SramScenarioBench};
 use ecripse_core::sweep::{DutySweep, SweepBench, SweepOptions};
 use ecripse_core::telemetry::{Histogram, MetricsRegistry, TelemetryObserver};
-use ecripse_core::SramReadBench;
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
@@ -106,6 +106,7 @@ enum JobOutput {
 /// Everything the server remembers about one job.
 struct JobRecord {
     spec: JobSpec,
+    scenario: Scenario,
     config: EcripseConfig,
     state: JobState,
     error: Option<String>,
@@ -261,8 +262,12 @@ fn lock_state<B>(shared: &Shared<B>) -> std::sync::MutexGuard<'_, QueueState> {
 
 struct Shared<B> {
     config: ServeConfig,
-    factory: Box<dyn Fn(f64) -> B + Send + Sync>,
+    factory: Box<dyn Fn(Scenario, f64) -> B + Send + Sync>,
     cache: Arc<VerdictCache>,
+    /// Completed jobs per scenario, indexed by [`Scenario::ALL`]
+    /// position (feeds the `scenario_jobs` metric and its labelled
+    /// Prometheus series).
+    scenario_completed: [AtomicU64; Scenario::ALL.len()],
     /// Verdicts restored from the persistent store at bind time.
     cache_loaded: u64,
     state: std::sync::Mutex<QueueState>,
@@ -279,28 +284,31 @@ struct Shared<B> {
 
 /// The estimation service. Generic over the bench the factory builds,
 /// so the integration tests can serve synthetic benches; the default is
-/// the paper's read-stability cell at the requested supply.
-pub struct Server<B: SweepBench + 'static = SramReadBench> {
+/// the paper's cell under the job's requested scenario and supply.
+pub struct Server<B: SweepBench + 'static = SramScenarioBench> {
     shared: Arc<Shared<B>>,
     addr: SocketAddr,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
-impl Server<SramReadBench> {
+impl Server<SramScenarioBench> {
     /// Binds the paper-cell service: each job's bench is
-    /// [`SramReadBench::at_vdd`] of the job's supply voltage.
+    /// [`SramScenarioBench::at_vdd`] of the job's scenario and supply
+    /// voltage, so every registered scenario is servable out of the
+    /// box.
     ///
     /// # Errors
     ///
     /// Propagates socket bind errors.
     pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
-        Self::bind_with(addr, config, SramReadBench::at_vdd)
+        Self::bind_with(addr, config, SramScenarioBench::at_vdd)
     }
 }
 
 impl<B: SweepBench + 'static> Server<B> {
-    /// Binds a service whose per-job bench comes from `factory(vdd)`.
+    /// Binds a service whose per-job bench comes from
+    /// `factory(scenario, vdd)`.
     ///
     /// # Errors
     ///
@@ -308,13 +316,17 @@ impl<B: SweepBench + 'static> Server<B> {
     pub fn bind_with(
         addr: impl ToSocketAddrs,
         config: ServeConfig,
-        factory: impl Fn(f64) -> B + Send + Sync + 'static,
+        factory: impl Fn(Scenario, f64) -> B + Send + Sync + 'static,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
-        let cache = Arc::new(VerdictCache::new(config.cache));
+        // The snapshot fingerprint is scoped by the scenario-registry
+        // digest: a store written under a different registry (different
+        // scenarios or versions) is rejected at load time instead of
+        // silently misapplying verdicts across indicators.
+        let cache = Arc::new(VerdictCache::with_scope(config.cache, &registry_digest()));
         let cache_loaded = match &config.cache_store {
             // A missing store is the normal first boot; any other load
             // failure is worth a line on stderr, but never fatal — the
@@ -336,6 +348,7 @@ impl<B: SweepBench + 'static> Server<B> {
             cache_loaded,
             config,
             factory: Box::new(factory),
+            scenario_completed: Default::default(),
             state: std::sync::Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 jobs: HashMap::new(),
@@ -483,19 +496,23 @@ fn persist_queued_sweep<B: SweepBench>(shared: &Shared<B>, id: u64, record: &Job
     let Some(alphas) = record.spec.alphas.clone() else {
         return false;
     };
-    let bench = job_bench(shared, &record.spec);
+    let bench = job_bench(shared, record.scenario, &record.spec);
     let sweep = DutySweep::new(record.config, bench, alphas);
     sweep.ensure_checkpoint(&path).is_ok()
 }
 
-/// The bench a job evaluates: the factory's bench for the job's supply,
-/// wrapped in the process-wide verdict cache. The tag namespaces
-/// verdicts by supply voltage; `at_alpha` (inside sweeps) further folds
-/// in the duty ratio.
-fn job_bench<B: SweepBench>(shared: &Shared<B>, spec: &JobSpec) -> SharedBench<B> {
+/// The bench a job evaluates: the factory's bench for the job's
+/// scenario and supply, wrapped in the process-wide verdict cache. The
+/// tag namespaces verdicts by scenario (id + version salt) and supply
+/// voltage; `at_alpha` (inside sweeps) further folds in the duty ratio.
+fn job_bench<B: SweepBench>(
+    shared: &Shared<B>,
+    scenario: Scenario,
+    spec: &JobSpec,
+) -> SharedBench<B> {
     SharedBench::new(
-        (shared.factory)(spec.vdd),
-        tag_for(&[spec.vdd.to_bits()]),
+        (shared.factory)(scenario, spec.vdd),
+        tag_for(&[scenario.tag_salt(), spec.vdd.to_bits()]),
         Arc::clone(&shared.cache),
         shared.config.cache.enabled,
     )
@@ -612,11 +629,16 @@ fn submit<B: SweepBench>(shared: &Shared<B>, body: &[u8]) -> Response {
     }
     let id = state.next_id;
     state.next_id += 1;
+    // The wire field is authoritative: stamp it into the run config so
+    // the recorded report and the served bench agree on the scenario.
+    let mut config = request.config;
+    config.scenario = request.scenario;
     state.jobs.insert(
         id,
         JobRecord {
             spec: request.job,
-            config: request.config,
+            scenario: request.scenario,
+            config,
             state: JobState::Queued,
             error: None,
             output: None,
@@ -633,6 +655,7 @@ fn submit<B: SweepBench>(shared: &Shared<B>, body: &[u8]) -> Response {
         202,
         json_body(&JobStatus {
             id,
+            scenario: request.scenario,
             state: JobState::Queued,
             queue_position: Some(position),
             error: None,
@@ -660,6 +683,7 @@ fn job_status(state: &QueueState, id: u64) -> Option<JobStatus> {
         .map(|p| p as u64);
     Some(JobStatus {
         id,
+        scenario: record.scenario,
         state: record.state,
         queue_position,
         error: record.error.clone(),
@@ -683,6 +707,7 @@ fn report<B>(shared: &Shared<B>, id: u64) -> Response {
         JobState::Completed | JobState::Failed => {
             let mut report = JobReport {
                 id,
+                scenario: record.scenario,
                 state: record.state,
                 error: record.error.clone(),
                 estimate: None,
@@ -766,6 +791,14 @@ fn collect_metrics<B>(shared: &Shared<B>) -> Metrics {
         cache_loaded_entries: shared.cache_loaded,
         uptime_seconds: shared.started.elapsed().as_secs_f64(),
         jobs_in_terminal_state: completed + failed + cancelled + persisted,
+        scenario_jobs: Scenario::ALL
+            .iter()
+            .enumerate()
+            .map(|(index, scenario)| ScenarioJobCount {
+                scenario: scenario.id().to_string(),
+                completed: shared.scenario_completed[index].load(Ordering::Relaxed),
+            })
+            .collect(),
         oracle: *shared.oracle_totals.lock(),
     }
 }
@@ -932,13 +965,29 @@ fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
             value as f64,
         );
     }
+    {
+        use std::fmt::Write as _;
+        let name = "ecripse_serve_scenario_jobs_total";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Jobs completed successfully, by scenario"
+        );
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for entry in &m.scenario_jobs {
+            let _ = writeln!(
+                out,
+                "{name}{{scenario=\"{}\"}} {}",
+                entry.scenario, entry.completed
+            );
+        }
+    }
     out.push_str(&shared.telemetry.registry.render_prometheus());
     out
 }
 
 fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
     loop {
-        let (id, spec, config, progress) = {
+        let (id, spec, scenario, config, progress) = {
             let mut state = lock_state(shared);
             loop {
                 if let Some(id) = state.queue.pop_front() {
@@ -955,6 +1004,7 @@ fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
                     let job = (
                         id,
                         record.spec.clone(),
+                        record.scenario,
                         record.config,
                         Arc::clone(&record.progress),
                     );
@@ -970,7 +1020,7 @@ fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
             }
         };
         let started = Instant::now();
-        let outcome = execute(shared, id, &spec, config, &progress);
+        let outcome = execute(shared, id, &spec, scenario, config, &progress);
         let elapsed = started.elapsed().as_secs_f64();
         shared.telemetry.job_seconds.record(elapsed);
         {
@@ -985,6 +1035,9 @@ fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
                     record.state = JobState::Completed;
                     record.output = Some(output);
                     shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(index) = Scenario::ALL.iter().position(|&s| s == scenario) {
+                        shared.scenario_completed[index].fetch_add(1, Ordering::Relaxed);
+                    }
                     add_oracle(&mut shared.oracle_totals.lock(), &oracle);
                 }
                 Err(message) => {
@@ -1019,6 +1072,7 @@ fn execute<B: SweepBench + 'static>(
     shared: &Arc<Shared<B>>,
     id: u64,
     spec: &JobSpec,
+    scenario: Scenario,
     config: EcripseConfig,
     progress: &Arc<ProgressTracker>,
 ) -> Result<(JobOutput, OracleStats), String> {
@@ -1026,7 +1080,7 @@ fn execute<B: SweepBench + 'static>(
     let spec = spec.clone();
     let progress = Arc::clone(progress);
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-        execute_inner(&shared, id, &spec, config, &progress)
+        execute_inner(&shared, id, &spec, scenario, config, &progress)
     }))
     .unwrap_or_else(|panic| {
         let message = panic
@@ -1042,10 +1096,11 @@ fn execute_inner<B: SweepBench + 'static>(
     shared: &Shared<B>,
     id: u64,
     spec: &JobSpec,
+    scenario: Scenario,
     config: EcripseConfig,
     progress: &ProgressTracker,
 ) -> Result<(JobOutput, OracleStats), String> {
-    let bench = job_bench(shared, spec);
+    let bench = job_bench(shared, scenario, spec);
     // Everything beyond the deterministic recorder is observational:
     // the live-progress tracker and the registry bridge see the same
     // event stream but never feed back into the estimation, so served

@@ -45,20 +45,34 @@ type CacheKey = (u64, u16, Vec<i64>);
 #[derive(Debug)]
 pub struct VerdictCache {
     quantum: f64,
+    scope: String,
     shards: Vec<RwLock<HashMap<CacheKey, bool>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl VerdictCache {
-    /// An empty cache. The [`MemoCacheConfig`] is reused for its grid
-    /// quantum and shard count; its `enabled` flag is handled by the
-    /// [`SharedBench`] wrapper, not here.
+    /// An empty, unscoped cache. The [`MemoCacheConfig`] is reused for
+    /// its grid quantum and shard count; its `enabled` flag is handled
+    /// by the [`SharedBench`] wrapper, not here.
     ///
     /// # Panics
     ///
     /// Panics if `quantum` is not positive or `shards` is zero.
     pub fn new(config: MemoCacheConfig) -> Self {
+        Self::with_scope(config, "")
+    }
+
+    /// An empty cache whose snapshot fingerprint additionally binds to
+    /// `scope` — an opaque key-space discriminator. The server passes
+    /// the scenario-registry digest here, so a snapshot persisted under
+    /// one registry (or one scenario semantics version) is *rejected*,
+    /// not misapplied, by a process running another.
+    ///
+    /// # Panics
+    ///
+    /// See [`VerdictCache::new`].
+    pub fn with_scope(config: MemoCacheConfig, scope: &str) -> Self {
         assert!(
             config.quantum > 0.0 && config.quantum.is_finite(),
             "cache quantum must be positive and finite"
@@ -66,6 +80,7 @@ impl VerdictCache {
         assert!(config.shards > 0, "need at least one cache shard");
         Self {
             quantum: config.quantum,
+            scope: scope.to_owned(),
             shards: (0..config.shards)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
@@ -136,12 +151,17 @@ impl VerdictCache {
     }
 
     /// Compatibility fingerprint of this cache's key space: any change
-    /// to the snapshot schema or the quantisation grid invalidates
-    /// persisted verdicts (a verdict keyed on a different grid would be
-    /// silently wrong, not just stale).
+    /// to the snapshot schema, the quantisation grid or the scope (the
+    /// server's scenario-registry digest) invalidates persisted verdicts
+    /// (a verdict keyed on a different grid or computed by a different
+    /// indicator set would be silently wrong, not just stale).
     pub fn fingerprint(&self) -> String {
         let mut hash = fnv1a_u64(0xcbf2_9ce4_8422_2325, u64::from(CACHE_SNAPSHOT_VERSION));
         hash = fnv1a_u64(hash, self.quantum.to_bits());
+        for b in self.scope.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
         format!("{hash:016x}")
     }
 
@@ -225,7 +245,15 @@ impl VerdictCache {
 
 /// Schema version of the on-disk verdict snapshot; bump on any change to
 /// [`CacheSnapshot`]'s layout or key semantics.
-pub const CACHE_SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — initial snapshot format;
+/// * 2 — scenario-aware key space: the fingerprint binds to the cache
+///   scope (the scenario-registry digest) and operating-point tags are
+///   salted with the job's scenario, so v1 snapshots — written when
+///   every verdict implicitly meant `read-snm` — are retired rather
+///   than misread.
+pub const CACHE_SNAPSHOT_VERSION: u32 = 2;
 
 /// One persisted verdict (the cache key with a hex-encoded tag).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -725,6 +753,38 @@ mod tests {
             "got {err}"
         );
         assert!(fine.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scope_mismatch_is_rejected_by_fingerprint() {
+        let path = snapshot_path("scope");
+        let read_scope = Arc::new(VerdictCache::with_scope(
+            MemoCacheConfig::default(),
+            "registry-v1",
+        ));
+        let shared = SharedBench::new(bench(), 7, Arc::clone(&read_scope), true);
+        let _ = shared.fails(&[3.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        read_scope.save_snapshot(&path).expect("save snapshot");
+
+        let other_scope = Arc::new(VerdictCache::with_scope(
+            MemoCacheConfig::default(),
+            "registry-v2",
+        ));
+        let err = other_scope
+            .load_snapshot(&path)
+            .expect_err("scope mismatch must fail");
+        assert!(
+            matches!(err, SnapshotError::Fingerprint { .. }),
+            "got {err}"
+        );
+        assert!(other_scope.is_empty(), "ignored, not misapplied");
+        // The matching scope still restores.
+        let same = Arc::new(VerdictCache::with_scope(
+            MemoCacheConfig::default(),
+            "registry-v1",
+        ));
+        assert_eq!(same.load_snapshot(&path).expect("same scope loads"), 1);
         std::fs::remove_file(&path).ok();
     }
 

@@ -9,6 +9,7 @@ use ecripse_core::ecripse::{Ecripse, EcripseConfig};
 use ecripse_core::importance::ImportanceConfig;
 use ecripse_core::initial::InitialSearchConfig;
 use ecripse_core::rtn_source::SramRtn;
+use ecripse_core::scenario::Scenario;
 use ecripse_core::sweep::{DutySweep, SweepBench, SweepOptions};
 use ecripse_serve::protocol::{JobSpec, JobState, SubmitRequest, PROTOCOL_VERSION};
 use ecripse_serve::{http, Client, ClientError, ServeConfig, Server};
@@ -99,8 +100,10 @@ fn wait_until_running(client: &Client, id: u64) {
 
 #[test]
 fn served_jobs_are_bit_identical_to_direct_runs() {
-    let server = Server::bind_with("127.0.0.1:0", ServeConfig::default(), |_vdd| linear_bench())
-        .expect("bind");
+    let server = Server::bind_with("127.0.0.1:0", ServeConfig::default(), |_scenario, _vdd| {
+        linear_bench()
+    })
+    .expect("bind");
     let client = Client::new(server.local_addr().to_string());
     client.handshake().expect("protocol handshake");
 
@@ -180,7 +183,7 @@ fn full_queue_yields_429_with_retry_after() {
         queue_capacity: 1,
         ..ServeConfig::default()
     };
-    let server = Server::bind_with("127.0.0.1:0", config, move |_vdd| {
+    let server = Server::bind_with("127.0.0.1:0", config, move |_scenario, _vdd| {
         GateBench::new(Arc::clone(&factory_gate))
     })
     .expect("bind");
@@ -237,7 +240,7 @@ fn graceful_shutdown_drains_in_flight_and_persists_queued_sweeps() {
         spool: Some(spool.clone()),
         ..ServeConfig::default()
     };
-    let server = Server::bind_with("127.0.0.1:0", config, move |_vdd| {
+    let server = Server::bind_with("127.0.0.1:0", config, move |_scenario, _vdd| {
         GateBench::new(Arc::clone(&factory_gate))
     })
     .expect("bind");
@@ -299,7 +302,7 @@ fn job_lifecycle_cancel_and_errors() {
         queue_capacity: 4,
         ..ServeConfig::default()
     };
-    let server = Server::bind_with("127.0.0.1:0", config, move |_vdd| {
+    let server = Server::bind_with("127.0.0.1:0", config, move |_scenario, _vdd| {
         GateBench::new(Arc::clone(&factory_gate))
     })
     .expect("bind");
@@ -372,7 +375,8 @@ fn restarted_server_serves_from_the_persistent_store() {
     };
 
     // First process: run a job cold, persist the verdicts on shutdown.
-    let first = Server::bind_with("127.0.0.1:0", config(), |_vdd| linear_bench()).expect("bind");
+    let first =
+        Server::bind_with("127.0.0.1:0", config(), |_scenario, _vdd| linear_bench()).expect("bind");
     let client = Client::new(first.local_addr().to_string());
     assert_eq!(first.metrics().cache_loaded_entries, 0, "no store yet");
     let submitted = client.submit(&request).expect("submit cold job");
@@ -386,7 +390,8 @@ fn restarted_server_serves_from_the_persistent_store() {
 
     // Second process: starts warm from the store and serves the same
     // job bit-identically with every verdict answered from the cache.
-    let second = Server::bind_with("127.0.0.1:0", config(), |_vdd| linear_bench()).expect("bind");
+    let second =
+        Server::bind_with("127.0.0.1:0", config(), |_scenario, _vdd| linear_bench()).expect("bind");
     let client = Client::new(second.local_addr().to_string());
     let metrics = client.metrics().expect("metrics");
     assert_eq!(metrics.cache_loaded_entries, entries as u64);
@@ -409,7 +414,8 @@ fn restarted_server_serves_from_the_persistent_store() {
     // Third process: a corrupted store is ignored, the server starts
     // cold instead of serving garbage.
     std::fs::write(&store, b"{ not a snapshot").expect("corrupt the store");
-    let third = Server::bind_with("127.0.0.1:0", config(), |_vdd| linear_bench()).expect("bind");
+    let third =
+        Server::bind_with("127.0.0.1:0", config(), |_scenario, _vdd| linear_bench()).expect("bind");
     assert_eq!(third.metrics().cache_loaded_entries, 0);
     assert!(third.cache().is_empty());
     third.shutdown();
@@ -417,9 +423,103 @@ fn restarted_server_serves_from_the_persistent_store() {
 }
 
 #[test]
+fn scenarios_never_share_verdicts_across_a_restart() {
+    let dir = scratch_dir("scenario-store");
+    let store = dir.join("verdicts.json");
+    let config = || ServeConfig {
+        cache_store: Some(store.clone()),
+        ..ServeConfig::default()
+    };
+    // A scenario-aware factory: the hold-snm bench fails at a lower
+    // threshold, so misapplied read-snm verdicts would visibly corrupt
+    // the estimate.
+    let factory = |scenario: Scenario, _vdd: f64| {
+        let threshold = match scenario {
+            Scenario::HoldSnm => 2.5,
+            _ => 3.5,
+        };
+        LinearBench::new(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0], threshold)
+    };
+    let read_request = SubmitRequest::new(tiny_config(42), JobSpec::rdf_only(1.0));
+    let hold_request =
+        SubmitRequest::with_scenario(Scenario::HoldSnm, tiny_config(42), JobSpec::rdf_only(1.0));
+
+    // First process: a read-snm job populates and persists the cache.
+    let first = Server::bind_with("127.0.0.1:0", config(), factory).expect("bind");
+    let client = Client::new(first.local_addr().to_string());
+    let submitted = client.submit(&read_request).expect("submit read-snm");
+    assert_eq!(submitted.scenario, Scenario::ReadSnm);
+    let read_cold = client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("read-snm report");
+    assert_eq!(read_cold.scenario, Scenario::ReadSnm);
+    let entries = first.cache().len();
+    assert!(entries > 0, "the read-snm run must populate the cache");
+    first.shutdown();
+
+    // Second process: the restored read-snm verdicts must NOT answer a
+    // hold-snm job — its keys carry a different scenario salt, so the
+    // job runs cold and reaches its own (different) estimate.
+    let second = Server::bind_with("127.0.0.1:0", config(), factory).expect("bind");
+    let client = Client::new(second.local_addr().to_string());
+    assert_eq!(
+        client.metrics().expect("metrics").cache_loaded_entries,
+        entries as u64
+    );
+    let submitted = client.submit(&hold_request).expect("submit hold-snm");
+    assert_eq!(submitted.scenario, Scenario::HoldSnm);
+    let hold = client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("hold-snm report");
+    assert_eq!(hold.scenario, Scenario::HoldSnm);
+    assert!(
+        second.cache().misses() > 0,
+        "a hold-snm job must not be answered by restored read-snm verdicts"
+    );
+    let read_p = read_cold.estimate.as_ref().expect("read outcome").p_fail;
+    let hold_p = hold.estimate.as_ref().expect("hold outcome").p_fail;
+    assert_ne!(
+        hold_p, read_p,
+        "the lower hold-snm threshold must change the estimate"
+    );
+
+    // The same store still serves read-snm warm and bit-identically.
+    let misses_before = second.cache().misses();
+    let submitted = client.submit(&read_request).expect("resubmit read-snm");
+    let read_warm = client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("warm read-snm report");
+    assert_eq!(
+        read_warm.estimate.as_ref().expect("warm outcome").p_fail,
+        read_p
+    );
+    assert_eq!(
+        second.cache().misses(),
+        misses_before,
+        "the warm read-snm rerun must be answered entirely from the store"
+    );
+    let metrics = client.metrics().expect("metrics");
+    for entry in &metrics.scenario_jobs {
+        let expected = match entry.scenario.as_str() {
+            "read-snm" | "hold-snm" => 1,
+            _ => 0,
+        };
+        assert_eq!(
+            entry.completed, expected,
+            "scenario_jobs miscounts {}",
+            entry.scenario
+        );
+    }
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn protocol_and_routing_errors() {
-    let server = Server::bind_with("127.0.0.1:0", ServeConfig::default(), |_vdd| linear_bench())
-        .expect("bind");
+    let server = Server::bind_with("127.0.0.1:0", ServeConfig::default(), |_scenario, _vdd| {
+        linear_bench()
+    })
+    .expect("bind");
     let client = Client::new(server.local_addr().to_string());
 
     // Wrong protocol version.

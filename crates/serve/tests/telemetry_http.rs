@@ -124,8 +124,10 @@ fn validate_exposition(text: &str) -> (HashMap<String, f64>, Vec<String>) {
 
 #[test]
 fn prometheus_exposition_parses_and_agrees_with_json() {
-    let server = Server::bind_with("127.0.0.1:0", ServeConfig::default(), |_vdd| linear_bench())
-        .expect("bind");
+    let server = Server::bind_with("127.0.0.1:0", ServeConfig::default(), |_scenario, _vdd| {
+        linear_bench()
+    })
+    .expect("bind");
     let client = Client::new(server.local_addr().to_string());
 
     // Complete one job so the job-duration histogram has a sample.
@@ -240,7 +242,7 @@ fn running_sweep_status_shows_advancing_progress() {
         queue_capacity: 4,
         ..ServeConfig::default()
     };
-    let server = Server::bind_with("127.0.0.1:0", config, |_vdd| SlowBench {
+    let server = Server::bind_with("127.0.0.1:0", config, |_scenario, _vdd| SlowBench {
         inner: linear_bench(),
     })
     .expect("bind");

@@ -8,10 +8,11 @@
 use ecripse_core::ecripse::EcripseConfig;
 use ecripse_core::observe::{RunReport, Stage, StageReport};
 use ecripse_core::oracle::OracleStats;
+use ecripse_core::scenario::Scenario;
 use ecripse_core::sweep::{SweepPoint, SweepReports};
 use ecripse_serve::protocol::{
     ApiError, EstimateOutcome, Health, JobProgress, JobReport, JobSpec, JobState, JobStatus,
-    Metrics, SubmitRequest, SweepOutcome,
+    Metrics, ScenarioJobCount, SubmitRequest, SweepOutcome,
 };
 use proptest::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -30,6 +31,10 @@ fn job_state(pick: u32) -> JobState {
         4 => JobState::Cancelled,
         _ => JobState::Persisted,
     }
+}
+
+fn scenario(pick: u32) -> Scenario {
+    Scenario::ALL[pick as usize % Scenario::ALL.len()]
 }
 
 fn oracle_stats(counts: &[u64]) -> OracleStats {
@@ -105,6 +110,7 @@ proptest! {
         n_samples in 1usize..100_000,
         iterations in 1usize..20,
         alpha in 0.0f64..1.0,
+        scenario_pick in 0u32..4,
     ) {
         let mut config = EcripseConfig {
             seed,
@@ -112,8 +118,34 @@ proptest! {
             ..EcripseConfig::default()
         };
         config.importance.n_samples = n_samples;
-        let request = SubmitRequest::new(config, JobSpec::estimate(1.0, alpha));
+        let request = SubmitRequest::with_scenario(
+            scenario(scenario_pick),
+            config,
+            JobSpec::estimate(1.0, alpha),
+        );
+        prop_assert_eq!(request.scenario, scenario(scenario_pick));
+        prop_assert_eq!(request.config.scenario, scenario(scenario_pick));
         prop_assert_eq!(roundtrip(&request), request);
+    }
+
+    #[test]
+    fn prop_old_wire_submit_request_defaults_to_read_snm(
+        seed in 0u64..(1 << 53),
+        alpha in 0.0f64..1.0,
+    ) {
+        // A PR-6-era client sends a SubmitRequest with no `scenario`
+        // field at all (and an EcripseConfig without one either). Both
+        // must parse and land on the paper's read-snm indicator.
+        let config = EcripseConfig { seed, ..EcripseConfig::default() };
+        let modern = SubmitRequest::new(config, JobSpec::estimate(1.0, alpha));
+        let mut json = serde_json::to_string(&modern).expect("serialise");
+        // Strip both scenario fields to reconstruct the old wire shape.
+        json = json.replace("\"scenario\":\"read-snm\",", "");
+        prop_assert!(!json.contains("scenario"), "fixture must predate the field: {json}");
+        let parsed: SubmitRequest = serde_json::from_str(&json).expect("old wire form parses");
+        prop_assert_eq!(parsed.scenario, Scenario::ReadSnm);
+        prop_assert_eq!(parsed.config.scenario, Scenario::ReadSnm);
+        prop_assert_eq!(parsed, modern);
     }
 
     #[test]
@@ -131,6 +163,7 @@ proptest! {
     ) {
         let status = JobStatus {
             id,
+            scenario: scenario(pick),
             state: job_state(pick),
             queue_position: if has_position { Some(position) } else { None },
             error: if has_error { Some(format!("boom #{id}")) } else { None },
@@ -168,6 +201,8 @@ proptest! {
         let parsed: JobStatus = serde_json::from_str(&old).expect("old wire form parses");
         prop_assert_eq!(parsed.id, id);
         prop_assert_eq!(parsed.progress, None);
+        // Documents that predate the scenario field mean read-snm.
+        prop_assert_eq!(parsed.scenario, Scenario::ReadSnm);
     }
 
     #[test]
@@ -189,6 +224,7 @@ proptest! {
         };
         let document = JobReport {
             id,
+            scenario: scenario(id as u32),
             state: JobState::Completed,
             error: None,
             estimate: Some(outcome),
@@ -232,6 +268,7 @@ proptest! {
         };
         let document = JobReport {
             id,
+            scenario: scenario(id as u32),
             state: JobState::Completed,
             error: None,
             estimate: None,
@@ -292,6 +329,14 @@ proptest! {
             cache_loaded_entries: counts[6] / 2,
             uptime_seconds: depth as f64 * 0.125,
             jobs_in_terminal_state: counts[1] + counts[2] + counts[3] + counts[4],
+            scenario_jobs: Scenario::ALL
+                .iter()
+                .enumerate()
+                .map(|(index, s)| ScenarioJobCount {
+                    scenario: s.id().to_string(),
+                    completed: counts[index % counts.len()],
+                })
+                .collect(),
             oracle: oracle_stats(&counts),
         };
         prop_assert_eq!(roundtrip(&metrics), metrics);
@@ -310,6 +355,7 @@ proptest! {
         let inf = if positive { f64::INFINITY } else { f64::NEG_INFINITY };
         let status = JobStatus {
             id,
+            scenario: Scenario::ReadSnm,
             state: JobState::Running,
             queue_position: None,
             error: None,

@@ -25,7 +25,10 @@
 //!   root-finding over the variability space is well posed.
 //! * [`testbench`] — [`testbench::ReadStabilityBench`], the "transistor-
 //!   level simulation" the rest of the workspace counts and accelerates:
-//!   per-device ΔVth in, read-noise-margin (and pass/fail) out.
+//!   per-device ΔVth in, a cell margin (and pass/fail) out. Four
+//!   indicators share the machinery: read stability (the paper's),
+//!   hold/retention stability, write margin, and the power-up preference
+//!   of a skew-designed PUF bit.
 //!
 //! # Example
 //!

@@ -26,6 +26,14 @@ use crate::model::Mosfet;
 use crate::ptm::{paper_geometry, DeviceRole, VDD_NOMINAL};
 use serde::{Deserialize, Serialize};
 
+/// Reference temperature of the technology cards \[K\].
+pub const T_NOMINAL_K: f64 = 300.0;
+
+/// First-order threshold temperature coefficient \[V/K\]: both
+/// polarities lose about 1 mV of threshold magnitude per kelvin of
+/// heating (the textbook figure for scaled CMOS).
+pub const VTH_TEMPCO: f64 = 1.0e-3;
+
 /// Identifies one of the six cell transistors.
 ///
 /// The `usize` value of each variant is the canonical position of that
@@ -207,6 +215,30 @@ impl Sram6T {
         let mut cell = self.clone();
         for (dev, dv) in cell.devices.iter_mut().zip(delta_vth) {
             *dev = dev.with_delta_vth(*dv);
+        }
+        cell
+    }
+
+    /// Returns a copy operated at a temperature offset from the 300 K
+    /// nominal: every device loses [`VTH_TEMPCO`] volts of threshold
+    /// magnitude per kelvin of heating and its thermal voltage scales
+    /// linearly with absolute temperature. A zero offset reproduces the
+    /// nominal cell bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_c` is non-finite or outside \[−150, +200\] K —
+    /// beyond that the first-order threshold model drives `vth0`
+    /// unphysically.
+    pub fn with_temperature_delta(&self, delta_c: f64) -> Self {
+        assert!(
+            delta_c.is_finite() && (-150.0..=200.0).contains(&delta_c),
+            "temperature delta must lie in [-150, 200] K, got {delta_c}"
+        );
+        let mut cell = self.clone();
+        for dev in &mut cell.devices {
+            dev.params.vth0 -= VTH_TEMPCO * delta_c;
+            dev.params.v_thermal *= (T_NOMINAL_K + delta_c) / T_NOMINAL_K;
         }
         cell
     }

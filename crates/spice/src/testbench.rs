@@ -1,11 +1,14 @@
-//! The read-stability testbench — the workspace's "transistor-level
+//! The SRAM cell testbench — the workspace's "transistor-level
 //! simulation".
 //!
 //! [`ReadStabilityBench`] maps a 6-component threshold-shift vector (one
 //! ΔVth per cell device, canonical order of
-//! [`crate::sram::CellDevice`]) to the cell's read noise margin. A sample
-//! *fails* when the margin is negative — the indicator function `I(x)` of
-//! the paper (Sec. IV-A).
+//! [`crate::sram::CellDevice`]) to a cell margin. The historical — and
+//! default — margin is the read noise margin: a sample *fails* when it
+//! is negative, the indicator function `I(x)` of the paper (Sec. IV-A).
+//! The same machinery exposes three sibling indicators over the same
+//! variability space: hold (retention) stability, write margin, and the
+//! power-up preference margin of a skew-designed PUF bit.
 //!
 //! Everything upstream (particle filters, classifiers, estimators) counts
 //! invocations of this bench; it is deliberately the only expensive
@@ -15,7 +18,7 @@
 use crate::butterfly::{Butterfly, SampleEffort};
 use crate::error::EvalError;
 use crate::ptm::{paper_geometry, A_VTH_EFFECTIVE};
-use crate::snm::try_read_noise_margin;
+use crate::snm::{try_read_noise_margin, SnmReport};
 use crate::sram::{BiasCondition, CellDevice, Sram6T};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,6 +71,11 @@ pub struct BenchConfig {
     pub vdd: f64,
     /// Butterfly sampling resolution (grid points per curve).
     pub grid_points: usize,
+    /// Die-temperature offset from the 300 K technology cards \[K\].
+    /// `0.0` (the default) leaves every device parameter bit-identical
+    /// to the historical nominal-temperature bench.
+    #[serde(default)]
+    pub temperature_delta_c: f64,
     /// Coarse-first indicator evaluation policy.
     #[serde(default)]
     pub adaptive: AdaptiveConfig,
@@ -78,6 +86,7 @@ impl Default for BenchConfig {
         Self {
             vdd: crate::ptm::VDD_NOMINAL,
             grid_points: 61,
+            temperature_delta_c: 0.0,
             adaptive: AdaptiveConfig::default(),
         }
     }
@@ -140,6 +149,36 @@ pub struct EffortSnapshot {
     pub escalations: u64,
 }
 
+/// Which scalar a butterfly's Seevinck report is collapsed to.
+///
+/// `Worst` is the classical noise margin (smaller lobe, signed);
+/// `Preference` is the *lobe asymmetry* `snm_low − snm_high`, the
+/// quantity that decides which state a skewed cell prefers on power-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MarginKind {
+    Worst,
+    Preference,
+}
+
+impl MarginKind {
+    fn extract(self, report: &SnmReport) -> f64 {
+        match self {
+            MarginKind::Worst => report.rnm,
+            MarginKind::Preference => report.snm_low - report.snm_high,
+        }
+    }
+
+    /// Decisiveness threshold for the adaptive coarse pass. A preference
+    /// margin is a *difference* of two lobes, so coarse-grid drift can be
+    /// up to twice the per-lobe drift — the band doubles accordingly.
+    fn decisive_threshold(self, base: f64) -> f64 {
+        match self {
+            MarginKind::Worst => base,
+            MarginKind::Preference => 2.0 * base,
+        }
+    }
+}
+
 /// The read-stability testbench.
 #[derive(Debug, Clone)]
 pub struct ReadStabilityBench {
@@ -176,6 +215,11 @@ impl ReadStabilityBench {
     /// Panics if the supply is non-positive or the grid is degenerate.
     pub fn with_config(config: BenchConfig) -> Self {
         assert!(config.grid_points >= 2, "grid too coarse");
+        assert!(
+            config.temperature_delta_c.is_finite()
+                && (-150.0..=200.0).contains(&config.temperature_delta_c),
+            "temperature delta outside [-150, 200] K"
+        );
         if config.adaptive.enabled {
             assert!(config.adaptive.coarse_points >= 2, "coarse grid too coarse");
             assert!(
@@ -185,7 +229,8 @@ impl ReadStabilityBench {
             assert!(config.adaptive.seed_band >= 0.0, "negative seed band");
         }
         Self {
-            cell: Sram6T::paper_cell_at(config.vdd),
+            cell: Sram6T::paper_cell_at(config.vdd)
+                .with_temperature_delta(config.temperature_delta_c),
             config,
             counters: Arc::new(SolveCounters::default()),
         }
@@ -249,28 +294,29 @@ impl ReadStabilityBench {
         Self::check_input(delta_vth, "threshold shifts")?;
         let cell = self.cell.with_delta_vth(delta_vth);
         let bias = bias_of(&cell);
-        self.margin_of(&cell, &bias, grid_points)
+        self.margin_kind_of(&cell, &bias, grid_points, MarginKind::Worst)
     }
 
     /// Exact full-resolution margin of a concrete skewed cell under a
     /// concrete bias — bit-identical to the historical fixed path, but
     /// routed through the counted sampler so effort ledgers stay honest.
-    fn margin_of(
+    fn margin_kind_of(
         &self,
         cell: &Sram6T,
         bias: &BiasCondition,
         grid_points: usize,
+        kind: MarginKind,
     ) -> Result<f64, EvalError> {
         let (butterfly, effort) =
             Butterfly::try_sample_seeded(cell, bias, grid_points, 1e-7, None, 0.0)?;
         self.counters.record(&effort);
-        let rnm = try_read_noise_margin(&butterfly)?.rnm;
-        if !rnm.is_finite() {
+        let margin = kind.extract(&try_read_noise_margin(&butterfly)?);
+        if !margin.is_finite() {
             return Err(EvalError::NonFinite {
                 context: "extracted noise margin",
             });
         }
-        Ok(rnm)
+        Ok(margin)
     }
 
     /// Coarse-first, optionally neighbour-seeded indicator evaluation.
@@ -288,14 +334,43 @@ impl ReadStabilityBench {
         fails_when_positive: bool,
         seed: Option<&Butterfly>,
     ) -> Result<(bool, Option<Butterfly>), EvalError> {
+        self.indicator_kind_seeded(
+            x,
+            bias_of,
+            MarginKind::Worst,
+            fails_when_positive,
+            None,
+            seed,
+        )
+    }
+
+    /// The fully general indicator: any bias, any margin kind, and an
+    /// optional fixed per-device skew \[V\] added on top of the sample's
+    /// physical threshold shifts (the PUF design skew). `skew: None`
+    /// leaves the physical vector bit-identical to the historical path.
+    fn indicator_kind_seeded(
+        &self,
+        x: &[f64],
+        bias_of: impl Fn(&Sram6T) -> BiasCondition,
+        kind: MarginKind,
+        fails_when_positive: bool,
+        skew: Option<&[f64; DIM]>,
+        seed: Option<&Butterfly>,
+    ) -> Result<(bool, Option<Butterfly>), EvalError> {
         Self::check_input(x, "whitened sample")?;
-        let cell = self.cell.with_delta_vth(&self.to_physical(x));
+        let mut dv = self.to_physical(x);
+        if let Some(s) = skew {
+            for i in 0..DIM {
+                dv[i] += s[i];
+            }
+        }
+        let cell = self.cell.with_delta_vth(&dv);
         let bias = bias_of(&cell);
-        let verdict = |rnm: f64| {
+        let verdict = |margin: f64| {
             if fails_when_positive {
-                rnm > 0.0
+                margin > 0.0
             } else {
-                rnm < 0.0
+                margin < 0.0
             }
         };
         let adaptive = self.config.adaptive;
@@ -311,22 +386,25 @@ impl ReadStabilityBench {
             if let Ok((coarse_bfly, effort)) = coarse {
                 self.counters.record(&effort);
                 if let Ok(report) = try_read_noise_margin(&coarse_bfly) {
-                    if report.decisive(adaptive.margin_threshold) {
+                    let margin = kind.extract(&report);
+                    if margin.is_finite()
+                        && margin.abs() >= kind.decisive_threshold(adaptive.margin_threshold)
+                    {
                         self.counters.note_accept();
-                        return Ok((verdict(report.rnm), Some(coarse_bfly)));
+                        return Ok((verdict(margin), Some(coarse_bfly)));
                     }
                 }
                 // Indecisive coarse margin: the exact path decides, but
                 // the coarse curves still seed neighbouring samples.
                 self.counters.note_escalation();
-                let rnm = self.margin_of(&cell, &bias, self.config.grid_points)?;
-                return Ok((verdict(rnm), Some(coarse_bfly)));
+                let margin = self.margin_kind_of(&cell, &bias, self.config.grid_points, kind)?;
+                return Ok((verdict(margin), Some(coarse_bfly)));
             }
             // The coarse pass failed outright; decide exactly, seedless.
             self.counters.note_escalation();
         }
-        let rnm = self.margin_of(&cell, &bias, self.config.grid_points)?;
-        Ok((verdict(rnm), None))
+        let margin = self.margin_kind_of(&cell, &bias, self.config.grid_points, kind)?;
+        Ok((verdict(margin), None))
     }
 
     /// Whitened read-failure indicator with neighbour seeding: an
@@ -473,6 +551,62 @@ impl ReadStabilityBench {
         self.try_margin_at(delta_vth, Sram6T::hold_bias, self.config.grid_points)
     }
 
+    /// Hold-failure indicator in whitened coordinates: `true` when the
+    /// unaccessed cell cannot retain its state (negative hold margin).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`EvalError`]; see [`Self::try_hold_fails_whitened`].
+    pub fn hold_fails_whitened(&self, x: &[f64]) -> bool {
+        match self.try_hold_fails_whitened(x) {
+            Ok(v) => v,
+            Err(e) => panic!("hold-stability evaluation failed: {e}"),
+        }
+    }
+
+    /// Fallible whitened hold-failure indicator.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_fails_whitened`].
+    pub fn try_hold_fails_whitened(&self, x: &[f64]) -> Result<bool, EvalError> {
+        self.try_hold_fails_whitened_at(x, self.config.grid_points)
+    }
+
+    /// Whitened hold-failure indicator at an explicit butterfly
+    /// resolution (the retry-ladder entry point).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_fails_whitened`].
+    pub fn try_hold_fails_whitened_at(
+        &self,
+        x: &[f64],
+        grid_points: usize,
+    ) -> Result<bool, EvalError> {
+        if self.config.adaptive.enabled && grid_points == self.config.grid_points {
+            return self
+                .indicator_seeded(x, Sram6T::hold_bias, false, None)
+                .map(|(fails, _)| fails);
+        }
+        Self::check_input(x, "whitened sample")?;
+        Ok(self.try_margin_at(&self.to_physical(x), Sram6T::hold_bias, grid_points)? < 0.0)
+    }
+
+    /// Whitened hold-failure indicator with neighbour seeding (see
+    /// [`Self::try_fails_whitened_seeded`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_fails_whitened`].
+    pub fn try_hold_fails_whitened_seeded(
+        &self,
+        x: &[f64],
+        seed: Option<&Butterfly>,
+    ) -> Result<(bool, Option<Butterfly>), EvalError> {
+        self.indicator_seeded(x, Sram6T::hold_bias, false, seed)
+    }
+
     /// Write margin \[V\] for writing a "0" into node `Q` — an extension
     /// beyond the paper's read-only analysis.
     ///
@@ -543,6 +677,131 @@ impl ReadStabilityBench {
         }
         Self::check_input(x, "whitened sample")?;
         Ok(self.try_margin_at(&self.to_physical(x), Sram6T::write0_bias, grid_points)? > 0.0)
+    }
+
+    /// The fixed design skew \[V\] of the power-up PUF cell: the left
+    /// driver (NL) is strengthened by this much threshold magnitude, so a
+    /// mismatch-free cell powers up into `Q = 0` with a comfortable
+    /// preference margin. A PUF *bit error* is a mismatch draw strong
+    /// enough to overcome the skew and flip the preferred state.
+    const POWERUP_SKEW_VTH: f64 = 0.04;
+
+    /// Per-device physical skew vector of the PUF cell.
+    fn powerup_skew() -> [f64; DIM] {
+        let mut s = [0.0; DIM];
+        s[CellDevice::DriverL as usize] = -Self::POWERUP_SKEW_VTH;
+        s
+    }
+
+    /// Power-up preference margin \[V\] of the skewed PUF cell with the
+    /// given *additional* per-device threshold shifts: the lobe asymmetry
+    /// `snm_low − snm_high` of the hold-bias butterfly. Positive means
+    /// the cell still prefers the designed `Q = 0` state; negative means
+    /// mismatch flipped the bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`EvalError`]; see [`Self::try_powerup_margin`].
+    pub fn powerup_margin(&self, delta_vth: &[f64]) -> f64 {
+        match self.try_powerup_margin(delta_vth) {
+            Ok(m) => m,
+            Err(e) => panic!("power-up evaluation failed: {e}"),
+        }
+    }
+
+    /// Fallible power-up preference margin (see [`Self::powerup_margin`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    pub fn try_powerup_margin(&self, delta_vth: &[f64]) -> Result<f64, EvalError> {
+        Self::check_input(delta_vth, "threshold shifts")?;
+        let skew = Self::powerup_skew();
+        let mut dv = [0.0; DIM];
+        for i in 0..DIM {
+            dv[i] = delta_vth[i] + skew[i];
+        }
+        let cell = self.cell.with_delta_vth(&dv);
+        let bias = cell.hold_bias();
+        self.margin_kind_of(
+            &cell,
+            &bias,
+            self.config.grid_points,
+            MarginKind::Preference,
+        )
+    }
+
+    /// Power-up bit-error indicator in whitened coordinates: `true` when
+    /// the mismatch draw flips the skew-designed preferred state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`EvalError`]; see
+    /// [`Self::try_powerup_fails_whitened`].
+    pub fn powerup_fails_whitened(&self, x: &[f64]) -> bool {
+        match self.try_powerup_fails_whitened(x) {
+            Ok(v) => v,
+            Err(e) => panic!("power-up evaluation failed: {e}"),
+        }
+    }
+
+    /// Fallible whitened power-up bit-error indicator.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_fails_whitened`].
+    pub fn try_powerup_fails_whitened(&self, x: &[f64]) -> Result<bool, EvalError> {
+        self.try_powerup_fails_whitened_at(x, self.config.grid_points)
+    }
+
+    /// Whitened power-up bit-error indicator at an explicit butterfly
+    /// resolution (the retry-ladder entry point).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_fails_whitened`].
+    pub fn try_powerup_fails_whitened_at(
+        &self,
+        x: &[f64],
+        grid_points: usize,
+    ) -> Result<bool, EvalError> {
+        if self.config.adaptive.enabled && grid_points == self.config.grid_points {
+            return self
+                .try_powerup_fails_whitened_seeded(x, None)
+                .map(|(fails, _)| fails);
+        }
+        Self::check_input(x, "whitened sample")?;
+        let sigmas = self.pelgrom_sigmas();
+        let skew = Self::powerup_skew();
+        let mut dv = [0.0; DIM];
+        for i in 0..DIM {
+            dv[i] = x[i] * sigmas[i] + skew[i];
+        }
+        let cell = self.cell.with_delta_vth(&dv);
+        let bias = cell.hold_bias();
+        Ok(self.margin_kind_of(&cell, &bias, grid_points, MarginKind::Preference)? < 0.0)
+    }
+
+    /// Whitened power-up bit-error indicator with neighbour seeding (see
+    /// [`Self::try_fails_whitened_seeded`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_fails_whitened`].
+    pub fn try_powerup_fails_whitened_seeded(
+        &self,
+        x: &[f64],
+        seed: Option<&Butterfly>,
+    ) -> Result<(bool, Option<Butterfly>), EvalError> {
+        let skew = Self::powerup_skew();
+        self.indicator_kind_seeded(
+            x,
+            Sram6T::hold_bias,
+            MarginKind::Preference,
+            false,
+            Some(&skew),
+            seed,
+        )
     }
 
     /// Scales a whitened vector back to physical threshold shifts \[V\].
@@ -855,6 +1114,136 @@ mod tests {
             "clone's work invisible: {effort:?}"
         );
         assert!(effort.bisect_iters > effort.curve_solves);
+    }
+
+    #[test]
+    fn nominal_puf_cell_prefers_the_designed_state() {
+        let bench = ReadStabilityBench::paper_cell();
+        let margin = bench.powerup_margin(&[0.0; 6]);
+        assert!(
+            margin > 0.0,
+            "skewed PUF cell must power up deterministically, margin = {margin}"
+        );
+        assert!(!bench.powerup_fails_whitened(&[0.0; 6]));
+    }
+
+    #[test]
+    fn counter_skew_flips_the_powerup_bit() {
+        // Strengthening the *right* driver harder than the designed left
+        // skew flips the preferred state: the definition of a bit error.
+        let bench = ReadStabilityBench::paper_cell();
+        let mut dv = [0.0; 6];
+        dv[CellDevice::DriverR as usize] = -0.12;
+        dv[CellDevice::DriverL as usize] = 0.12;
+        assert!(
+            bench.powerup_margin(&dv) < 0.0,
+            "strong counter-skew must flip the bit"
+        );
+        let sigmas = bench.pelgrom_sigmas();
+        let x: Vec<f64> = dv.iter().zip(&sigmas).map(|(d, s)| d / s).collect();
+        assert!(bench.powerup_fails_whitened(&x));
+    }
+
+    #[test]
+    fn hold_failures_need_more_mismatch_than_read_failures() {
+        let bench = ReadStabilityBench::paper_cell();
+        let read_killer = [0.0, -0.15, 0.0, 0.15, 0.0, 0.0];
+        assert!(bench.fails(&read_killer));
+        let sigmas = bench.pelgrom_sigmas();
+        let x: Vec<f64> = read_killer
+            .iter()
+            .zip(&sigmas)
+            .map(|(d, s)| d / s)
+            .collect();
+        assert!(
+            !bench.hold_fails_whitened(&x),
+            "a marginal read failure should still hold its state"
+        );
+        // Push much harder and retention breaks too.
+        let x2: Vec<f64> = x.iter().map(|v| 3.0 * v).collect();
+        assert!(bench.hold_fails_whitened(&x2));
+    }
+
+    #[test]
+    fn hold_and_powerup_adaptive_verdicts_match_fixed_ones() {
+        let adaptive = ReadStabilityBench::paper_cell();
+        let fixed = fixed_bench();
+        let mut state = 0x13198A2E_03707344_u64;
+        let mut samples: Vec<[f64; 6]> = Vec::new();
+        for _ in 0..16 {
+            let mut x = [0.0; 6];
+            for v in &mut x {
+                *v = 4.0 * lcg(&mut state);
+            }
+            samples.push(x);
+        }
+        // Jitter around each indicator's own critical direction.
+        let hold_dir = [1.0, -1.0, -1.0, 1.0, 0.0, 0.0].map(|v: f64| v / 2.0);
+        for k in 0..8 {
+            let r = 8.0 + 0.8 * k as f64;
+            let mut x = hold_dir.map(|d| d * r);
+            for v in &mut x {
+                *v += 0.3 * lcg(&mut state);
+            }
+            samples.push(x);
+        }
+        for x in &samples {
+            assert_eq!(
+                adaptive.try_hold_fails_whitened(x),
+                fixed.try_hold_fails_whitened(x),
+                "adaptive hold verdict drifted at {x:?}"
+            );
+            assert_eq!(
+                adaptive.try_powerup_fails_whitened(x),
+                fixed.try_powerup_fails_whitened(x),
+                "adaptive power-up verdict drifted at {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_temperature_delta_is_bit_identical() {
+        let nominal = ReadStabilityBench::paper_cell();
+        let explicit = ReadStabilityBench::with_config(BenchConfig {
+            temperature_delta_c: 0.0,
+            ..BenchConfig::default()
+        });
+        assert_eq!(nominal.cell(), explicit.cell());
+        let dv = [0.0, -0.02, 0.0, 0.02, 0.0, 0.0];
+        assert_eq!(
+            nominal.read_noise_margin(&dv).to_bits(),
+            explicit.read_noise_margin(&dv).to_bits()
+        );
+    }
+
+    #[test]
+    fn heating_degrades_the_read_margin() {
+        let cold = ReadStabilityBench::paper_cell();
+        let hot = ReadStabilityBench::with_config(BenchConfig {
+            temperature_delta_c: 100.0,
+            ..BenchConfig::default()
+        });
+        let cold_m = cold.read_noise_margin(&[0.0; 6]);
+        let hot_m = hot.read_noise_margin(&[0.0; 6]);
+        assert!(
+            hot_m < cold_m,
+            "heating should shrink the margin: {hot_m} vs {cold_m}"
+        );
+        assert!(
+            hot_m > 0.0,
+            "the nominal cell must survive 100 K of heating"
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_temperature() {
+        let result = std::panic::catch_unwind(|| {
+            ReadStabilityBench::with_config(BenchConfig {
+                temperature_delta_c: 500.0,
+                ..BenchConfig::default()
+            })
+        });
+        assert!(result.is_err(), "a 500 K delta must be rejected");
     }
 
     #[test]

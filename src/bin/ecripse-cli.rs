@@ -1,19 +1,24 @@
 //! Command-line front end for the ECRIPSE library.
 //!
 //! ```text
-//! ecripse-cli estimate [--vdd V] [--alpha A] [--no-rtn] [--samples N]
+//! ecripse-cli estimate [--vdd V] [--scenario NAME] [--alpha A] [--no-rtn] [--samples N]
 //!                      [--tolerance R] [--seed S] [--threads T]
 //!                      [--report PATH] [--progress] [--trace-log PATH]
-//! ecripse-cli sweep    [--vdd V] [--points K] [--samples N] [--m-rtn M] [--seed S]
-//!                      [--threads T] [--report PATH] [--checkpoint PATH] [--resume]
-//!                      [--keep-going] [--trace-log PATH]
+//! ecripse-cli sweep    [--vdd V] [--scenario NAME] [--points K] [--samples N] [--m-rtn M]
+//!                      [--seed S] [--threads T] [--report PATH] [--checkpoint PATH]
+//!                      [--resume] [--keep-going] [--trace-log PATH]
 //! ecripse-cli margin   [--vdd V] [--dvth v0,v1,v2,v3,v4,v5]
 //! ecripse-cli naive    [--vdd V] [--alpha A] [--no-rtn] [--samples N] [--seed S]
 //! ecripse-cli serve    [--addr HOST:PORT] [--workers W] [--queue Q] [--spool DIR]
 //!                      [--cache-store PATH]
-//! ecripse-cli submit   --addr HOST:PORT [--vdd V] [--alpha A] [--no-rtn]
+//! ecripse-cli submit   --addr HOST:PORT [--vdd V] [--scenario NAME] [--alpha A] [--no-rtn]
 //!                      [--samples N] [--seed S] [--threads T] [--timeout SECS]
 //! ```
+//!
+//! `--scenario NAME` picks the indicator function the run estimates —
+//! any id from the scenario registry (`read-snm` by default, plus
+//! `hold-snm`, `write-margin` and `powerup-puf`). See `SCENARIOS.md`
+//! for what each scenario measures and how to add one.
 //!
 //! `--threads 0` (the default) uses one worker per core; any other value
 //! pins the worker count. Results are bit-identical for every setting.
@@ -186,16 +191,20 @@ fn print_latency_summary(registry: &MetricsRegistry, path: &str) {
 }
 
 fn usage() {
+    let scenario_ids: Vec<&str> = registry().iter().map(|info| info.id).collect();
     eprintln!(
         "usage: ecripse-cli <estimate|sweep|margin|naive|serve|submit> [options]\n\
          \n\
+         scenarios: {} (default read-snm; see SCENARIOS.md)\n\
+         \n\
          estimate  failure probability of the paper's 6T cell\n\
-         \x20          --vdd V (0.7)  --alpha A (0.5)  --no-rtn\n\
+         \x20          --vdd V (0.7)  --scenario NAME (read-snm)  --alpha A (0.5)  --no-rtn\n\
          \x20          --samples N (4000)  --tolerance R  --seed S  --threads T (0=all cores)\n\
          \x20          --report PATH (JSON run report)  --progress (live stderr lines)\n\
          \x20          --trace-log PATH (JSONL trace events + latency percentiles)\n\
          sweep     duty-ratio sweep with shared initialisation\n\
-         \x20          --vdd V (0.7)  --points K (11)  --samples N (2000)  --m-rtn M (20)\n\
+         \x20          --vdd V (0.7)  --scenario NAME  --points K (11)  --samples N (2000)\n\
+         \x20          --m-rtn M (20)\n\
          \x20          --seed S  --threads T  --report PATH (JSON reports, one per duty point)\n\
          \x20          --checkpoint PATH (save progress per point; Ctrl-C flushes + exits)\n\
          \x20          --resume (reload checkpoint)\n\
@@ -210,8 +219,10 @@ fn usage() {
          \x20          --spool DIR (persist queued sweeps on shutdown)\n\
          \x20          --cache-store PATH (persist the verdict cache across restarts)\n\
          submit    send one estimate job to a running server and wait\n\
-         \x20          --addr HOST:PORT (required)  --vdd V (0.7)  --alpha A (0.5)  --no-rtn\n\
-         \x20          --samples N (4000)  --seed S  --threads T  --timeout SECS (600)"
+         \x20          --addr HOST:PORT (required)  --vdd V (0.7)  --scenario NAME\n\
+         \x20          --alpha A (0.5)  --no-rtn\n\
+         \x20          --samples N (4000)  --seed S  --threads T  --timeout SECS (600)",
+        scenario_ids.join(", ")
     );
 }
 
@@ -229,13 +240,20 @@ fn run() -> Result<(), String> {
 
     match cmd.as_str() {
         "estimate" => {
-            let bench = SramReadBench::at_vdd(vdd);
+            let scenario: Scenario = args.get("scenario", Scenario::default())?;
+            let bench = SramScenarioBench::at_vdd(scenario, vdd);
             let alpha: f64 = args.get("alpha", 0.5)?;
             let samples: usize = args.get("samples", 4000)?;
             let tolerance: Option<f64> = args.opt("tolerance")?;
             let seed: u64 = args.get("seed", 0xec4155e)?;
             let report_path: Option<String> = args.opt("report")?;
-            let mut cfg = EcripseConfig::default();
+            let mut cfg = EcripseConfig {
+                scenario,
+                ..EcripseConfig::default()
+            };
+            // Retention/write failures live further out than read
+            // failures; widen the boundary search to bracket them.
+            cfg.initial.r_max = cfg.initial.r_max.max(scenario.recommended_r_max());
             cfg.importance.n_samples = samples;
             cfg.seed = seed;
             cfg.threads = args.get("threads", 0)?;
@@ -297,13 +315,18 @@ fn run() -> Result<(), String> {
             }
         }
         "sweep" => {
+            let scenario: Scenario = args.get("scenario", Scenario::default())?;
             let points: usize = args.get("points", 11)?;
             if points < 2 {
                 return Err("--points must be at least 2".into());
             }
             let samples: usize = args.get("samples", 2000)?;
             let seed: u64 = args.get("seed", 0xec4155e)?;
-            let mut cfg = EcripseConfig::default();
+            let mut cfg = EcripseConfig {
+                scenario,
+                ..EcripseConfig::default()
+            };
+            cfg.initial.r_max = cfg.initial.r_max.max(scenario.recommended_r_max());
             cfg.importance.n_samples = samples;
             cfg.importance.m_rtn = args.get("m-rtn", 20)?;
             cfg.seed = seed;
@@ -323,7 +346,7 @@ fn run() -> Result<(), String> {
             if let Some((_, bridge)) = &telemetry {
                 observers.push(bridge);
             }
-            let sweep = DutySweep::new(cfg, SramReadBench::at_vdd(vdd), alphas);
+            let sweep = DutySweep::new(cfg, SramScenarioBench::at_vdd(scenario, vdd), alphas);
             // With a checkpoint configured, Ctrl-C drains in-flight
             // points, flushes the checkpoint and exits non-zero.
             let run = if options.checkpoint.is_some() {
@@ -396,6 +419,7 @@ fn run() -> Result<(), String> {
             let read = bench.read_noise_margin(&dvth);
             let hold = bench.hold_noise_margin(&dvth);
             let write = bench.write_margin(&dvth);
+            let powerup = bench.powerup_margin(&dvth);
             let b = Butterfly::sample(&cell, &cell.read_bias(), 121);
             let lobes = read_noise_margin(&b);
             println!("device order: PL, NL, PR, NR, AL, AR   V_DD = {vdd} V");
@@ -407,6 +431,15 @@ fn run() -> Result<(), String> {
             );
             println!("hold  margin: {:+8.2} mV", hold * 1e3);
             println!("write margin: {:+8.2} mV", write * 1e3);
+            println!(
+                "power-up preference: {:+8.2} mV ({})",
+                powerup * 1e3,
+                if powerup > 0.0 {
+                    "bit settles to the designed state"
+                } else {
+                    "PUF BIT ERROR: mismatch flips the power-up state"
+                }
+            );
             println!(
                 "verdict: {}",
                 match (read > 0.0, write > 0.0) {
@@ -471,7 +504,9 @@ fn run() -> Result<(), String> {
             let Some(addr) = args.opt::<String>("addr")? else {
                 return Err("submit requires --addr HOST:PORT".into());
             };
+            let scenario: Scenario = args.get("scenario", Scenario::default())?;
             let mut cfg = EcripseConfig::default();
+            cfg.initial.r_max = cfg.initial.r_max.max(scenario.recommended_r_max());
             cfg.importance.n_samples = args.get("samples", 4000)?;
             cfg.seed = args.get("seed", 0xec4155e)?;
             cfg.threads = args.get("threads", 0)?;
@@ -487,9 +522,12 @@ fn run() -> Result<(), String> {
                 .with_timeout(timeout.min(std::time::Duration::from_secs(30)));
             client.handshake().map_err(|e| format!("{addr}: {e}"))?;
             let submitted = client
-                .submit(&SubmitRequest::new(cfg, job))
+                .submit(&SubmitRequest::with_scenario(scenario, cfg, job))
                 .map_err(|e| e.to_string())?;
-            println!("job {} accepted (state: {})", submitted.id, submitted.state);
+            println!(
+                "job {} accepted (scenario: {}, state: {})",
+                submitted.id, submitted.scenario, submitted.state
+            );
             let report = client
                 .wait_for_report(submitted.id, timeout)
                 .map_err(|e| e.to_string())?;

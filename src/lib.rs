@@ -72,6 +72,7 @@ pub mod prelude {
     };
     pub use ecripse_core::retry::{RetryBench, RetryPolicy};
     pub use ecripse_core::rtn_source::{NoRtn, RtnSource, SramRtn};
+    pub use ecripse_core::scenario::{registry, Scenario, ScenarioInfo, SramScenarioBench};
     pub use ecripse_core::sweep::{
         CheckpointError, DutySweep, PointOutcome, ResumableSweep, SweepBench, SweepError,
         SweepOptions, SweepPoint, SweepReports, SweepResult,

@@ -1,0 +1,113 @@
+//! End-to-end scenario-registry contract through the public API: every
+//! registered scenario estimates on the real 6T cell, records its id in
+//! the run report, and — once timings are stripped — the report is
+//! bit-identical across thread counts.
+
+use ecripse::prelude::*;
+use ecripse_core::importance::ImportanceConfig;
+use ecripse_core::initial::InitialSearchConfig;
+
+fn config(scenario: Scenario, threads: usize) -> EcripseConfig {
+    EcripseConfig {
+        scenario,
+        initial: InitialSearchConfig {
+            count: 12,
+            r_max: scenario.recommended_r_max(),
+            ..InitialSearchConfig::default()
+        },
+        iterations: 3,
+        importance: ImportanceConfig {
+            n_samples: 300,
+            m_rtn: 1,
+            trace_every: 0,
+        },
+        m_rtn_stage1: 1,
+        seed: 0x5ce0,
+        threads,
+        ..EcripseConfig::default()
+    }
+}
+
+fn observed_report(scenario: Scenario, threads: usize) -> RunReport {
+    let bench = SramScenarioBench::paper_cell(scenario);
+    let recorder = RunRecorder::new();
+    Ecripse::new(config(scenario, threads), bench)
+        .estimate_observed(&recorder)
+        .expect("scenario estimate");
+    recorder.into_report()
+}
+
+#[test]
+fn every_scenario_is_thread_invariant_and_stamps_its_report() {
+    for info in registry() {
+        let scenario = info.scenario;
+        let mut serial = observed_report(scenario, 1);
+        let mut parallel = observed_report(scenario, 4);
+
+        assert_eq!(serial.scenario, scenario, "{scenario}: report stamp");
+        assert_eq!(parallel.scenario, scenario, "{scenario}: report stamp");
+        assert!(
+            serial.p_fail > 0.0 && serial.p_fail.is_finite(),
+            "{scenario}: the estimate must be a real probability, got {}",
+            serial.p_fail
+        );
+
+        serial.strip_timings();
+        parallel.strip_timings();
+        assert_eq!(serial.threads, 1);
+        assert_eq!(parallel.threads, 4);
+        parallel.threads = serial.threads;
+        assert_eq!(
+            serial, parallel,
+            "{scenario}: stripped reports must be bit-identical across thread counts"
+        );
+        let serial_json = serde_json::to_string(&serial).expect("serialise");
+        let parallel_json = serde_json::to_string(&parallel).expect("serialise");
+        assert_eq!(
+            serial_json, parallel_json,
+            "{scenario}: serialised reports must match byte-for-byte"
+        );
+    }
+}
+
+#[test]
+fn scenario_estimates_answer_different_questions() {
+    // With one seed and one cell, the four indicators must reach four
+    // different estimates — a dispatch bug that routed every scenario
+    // through the read indicator would collapse them.
+    let mut estimates: Vec<(Scenario, f64)> = registry()
+        .iter()
+        .map(|info| (info.scenario, observed_report(info.scenario, 0).p_fail))
+        .collect();
+    for (scenario, p_fail) in &estimates {
+        assert!(
+            p_fail.is_finite() && *p_fail > 0.0,
+            "{scenario}: bad estimate {p_fail}"
+        );
+    }
+    estimates.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for pair in estimates.windows(2) {
+        assert_ne!(
+            pair[0].1, pair[1].1,
+            "{} and {} must not share an estimate",
+            pair[0].0, pair[1].0
+        );
+    }
+    // Physical sanity: retention is by far the most robust condition,
+    // while the skew-designed PUF bit flips under ordinary mismatch.
+    let p_of = |s: Scenario| {
+        estimates
+            .iter()
+            .find(|(scenario, _)| *scenario == s)
+            .expect("estimated")
+            .1
+    };
+    assert!(
+        p_of(Scenario::HoldSnm) < p_of(Scenario::ReadSnm),
+        "retention must fail less often than read access"
+    );
+    assert!(
+        p_of(Scenario::PowerupPuf) > p_of(Scenario::ReadSnm),
+        "PUF bit errors must dwarf read failures"
+    );
+}
