@@ -147,6 +147,11 @@ pub enum EstimateError {
         /// Iteration at which the ensemble died.
         iteration: usize,
     },
+    /// A cooperative stop flag cut the run short (cancellation or a
+    /// deadline in the serving layer). Unlike a checkpointed sweep,
+    /// a plain estimate holds no resumable state — rerunning the same
+    /// config and seed reproduces the run bit-identically from scratch.
+    Interrupted,
 }
 
 impl std::fmt::Display for EstimateError {
@@ -156,6 +161,7 @@ impl std::fmt::Display for EstimateError {
             EstimateError::Degenerate { iteration } => {
                 write!(f, "particle ensemble degenerated at iteration {iteration}")
             }
+            EstimateError::Interrupted => write!(f, "estimation interrupted by stop flag"),
         }
     }
 }
@@ -261,7 +267,48 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         observer.run_started(self.config.seed, self.config.threads);
         observer.scenario_selected(self.config.scenario);
         let init = self.boundary_stage(observer)?;
-        self.run_stages(&init, None, observer)
+        self.run_stages(&init, None, None, observer)
+    }
+
+    /// Like [`estimate`](Self::estimate), honouring a cooperative stop
+    /// flag: raise it from another thread (a cancel endpoint, a deadline
+    /// watchdog, a Ctrl-C handler) and the run returns
+    /// [`EstimateError::Interrupted`] at the next check point — between
+    /// particle-filter iterations and at stage-2 batch boundaries — so
+    /// in-flight simulation batches always finish cleanly.
+    ///
+    /// The checks never consume randomness: a run whose flag stays unset
+    /// is bit-identical to [`estimate`](Self::estimate).
+    ///
+    /// # Errors
+    ///
+    /// See [`EstimateError`]; [`EstimateError::Interrupted`] when the
+    /// flag cut the run short.
+    pub fn estimate_interruptible(
+        &self,
+        stop: &std::sync::atomic::AtomicBool,
+    ) -> Result<EcripseResult, EstimateError> {
+        self.estimate_interruptible_observed(stop, &NullObserver)
+    }
+
+    /// Like [`estimate_interruptible`](Self::estimate_interruptible),
+    /// reporting every pipeline event into `observer`.
+    ///
+    /// # Errors
+    ///
+    /// See [`estimate_interruptible`](Self::estimate_interruptible).
+    pub fn estimate_interruptible_observed(
+        &self,
+        stop: &std::sync::atomic::AtomicBool,
+        observer: &dyn Observer,
+    ) -> Result<EcripseResult, EstimateError> {
+        observer.run_started(self.config.seed, self.config.threads);
+        observer.scenario_selected(self.config.scenario);
+        if stop.load(std::sync::atomic::Ordering::SeqCst) {
+            return Err(EstimateError::Interrupted);
+        }
+        let init = self.boundary_stage(observer)?;
+        self.run_stages(&init, None, Some(stop), observer)
     }
 
     /// Full estimation that also collects the structured [`RunReport`] —
@@ -334,7 +381,7 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         observer.run_started(self.config.seed, self.config.threads);
         observer.scenario_selected(self.config.scenario);
         let init = self.boundary_stage(observer)?;
-        self.run_stages(&init, Some(target), observer)
+        self.run_stages(&init, Some(target), None, observer)
     }
 
     /// Steps (2)–(5) from a pre-computed initial particle set. The
@@ -369,20 +416,22 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
     ) -> Result<EcripseResult, EstimateError> {
         observer.run_started(self.config.seed, self.config.threads);
         observer.scenario_selected(self.config.scenario);
-        self.run_stages(init, None, observer)
+        self.run_stages(init, None, None, observer)
     }
 
     /// Shared implementation of the staged flow with an optional stage-2
-    /// early-stopping target. Installs the configured thread pool so
-    /// every batched simulation below honours `config.threads`.
+    /// early-stopping target and an optional cooperative stop flag.
+    /// Installs the configured thread pool so every batched simulation
+    /// below honours `config.threads`.
     fn run_stages(
         &self,
         init: &InitialParticles,
         stop_at_relative_error: Option<f64>,
+        stop: Option<&std::sync::atomic::AtomicBool>,
         observer: &dyn Observer,
     ) -> Result<EcripseResult, EstimateError> {
         run_in_pool(self.config.threads, || {
-            self.run_stages_in_pool(init, stop_at_relative_error, observer)
+            self.run_stages_in_pool(init, stop_at_relative_error, stop, observer)
         })
     }
 
@@ -390,6 +439,7 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         &self,
         init: &InitialParticles,
         stop_at_relative_error: Option<f64>,
+        stop: Option<&std::sync::atomic::AtomicBool>,
         observer: &dyn Observer,
     ) -> Result<EcripseResult, EstimateError> {
         // Bench layering, innermost first: raw bench → batch timer
@@ -424,6 +474,13 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         let pf_start_sims = counter.simulations();
         let m1 = self.config.m_rtn_stage1.max(1);
         for iteration in 0..self.config.iterations {
+            // Cancellation is cooperative and checked only between
+            // iterations: an in-flight predict/measure/resample step
+            // always finishes, so the check never perturbs the RNG
+            // stream of an uninterrupted run.
+            if stop.is_some_and(|s| s.load(std::sync::atomic::Ordering::SeqCst)) {
+                return Err(EstimateError::Interrupted);
+            }
             let before = combined_stats(
                 oracle.stats(),
                 cached.hits(),
@@ -477,16 +534,32 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
         let alternative = ensemble.as_mixture(self.config.sigma_kernel);
         let init_sims = init.simulations;
         let sim_count = || init_sims + counter.simulations();
-        let is = importance_stage_observed(
-            &mut oracle,
-            &self.rtn,
-            &alternative,
-            &self.config.importance,
-            &mut rng,
-            &sim_count,
-            stop_at_relative_error,
-            observer,
-        );
+        let (is, is_interrupted) = match stop {
+            None => (
+                importance_stage_observed(
+                    &mut oracle,
+                    &self.rtn,
+                    &alternative,
+                    &self.config.importance,
+                    &mut rng,
+                    &sim_count,
+                    stop_at_relative_error,
+                    observer,
+                ),
+                false,
+            ),
+            Some(stop) => crate::importance::importance_stage_interruptible_observed(
+                &mut oracle,
+                &self.rtn,
+                &alternative,
+                &self.config.importance,
+                &mut rng,
+                &sim_count,
+                stop_at_relative_error,
+                stop,
+                observer,
+            ),
+        };
         observer.stage_finished(
             Stage::ImportanceSampling,
             &StageTiming {
@@ -494,6 +567,11 @@ impl<B: Testbench, S: RtnSource> Ecripse<B, S> {
                 simulations: counter.simulations() - is_start_sims,
             },
         );
+        if is_interrupted {
+            // A partial stage-2 estimate is statistically valid but not
+            // what was asked for; cancellation discards it.
+            return Err(EstimateError::Interrupted);
+        }
 
         let mut oracle_stats = *oracle.stats();
         oracle_stats.cache_hits = cached.hits();

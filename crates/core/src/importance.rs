@@ -196,6 +196,80 @@ where
     S: RtnSource,
     R: Rng + ?Sized,
 {
+    let (result, _interrupted) = importance_stage_impl(
+        oracle,
+        rtn,
+        alternative,
+        config,
+        rng,
+        sim_count,
+        stop_at_relative_error,
+        None,
+        observer,
+    );
+    result
+}
+
+/// Like [`importance_stage_observed`], additionally honouring a
+/// cooperative stop flag checked at every batch boundary (the service's
+/// cancellation/deadline path). Returns the partial result plus whether
+/// the flag cut the stage short: a flag raised after the budget was
+/// already exhausted is a no-op and the stage completes normally.
+///
+/// Stop checks never consume randomness, so a run whose flag stays
+/// unset is bit-identical to the un-interruptible entry points.
+///
+/// # Panics
+///
+/// Panics if `config.n_samples` is zero, the target is not positive, or
+/// dimensions disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn importance_stage_interruptible_observed<B, S, R>(
+    oracle: &mut ClassifierOracle<'_, B>,
+    rtn: &S,
+    alternative: &GaussianMixture,
+    config: &ImportanceConfig,
+    rng: &mut R,
+    sim_count: &dyn Fn() -> u64,
+    stop_at_relative_error: Option<f64>,
+    stop: &std::sync::atomic::AtomicBool,
+    observer: &dyn Observer,
+) -> (ImportanceResult, bool)
+where
+    B: Testbench,
+    S: RtnSource,
+    R: Rng + ?Sized,
+{
+    importance_stage_impl(
+        oracle,
+        rtn,
+        alternative,
+        config,
+        rng,
+        sim_count,
+        stop_at_relative_error,
+        Some(stop),
+        observer,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn importance_stage_impl<B, S, R>(
+    oracle: &mut ClassifierOracle<'_, B>,
+    rtn: &S,
+    alternative: &GaussianMixture,
+    config: &ImportanceConfig,
+    rng: &mut R,
+    sim_count: &dyn Fn() -> u64,
+    stop_at_relative_error: Option<f64>,
+    stop: Option<&std::sync::atomic::AtomicBool>,
+    observer: &dyn Observer,
+) -> (ImportanceResult, bool)
+where
+    B: Testbench,
+    S: RtnSource,
+    R: Rng + ?Sized,
+{
     assert!(config.n_samples > 0, "need at least one importance sample");
     if let Some(t) = stop_at_relative_error {
         assert!(t > 0.0, "relative-error target must be positive");
@@ -217,7 +291,15 @@ where
     }
 
     let mut drawn = 0usize;
+    let mut interrupted = false;
     while drawn < config.n_samples {
+        // Cooperative cancellation, checked only at batch boundaries so
+        // every already-simulated sample lands in the estimator and the
+        // RNG stream is never cut mid-sample.
+        if stop.is_some_and(|s| s.load(std::sync::atomic::Ordering::SeqCst)) {
+            interrupted = true;
+            break;
+        }
         let batch = BATCH.min(config.n_samples - drawn);
         let sims_at_chunk_start = sim_count();
         // Serial draws from the master stream: the batched flow consumes
@@ -291,13 +373,16 @@ where
         }
     }
 
-    ImportanceResult {
-        p_fail: estimator.estimate(),
-        ci95_half_width: estimator.ci95_half_width(),
-        effective_sample_size: estimator.effective_sample_size(),
-        samples: estimator.count(),
-        trace,
-    }
+    (
+        ImportanceResult {
+            p_fail: estimator.estimate(),
+            ci95_half_width: estimator.ci95_half_width(),
+            effective_sample_size: estimator.effective_sample_size(),
+            samples: estimator.count(),
+            trace,
+        },
+        interrupted,
+    )
 }
 
 #[cfg(test)]

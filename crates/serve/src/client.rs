@@ -2,14 +2,32 @@
 //!
 //! One TCP connection per request (the server speaks
 //! `Connection: close`), JSON in, JSON out, typed errors. Used by
-//! `ecripse-cli submit` and the integration tests; it deliberately has
-//! no retry logic of its own — backpressure surfaces as
-//! [`ClientError::Busy`] with the server's `Retry-After` hint, and the
-//! caller decides.
+//! `ecripse-cli submit` and the integration tests.
+//!
+//! # Retries
+//!
+//! By default the client makes exactly one attempt per call —
+//! backpressure surfaces as [`ClientError::Busy`] with the server's
+//! `Retry-After` hint, and the caller decides. [`Client::with_retry`]
+//! opts into automatic retries under a [`BackoffPolicy`]: transport
+//! errors (a crashed or restarting server), `5xx` responses and `429`
+//! backpressure are retried with capped exponential backoff and
+//! *deterministic* jitter (a hash of address, path and attempt — no RNG,
+//! so test runs are reproducible); a `429`'s `Retry-After` hint is
+//! honoured up to the policy's cap. Anything else (`4xx`, protocol
+//! mismatches) fails fast.
+//!
+//! Retrying a `POST /v1/jobs` across a connection error is only safe
+//! when the submission carries an idempotency key — the request may have
+//! been journaled before the connection died, and the key is what lets
+//! the server answer the retry with the original job instead of
+//! enqueuing a duplicate. Set one via
+//! [`SubmitRequest::with_idempotency_key`](crate::protocol::SubmitRequest::with_idempotency_key)
+//! whenever retries are enabled.
 
 use crate::http;
 use crate::protocol::{
-    ApiError, Health, JobReport, JobStatus, Metrics, SubmitRequest, PROTOCOL_VERSION,
+    ApiError, Health, JobReport, JobStatus, Metrics, Readiness, SubmitRequest, PROTOCOL_VERSION,
 };
 use serde::Deserialize;
 use std::net::TcpStream;
@@ -40,6 +58,8 @@ pub enum ClientError {
     Timeout {
         /// The job that did not reach a terminal state in time.
         id: u64,
+        /// How long the client waited in total before giving up.
+        waited: Duration,
     },
 }
 
@@ -56,7 +76,11 @@ impl std::fmt::Display for ClientError {
                 message,
             } => write!(f, "server error {status} ({code}): {message}"),
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
-            ClientError::Timeout { id } => write!(f, "timed out waiting for job {id}"),
+            ClientError::Timeout { id, waited } => write!(
+                f,
+                "timed out waiting for job {id} after {:.3}s",
+                waited.as_secs_f64()
+            ),
         }
     }
 }
@@ -78,20 +102,91 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Retry schedule for [`Client::with_retry`]: capped exponential
+/// backoff with deterministic jitter.
+///
+/// Attempt `n` (0-based) sleeps `base × 2ⁿ` clamped to `cap`, then
+/// scaled by a jitter factor in `[0.5, 1.0]` derived from an FNV-1a
+/// hash of the server address, the request path and the attempt number
+/// — different clients and paths desynchronise without any RNG, and a
+/// given test run always sleeps the same amounts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Total attempts (first try included). `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep (also clamps a `429`'s
+    /// `Retry-After` hint, so a pathological hint cannot stall the
+    /// client for minutes).
+    pub cap: Duration,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(5),
+        }
+    }
+}
+
+/// FNV-1a 64-bit over raw bytes (the jitter hash).
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl BackoffPolicy {
+    /// The sleep before retry number `attempt` (0-based) of `path`
+    /// against `addr`. Pure — same inputs, same delay.
+    pub fn delay(&self, addr: &str, path: &str, attempt: u32) -> Duration {
+        let doubled = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX));
+        let raw = doubled.min(self.cap);
+        let mut seed = Vec::with_capacity(addr.len() + path.len() + 5);
+        seed.extend_from_slice(addr.as_bytes());
+        seed.push(b'|');
+        seed.extend_from_slice(path.as_bytes());
+        seed.extend_from_slice(&attempt.to_le_bytes());
+        let jitter = 0.5 + 0.5 * ((fnv1a_bytes(&seed) % 1024) as f64 / 1023.0);
+        raw.mul_f64(jitter)
+    }
+
+    /// Whether `error` is worth another attempt: transport failures,
+    /// `5xx` responses and `429` backpressure. Client-side mistakes
+    /// (`4xx`) and protocol mismatches fail fast.
+    pub fn retryable(error: &ClientError) -> bool {
+        match error {
+            ClientError::Io(_) | ClientError::Busy { .. } => true,
+            ClientError::Api { status, .. } => (500..600).contains(status),
+            ClientError::Protocol(_) | ClientError::Timeout { .. } => false,
+        }
+    }
+}
+
 /// A blocking client bound to one server address.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
     timeout: Duration,
+    retry: Option<BackoffPolicy>,
 }
 
 impl Client {
     /// A client for `addr` (e.g. `"127.0.0.1:7878"`) with a 30 s
-    /// per-request socket timeout.
+    /// per-request socket timeout and no retries.
     pub fn new(addr: impl Into<String>) -> Self {
         Self {
             addr: addr.into(),
             timeout: Duration::from_secs(30),
+            retry: None,
         }
     }
 
@@ -99,6 +194,15 @@ impl Client {
     #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Enables automatic retries under `policy` (see the module docs
+    /// for what is retried — and why submissions should carry an
+    /// idempotency key when this is on).
+    #[must_use]
+    pub fn with_retry(mut self, policy: BackoffPolicy) -> Self {
+        self.retry = Some(policy);
         self
     }
 
@@ -115,7 +219,7 @@ impl Client {
         Ok(http::read_response(&mut stream)?)
     }
 
-    fn expect_json<T: Deserialize>(
+    fn expect_json_once<T: Deserialize>(
         &self,
         method: &str,
         path: &str,
@@ -152,6 +256,41 @@ impl Client {
         })
     }
 
+    fn expect_json<T: Deserialize>(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<T, ClientError> {
+        let Some(policy) = &self.retry else {
+            return self.expect_json_once(method, path, body);
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.expect_json_once(method, path, body) {
+                Ok(value) => return Ok(value),
+                Err(error)
+                    if attempt + 1 < policy.max_attempts && BackoffPolicy::retryable(&error) =>
+                {
+                    let mut delay = policy.delay(&self.addr, path, attempt);
+                    if let ClientError::Busy {
+                        retry_after_seconds,
+                    } = &error
+                    {
+                        // Honour the server's hint, clamped to the cap
+                        // so a pathological hint cannot stall us.
+                        delay = delay
+                            .max(Duration::from_secs(*retry_after_seconds))
+                            .min(policy.cap.max(policy.base));
+                    }
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+
     /// Submits a job (`POST /v1/jobs`).
     ///
     /// # Errors
@@ -183,12 +322,15 @@ impl Client {
         self.expect_json("GET", &format!("/v1/jobs/{id}/report"), None)
     }
 
-    /// Cancels a queued job (`DELETE /v1/jobs/{id}`).
+    /// Cancels a job (`DELETE /v1/jobs/{id}`). A queued job lands in
+    /// `cancelled` immediately (`200`); a running one is stopped
+    /// cooperatively (`202`) — poll [`status`](Client::status) or
+    /// [`wait`](Client::wait) to watch it drain.
     ///
     /// # Errors
     ///
     /// [`ClientError::Api`] with code `conflict` when the job already
-    /// started or finished.
+    /// finished.
     pub fn cancel(&self, id: u64) -> Result<JobStatus, ClientError> {
         self.expect_json("DELETE", &format!("/v1/jobs/{id}"), None)
     }
@@ -200,6 +342,33 @@ impl Client {
     /// See [`ClientError`].
     pub fn health(&self) -> Result<Health, ClientError> {
         self.expect_json("GET", "/healthz", None)
+    }
+
+    /// Fetches `GET /readyz`. The [`Readiness`] body parses from both
+    /// the `200` (ready) and `503` (not ready) responses, so the
+    /// returned document — not an error — is the answer either way.
+    ///
+    /// # Errors
+    ///
+    /// Transport and decode errors only; "not ready" is a successful
+    /// answer with `ready == false`.
+    pub fn readiness(&self) -> Result<Readiness, ClientError> {
+        // Deliberately single-attempt even with retries configured: a
+        // readiness probe's job is to report the node's state *now*.
+        let (status, _, text) = self.request("GET", "/readyz", None)?;
+        if status == 200 || status == 503 {
+            return serde_json::from_str(&text)
+                .map_err(|e| ClientError::Protocol(format!("bad /readyz response body: {e}")));
+        }
+        let error: Option<ApiError> = serde_json::from_str(&text).ok();
+        let (code, message) = error
+            .map(|e| (e.error, e.message))
+            .unwrap_or_else(|| ("unknown".to_string(), text));
+        Err(ClientError::Api {
+            status,
+            code,
+            message,
+        })
     }
 
     /// Checks the server speaks this client's protocol version.
@@ -249,23 +418,35 @@ impl Client {
         })
     }
 
-    /// Polls a job's status until it reaches a terminal state.
+    /// Polls a job's status until it reaches a terminal state, with
+    /// capped exponential backoff between polls (10 ms doubling to
+    /// 500 ms) — short jobs are noticed almost immediately, long ones
+    /// don't get hammered.
     ///
     /// # Errors
     ///
-    /// [`ClientError::Timeout`] when `timeout` elapses first; transport
-    /// errors pass through.
+    /// [`ClientError::Timeout`] (carrying the total time waited) when
+    /// `timeout` elapses first; transport errors pass through.
     pub fn wait(&self, id: u64, timeout: Duration) -> Result<JobStatus, ClientError> {
-        let deadline = Instant::now() + timeout;
+        let started = Instant::now();
+        let deadline = started + timeout;
+        let mut interval = Duration::from_millis(10);
+        let cap = Duration::from_millis(500);
         loop {
             let status = self.status(id)?;
             if status.state.is_terminal() {
                 return Ok(status);
             }
-            if Instant::now() >= deadline {
-                return Err(ClientError::Timeout { id });
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ClientError::Timeout {
+                    id,
+                    waited: started.elapsed(),
+                });
             }
-            std::thread::sleep(Duration::from_millis(50));
+            // Never oversleep the deadline by more than one beat.
+            std::thread::sleep(interval.min(deadline - now));
+            interval = (interval * 2).min(cap);
         }
     }
 
@@ -277,5 +458,54 @@ impl Client {
     pub fn wait_for_report(&self, id: u64, timeout: Duration) -> Result<JobReport, ClientError> {
         self.wait(id, timeout)?;
         self.report(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let policy = BackoffPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(50),
+            cap: Duration::from_millis(400),
+        };
+        let a = policy.delay("127.0.0.1:1", "/v1/jobs", 3);
+        let b = policy.delay("127.0.0.1:1", "/v1/jobs", 3);
+        assert_eq!(a, b, "same inputs, same delay");
+        for attempt in 0..20 {
+            let d = policy.delay("127.0.0.1:1", "/v1/jobs", attempt);
+            assert!(d <= policy.cap, "attempt {attempt} exceeded cap: {d:?}");
+            assert!(
+                d >= policy.base.min(policy.cap) / 2,
+                "attempt {attempt} under jitter floor: {d:?}"
+            );
+        }
+        // Jitter desynchronises different paths.
+        let other = policy.delay("127.0.0.1:1", "/v1/jobs/7", 3);
+        assert_ne!(a, other, "paths should jitter apart (hash collision?)");
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(BackoffPolicy::retryable(&ClientError::Io("refused".into())));
+        assert!(BackoffPolicy::retryable(&ClientError::Busy {
+            retry_after_seconds: 1
+        }));
+        assert!(BackoffPolicy::retryable(&ClientError::Api {
+            status: 503,
+            code: "shutting_down".into(),
+            message: String::new(),
+        }));
+        assert!(!BackoffPolicy::retryable(&ClientError::Api {
+            status: 400,
+            code: "bad_request".into(),
+            message: String::new(),
+        }));
+        assert!(!BackoffPolicy::retryable(&ClientError::Protocol(
+            "mismatch".into()
+        )));
     }
 }

@@ -16,10 +16,13 @@
 //! * [`shared`] — the process-wide verdict cache every worker shares,
 //!   layered *under* the per-run pipeline so served runs stay
 //!   bit-identical to direct library calls;
+//! * [`journal`] — the checksummed, fsync'd write-ahead job journal
+//!   that makes accepted jobs survive a `kill -9`;
 //! * [`server`] — the bounded job queue, fixed worker pool,
-//!   backpressure (`429` + `Retry-After`) and graceful drain;
+//!   backpressure (`429` + `Retry-After`), deadlines + cancellation,
+//!   crash recovery and graceful drain;
 //! * [`client`] — a small blocking client used by `ecripse-cli submit`
-//!   and the integration tests.
+//!   and the integration tests, with optional retry/backoff.
 //!
 //! # Determinism contract
 //!
@@ -53,14 +56,16 @@
 
 pub mod client;
 pub mod http;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 pub mod shared;
 
-pub use client::{Client, ClientError};
+pub use client::{BackoffPolicy, Client, ClientError};
+pub use journal::{Journal, JournalKind, JournalRecord};
 pub use protocol::{
     ApiError, EstimateOutcome, Health, JobKind, JobProgress, JobReport, JobSpec, JobState,
-    JobStatus, Metrics, SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
+    JobStatus, Metrics, Readiness, SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server, ShutdownSummary};
 pub use shared::{SharedBench, SnapshotError, VerdictCache, CACHE_SNAPSHOT_VERSION};

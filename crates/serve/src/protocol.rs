@@ -65,15 +65,21 @@ pub enum JobState {
     Completed,
     /// Finished with an estimation error; see the status `error` field.
     Failed,
-    /// Removed from the queue before it ran.
+    /// Cancelled via `DELETE /v1/jobs/{id}` — removed from the queue, or
+    /// stopped cooperatively while running (the worker drains in-flight
+    /// work, so a cancelled sweep's checkpoint stays resumable).
     Cancelled,
     /// A queued sweep persisted to a resumable checkpoint during
     /// graceful shutdown instead of being executed.
     Persisted,
+    /// The job's `deadline_ms` budget elapsed before it finished; the
+    /// worker stopped it cooperatively (or it expired in the queue).
+    DeadlineExceeded,
 }
 
 impl JobState {
-    /// The snake_case wire name.
+    /// The wire name (snake_case, except the issue-tracker-style
+    /// `deadline-exceeded`).
     pub fn name(&self) -> &'static str {
         match self {
             JobState::Queued => "queued",
@@ -82,6 +88,7 @@ impl JobState {
             JobState::Failed => "failed",
             JobState::Cancelled => "cancelled",
             JobState::Persisted => "persisted",
+            JobState::DeadlineExceeded => "deadline-exceeded",
         }
     }
 
@@ -89,7 +96,11 @@ impl JobState {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            JobState::Completed | JobState::Failed | JobState::Cancelled | JobState::Persisted
+            JobState::Completed
+                | JobState::Failed
+                | JobState::Cancelled
+                | JobState::Persisted
+                | JobState::DeadlineExceeded
         )
     }
 }
@@ -115,6 +126,7 @@ impl Deserialize for JobState {
             "failed" => Some(JobState::Failed),
             "cancelled" => Some(JobState::Cancelled),
             "persisted" => Some(JobState::Persisted),
+            "deadline-exceeded" => Some(JobState::DeadlineExceeded),
             _ => None,
         }
     }
@@ -231,6 +243,21 @@ pub struct SubmitRequest {
     pub config: EcripseConfig,
     /// What to run.
     pub job: JobSpec,
+    /// Wall-clock budget in milliseconds, measured from acceptance: a
+    /// job still unfinished when it elapses is stopped cooperatively and
+    /// ends in [`JobState::DeadlineExceeded`]. `None` (and every pre-PR-8
+    /// wire body, via the serde default) means no deadline. After a
+    /// crash recovery the budget restarts at re-enqueue — the journal
+    /// carries no wall-clock anchor.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+    /// Client-chosen idempotency key. The server journals the key with
+    /// the accepted job; a later submission carrying the same key
+    /// returns the *original* job's status (HTTP `200`, same id) instead
+    /// of enqueuing a duplicate — which makes blind client retries safe
+    /// even across a server crash and restart.
+    #[serde(default)]
+    pub idempotency_key: Option<String>,
 }
 
 impl SubmitRequest {
@@ -242,6 +269,8 @@ impl SubmitRequest {
             scenario: config.scenario,
             config,
             job,
+            deadline_ms: None,
+            idempotency_key: None,
         }
     }
 
@@ -250,6 +279,20 @@ impl SubmitRequest {
     pub fn with_scenario(scenario: Scenario, mut config: EcripseConfig, job: JobSpec) -> Self {
         config.scenario = scenario;
         Self::new(config, job)
+    }
+
+    /// Sets the wall-clock deadline budget.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Sets the idempotency key retried submissions are deduplicated by.
+    #[must_use]
+    pub fn with_idempotency_key(mut self, key: impl Into<String>) -> Self {
+        self.idempotency_key = Some(key.into());
+        self
     }
 }
 
@@ -373,10 +416,26 @@ impl ApiError {
     }
 }
 
-/// The `GET /healthz` body.
+/// The `GET /healthz` body. Liveness only: it answers `200` whenever
+/// the process can serve HTTP at all (even while draining) — routing
+/// decisions belong to `/readyz`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Health {
     /// `"ok"` while accepting, `"draining"` during graceful shutdown.
+    pub status: String,
+    /// Protocol version the server speaks.
+    pub protocol: u32,
+}
+
+/// The `GET /readyz` body: whether the node should receive traffic.
+/// Served with `200` when ready and `503` otherwise, so load balancers
+/// and the future coordinator can route on the status code alone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Readiness {
+    /// `true` exactly when the response status is `200`.
+    pub ready: bool,
+    /// `"ready"`, or why not: `"replaying"` (journal replay at boot),
+    /// `"draining"` (graceful shutdown), `"saturated"` (queue full).
     pub status: String,
     /// Protocol version the server speaks.
     pub protocol: u32,
@@ -399,8 +458,25 @@ pub struct Metrics {
     pub completed: u64,
     /// Jobs finished with an estimation error.
     pub failed: u64,
-    /// Jobs cancelled before running.
+    /// Jobs cancelled via `DELETE /v1/jobs/{id}`, queued and running
+    /// combined (the per-cause split is below).
     pub cancelled: u64,
+    /// Of `cancelled`: jobs removed from the queue before running.
+    #[serde(default)]
+    pub cancelled_queued: u64,
+    /// Of `cancelled`: running jobs stopped cooperatively mid-pipeline.
+    #[serde(default)]
+    pub cancelled_running: u64,
+    /// Jobs whose `deadline_ms` budget elapsed before they finished.
+    #[serde(default)]
+    pub deadline_exceeded: u64,
+    /// Unfinished jobs re-enqueued from the write-ahead journal at boot.
+    #[serde(default)]
+    pub recovered: u64,
+    /// Submissions answered from the idempotency-key map instead of
+    /// enqueuing a duplicate job.
+    #[serde(default)]
+    pub idempotent_hits: u64,
     /// Queued sweeps persisted to checkpoints during shutdown.
     pub persisted: u64,
     /// Submissions bounced with `429`.
@@ -420,7 +496,7 @@ pub struct Metrics {
     /// Seconds since the server bound its socket.
     pub uptime_seconds: f64,
     /// Jobs in a terminal state (completed + failed + cancelled +
-    /// persisted).
+    /// persisted + deadline-exceeded).
     pub jobs_in_terminal_state: u64,
     /// Completed jobs per registered scenario, in registry order (one
     /// entry per scenario, zero counts included). Absent in PR-6-era
@@ -458,6 +534,7 @@ mod tests {
             JobState::Failed,
             JobState::Cancelled,
             JobState::Persisted,
+            JobState::DeadlineExceeded,
         ] {
             let v = state.to_value();
             assert_eq!(v.as_str(), Some(state.name()));
@@ -472,6 +549,7 @@ mod tests {
         assert!(!JobState::Running.is_terminal());
         assert!(JobState::Completed.is_terminal());
         assert!(JobState::Persisted.is_terminal());
+        assert!(JobState::DeadlineExceeded.is_terminal());
     }
 
     #[test]
@@ -500,6 +578,38 @@ mod tests {
         assert_eq!(req.protocol, PROTOCOL_VERSION);
         let json = serde_json::to_string(&req).expect("serialise");
         let back: SubmitRequest = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn pre_pr8_wire_bodies_still_parse() {
+        // A submission without deadline_ms / idempotency_key — the
+        // PR-7-era wire shape — must parse with both defaulted.
+        let req = SubmitRequest::new(EcripseConfig::default(), JobSpec::rdf_only(1.0));
+        let json = serde_json::to_string(&req).expect("serialise");
+        assert!(json.contains("deadline_ms"));
+        let stripped = {
+            let mut value: serde::json::Value = serde_json::from_str(&json).expect("parse");
+            if let serde::json::Value::Object(entries) = &mut value {
+                entries.retain(|(k, _)| k != "deadline_ms" && k != "idempotency_key");
+            }
+            serde_json::to_string(&value).expect("re-serialise")
+        };
+        let back: SubmitRequest = serde_json::from_str(&stripped).expect("old body parses");
+        assert_eq!(back.deadline_ms, None);
+        assert_eq!(back.idempotency_key, None);
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn submit_request_builders_round_trip() {
+        let req = SubmitRequest::new(EcripseConfig::default(), JobSpec::estimate(1.0, 0.3))
+            .with_deadline_ms(1500)
+            .with_idempotency_key("job-42");
+        let json = serde_json::to_string(&req).expect("serialise");
+        let back: SubmitRequest = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back.deadline_ms, Some(1500));
+        assert_eq!(back.idempotency_key.as_deref(), Some("job-42"));
         assert_eq!(back, req);
     }
 }

@@ -8,8 +8,9 @@
 //! | `POST /v1/jobs`            | Submit a [`SubmitRequest`]; `202` + status   |
 //! | `GET /v1/jobs/{id}`        | Lifecycle snapshot ([`JobStatus`])           |
 //! | `GET /v1/jobs/{id}/report` | Full [`JobReport`] once terminal             |
-//! | `DELETE /v1/jobs/{id}`     | Cancel a queued job                          |
+//! | `DELETE /v1/jobs/{id}`     | Cancel a queued *or running* job             |
 //! | `GET /healthz`             | Liveness + protocol version                  |
+//! | `GET /readyz`              | Readiness (`503` while replaying/saturated)  |
 //! | `GET /metrics`             | Queue/worker/job/cache counters              |
 //!
 //! # Backpressure
@@ -20,6 +21,28 @@
 //! an exponentially smoothed estimate of how long the backlog needs to
 //! clear one slot. Nothing is ever silently dropped once accepted.
 //!
+//! # Durability
+//!
+//! With [`ServeConfig::journal`] set, every accepted submission is
+//! appended to a checksummed, fsync'd write-ahead journal (see
+//! [`crate::journal`]) *before* the `202` goes out, and every terminal
+//! transition is journaled too. On boot the journal is replayed: jobs
+//! that never reached a terminal state re-enter the queue under their
+//! **original ids**, and sweeps resume bit-identically from their spool
+//! checkpoints — so a `kill -9` loses at most work, never jobs.
+//! Idempotency keys ride in the journal, which keeps client retries
+//! duplicate-free across a crash.
+//!
+//! # Deadlines & cancellation
+//!
+//! [`SubmitRequest::deadline_ms`] bounds a job's wall-clock budget from
+//! acceptance; a watchdog expires queued jobs and raises the per-job
+//! stop flag of running ones, which the estimation pipeline honours at
+//! iteration/batch boundaries (state
+//! [`JobState::DeadlineExceeded`]). `DELETE /v1/jobs/{id}` cancels a
+//! queued job immediately and a running one cooperatively (`202`, the
+//! job drains to [`JobState::Cancelled`]).
+//!
 //! # Graceful shutdown
 //!
 //! [`Server::shutdown`] stops accepting (new submissions get `503`),
@@ -29,26 +52,27 @@
 //! cancels still-queued estimates, and joins every thread.
 
 use crate::http::{self, Request, Response};
+use crate::journal::{self, Journal, JournalRecord, RecoveredJob};
 use crate::protocol::{
     ApiError, EstimateOutcome, Health, JobKind, JobProgress, JobReport, JobSpec, JobState,
-    JobStatus, Metrics, ScenarioJobCount, SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
+    JobStatus, Metrics, Readiness, ScenarioJobCount, SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
 };
 use crate::shared::{tag_for, SharedBench, VerdictCache};
 use ecripse_core::cache::MemoCacheConfig;
-use ecripse_core::ecripse::{Ecripse, EcripseConfig};
+use ecripse_core::ecripse::{Ecripse, EcripseConfig, EstimateError};
 use ecripse_core::observe::{
     ChunkStats, MultiObserver, Observer, RunRecorder, RunSummary, SimBatchStats, Stage,
 };
 use ecripse_core::oracle::OracleStats;
 use ecripse_core::rtn_source::SramRtn;
 use ecripse_core::scenario::{registry_digest, Scenario, SramScenarioBench};
-use ecripse_core::sweep::{DutySweep, SweepBench, SweepOptions};
+use ecripse_core::sweep::{DutySweep, SweepBench, SweepError, SweepOptions};
 use ecripse_core::telemetry::{Histogram, MetricsRegistry, TelemetryObserver};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -71,6 +95,24 @@ pub struct ServeConfig {
     /// bind time, saved atomically by graceful shutdown, so a restarted
     /// service resumes warm. `None` keeps the cache process-lifetime.
     pub cache_store: Option<PathBuf>,
+    /// Write-ahead job journal (see [`crate::journal`]): every accepted
+    /// submission is fsync'd here before its `202`, terminal states are
+    /// journaled too, and boot replays unfinished jobs under their
+    /// original ids. `None` keeps jobs process-lifetime (a crash loses
+    /// them, as before PR 8).
+    pub journal: Option<PathBuf>,
+    /// Socket read timeout on accepted connections — a client that
+    /// stops sending mid-request is dropped after this long.
+    pub read_timeout: Duration,
+    /// Socket write timeout on accepted connections — a client that
+    /// stops *reading* its response can stall a handler thread at most
+    /// this long per write (slow-loris hygiene).
+    pub write_timeout: Duration,
+    /// Bound on one connection's total lifetime — request read, handle
+    /// and response write together. Whatever remains of it after
+    /// handling caps the write timeout, and a connection that exhausts
+    /// it is closed without a response.
+    pub connection_lifetime: Duration,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +123,10 @@ impl Default for ServeConfig {
             spool: None,
             cache: MemoCacheConfig::default(),
             cache_store: None,
+            journal: None,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            connection_lifetime: Duration::from_secs(60),
         }
     }
 }
@@ -115,6 +161,18 @@ struct JobRecord {
     queued_at: Instant,
     /// Live progress, fed by the worker's observer while the job runs.
     progress: Arc<ProgressTracker>,
+    /// Wall-clock budget as submitted (journaled verbatim; the budget
+    /// restarts from acceptance — or re-acceptance after recovery).
+    deadline_ms: Option<u64>,
+    /// The absolute instant the budget runs out, `None` for unbounded.
+    deadline: Option<Instant>,
+    /// Client-supplied retry-dedup key, if any.
+    idempotency_key: Option<String>,
+    /// Cooperative stop flag: raised by `DELETE` (cancel) or the
+    /// deadline watchdog; the estimation pipeline polls it at
+    /// iteration/batch boundaries without ever consuming RNG, so
+    /// uninterrupted runs stay bit-identical.
+    stop: Arc<AtomicBool>,
 }
 
 /// Lock-free live-progress accumulator: the worker registers it as an
@@ -238,6 +296,10 @@ struct QueueState {
     next_id: u64,
     in_flight: u64,
     draining: bool,
+    /// Idempotency key → job id for every job that carried one
+    /// (rebuilt from the journal at boot, so retries dedup across
+    /// restarts too).
+    idempotency: HashMap<String, u64>,
 }
 
 #[derive(Default)]
@@ -246,6 +308,10 @@ struct Counters {
     completed: AtomicU64,
     failed: AtomicU64,
     cancelled: AtomicU64,
+    cancelled_queued: AtomicU64,
+    cancelled_running: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    idempotent_hits: AtomicU64,
     persisted: AtomicU64,
     rejected: AtomicU64,
 }
@@ -270,6 +336,10 @@ struct Shared<B> {
     scenario_completed: [AtomicU64; Scenario::ALL.len()],
     /// Verdicts restored from the persistent store at bind time.
     cache_loaded: u64,
+    /// The write-ahead job journal, when durability is configured.
+    journal: Option<Journal>,
+    /// Unfinished jobs re-enqueued from the journal at boot.
+    recovered: u64,
     state: std::sync::Mutex<QueueState>,
     work_ready: std::sync::Condvar,
     counters: Counters,
@@ -277,6 +347,11 @@ struct Shared<B> {
     /// Smoothed seconds-per-job, feeding the `Retry-After` hint.
     ewma_job_seconds: Mutex<f64>,
     stop_accepting: AtomicBool,
+    /// `false` while boot replay is still populating the queue (and
+    /// again once draining starts); `/readyz` reads it.
+    ready: AtomicBool,
+    /// Tells the deadline watchdog to exit.
+    monitor_stop: AtomicBool,
     /// When the server bound its socket (feeds `uptime_seconds`).
     started: Instant,
     telemetry: ServeTelemetry,
@@ -290,6 +365,7 @@ pub struct Server<B: SweepBench + 'static = SramScenarioBench> {
     addr: SocketAddr,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    monitor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server<SramScenarioBench> {
@@ -343,24 +419,114 @@ impl<B: SweepBench + 'static> Server<B> {
             },
             _ => 0,
         };
+        // Durability paths are created up front: a missing spool or
+        // journal directory must fail the bind, not the first sweep
+        // checkpoint (or worse, silently skip journaling).
+        if let Some(spool) = &config.spool {
+            std::fs::create_dir_all(spool)?;
+        }
+        if let Some(parent) = config.journal.as_deref().and_then(Path::parent) {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        // Open + replay the journal *before* anything can accept
+        // traffic: the node is not ready until every surviving job is
+        // back in the table.
+        let (journal, recovered_jobs) = match &config.journal {
+            Some(path) => {
+                let (journal, replay) = Journal::open(path)?;
+                if replay.dropped_bytes > 0 {
+                    eprintln!(
+                        "ecripse-serve: journal {} had a torn tail; dropped {} byte(s)",
+                        path.display(),
+                        replay.dropped_bytes
+                    );
+                }
+                (Some(journal), journal::recover(&replay.records))
+            }
+            None => (None, Vec::new()),
+        };
+        let mut queue = VecDeque::new();
+        let mut jobs = HashMap::new();
+        let mut idempotency = HashMap::new();
+        let mut next_id = 1u64;
+        let mut recovered = 0u64;
+        let boot = Instant::now();
+        for job in &recovered_jobs {
+            next_id = next_id.max(job.id + 1);
+            if let Some(key) = &job.request.idempotency_key {
+                idempotency.insert(key.clone(), job.id);
+            }
+            let mut job_config = job.request.config;
+            job_config.scenario = job.request.scenario;
+            let unfinished = job.state.is_none();
+            let (state, error) = match &job.state {
+                None => (JobState::Queued, None),
+                Some((state, error)) => (*state, error.clone()),
+            };
+            jobs.insert(
+                job.id,
+                JobRecord {
+                    spec: job.request.job.clone(),
+                    scenario: job.request.scenario,
+                    config: job_config,
+                    state,
+                    error,
+                    output: None,
+                    queued_at: boot,
+                    progress: Arc::new(ProgressTracker::default()),
+                    deadline_ms: job.request.deadline_ms,
+                    // The journal has no wall-clock anchor: a recovered
+                    // job's budget restarts from re-acceptance.
+                    deadline: unfinished
+                        .then(|| {
+                            job.request
+                                .deadline_ms
+                                .map(|ms| boot + Duration::from_millis(ms))
+                        })
+                        .flatten(),
+                    idempotency_key: job.request.idempotency_key.clone(),
+                    stop: Arc::new(AtomicBool::new(false)),
+                },
+            );
+            if unfinished {
+                queue.push_back(job.id);
+                recovered += 1;
+            }
+        }
+        // Boot compaction: drop the terminal noise a long-lived journal
+        // accumulates (best-effort; the old file stays valid on failure).
+        if let Some(journal) = &journal {
+            if let Err(error) = journal.compact(&journal::live_records(&recovered_jobs)) {
+                eprintln!(
+                    "ecripse-serve: journal boot compaction failed: {error} (keeping old file)"
+                );
+            }
+        }
         let shared = Arc::new(Shared {
             cache,
             cache_loaded,
+            journal,
+            recovered,
             config,
             factory: Box::new(factory),
             scenario_completed: Default::default(),
             state: std::sync::Mutex::new(QueueState {
-                queue: VecDeque::new(),
-                jobs: HashMap::new(),
-                next_id: 1,
+                queue,
+                jobs,
+                next_id,
                 in_flight: 0,
                 draining: false,
+                idempotency,
             }),
             work_ready: std::sync::Condvar::new(),
             counters: Counters::default(),
             oracle_totals: Mutex::new(OracleStats::default()),
             ewma_job_seconds: Mutex::new(1.0),
             stop_accepting: AtomicBool::new(false),
+            ready: AtomicBool::new(false),
+            monitor_stop: AtomicBool::new(false),
             started: Instant::now(),
             telemetry: ServeTelemetry::new(),
         });
@@ -370,15 +536,22 @@ impl<B: SweepBench + 'static> Server<B> {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || deadline_monitor(&shared))
+        };
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(&listener, &shared))
         };
+        // Replay is done and the table is populated: open for traffic.
+        shared.ready.store(true, Ordering::SeqCst);
         Ok(Self {
             shared,
             addr,
             acceptor: Some(acceptor),
             workers: worker_handles,
+            monitor: Some(monitor),
         })
     }
 
@@ -408,6 +581,8 @@ impl<B: SweepBench + 'static> Server<B> {
     /// configured), cancel queued estimates, join every thread.
     pub fn shutdown(mut self) -> ShutdownSummary {
         self.shared.stop_accepting.store(true, Ordering::SeqCst);
+        self.shared.ready.store(false, Ordering::SeqCst);
+        let mut transitions: Vec<(u64, JobState)> = Vec::new();
         let (drained, persisted, cancelled) = {
             let mut state = lock_state(&self.shared);
             state.draining = true;
@@ -425,6 +600,7 @@ impl<B: SweepBench + 'static> Server<B> {
                         .persisted
                         .fetch_add(1, Ordering::Relaxed);
                     persisted += 1;
+                    transitions.push((id, JobState::Persisted));
                 } else {
                     record.state = JobState::Cancelled;
                     self.shared
@@ -432,17 +608,31 @@ impl<B: SweepBench + 'static> Server<B> {
                         .cancelled
                         .fetch_add(1, Ordering::Relaxed);
                     cancelled += 1;
+                    transitions.push((id, JobState::Cancelled));
                 }
             }
             (drained, persisted, cancelled)
         };
+        // Journal the drain's terminal transitions outside the state
+        // lock (appends fsync). A Persisted record tells the next boot
+        // "resume me"; a Cancelled one closes the job for good.
+        for (id, state) in transitions {
+            journal_terminal(&self.shared, id, state, None);
+        }
         self.shared.work_ready.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        self.shared.monitor_stop.store(true, Ordering::SeqCst);
+        if let Some(monitor) = self.monitor.take() {
+            let _ = monitor.join();
+        }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        // Workers are quiet: shrink the journal to its live set so the
+        // next boot replays only what matters.
+        compact_journal(&self.shared);
         // Workers are quiet: persist the warm verdicts so the next
         // process starts where this one left off.
         if let Some(path) = &self.shared.config.cache_store {
@@ -466,8 +656,10 @@ impl<B: SweepBench + 'static> Drop for Server<B> {
         // `shutdown` consumed the handles; if the server is dropped
         // without it, signal the threads so they exit instead of
         // parking forever (they detach, nothing joins them).
-        if self.acceptor.is_some() || !self.workers.is_empty() {
+        if self.acceptor.is_some() || !self.workers.is_empty() || self.monitor.is_some() {
             self.shared.stop_accepting.store(true, Ordering::SeqCst);
+            self.shared.ready.store(false, Ordering::SeqCst);
+            self.shared.monitor_stop.store(true, Ordering::SeqCst);
             lock_state(&self.shared).draining = true;
             self.shared.work_ready.notify_all();
         }
@@ -499,6 +691,131 @@ fn persist_queued_sweep<B: SweepBench>(shared: &Shared<B>, id: u64, record: &Job
     let bench = job_bench(shared, record.scenario, &record.spec);
     let sweep = DutySweep::new(record.config, bench, alphas);
     sweep.ensure_checkpoint(&path).is_ok()
+}
+
+/// Rebuilds the wire-shape submission a job record was accepted from
+/// (compaction rewrites the journal from live server state, so the
+/// round trip must be lossless for everything replay consumes).
+fn record_request(record: &JobRecord) -> SubmitRequest {
+    let mut request = SubmitRequest::new(record.config, record.spec.clone());
+    request.scenario = record.scenario;
+    request.deadline_ms = record.deadline_ms;
+    request.idempotency_key = record.idempotency_key.clone();
+    request
+}
+
+/// Projects the in-memory job table into the journal's recovered-job
+/// shape (id order), feeding [`journal::live_records`] for compaction.
+/// Queued/running/persisted jobs count as unfinished.
+fn live_from_state(state: &QueueState) -> Vec<RecoveredJob> {
+    let mut ids: Vec<u64> = state.jobs.keys().copied().collect();
+    ids.sort_unstable();
+    ids.into_iter()
+        .filter_map(|id| {
+            let record = state.jobs.get(&id)?;
+            let terminal = match record.state {
+                // Persisted means "resumable checkpoint on disk" — the
+                // journal must re-enqueue it next boot.
+                JobState::Queued | JobState::Running | JobState::Persisted => None,
+                state => Some((state, record.error.clone())),
+            };
+            Some(RecoveredJob {
+                id,
+                request: record_request(record),
+                state: terminal,
+            })
+        })
+        .collect()
+}
+
+/// Rewrites the journal to the live set derived from current state.
+/// Best-effort: a failed compaction leaves the (valid, just larger)
+/// old journal in place.
+///
+/// The state lock is held across the rewrite: submissions append their
+/// journal frame under the same lock, so a compaction can never
+/// snapshot the table *before* a submission and rename *after* its
+/// append — which would silently discard an acknowledged job.
+fn compact_journal<B>(shared: &Shared<B>) {
+    let Some(journal) = &shared.journal else {
+        return;
+    };
+    let state = lock_state(shared);
+    let live = journal::live_records(&live_from_state(&state));
+    if let Err(error) = journal.compact(&live) {
+        eprintln!("ecripse-serve: journal compaction failed: {error} (keeping old file)");
+    }
+}
+
+/// Appends a terminal transition to the journal (fsync'd) and compacts
+/// when enough terminals have accumulated. Callers must *not* hold the
+/// state lock — appends block on the disk. An append failure is logged
+/// and tolerated: the in-memory state is already terminal, and the
+/// worst case after a crash is re-running a finished job.
+fn journal_terminal<B>(shared: &Shared<B>, id: u64, state: JobState, error: Option<String>) {
+    let Some(journal) = &shared.journal else {
+        return;
+    };
+    if let Err(e) = journal.append(&JournalRecord::terminal(id, state, error)) {
+        eprintln!("ecripse-serve: journal append failed for job {id}: {e}");
+        return;
+    }
+    if journal.should_compact() {
+        compact_journal(shared);
+    }
+}
+
+/// The deadline watchdog: every 20ms it expires queued jobs whose
+/// budget ran out (straight to [`JobState::DeadlineExceeded`]) and
+/// raises the stop flag of running jobs past theirs — the worker then
+/// observes the interruption at the next iteration/batch boundary and
+/// terminalises the job itself.
+fn deadline_monitor<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
+    while !shared.monitor_stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(20));
+        let now = Instant::now();
+        let mut expired: Vec<(u64, Option<String>)> = Vec::new();
+        {
+            let mut state = lock_state(shared);
+            let due: Vec<u64> = state
+                .queue
+                .iter()
+                .copied()
+                .filter(|id| {
+                    state
+                        .jobs
+                        .get(id)
+                        .and_then(|record| record.deadline)
+                        .is_some_and(|deadline| deadline <= now)
+                })
+                .collect();
+            for id in due {
+                state.queue.retain(|&queued| queued != id);
+                if let Some(record) = state.jobs.get_mut(&id) {
+                    record.state = JobState::DeadlineExceeded;
+                    record.error = Some(format!(
+                        "deadline of {}ms exceeded while queued",
+                        record.deadline_ms.unwrap_or(0)
+                    ));
+                    shared
+                        .counters
+                        .deadline_exceeded
+                        .fetch_add(1, Ordering::Relaxed);
+                    expired.push((id, record.error.clone()));
+                }
+            }
+            for record in state.jobs.values_mut() {
+                if record.state == JobState::Running
+                    && record.deadline.is_some_and(|deadline| deadline <= now)
+                {
+                    record.stop.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        for (id, error) in expired {
+            journal_terminal(shared, id, JobState::DeadlineExceeded, error);
+        }
+    }
 }
 
 /// The bench a job evaluates: the factory's bench for the job's
@@ -541,12 +858,30 @@ fn handle_connection<B: SweepBench>(mut stream: TcpStream, shared: &Shared<B>) {
     if stream.set_nonblocking(false).is_err() {
         return;
     }
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    // Slow-loris hygiene: a client that trickles its request, or stops
+    // reading its response, can hold this thread at most
+    // `connection_lifetime` in total — reads and writes each get their
+    // own timeout, and whatever lifetime remains after the read+handle
+    // caps the write.
+    let lifetime = shared.config.connection_lifetime;
+    let read_timeout = shared.config.read_timeout.min(lifetime);
+    let _ = stream.set_read_timeout(Some(read_timeout.max(Duration::from_millis(1))));
     let started = Instant::now();
     let response = match http::read_request(&mut stream) {
         Ok(request) => route(shared, &request),
         Err(e) => error_response(400, "bad_request", e.to_string()),
     };
+    let Some(remaining) = lifetime.checked_sub(started.elapsed()) else {
+        // Lifetime exhausted before a byte of response: drop the
+        // connection rather than start a write we won't finish.
+        return;
+    };
+    let write_timeout = shared
+        .config
+        .write_timeout
+        .min(remaining)
+        .max(Duration::from_millis(1));
+    let _ = stream.set_write_timeout(Some(write_timeout));
     let _ = http::write_response(&mut stream, &response);
     shared
         .telemetry
@@ -571,8 +906,9 @@ fn route<B: SweepBench>(shared: &Shared<B>, request: &Request) -> Response {
         ("GET", ["v1", "jobs", id, "report"]) => with_job_id(id, |id| report(shared, id)),
         ("DELETE", ["v1", "jobs", id]) => with_job_id(id, |id| cancel(shared, id)),
         ("GET", ["healthz"]) => healthz(shared),
+        ("GET", ["readyz"]) => readyz(shared),
         ("GET", ["metrics"]) => metrics_response(shared, request),
-        (_, ["v1", "jobs"] | ["v1", "jobs", ..] | ["healthz"] | ["metrics"]) => {
+        (_, ["v1", "jobs"] | ["v1", "jobs", ..] | ["healthz"] | ["readyz"] | ["metrics"]) => {
             error_response(405, "method_not_allowed", "method not allowed on this path")
         }
         _ => error_response(404, "not_found", format!("no such path: {}", request.path)),
@@ -611,8 +947,35 @@ fn submit<B: SweepBench>(shared: &Shared<B>, body: &[u8]) -> Response {
     if let Err(reason) = request.job.validate() {
         return error_response(400, "invalid_job", reason);
     }
+    if request.deadline_ms == Some(0) {
+        return error_response(
+            400,
+            "invalid_deadline",
+            "deadline_ms must be positive (omit it for no deadline)",
+        );
+    }
+    if request.idempotency_key.as_deref() == Some("") {
+        return error_response(
+            400,
+            "invalid_idempotency_key",
+            "idempotency_key must be non-empty (omit it to disable deduplication)",
+        );
+    }
 
     let mut state = lock_state(shared);
+    // Idempotency first: a retry of an already-accepted submission must
+    // succeed even while draining or saturated — the work is already
+    // accounted for. `200` (not `202`): nothing new was accepted.
+    if let Some(key) = &request.idempotency_key {
+        if let Some(&existing) = state.idempotency.get(key) {
+            shared
+                .counters
+                .idempotent_hits
+                .fetch_add(1, Ordering::Relaxed);
+            let status = job_status(&state, existing);
+            return Response::json(200, json_body(&status));
+        }
+    }
     if state.draining || shared.stop_accepting.load(Ordering::SeqCst) {
         return error_response(
             503,
@@ -628,11 +991,26 @@ fn submit<B: SweepBench>(shared: &Shared<B>, body: &[u8]) -> Response {
         return Response::json(429, json_body(&body)).with_header("retry-after", hint.to_string());
     }
     let id = state.next_id;
+    // Durability point: the submission reaches the fsync'd journal
+    // *before* any acknowledgement leaves the server — and before the
+    // job is visible anywhere else. Held under the state lock so a
+    // concurrent compaction (which also takes it) can never discard
+    // this frame without having seen the job in the table.
+    if let Some(journal) = &shared.journal {
+        if let Err(e) = journal.append(&JournalRecord::submitted(id, request.clone())) {
+            return error_response(
+                500,
+                "journal_error",
+                format!("could not journal submission: {e}"),
+            );
+        }
+    }
     state.next_id += 1;
     // The wire field is authoritative: stamp it into the run config so
     // the recorded report and the served bench agree on the scenario.
     let mut config = request.config;
     config.scenario = request.scenario;
+    let now = Instant::now();
     state.jobs.insert(
         id,
         JobRecord {
@@ -642,10 +1020,19 @@ fn submit<B: SweepBench>(shared: &Shared<B>, body: &[u8]) -> Response {
             state: JobState::Queued,
             error: None,
             output: None,
-            queued_at: Instant::now(),
+            queued_at: now,
             progress: Arc::new(ProgressTracker::default()),
+            deadline_ms: request.deadline_ms,
+            deadline: request
+                .deadline_ms
+                .map(|ms| now + Duration::from_millis(ms)),
+            idempotency_key: request.idempotency_key.clone(),
+            stop: Arc::new(AtomicBool::new(false)),
         },
     );
+    if let Some(key) = request.idempotency_key {
+        state.idempotency.insert(key, id);
+    }
     state.queue.push_back(id);
     let position = (state.queue.len() - 1) as u64;
     drop(state);
@@ -703,28 +1090,28 @@ fn report<B>(shared: &Shared<B>, id: u64) -> Response {
     let Some(record) = state.jobs.get(&id) else {
         return error_response(404, "unknown_job", format!("no job {id}"));
     };
-    match record.state {
-        JobState::Completed | JobState::Failed => {
-            let mut report = JobReport {
-                id,
-                scenario: record.scenario,
-                state: record.state,
-                error: record.error.clone(),
-                estimate: None,
-                sweep: None,
-            };
-            match &record.output {
-                Some(JobOutput::Estimate(outcome)) => report.estimate = Some(outcome.clone()),
-                Some(JobOutput::Sweep(outcome)) => report.sweep = Some(outcome.clone()),
-                None => {}
-            }
-            Response::json(200, json_body(&report))
+    if record.state.is_terminal() {
+        let mut report = JobReport {
+            id,
+            scenario: record.scenario,
+            state: record.state,
+            error: record.error.clone(),
+            estimate: None,
+            sweep: None,
+        };
+        match &record.output {
+            Some(JobOutput::Estimate(outcome)) => report.estimate = Some(outcome.clone()),
+            Some(JobOutput::Sweep(outcome)) => report.sweep = Some(outcome.clone()),
+            None => {}
         }
-        state => error_response(
+        Response::json(200, json_body(&report))
+    } else {
+        let state = record.state;
+        error_response(
             409,
             "not_ready",
             format!("job {id} is {state}; no report yet"),
-        ),
+        )
     }
 }
 
@@ -738,16 +1125,32 @@ fn cancel<B>(shared: &Shared<B>, id: u64) -> Response {
             state.queue.retain(|&queued| queued != id);
             if let Some(record) = state.jobs.get_mut(&id) {
                 record.state = JobState::Cancelled;
+                record.error = Some("cancelled while queued".to_string());
             }
             shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            shared
+                .counters
+                .cancelled_queued
+                .fetch_add(1, Ordering::Relaxed);
             let status = job_status(&state, id);
+            drop(state);
+            journal_terminal(
+                shared,
+                id,
+                JobState::Cancelled,
+                Some("cancelled while queued".to_string()),
+            );
             Response::json(200, json_body(&status))
         }
-        JobState::Running => error_response(
-            409,
-            "conflict",
-            format!("job {id} is already running and cannot be cancelled"),
-        ),
+        JobState::Running => {
+            // Cooperative: raise the stop flag and acknowledge with
+            // `202`. The worker observes it at the next iteration/batch
+            // boundary and drains the job to `cancelled`; the caller
+            // polls the status to watch it land.
+            record.stop.store(true, Ordering::SeqCst);
+            let status = job_status(&state, id);
+            Response::json(202, json_body(&status))
+        }
         state => error_response(409, "conflict", format!("job {id} is already {state}")),
     }
 }
@@ -763,6 +1166,34 @@ fn healthz<B>(shared: &Shared<B>) -> Response {
     )
 }
 
+/// `GET /readyz`: should this node receive traffic right now?
+/// `200 ready` only when boot replay is done, the server is accepting,
+/// and the queue has room; `503` with the blocking condition otherwise
+/// — load balancers can route on the status code alone.
+fn readyz<B>(shared: &Shared<B>) -> Response {
+    let (status, ready) = if !shared.ready.load(Ordering::SeqCst) {
+        if shared.stop_accepting.load(Ordering::SeqCst) {
+            ("draining", false)
+        } else {
+            ("replaying", false)
+        }
+    } else if shared.stop_accepting.load(Ordering::SeqCst) || lock_state(shared).draining {
+        ("draining", false)
+    } else if lock_state(shared).queue.len() >= shared.config.queue_capacity {
+        ("saturated", false)
+    } else {
+        ("ready", true)
+    };
+    Response::json(
+        if ready { 200 } else { 503 },
+        json_body(&Readiness {
+            ready,
+            status: status.to_string(),
+            protocol: PROTOCOL_VERSION,
+        }),
+    )
+}
+
 fn collect_metrics<B>(shared: &Shared<B>) -> Metrics {
     let (queue_depth, in_flight) = {
         let state = lock_state(shared);
@@ -772,6 +1203,7 @@ fn collect_metrics<B>(shared: &Shared<B>) -> Metrics {
     let completed = c.completed.load(Ordering::Relaxed);
     let failed = c.failed.load(Ordering::Relaxed);
     let cancelled = c.cancelled.load(Ordering::Relaxed);
+    let deadline_exceeded = c.deadline_exceeded.load(Ordering::Relaxed);
     let persisted = c.persisted.load(Ordering::Relaxed);
     Metrics {
         queue_depth,
@@ -782,6 +1214,11 @@ fn collect_metrics<B>(shared: &Shared<B>) -> Metrics {
         completed,
         failed,
         cancelled,
+        cancelled_queued: c.cancelled_queued.load(Ordering::Relaxed),
+        cancelled_running: c.cancelled_running.load(Ordering::Relaxed),
+        deadline_exceeded,
+        recovered: shared.recovered,
+        idempotent_hits: c.idempotent_hits.load(Ordering::Relaxed),
         persisted,
         rejected: c.rejected.load(Ordering::Relaxed),
         cache_entries: shared.cache.len() as u64,
@@ -790,7 +1227,7 @@ fn collect_metrics<B>(shared: &Shared<B>) -> Metrics {
         cache_hit_rate: shared.cache.hit_rate(),
         cache_loaded_entries: shared.cache_loaded,
         uptime_seconds: shared.started.elapsed().as_secs_f64(),
-        jobs_in_terminal_state: completed + failed + cancelled + persisted,
+        jobs_in_terminal_state: completed + failed + cancelled + deadline_exceeded + persisted,
         scenario_jobs: Scenario::ALL
             .iter()
             .enumerate()
@@ -889,7 +1326,7 @@ fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
             value,
         );
     }
-    let counters: [(&str, &str, u64); 17] = [
+    let counters: [(&str, &str, u64); 22] = [
         ("submitted_total", "Jobs ever accepted", m.submitted),
         ("completed_total", "Jobs finished successfully", m.completed),
         (
@@ -899,8 +1336,33 @@ fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
         ),
         (
             "cancelled_total",
-            "Jobs cancelled before running",
+            "Jobs cancelled (queued or running)",
             m.cancelled,
+        ),
+        (
+            "cancelled_queued_total",
+            "Cancellations that caught the job still queued",
+            m.cancelled_queued,
+        ),
+        (
+            "cancelled_running_total",
+            "Cancellations that interrupted a running job",
+            m.cancelled_running,
+        ),
+        (
+            "deadline_exceeded_total",
+            "Jobs stopped by their wall-clock deadline",
+            m.deadline_exceeded,
+        ),
+        (
+            "recovered_total",
+            "Unfinished jobs re-enqueued from the journal at boot",
+            m.recovered,
+        ),
+        (
+            "idempotent_hits_total",
+            "Submissions deduplicated by idempotency key",
+            m.idempotent_hits,
         ),
         (
             "persisted_total",
@@ -985,17 +1447,47 @@ fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
     out
 }
 
+/// Why a job stopped short of a result.
+enum JobFailure {
+    /// The stop flag interrupted the pipeline at a clean boundary —
+    /// cancellation or a deadline; the caller decides which from the
+    /// job's deadline.
+    Interrupted,
+    /// An estimation error or a caught panic.
+    Error(String),
+}
+
 fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
     loop {
-        let (id, spec, scenario, config, progress) = {
+        let (id, spec, scenario, config, progress, deadline, stop) = {
             let mut state = lock_state(shared);
             loop {
                 if let Some(id) = state.queue.pop_front() {
-                    state.in_flight += 1;
                     let Some(record) = state.jobs.get_mut(&id) else {
-                        state.in_flight -= 1;
                         continue;
                     };
+                    // The watchdog polls every 20ms; a budget that ran
+                    // out in between is caught here instead of wasting
+                    // a worker on a job that's already dead.
+                    if record
+                        .deadline
+                        .is_some_and(|deadline| deadline <= Instant::now())
+                    {
+                        record.state = JobState::DeadlineExceeded;
+                        record.error = Some(format!(
+                            "deadline of {}ms exceeded while queued",
+                            record.deadline_ms.unwrap_or(0)
+                        ));
+                        let error = record.error.clone();
+                        shared
+                            .counters
+                            .deadline_exceeded
+                            .fetch_add(1, Ordering::Relaxed);
+                        drop(state);
+                        journal_terminal(shared, id, JobState::DeadlineExceeded, error);
+                        state = lock_state(shared);
+                        continue;
+                    }
                     record.state = JobState::Running;
                     shared
                         .telemetry
@@ -1007,7 +1499,10 @@ fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
                         record.scenario,
                         record.config,
                         Arc::clone(&record.progress),
+                        record.deadline,
+                        Arc::clone(&record.stop),
                     );
+                    state.in_flight += 1;
                     break job;
                 }
                 if state.draining {
@@ -1020,13 +1515,14 @@ fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
             }
         };
         let started = Instant::now();
-        let outcome = execute(shared, id, &spec, scenario, config, &progress);
+        let outcome = execute(shared, id, &spec, scenario, config, &progress, &stop);
         let elapsed = started.elapsed().as_secs_f64();
         shared.telemetry.job_seconds.record(elapsed);
         {
             let mut per_job = shared.ewma_job_seconds.lock();
             *per_job = 0.7 * *per_job + 0.3 * elapsed;
         }
+        let mut terminal: Option<(JobState, Option<String>)> = None;
         let mut state = lock_state(shared);
         state.in_flight -= 1;
         if let Some(record) = state.jobs.get_mut(&id) {
@@ -1039,13 +1535,45 @@ fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
                         shared.scenario_completed[index].fetch_add(1, Ordering::Relaxed);
                     }
                     add_oracle(&mut shared.oracle_totals.lock(), &oracle);
+                    terminal = Some((JobState::Completed, None));
                 }
-                Err(message) => {
+                Err(JobFailure::Interrupted) => {
+                    // One stop flag, two causes: a budget that ran out
+                    // (watchdog) or an explicit DELETE. The deadline
+                    // disambiguates.
+                    let expired = deadline.is_some_and(|deadline| deadline <= Instant::now());
+                    if expired {
+                        record.state = JobState::DeadlineExceeded;
+                        record.error = Some(format!(
+                            "deadline of {}ms exceeded while running",
+                            record.deadline_ms.unwrap_or(0)
+                        ));
+                        shared
+                            .counters
+                            .deadline_exceeded
+                            .fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        record.state = JobState::Cancelled;
+                        record.error = Some("cancelled while running".to_string());
+                        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .counters
+                            .cancelled_running
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    terminal = Some((record.state, record.error.clone()));
+                }
+                Err(JobFailure::Error(message)) => {
                     record.state = JobState::Failed;
                     record.error = Some(message);
                     shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    terminal = Some((JobState::Failed, record.error.clone()));
                 }
             }
+        }
+        drop(state);
+        if let Some((state, error)) = terminal {
+            journal_terminal(shared, id, state, error);
         }
     }
 }
@@ -1075,12 +1603,14 @@ fn execute<B: SweepBench + 'static>(
     scenario: Scenario,
     config: EcripseConfig,
     progress: &Arc<ProgressTracker>,
-) -> Result<(JobOutput, OracleStats), String> {
+    stop: &Arc<AtomicBool>,
+) -> Result<(JobOutput, OracleStats), JobFailure> {
     let shared = Arc::clone(shared);
     let spec = spec.clone();
     let progress = Arc::clone(progress);
+    let stop = Arc::clone(stop);
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-        execute_inner(&shared, id, &spec, scenario, config, &progress)
+        execute_inner(&shared, id, &spec, scenario, config, &progress, &stop)
     }))
     .unwrap_or_else(|panic| {
         let message = panic
@@ -1088,7 +1618,7 @@ fn execute<B: SweepBench + 'static>(
             .map(|s| (*s).to_string())
             .or_else(|| panic.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "unknown panic".to_string());
-        Err(format!("job panicked: {message}"))
+        Err(JobFailure::Error(format!("job panicked: {message}")))
     })
 }
 
@@ -1099,7 +1629,8 @@ fn execute_inner<B: SweepBench + 'static>(
     scenario: Scenario,
     config: EcripseConfig,
     progress: &ProgressTracker,
-) -> Result<(JobOutput, OracleStats), String> {
+    stop: &AtomicBool,
+) -> Result<(JobOutput, OracleStats), JobFailure> {
     let bench = job_bench(shared, scenario, spec);
     // Everything beyond the deterministic recorder is observational:
     // the live-progress tracker and the registry bridge see the same
@@ -1114,15 +1645,19 @@ fn execute_inner<B: SweepBench + 'static>(
             let mut fanout = MultiObserver::new();
             fanout.push(&recorder);
             fanout.push(&side);
+            let map_estimate = |e: EstimateError| match e {
+                EstimateError::Interrupted => JobFailure::Interrupted,
+                other => JobFailure::Error(other.to_string()),
+            };
             let result = match spec.alpha {
                 None => Ecripse::new(config, bench)
-                    .estimate_observed(&fanout)
-                    .map_err(|e| e.to_string())?,
+                    .estimate_interruptible_observed(stop, &fanout)
+                    .map_err(map_estimate)?,
                 Some(alpha) => {
                     let rtn = SramRtn::paper_model(alpha, bench.sigmas());
                     Ecripse::with_rtn(config, bench, rtn)
-                        .estimate_observed(&fanout)
-                        .map_err(|e| e.to_string())?
+                        .estimate_interruptible_observed(stop, &fanout)
+                        .map_err(map_estimate)?
                 }
             };
             let oracle = result.oracle_stats;
@@ -1145,10 +1680,20 @@ fn execute_inner<B: SweepBench + 'static>(
                 resume: true,
                 keep_going: false,
             };
+            // An interrupted sweep keeps its spool checkpoint: a later
+            // durable boot re-enqueues the job (if it was a deadline,
+            // the budget restarts) and the finished points resume
+            // bit-identically instead of recomputing.
+            let map_sweep = |e: SweepError| match e {
+                SweepError::Interrupted { .. } => JobFailure::Interrupted,
+                other => JobFailure::Error(other.to_string()),
+            };
             let run = sweep
-                .run_resumable_observed(&options, &side)
-                .map_err(|e| e.to_string())?;
-            let (result, reports) = run.into_parts().map_err(|e| e.to_string())?;
+                .run_resumable_interruptible_observed(&options, stop, &side)
+                .map_err(map_sweep)?;
+            let (result, reports) = run
+                .into_parts()
+                .map_err(|e| JobFailure::Error(e.to_string()))?;
             // The job is done; its spool checkpoint has served its
             // purpose.
             if let Some(path) = spool_path(shared, id) {

@@ -316,6 +316,11 @@ proptest! {
             completed: counts[1],
             failed: counts[2],
             cancelled: counts[3],
+            cancelled_queued: counts[3] / 2,
+            cancelled_running: counts[3] - counts[3] / 2,
+            deadline_exceeded: counts[5] / 3,
+            recovered: counts[0] / 4,
+            idempotent_hits: counts[7] / 5,
             persisted: counts[4],
             rejected: counts[5],
             cache_entries: counts[6],

@@ -10,9 +10,10 @@
 //! ecripse-cli margin   [--vdd V] [--dvth v0,v1,v2,v3,v4,v5]
 //! ecripse-cli naive    [--vdd V] [--alpha A] [--no-rtn] [--samples N] [--seed S]
 //! ecripse-cli serve    [--addr HOST:PORT] [--workers W] [--queue Q] [--spool DIR]
-//!                      [--cache-store PATH]
+//!                      [--cache-store PATH] [--journal PATH]
 //! ecripse-cli submit   --addr HOST:PORT [--vdd V] [--scenario NAME] [--alpha A] [--no-rtn]
 //!                      [--samples N] [--seed S] [--threads T] [--timeout SECS]
+//!                      [--deadline MS] [--idempotency-key KEY] [--retry N]
 //! ```
 //!
 //! `--scenario NAME` picks the indicator function the run estimates —
@@ -49,8 +50,16 @@
 //! `--cache-store PATH` the process-wide verdict cache is restored from
 //! that file at startup (ignored if missing, corrupt, or written for a
 //! different grid) and saved atomically at shutdown, so a restarted
-//! service resumes warm. `submit` sends one estimate job to a running
-//! server and waits for the result.
+//! service resumes warm. With `--journal PATH` every accepted job is
+//! fsync'd to a write-ahead journal *before* it is acknowledged, and a
+//! restarted server (same `--journal`/`--spool`) re-enqueues every job
+//! that never finished — a `kill -9` loses at most work, never jobs.
+//! `submit` sends one estimate job to a running server and waits for
+//! the result; `--deadline MS` bounds its server-side wall-clock
+//! budget, `--retry N` turns on client-side retries (connect errors,
+//! `5xx`, `429`) and `--idempotency-key KEY` makes those retries safe —
+//! a resubmission with the same key returns the original job instead of
+//! enqueuing a duplicate.
 //!
 //! Threshold shifts for `margin` are in volts, canonical device order
 //! `PL, NL, PR, NR, AL, AR`.
@@ -218,10 +227,14 @@ fn usage() {
          \x20          --addr HOST:PORT (127.0.0.1:7878)  --workers W (2)  --queue Q (16)\n\
          \x20          --spool DIR (persist queued sweeps on shutdown)\n\
          \x20          --cache-store PATH (persist the verdict cache across restarts)\n\
+         \x20          --journal PATH (write-ahead job journal: accepted jobs survive kill -9)\n\
          submit    send one estimate job to a running server and wait\n\
          \x20          --addr HOST:PORT (required)  --vdd V (0.7)  --scenario NAME\n\
          \x20          --alpha A (0.5)  --no-rtn\n\
-         \x20          --samples N (4000)  --seed S  --threads T  --timeout SECS (600)",
+         \x20          --samples N (4000)  --seed S  --threads T  --timeout SECS (600)\n\
+         \x20          --deadline MS (server-side wall-clock budget)\n\
+         \x20          --idempotency-key KEY (retry-safe submission dedup)\n\
+         \x20          --retry N (0; retries on connect errors, 5xx and 429)",
         scenario_ids.join(", ")
     );
 }
@@ -481,6 +494,7 @@ fn run() -> Result<(), String> {
                 queue_capacity: args.get("queue", 16)?,
                 spool: args.opt::<String>("spool")?.map(Into::into),
                 cache_store: args.opt::<String>("cache-store")?.map(Into::into),
+                journal: args.opt::<String>("journal")?.map(Into::into),
                 ..ServeConfig::default()
             };
             let workers = config.workers.max(1);
@@ -518,12 +532,24 @@ fn run() -> Result<(), String> {
                 JobSpec::estimate(vdd, args.get("alpha", 0.5)?)
             };
             let timeout = std::time::Duration::from_secs(args.get("timeout", 600)?);
-            let client = Client::new(addr.clone())
+            let mut client = Client::new(addr.clone())
                 .with_timeout(timeout.min(std::time::Duration::from_secs(30)));
+            let retries: u32 = args.get("retry", 0)?;
+            if retries > 0 {
+                client = client.with_retry(BackoffPolicy {
+                    max_attempts: retries.saturating_add(1),
+                    ..BackoffPolicy::default()
+                });
+            }
             client.handshake().map_err(|e| format!("{addr}: {e}"))?;
-            let submitted = client
-                .submit(&SubmitRequest::with_scenario(scenario, cfg, job))
-                .map_err(|e| e.to_string())?;
+            let mut request = SubmitRequest::with_scenario(scenario, cfg, job);
+            if let Some(deadline_ms) = args.opt::<u64>("deadline")? {
+                request = request.with_deadline_ms(deadline_ms);
+            }
+            if let Some(key) = args.opt::<String>("idempotency-key")? {
+                request = request.with_idempotency_key(key);
+            }
+            let submitted = client.submit(&request).map_err(|e| e.to_string())?;
             println!(
                 "job {} accepted (scenario: {}, state: {})",
                 submitted.id, submitted.scenario, submitted.state

@@ -82,7 +82,8 @@ pub mod prelude {
     };
     pub use ecripse_rtn::model::RtnCellModel;
     pub use ecripse_serve::{
-        Client, ClientError, JobSpec, JobState, ServeConfig, Server, SubmitRequest,
+        BackoffPolicy, Client, ClientError, JobSpec, JobState, Readiness, ServeConfig, Server,
+        SubmitRequest,
     };
     pub use ecripse_spice::error::EvalError;
     pub use ecripse_spice::sram::{CellDevice, Sram6T};
