@@ -1,0 +1,1247 @@
+//! The cluster coordinator: one front door, many `ecripse-serve`
+//! workers.
+//!
+//! # Wire compatibility
+//!
+//! The coordinator accepts the *exact* job protocol a single server
+//! speaks — `POST /v1/jobs` with a
+//! [`SubmitRequest`](ecripse_serve::protocol::SubmitRequest), the same
+//! status/report/cancel routes, the same error bodies. A client (or
+//! the retrying [`Client`](ecripse_serve::Client)) cannot tell the two
+//! apart; pointing an existing deployment at a coordinator is a config
+//! change, not a code change.
+//!
+//! # Sharding
+//!
+//! A sweep's duty grid is partitioned over the live workers by a
+//! [consistent-hash ring](crate::ring): each point's key hashes to an
+//! owner, each owner's points are chunked into shards of at most
+//! [`ClusterConfig::shard_points`], and each shard ships as a normal
+//! serve submission whose [`JobSpec::sweep_shard`] carries the points'
+//! *global grid indices*. The worker seeds every point by global index
+//! — exactly the seed a single-process full-grid run would use — so
+//! the merged report is bit-identical to the unsharded run (see
+//! [`merge_sweep_shards`](ecripse_core::sweep::merge_sweep_shards)).
+//! Estimates have nothing to split and are forwarded whole to one
+//! ring-chosen worker.
+//!
+//! # Failover
+//!
+//! Workers heartbeat (see [`crate::join`]); the reaper marks a silent
+//! worker dead after [`ClusterConfig::heartbeat_timeout`]. A dead
+//! worker's unfinished shards are re-dispatched to survivors under
+//! their *original* idempotency keys (`cluster/job-{id}/shard-{s}`),
+//! so a worker that merely restarted answers the re-dispatch with its
+//! journaled job instead of recomputing, and no shard can ever be
+//! counted twice. The merge is keyed by global point index, not
+//! arrival order — reassignment cannot change the result, only the
+//! wall-clock.
+
+use crate::protocol::{
+    ClusterMetrics, ClusterWorkers, HeartbeatRequest, RegisterRequest, RegisterResponse, WorkerView,
+};
+use crate::registry::WorkerRegistry;
+use crate::ring::HashRing;
+use ecripse_core::sweep::{merge_sweep_shards, SweepShard};
+use ecripse_serve::http::{self, Request, Response};
+use ecripse_serve::protocol::{
+    ApiError, Health, JobKind, JobReport, JobSpec, JobState, JobStatus, Readiness, SubmitRequest,
+    SweepOutcome, PROTOCOL_VERSION,
+};
+use ecripse_serve::{BackoffPolicy, Client, ClientError};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Coordinator settings.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Bound on concurrently tracked non-terminal jobs; submissions
+    /// beyond it bounce with `429` (the workers' own queues are the
+    /// real backpressure — this only stops unbounded dispatcher
+    /// threads).
+    pub max_inflight_jobs: usize,
+    /// Cadence workers are told to heartbeat at.
+    pub heartbeat_interval: Duration,
+    /// Silence longer than this marks a worker dead.
+    pub heartbeat_timeout: Duration,
+    /// Largest number of duty points in one shard. Smaller shards
+    /// spread wider and lose less work to a dead worker; larger shards
+    /// amortise the per-shard initialisation a worker repeats.
+    pub shard_points: usize,
+    /// Socket timeout for coordinator → worker calls.
+    pub worker_timeout: Duration,
+    /// Dispatcher poll cadence while shards are in flight.
+    pub poll_interval: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight_jobs: 32,
+            heartbeat_interval: Duration::from_millis(250),
+            heartbeat_timeout: Duration::from_millis(1500),
+            shard_points: 2,
+            worker_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Everything the coordinator remembers about one job.
+struct ClusterJob {
+    request: SubmitRequest,
+    state: JobState,
+    error: Option<String>,
+    report: Option<JobReport>,
+    accepted_at: Instant,
+    /// Cooperative cancel flag, raised by `DELETE /v1/jobs/{id}`.
+    stop: Arc<AtomicBool>,
+}
+
+struct State {
+    jobs: HashMap<u64, ClusterJob>,
+    next_id: u64,
+    idempotency: HashMap<String, u64>,
+    /// Dispatcher threads, one per accepted job; joined at shutdown.
+    dispatchers: Vec<std::thread::JoinHandle<()>>,
+    /// Non-terminal jobs (bounds dispatcher concurrency).
+    active: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    jobs_deadline_exceeded: AtomicU64,
+    idempotent_hits: AtomicU64,
+    workers_dead: AtomicU64,
+    shards_dispatched: AtomicU64,
+    shards_reassigned: AtomicU64,
+    shards_completed: AtomicU64,
+    estimates_forwarded: AtomicU64,
+}
+
+struct Shared {
+    config: ClusterConfig,
+    registry: WorkerRegistry,
+    state: parking_lot::Mutex<State>,
+    counters: Counters,
+    stop_accepting: AtomicBool,
+    draining: AtomicBool,
+    reaper_stop: AtomicBool,
+    started: Instant,
+}
+
+/// The coordinator service handle.
+pub struct Coordinator {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    reaper: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Binds the coordinator's HTTP front door.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn bind(addr: impl ToSocketAddrs, config: ClusterConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            registry: WorkerRegistry::new(),
+            state: parking_lot::Mutex::new(State {
+                jobs: HashMap::new(),
+                next_id: 1,
+                idempotency: HashMap::new(),
+                dispatchers: Vec::new(),
+                active: 0,
+            }),
+            counters: Counters::default(),
+            stop_accepting: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            reaper_stop: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let reaper = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || reaper_loop(&shared))
+        };
+        Ok(Self {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            reaper: Some(reaper),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current cluster metrics (the `GET /metrics` document).
+    pub fn metrics(&self) -> ClusterMetrics {
+        collect_metrics(&self.shared)
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight jobs drain
+    /// against the remaining workers, join every thread. A job that
+    /// cannot progress (no live workers) is failed rather than held
+    /// forever.
+    pub fn shutdown(mut self) {
+        self.shared.stop_accepting.store(true, Ordering::SeqCst);
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let dispatchers = std::mem::take(&mut self.shared.state.lock().dispatchers);
+        for dispatcher in dispatchers {
+            let _ = dispatcher.join();
+        }
+        self.shared.reaper_stop.store(true, Ordering::SeqCst);
+        if let Some(reaper) = self.reaper.take() {
+            let _ = reaper.join();
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        // `shutdown` consumed the handles; a plain drop still signals
+        // the threads so they exit instead of spinning (they detach).
+        if self.acceptor.is_some() || self.reaper.is_some() {
+            self.shared.stop_accepting.store(true, Ordering::SeqCst);
+            self.shared.draining.store(true, Ordering::SeqCst);
+            self.shared.reaper_stop.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+fn reaper_loop(shared: &Arc<Shared>) {
+    let pause = (shared.config.heartbeat_interval / 2).max(Duration::from_millis(10));
+    while !shared.reaper_stop.load(Ordering::SeqCst) {
+        std::thread::sleep(pause);
+        let died = shared
+            .registry
+            .reap(Instant::now(), shared.config.heartbeat_timeout);
+        if !died.is_empty() {
+            shared
+                .counters
+                .workers_dead
+                .fetch_add(died.len() as u64, Ordering::Relaxed);
+            for name in died {
+                eprintln!("ecripse-cluster: worker {name} missed its heartbeat; marked dead");
+            }
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.stop_accepting.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let response = match http::read_request(&mut stream) {
+        Ok(request) => route(shared, &request),
+        Err(e) => error_response(400, "bad_request", e.to_string()),
+    };
+    let _ = http::write_response(&mut stream, &response);
+}
+
+fn json_body<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|_| "{}".to_string())
+}
+
+fn error_response(status: u16, code: &str, message: impl Into<String>) -> Response {
+    Response::json(status, json_body(&ApiError::new(code, message)))
+}
+
+fn route(shared: &Arc<Shared>, request: &Request) -> Response {
+    let path = request.path.trim_end_matches('/');
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["v1", "jobs"]) => submit(shared, &request.body),
+        ("GET", ["v1", "jobs", id]) => with_job_id(id, |id| status(shared, id)),
+        ("GET", ["v1", "jobs", id, "report"]) => with_job_id(id, |id| report(shared, id)),
+        ("DELETE", ["v1", "jobs", id]) => with_job_id(id, |id| cancel(shared, id)),
+        ("POST", ["v1", "cluster", "register"]) => register(shared, &request.body),
+        ("POST", ["v1", "cluster", "heartbeat"]) => heartbeat(shared, &request.body),
+        ("GET", ["v1", "cluster", "workers"]) => workers(shared),
+        ("GET", ["healthz"]) => healthz(shared),
+        ("GET", ["readyz"]) => readyz(shared),
+        ("GET", ["metrics"]) => metrics_response(shared, request),
+        (
+            _,
+            ["v1", "jobs"]
+            | ["v1", "jobs", ..]
+            | ["v1", "cluster", ..]
+            | ["healthz"]
+            | ["readyz"]
+            | ["metrics"],
+        ) => error_response(405, "method_not_allowed", "method not allowed on this path"),
+        _ => error_response(404, "not_found", format!("no such path: {}", request.path)),
+    }
+}
+
+fn with_job_id(raw: &str, f: impl FnOnce(u64) -> Response) -> Response {
+    match raw.parse::<u64>() {
+        Ok(id) => f(id),
+        Err(_) => error_response(
+            400,
+            "bad_request",
+            format!("job id must be numeric: {raw:?}"),
+        ),
+    }
+}
+
+fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| error_response(400, "bad_request", "body is not utf-8"))?;
+    serde_json::from_str(text)
+        .map_err(|e| error_response(400, "bad_request", format!("invalid body: {e}")))
+}
+
+fn register(shared: &Arc<Shared>, body: &[u8]) -> Response {
+    let request: RegisterRequest = match parse_body(body) {
+        Ok(request) => request,
+        Err(response) => return response,
+    };
+    if request.protocol != PROTOCOL_VERSION {
+        return error_response(
+            400,
+            "protocol_mismatch",
+            format!(
+                "worker speaks protocol {}, coordinator speaks {PROTOCOL_VERSION}",
+                request.protocol
+            ),
+        );
+    }
+    if request.name.is_empty() || request.addr.is_empty() {
+        return error_response(400, "bad_request", "worker name and addr must be non-empty");
+    }
+    let gained = shared
+        .registry
+        .register(&request.name, &request.addr, Instant::now());
+    if gained {
+        eprintln!(
+            "ecripse-cluster: worker {} joined at {}",
+            request.name, request.addr
+        );
+    }
+    Response::json(
+        200,
+        json_body(&RegisterResponse {
+            protocol: PROTOCOL_VERSION,
+            heartbeat_interval_ms: shared.config.heartbeat_interval.as_millis() as u64,
+            timeout_ms: shared.config.heartbeat_timeout.as_millis() as u64,
+        }),
+    )
+}
+
+fn heartbeat(shared: &Arc<Shared>, body: &[u8]) -> Response {
+    let request: HeartbeatRequest = match parse_body(body) {
+        Ok(request) => request,
+        Err(response) => return response,
+    };
+    if shared.registry.heartbeat(&request.name, Instant::now()) {
+        Response::json(200, "{}".to_string())
+    } else {
+        error_response(
+            404,
+            "unknown_worker",
+            format!(
+                "worker {:?} is not registered; register first",
+                request.name
+            ),
+        )
+    }
+}
+
+fn workers(shared: &Arc<Shared>) -> Response {
+    let now = Instant::now();
+    let listing = ClusterWorkers {
+        workers: shared
+            .registry
+            .snapshot(now)
+            .into_iter()
+            .map(|(name, entry, age)| WorkerView {
+                name,
+                addr: entry.addr,
+                alive: entry.alive,
+                last_seen_ms: age.as_millis() as u64,
+            })
+            .collect(),
+    };
+    Response::json(200, json_body(&listing))
+}
+
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let draining = shared.stop_accepting.load(Ordering::SeqCst);
+    Response::json(
+        200,
+        json_body(&Health {
+            status: if draining { "draining" } else { "ok" }.to_string(),
+            protocol: PROTOCOL_VERSION,
+        }),
+    )
+}
+
+/// `GET /readyz`: the coordinator can route jobs only when at least one
+/// live worker is registered.
+fn readyz(shared: &Arc<Shared>) -> Response {
+    let (status, ready) = if shared.stop_accepting.load(Ordering::SeqCst) {
+        ("draining", false)
+    } else if shared.registry.alive().is_empty() {
+        ("no-workers", false)
+    } else {
+        ("ready", true)
+    };
+    let retry_after_seconds = (!ready).then_some(1u64);
+    let response = Response::json(
+        if ready { 200 } else { 503 },
+        json_body(&Readiness {
+            ready,
+            status: status.to_string(),
+            protocol: PROTOCOL_VERSION,
+            retry_after_seconds,
+        }),
+    );
+    match retry_after_seconds {
+        Some(hint) => response.with_header("Retry-After", hint.to_string()),
+        None => response,
+    }
+}
+
+fn collect_metrics(shared: &Arc<Shared>) -> ClusterMetrics {
+    let c = &shared.counters;
+    ClusterMetrics {
+        workers_alive: shared.registry.alive().len() as u64,
+        workers_dead_total: c.workers_dead.load(Ordering::Relaxed),
+        jobs_submitted: c.jobs_submitted.load(Ordering::Relaxed),
+        jobs_completed: c.jobs_completed.load(Ordering::Relaxed),
+        jobs_failed: c.jobs_failed.load(Ordering::Relaxed),
+        jobs_cancelled: c.jobs_cancelled.load(Ordering::Relaxed),
+        jobs_deadline_exceeded: c.jobs_deadline_exceeded.load(Ordering::Relaxed),
+        idempotent_hits: c.idempotent_hits.load(Ordering::Relaxed),
+        shards_dispatched_total: c.shards_dispatched.load(Ordering::Relaxed),
+        shards_reassigned_total: c.shards_reassigned.load(Ordering::Relaxed),
+        shards_completed_total: c.shards_completed.load(Ordering::Relaxed),
+        estimates_forwarded_total: c.estimates_forwarded.load(Ordering::Relaxed),
+        uptime_seconds: shared.started.elapsed().as_secs_f64(),
+    }
+}
+
+/// One `# HELP`/`# TYPE`/sample triple of Prometheus exposition.
+fn prom_scalar(out: &mut String, name: &str, kind: &str, help: &str, value: f64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn render_prometheus(m: &ClusterMetrics) -> String {
+    let mut out = String::new();
+    let gauges: [(&str, &str, f64); 2] = [
+        (
+            "workers_alive",
+            "Workers currently alive",
+            m.workers_alive as f64,
+        ),
+        (
+            "uptime_seconds",
+            "Seconds since the coordinator bound its socket",
+            m.uptime_seconds,
+        ),
+    ];
+    for (name, help, value) in gauges {
+        prom_scalar(
+            &mut out,
+            &format!("ecripse_cluster_{name}"),
+            "gauge",
+            help,
+            value,
+        );
+    }
+    let counters: [(&str, &str, u64); 11] = [
+        (
+            "workers_dead_total",
+            "Workers declared dead by the heartbeat reaper",
+            m.workers_dead_total,
+        ),
+        (
+            "jobs_submitted_total",
+            "Jobs ever accepted",
+            m.jobs_submitted,
+        ),
+        (
+            "jobs_completed_total",
+            "Jobs whose merged result completed",
+            m.jobs_completed,
+        ),
+        (
+            "jobs_failed_total",
+            "Jobs that ended in failure",
+            m.jobs_failed,
+        ),
+        ("jobs_cancelled_total", "Jobs cancelled", m.jobs_cancelled),
+        (
+            "jobs_deadline_exceeded_total",
+            "Jobs stopped by their wall-clock deadline",
+            m.jobs_deadline_exceeded,
+        ),
+        (
+            "idempotent_hits_total",
+            "Submissions deduplicated by idempotency key",
+            m.idempotent_hits,
+        ),
+        (
+            "shards_dispatched_total",
+            "Sweep shards dispatched to workers (re-dispatches included)",
+            m.shards_dispatched_total,
+        ),
+        (
+            "shards_reassigned_total",
+            "Shards reassigned off a dead worker",
+            m.shards_reassigned_total,
+        ),
+        (
+            "shards_completed_total",
+            "Shards whose results were merged",
+            m.shards_completed_total,
+        ),
+        (
+            "estimates_forwarded_total",
+            "Estimate jobs forwarded whole to one worker",
+            m.estimates_forwarded_total,
+        ),
+    ];
+    for (name, help, value) in counters {
+        prom_scalar(
+            &mut out,
+            &format!("ecripse_cluster_{name}"),
+            "counter",
+            help,
+            value as f64,
+        );
+    }
+    out
+}
+
+fn metrics_response(shared: &Arc<Shared>, request: &Request) -> Response {
+    let metrics = collect_metrics(shared);
+    let wants_prometheus = request
+        .header("accept")
+        .is_some_and(|accept| accept.contains("text/plain"));
+    if wants_prometheus {
+        Response::text(200, render_prometheus(&metrics))
+    } else {
+        Response::json(200, json_body(&metrics))
+    }
+}
+
+fn job_status(state: &State, id: u64) -> Option<JobStatus> {
+    let job = state.jobs.get(&id)?;
+    Some(JobStatus {
+        id,
+        scenario: job.request.scenario,
+        state: job.state,
+        queue_position: None,
+        error: job.error.clone(),
+        progress: None,
+    })
+}
+
+fn status(shared: &Arc<Shared>, id: u64) -> Response {
+    match job_status(&shared.state.lock(), id) {
+        Some(status) => Response::json(200, json_body(&status)),
+        None => error_response(404, "unknown_job", format!("no job {id}")),
+    }
+}
+
+fn report(shared: &Arc<Shared>, id: u64) -> Response {
+    let state = shared.state.lock();
+    let Some(job) = state.jobs.get(&id) else {
+        return error_response(404, "unknown_job", format!("no job {id}"));
+    };
+    if !job.state.is_terminal() {
+        let current = job.state;
+        return error_response(
+            409,
+            "not_ready",
+            format!("job {id} is {current}; no report yet"),
+        );
+    }
+    let report = job.report.clone().unwrap_or_else(|| JobReport {
+        id,
+        scenario: job.request.scenario,
+        state: job.state,
+        error: job.error.clone(),
+        estimate: None,
+        sweep: None,
+    });
+    Response::json(200, json_body(&report))
+}
+
+fn cancel(shared: &Arc<Shared>, id: u64) -> Response {
+    let state = shared.state.lock();
+    let Some(job) = state.jobs.get(&id) else {
+        return error_response(404, "unknown_job", format!("no job {id}"));
+    };
+    if job.state.is_terminal() {
+        let current = job.state;
+        return error_response(409, "conflict", format!("job {id} is already {current}"));
+    }
+    // Cooperative, like a running job on a single server: the
+    // dispatcher observes the flag, cancels the worker-side shards and
+    // drains the job to `cancelled`.
+    job.stop.store(true, Ordering::SeqCst);
+    let status = job_status(&state, id);
+    Response::json(202, json_body(&status))
+}
+
+fn submit(shared: &Arc<Shared>, body: &[u8]) -> Response {
+    let request: SubmitRequest = match parse_body(body) {
+        Ok(request) => request,
+        Err(response) => return response,
+    };
+    if request.protocol != PROTOCOL_VERSION {
+        return error_response(
+            400,
+            "protocol_mismatch",
+            format!(
+                "client speaks protocol {}, coordinator speaks {PROTOCOL_VERSION}",
+                request.protocol
+            ),
+        );
+    }
+    if let Err(reason) = request.job.validate() {
+        return error_response(400, "invalid_job", reason);
+    }
+    if request.job.alpha_indices.is_some() {
+        // Shards are the coordinator's *output*, addressed to workers;
+        // accepting one as input would double-offset the merge.
+        return error_response(
+            400,
+            "invalid_job",
+            "pre-sharded sweeps (`alpha_indices`) go to workers, not the coordinator",
+        );
+    }
+    if request.deadline_ms == Some(0) {
+        return error_response(
+            400,
+            "invalid_deadline",
+            "deadline_ms must be positive (omit it for no deadline)",
+        );
+    }
+    if request.idempotency_key.as_deref() == Some("") {
+        return error_response(
+            400,
+            "invalid_idempotency_key",
+            "idempotency_key must be non-empty (omit it to disable deduplication)",
+        );
+    }
+    let mut state = shared.state.lock();
+    if let Some(key) = &request.idempotency_key {
+        if let Some(&existing) = state.idempotency.get(key) {
+            shared
+                .counters
+                .idempotent_hits
+                .fetch_add(1, Ordering::Relaxed);
+            let status = job_status(&state, existing);
+            return Response::json(200, json_body(&status));
+        }
+    }
+    if shared.stop_accepting.load(Ordering::SeqCst) {
+        return error_response(
+            503,
+            "shutting_down",
+            "coordinator is draining; resubmit elsewhere",
+        );
+    }
+    if state.active >= shared.config.max_inflight_jobs {
+        let mut body = ApiError::new(
+            "queue_full",
+            "coordinator is at its in-flight job bound; retry later",
+        );
+        body.retry_after_seconds = Some(1);
+        return Response::json(429, json_body(&body)).with_header("retry-after", "1".to_string());
+    }
+    let id = state.next_id;
+    state.next_id += 1;
+    // The wire scenario is authoritative, exactly as on a single
+    // server: stamp it into the config the workers will run.
+    let mut request = request;
+    request.config.scenario = request.scenario;
+    let stop = Arc::new(AtomicBool::new(false));
+    state.jobs.insert(
+        id,
+        ClusterJob {
+            request: request.clone(),
+            state: JobState::Queued,
+            error: None,
+            report: None,
+            accepted_at: Instant::now(),
+            stop,
+        },
+    );
+    if let Some(key) = &request.idempotency_key {
+        state.idempotency.insert(key.clone(), id);
+    }
+    state.active += 1;
+    let dispatcher = {
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || dispatch_job(&shared, id))
+    };
+    state.dispatchers.push(dispatcher);
+    drop(state);
+    shared
+        .counters
+        .jobs_submitted
+        .fetch_add(1, Ordering::Relaxed);
+    Response::json(
+        202,
+        json_body(&JobStatus {
+            id,
+            scenario: request.scenario,
+            state: JobState::Queued,
+            queue_position: None,
+            error: None,
+            progress: None,
+        }),
+    )
+}
+
+/// How a dispatched job ended without a merged result.
+enum DispatchEnd {
+    /// The coordinator-side cancel flag was raised.
+    Cancelled,
+    /// The job's wall-clock budget elapsed (coordinator- or
+    /// worker-side).
+    DeadlineExceeded(Option<String>),
+    /// Anything unrecoverable.
+    Failed(String),
+}
+
+/// One sweep shard's lifecycle inside the dispatcher.
+struct ShardSlot {
+    /// Global grid indices (strictly increasing).
+    indices: Vec<u64>,
+    /// The duty ratios at those indices.
+    alphas: Vec<f64>,
+    /// Idempotency key, stable across re-dispatches.
+    key: String,
+    /// The worker currently assigned, `(name, addr)`.
+    worker: Option<(String, String)>,
+    /// The shard's job id on that worker.
+    remote_id: Option<u64>,
+    /// The completed shard, once merged-ready.
+    done: Option<SweepShard>,
+}
+
+fn dispatch_job(shared: &Arc<Shared>, id: u64) {
+    let (request, stop, accepted_at) = {
+        let mut state = shared.state.lock();
+        let Some(job) = state.jobs.get_mut(&id) else {
+            return;
+        };
+        job.state = JobState::Running;
+        (job.request.clone(), Arc::clone(&job.stop), job.accepted_at)
+    };
+    let deadline = request
+        .deadline_ms
+        .map(|ms| accepted_at + Duration::from_millis(ms));
+    let outcome = match request.job.kind {
+        JobKind::Sweep => run_sweep(shared, id, &request, &stop, deadline),
+        JobKind::Estimate => forward_estimate(shared, id, &request, &stop, deadline),
+    };
+    let (state_out, error, report) = match outcome {
+        Ok(report) => (JobState::Completed, None, Some(report)),
+        Err(DispatchEnd::Cancelled) => (
+            JobState::Cancelled,
+            Some("cancelled while running".to_string()),
+            None,
+        ),
+        Err(DispatchEnd::DeadlineExceeded(error)) => (
+            JobState::DeadlineExceeded,
+            Some(error.unwrap_or_else(|| {
+                format!(
+                    "deadline of {}ms exceeded",
+                    request.deadline_ms.unwrap_or(0)
+                )
+            })),
+            None,
+        ),
+        Err(DispatchEnd::Failed(message)) => (JobState::Failed, Some(message), None),
+    };
+    let counter = match state_out {
+        JobState::Completed => &shared.counters.jobs_completed,
+        JobState::Cancelled => &shared.counters.jobs_cancelled,
+        JobState::DeadlineExceeded => &shared.counters.jobs_deadline_exceeded,
+        _ => &shared.counters.jobs_failed,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    let mut state = shared.state.lock();
+    state.active = state.active.saturating_sub(1);
+    if let Some(job) = state.jobs.get_mut(&id) {
+        job.state = state_out;
+        job.error = error;
+        job.report = report;
+    }
+}
+
+/// A short-fused retrying client for worker submissions (submit retries
+/// are safe: every dispatch carries an idempotency key).
+fn submit_client(shared: &Shared, addr: &str) -> Client {
+    Client::new(addr.to_string())
+        .with_timeout(shared.config.worker_timeout)
+        .with_retry(BackoffPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(500),
+        })
+}
+
+/// A single-attempt client for status polls — failures must surface
+/// immediately so dead-worker detection can react.
+fn poll_client(shared: &Shared, addr: &str) -> Client {
+    Client::new(addr.to_string()).with_timeout(shared.config.worker_timeout)
+}
+
+/// The ring over currently-live workers, or `None` when the cluster is
+/// empty.
+fn live_ring(shared: &Shared) -> Option<(HashRing, HashMap<String, String>)> {
+    let alive = shared.registry.alive();
+    if alive.is_empty() {
+        return None;
+    }
+    let names: Vec<String> = alive.iter().map(|(name, _)| name.clone()).collect();
+    let addrs: HashMap<String, String> = alive.into_iter().collect();
+    Some((HashRing::new(&names), addrs))
+}
+
+/// Common per-round bookkeeping: honours cancel, coordinator deadline
+/// and drain.
+fn check_interrupts(
+    shared: &Shared,
+    stop: &AtomicBool,
+    deadline: Option<Instant>,
+) -> Result<(), DispatchEnd> {
+    if stop.load(Ordering::SeqCst) {
+        return Err(DispatchEnd::Cancelled);
+    }
+    if deadline.is_some_and(|deadline| deadline <= Instant::now()) {
+        return Err(DispatchEnd::DeadlineExceeded(None));
+    }
+    if shared.draining.load(Ordering::SeqCst) && shared.registry.alive().is_empty() {
+        return Err(DispatchEnd::Failed(
+            "coordinator draining with no live workers".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// Best-effort cancel of every still-assigned worker-side shard.
+fn cancel_remotes(shared: &Shared, slots: &[ShardSlot]) {
+    for slot in slots {
+        if slot.done.is_some() {
+            continue;
+        }
+        if let (Some((_, addr)), Some(remote_id)) = (&slot.worker, slot.remote_id) {
+            let _ = poll_client(shared, addr).cancel(remote_id);
+        }
+    }
+}
+
+fn run_sweep(
+    shared: &Arc<Shared>,
+    id: u64,
+    request: &SubmitRequest,
+    stop: &AtomicBool,
+    deadline: Option<Instant>,
+) -> Result<JobReport, DispatchEnd> {
+    let alphas = request.job.alphas.clone().unwrap_or_default();
+    let total = alphas.len();
+    let mut slots = plan_shards(shared, id, &alphas, stop, deadline)?;
+    loop {
+        if let Err(end) = check_interrupts(shared, stop, deadline) {
+            cancel_remotes(shared, &slots);
+            return Err(end);
+        }
+        let ring = live_ring(shared);
+        let mut all_done = true;
+        for slot in &mut slots {
+            if slot.done.is_some() {
+                continue;
+            }
+            all_done = false;
+            // A reaped owner invalidates the assignment even when the
+            // socket still answers (a hung process can hold its port).
+            if let Some((name, _)) = &slot.worker {
+                if !shared.registry.is_alive(name) {
+                    slot.worker = None;
+                    slot.remote_id = None;
+                    shared
+                        .counters
+                        .shards_reassigned
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            match (slot.worker.clone(), slot.remote_id) {
+                (None, _) => {
+                    let Some((ring, addrs)) = &ring else {
+                        continue; // no live workers; wait for one
+                    };
+                    let Some(owner) = ring.owner(&slot.key) else {
+                        continue;
+                    };
+                    let Some(addr) = addrs.get(owner) else {
+                        continue;
+                    };
+                    let shard_request = shard_submit_request(request, slot);
+                    match submit_client(shared, addr).submit(&shard_request) {
+                        Ok(status) => {
+                            slot.worker = Some((owner.to_string(), addr.clone()));
+                            slot.remote_id = Some(status.id);
+                            shared
+                                .counters
+                                .shards_dispatched
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        // The worker may have just died or be saturated;
+                        // the next round re-picks an owner.
+                        Err(_) => continue,
+                    }
+                }
+                (Some((name, addr)), Some(remote_id)) => {
+                    match poll_shard(shared, &addr, remote_id, slot)? {
+                        ShardPoll::Pending => {}
+                        ShardPoll::Done => {}
+                        ShardPoll::Lost => {
+                            let lost_name = name.clone();
+                            slot.worker = None;
+                            slot.remote_id = None;
+                            shared
+                                .counters
+                                .shards_reassigned
+                                .fetch_add(1, Ordering::Relaxed);
+                            eprintln!(
+                                "ecripse-cluster: job {id}: shard {} lost on worker {lost_name}; reassigning",
+                                slot.key
+                            );
+                        }
+                    }
+                }
+                (Some(_), None) => unreachable!("assigned shard without a remote id"),
+            }
+        }
+        if all_done {
+            break;
+        }
+        std::thread::sleep(shared.config.poll_interval);
+    }
+    let shards: Vec<SweepShard> = slots.into_iter().filter_map(|slot| slot.done).collect();
+    let (result, reports) = merge_sweep_shards(total, &shards)
+        .map_err(|e| DispatchEnd::Failed(format!("shard merge failed: {e}")))?;
+    Ok(JobReport {
+        id,
+        scenario: request.scenario,
+        state: JobState::Completed,
+        error: None,
+        estimate: None,
+        sweep: Some(SweepOutcome {
+            p_fail_rdf_only: result.p_fail_rdf_only,
+            rdf_only_ci95: result.rdf_only_ci95,
+            init_simulations: result.init_simulations,
+            total_simulations: result.total_simulations,
+            points: result.points,
+            reports,
+        }),
+    })
+}
+
+/// Builds the shard plan: every point's key hashes to an owner on the
+/// ring over the workers live *at plan time*, and each owner's points
+/// are chunked into runs of at most `shard_points`. Blocks (politely)
+/// until at least one worker is alive.
+fn plan_shards(
+    shared: &Arc<Shared>,
+    id: u64,
+    alphas: &[f64],
+    stop: &AtomicBool,
+    deadline: Option<Instant>,
+) -> Result<Vec<ShardSlot>, DispatchEnd> {
+    let (ring, _) = loop {
+        check_interrupts(shared, stop, deadline)?;
+        if let Some(live) = live_ring(shared) {
+            break live;
+        }
+        std::thread::sleep(shared.config.poll_interval);
+    };
+    let mut by_owner: HashMap<String, Vec<usize>> = HashMap::new();
+    for k in 0..alphas.len() {
+        let owner = ring
+            .owner(&format!("job-{id}/point-{k}"))
+            .unwrap_or_default()
+            .to_string();
+        by_owner.entry(owner).or_default().push(k);
+    }
+    // Deterministic slot order: owners sorted by name, each owner's
+    // points already ascending.
+    let mut owners: Vec<String> = by_owner.keys().cloned().collect();
+    owners.sort_unstable();
+    let chunk = shared.config.shard_points.max(1);
+    let mut slots = Vec::new();
+    for owner in owners {
+        let points = &by_owner[&owner];
+        for run in points.chunks(chunk) {
+            let indices: Vec<u64> = run.iter().map(|&k| k as u64).collect();
+            let shard_alphas: Vec<f64> = run.iter().map(|&k| alphas[k]).collect();
+            // The key is derived from the shard's first global index —
+            // stable across re-dispatches, unique within the job.
+            let key = format!("cluster/job-{id}/shard-{}", indices[0]);
+            slots.push(ShardSlot {
+                indices,
+                alphas: shard_alphas,
+                key,
+                worker: None,
+                remote_id: None,
+                done: None,
+            });
+        }
+    }
+    Ok(slots)
+}
+
+/// The serve submission one shard ships as: the job's config and
+/// scenario verbatim (bit-identity), the shard's alphas and global
+/// indices, the deadline passed through, the stable idempotency key.
+fn shard_submit_request(request: &SubmitRequest, slot: &ShardSlot) -> SubmitRequest {
+    let mut shard = SubmitRequest::with_scenario(
+        request.scenario,
+        request.config,
+        JobSpec::sweep_shard(request.job.vdd, slot.alphas.clone(), slot.indices.clone()),
+    );
+    shard.deadline_ms = request.deadline_ms;
+    shard.idempotency_key = Some(slot.key.clone());
+    shard
+}
+
+/// What one status poll of a dispatched shard concluded.
+enum ShardPoll {
+    /// Still queued or running.
+    Pending,
+    /// Completed; `slot.done` is populated.
+    Done,
+    /// The worker lost it (crash without journal, restart, drain):
+    /// re-dispatch.
+    Lost,
+}
+
+fn poll_shard(
+    shared: &Shared,
+    addr: &str,
+    remote_id: u64,
+    slot: &mut ShardSlot,
+) -> Result<ShardPoll, DispatchEnd> {
+    let client = poll_client(shared, addr);
+    let status = match client.status(remote_id) {
+        Ok(status) => status,
+        // A dead worker shows up as refused connections *and* a reaped
+        // registry entry; the aliveness check at the top of the round
+        // owns that transition. A transient error alone is not a loss.
+        Err(ClientError::Io(_)) => return Ok(ShardPoll::Pending),
+        // The worker answers but no longer knows the job: it restarted
+        // without a journal (or with an empty one). Re-dispatch.
+        Err(ClientError::Api { status: 404, .. }) => return Ok(ShardPoll::Lost),
+        Err(_) => return Ok(ShardPoll::Pending),
+    };
+    match status.state {
+        JobState::Completed => {
+            let report = match client.report(remote_id) {
+                Ok(report) => report,
+                Err(ClientError::Io(_)) => return Ok(ShardPoll::Pending),
+                Err(e) => {
+                    return Err(DispatchEnd::Failed(format!(
+                        "shard {} completed but its report is unreadable: {e}",
+                        slot.key
+                    )))
+                }
+            };
+            let Some(outcome) = report.sweep else {
+                return Err(DispatchEnd::Failed(format!(
+                    "shard {} completed without a sweep outcome",
+                    slot.key
+                )));
+            };
+            slot.done = Some(SweepShard {
+                indices: slot.indices.clone(),
+                result: ecripse_core::sweep::SweepResult {
+                    points: outcome.points,
+                    p_fail_rdf_only: outcome.p_fail_rdf_only,
+                    rdf_only_ci95: outcome.rdf_only_ci95,
+                    init_simulations: outcome.init_simulations,
+                    total_simulations: outcome.total_simulations,
+                },
+                reports: outcome.reports,
+            });
+            shared
+                .counters
+                .shards_completed
+                .fetch_add(1, Ordering::Relaxed);
+            Ok(ShardPoll::Done)
+        }
+        JobState::Failed => Err(DispatchEnd::Failed(format!(
+            "shard {} failed on its worker: {}",
+            slot.key,
+            status.error.unwrap_or_else(|| "no error recorded".into())
+        ))),
+        JobState::DeadlineExceeded => Err(DispatchEnd::DeadlineExceeded(status.error)),
+        // Cancelled directly on the worker, behind the coordinator's
+        // back: an operator DELETE, or a spool-less worker draining its
+        // queue at shutdown. The coordinator itself only cancels remotes
+        // after `check_interrupts` has already ended the dispatch loop,
+        // so from here a cancellation just means the shard will never
+        // finish *there* — the work itself is still wanted. Re-dispatch,
+        // exactly like `persisted`.
+        JobState::Cancelled => Ok(ShardPoll::Lost),
+        // The worker drained gracefully and persisted the shard as a
+        // checkpoint; a restart resumes it under the same idempotency
+        // key, or a survivor recomputes it. Either way: re-dispatch.
+        JobState::Persisted => Ok(ShardPoll::Lost),
+        JobState::Queued | JobState::Running => Ok(ShardPoll::Pending),
+    }
+}
+
+fn forward_estimate(
+    shared: &Arc<Shared>,
+    id: u64,
+    request: &SubmitRequest,
+    stop: &AtomicBool,
+    deadline: Option<Instant>,
+) -> Result<JobReport, DispatchEnd> {
+    let key = format!("cluster/job-{id}/estimate");
+    let mut assignment: Option<(String, String, u64)> = None;
+    loop {
+        if let Err(end) = check_interrupts(shared, stop, deadline) {
+            if let Some((_, addr, remote_id)) = &assignment {
+                let _ = poll_client(shared, addr).cancel(*remote_id);
+            }
+            return Err(end);
+        }
+        if let Some((name, _, _)) = &assignment {
+            if !shared.registry.is_alive(name) {
+                assignment = None;
+                shared
+                    .counters
+                    .shards_reassigned
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        match &assignment {
+            None => {
+                let Some((ring, addrs)) = live_ring(shared) else {
+                    std::thread::sleep(shared.config.poll_interval);
+                    continue;
+                };
+                let Some(owner) = ring.owner(&key) else {
+                    continue;
+                };
+                let Some(addr) = addrs.get(owner) else {
+                    continue;
+                };
+                let mut forwarded = request.clone();
+                forwarded.idempotency_key = Some(key.clone());
+                if let Ok(status) = submit_client(shared, addr).submit(&forwarded) {
+                    assignment = Some((owner.to_string(), addr.clone(), status.id));
+                    shared
+                        .counters
+                        .estimates_forwarded
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Some((_, addr, remote_id)) => {
+                let client = poll_client(shared, addr);
+                match client.status(*remote_id) {
+                    Ok(status) if status.state == JobState::Completed => {
+                        let report = match client.report(*remote_id) {
+                            Ok(report) => report,
+                            Err(_) => {
+                                std::thread::sleep(shared.config.poll_interval);
+                                continue;
+                            }
+                        };
+                        return Ok(JobReport {
+                            id,
+                            scenario: request.scenario,
+                            state: JobState::Completed,
+                            error: None,
+                            estimate: report.estimate,
+                            sweep: None,
+                        });
+                    }
+                    Ok(status) if status.state == JobState::Failed => {
+                        return Err(DispatchEnd::Failed(
+                            status
+                                .error
+                                .unwrap_or_else(|| "estimate failed on its worker".into()),
+                        ));
+                    }
+                    Ok(status) if status.state == JobState::DeadlineExceeded => {
+                        return Err(DispatchEnd::DeadlineExceeded(status.error));
+                    }
+                    Ok(status) if status.state.is_terminal() => {
+                        // Cancelled or persisted behind our back.
+                        assignment = None;
+                        shared
+                            .counters
+                            .shards_reassigned
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(_) => {}
+                    Err(ClientError::Api { status: 404, .. }) => {
+                        assignment = None;
+                        shared
+                            .counters
+                            .shards_reassigned
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        std::thread::sleep(shared.config.poll_interval);
+    }
+}

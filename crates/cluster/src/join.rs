@@ -1,0 +1,189 @@
+//! Worker-side membership: register with a coordinator and heartbeat
+//! until told to leave.
+//!
+//! A worker is a plain `ecripse-serve` process — nothing in the serve
+//! crate knows about clustering. `ecripse-cli serve --join ADDR` binds
+//! the server as usual and then runs this loop next to it: register
+//! (retrying with backoff until the coordinator answers), heartbeat at
+//! the cadence the coordinator returned, and re-register whenever a
+//! heartbeat comes back `404` (the coordinator reaped us, restarted, or
+//! never saw the registration). The loop is infinitely patient: a
+//! coordinator that is down just means retries, never a worker exit.
+
+use crate::protocol::{HeartbeatRequest, RegisterRequest, RegisterResponse};
+use ecripse_serve::http;
+use ecripse_serve::protocol::PROTOCOL_VERSION;
+use serde::Serialize;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a worker joins a cluster.
+#[derive(Debug, Clone)]
+pub struct JoinConfig {
+    /// Coordinator address (`host:port`).
+    pub coordinator: String,
+    /// This worker's stable name.
+    pub name: String,
+    /// The serve socket address the coordinator should dial.
+    pub addr: String,
+    /// Socket timeout for register/heartbeat calls.
+    pub timeout: Duration,
+}
+
+impl JoinConfig {
+    /// A join config with the default 5 s socket timeout.
+    pub fn new(
+        coordinator: impl Into<String>,
+        name: impl Into<String>,
+        addr: impl Into<String>,
+    ) -> Self {
+        Self {
+            coordinator: coordinator.into(),
+            name: name.into(),
+            addr: addr.into(),
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Handle on a running join loop; dropping it without
+/// [`leave`](JoinHandle::leave) leaves the thread running detached.
+pub struct JoinHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl JoinHandle {
+    /// Stops heartbeating and joins the loop thread. The coordinator
+    /// notices the silence after its timeout and reaps the worker.
+    pub fn leave(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// One JSON POST against `addr`, returning the status and body.
+fn post_json(
+    addr: &str,
+    timeout: Duration,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), http::HttpError> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| http::HttpError::Io(e.to_string()))?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    http::write_request(&mut stream, "POST", path, Some(body))
+        .map_err(|e| http::HttpError::Io(e.to_string()))?;
+    let (status, _, text) = http::read_response(&mut stream)?;
+    Ok((status, text))
+}
+
+fn encode<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|_| "{}".to_string())
+}
+
+/// One registration attempt; `Some(cadence)` on a 2xx answer.
+fn register_once(config: &JoinConfig) -> Option<RegisterResponse> {
+    let body = encode(&RegisterRequest {
+        protocol: PROTOCOL_VERSION,
+        name: config.name.clone(),
+        addr: config.addr.clone(),
+    });
+    let (status, text) = post_json(
+        &config.coordinator,
+        config.timeout,
+        "/v1/cluster/register",
+        &body,
+    )
+    .ok()?;
+    if !(200..300).contains(&status) {
+        return None;
+    }
+    serde_json::from_str::<RegisterResponse>(&text).ok()
+}
+
+/// Sleeps `total` in small slices, returning early (and `true`) when
+/// the stop flag rises.
+fn stoppable_sleep(stop: &AtomicBool, total: Duration) -> bool {
+    let slice = Duration::from_millis(25);
+    let mut remaining = total;
+    while remaining > Duration::ZERO {
+        if stop.load(Ordering::SeqCst) {
+            return true;
+        }
+        let nap = remaining.min(slice);
+        std::thread::sleep(nap);
+        remaining -= nap;
+    }
+    stop.load(Ordering::SeqCst)
+}
+
+/// Starts the register-and-heartbeat loop on its own thread.
+pub fn join(config: JoinConfig) -> JoinHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let thread = std::thread::spawn(move || run_loop(&config, &flag));
+    JoinHandle {
+        stop,
+        thread: Some(thread),
+    }
+}
+
+fn run_loop(config: &JoinConfig, stop: &AtomicBool) {
+    let mut backoff = Duration::from_millis(50);
+    let backoff_cap = Duration::from_secs(2);
+    'register: loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(cadence) = register_once(config) else {
+            // Coordinator down or rejecting: retry with capped backoff.
+            if stoppable_sleep(stop, backoff) {
+                return;
+            }
+            backoff = (backoff * 2).min(backoff_cap);
+            continue 'register;
+        };
+        backoff = Duration::from_millis(50);
+        let interval = Duration::from_millis(cadence.heartbeat_interval_ms.max(10));
+        loop {
+            if stoppable_sleep(stop, interval) {
+                return;
+            }
+            let body = encode(&HeartbeatRequest {
+                name: config.name.clone(),
+            });
+            match post_json(
+                &config.coordinator,
+                config.timeout,
+                "/v1/cluster/heartbeat",
+                &body,
+            ) {
+                Ok((status, _)) if (200..300).contains(&status) => {}
+                // 404 = the coordinator no longer knows us (reaped or
+                // restarted): fall back to registration. Transport
+                // errors take the same path — registration retries
+                // absorb a bouncing coordinator.
+                _ => continue 'register,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leave_stops_a_loop_with_no_coordinator() {
+        // Port 1 on loopback refuses connections immediately; the loop
+        // must spin in its backoff and exit promptly on leave().
+        let handle = join(JoinConfig::new("127.0.0.1:1", "w-test", "127.0.0.1:2"));
+        std::thread::sleep(Duration::from_millis(120));
+        handle.leave();
+    }
+}

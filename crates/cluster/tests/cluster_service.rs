@@ -1,0 +1,294 @@
+//! End-to-end cluster tests on loopback, all in one process: a real
+//! coordinator fronting real `Server`s joined via the worker loop. The
+//! load-bearing assertion is the determinism contract — a sweep
+//! sharded across two workers merges to exactly the result one server
+//! computes on its own.
+
+use ecripse_cluster::{ClusterConfig, Coordinator, JoinConfig};
+use ecripse_core::bench::LinearBench;
+use ecripse_core::ecripse::EcripseConfig;
+use ecripse_core::importance::ImportanceConfig;
+use ecripse_core::initial::InitialSearchConfig;
+use ecripse_serve::protocol::{JobSpec, JobState, SubmitRequest, SweepOutcome};
+use ecripse_serve::{Client, ClientError, ServeConfig, Server};
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn tiny_config(seed: u64) -> EcripseConfig {
+    EcripseConfig {
+        initial: InitialSearchConfig {
+            count: 12,
+            max_attempts: 2000,
+            ..InitialSearchConfig::default()
+        },
+        iterations: 3,
+        importance: ImportanceConfig {
+            n_samples: 250,
+            m_rtn: 4,
+            trace_every: 0,
+        },
+        m_rtn_stage1: 2,
+        seed,
+        ..EcripseConfig::default()
+    }
+}
+
+fn linear_bench() -> LinearBench {
+    LinearBench::new(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0], 3.5)
+}
+
+fn bind_worker() -> Server<LinearBench> {
+    Server::bind_with("127.0.0.1:0", ServeConfig::default(), |_scenario, _vdd| {
+        linear_bench()
+    })
+    .expect("bind worker")
+}
+
+/// A coordinator tuned for test time: fast heartbeats, fast reap, fast
+/// polls, 2-point shards.
+fn fast_cluster() -> ClusterConfig {
+    ClusterConfig {
+        heartbeat_interval: Duration::from_millis(50),
+        heartbeat_timeout: Duration::from_millis(400),
+        shard_points: 2,
+        poll_interval: Duration::from_millis(10),
+        ..ClusterConfig::default()
+    }
+}
+
+fn join_worker(
+    coordinator: &Coordinator,
+    name: &str,
+    worker: &Server<LinearBench>,
+) -> ecripse_cluster::JoinHandle {
+    ecripse_cluster::join(JoinConfig::new(
+        coordinator.local_addr().to_string(),
+        name,
+        worker.local_addr().to_string(),
+    ))
+}
+
+fn strip_outcome_timings(outcome: &mut SweepOutcome) {
+    outcome.reports.rdf_only.strip_timings();
+    for report in &mut outcome.reports.points {
+        report.strip_timings();
+    }
+}
+
+fn sweep_request(seed: u64, points: usize) -> SubmitRequest {
+    let alphas: Vec<f64> = (0..points)
+        .map(|i| i as f64 / (points - 1) as f64)
+        .collect();
+    SubmitRequest::new(tiny_config(seed), JobSpec::sweep(0.7, alphas))
+}
+
+/// The tentpole contract: a sweep submitted to the coordinator — split
+/// into shards, scattered over two workers, merged — is bit-identical
+/// to the same request served by one standalone process.
+#[test]
+fn sharded_sweep_is_bit_identical_to_a_single_process_run() {
+    // Baseline: one plain server, no cluster anywhere.
+    let single = bind_worker();
+    let single_client = Client::new(single.local_addr().to_string());
+    let request = sweep_request(11, 7);
+    let submitted = single_client.submit(&request).expect("submit baseline");
+    let mut baseline = single_client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("baseline completes")
+        .sweep
+        .expect("baseline sweep outcome");
+    single.shutdown();
+
+    // Cluster: coordinator + two joined workers.
+    let coordinator = Coordinator::bind("127.0.0.1:0", fast_cluster()).expect("bind coordinator");
+    let w1 = bind_worker();
+    let w2 = bind_worker();
+    let m1 = join_worker(&coordinator, "w1", &w1);
+    let m2 = join_worker(&coordinator, "w2", &w2);
+    let client = Client::new(coordinator.local_addr().to_string());
+    let ready = client.wait_ready(WAIT).expect("coordinator becomes ready");
+    assert!(ready.ready, "coordinator not ready: {}", ready.status);
+
+    let submitted = client.submit(&request).expect("submit to coordinator");
+    let report = client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("cluster sweep completes");
+    assert_eq!(report.state, JobState::Completed);
+    let mut merged = report.sweep.expect("merged sweep outcome");
+
+    strip_outcome_timings(&mut baseline);
+    strip_outcome_timings(&mut merged);
+    assert_eq!(
+        merged, baseline,
+        "a sharded sweep must merge bit-identically to a single-process run"
+    );
+
+    // Both workers actually took part: 7 points in 2-point shards is 4
+    // shards, and the consistent-hash placement spreads job keys.
+    let metrics = coordinator.metrics();
+    assert!(
+        metrics.shards_completed_total >= 4,
+        "expected at least 4 shards, saw {}",
+        metrics.shards_completed_total
+    );
+    assert_eq!(metrics.jobs_completed, 1);
+
+    m1.leave();
+    m2.leave();
+    w1.shutdown();
+    w2.shutdown();
+    coordinator.shutdown();
+}
+
+/// Estimates have nothing to shard: they forward whole to one
+/// ring-chosen worker and come back bit-identical too.
+#[test]
+fn estimates_forward_whole_and_match_a_direct_run() {
+    let single = bind_worker();
+    let single_client = Client::new(single.local_addr().to_string());
+    let request = SubmitRequest::new(tiny_config(23), JobSpec::estimate(0.7, 0.5));
+    let submitted = single_client.submit(&request).expect("submit baseline");
+    let mut baseline = single_client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("baseline completes")
+        .estimate
+        .expect("baseline estimate outcome");
+    single.shutdown();
+
+    let coordinator = Coordinator::bind("127.0.0.1:0", fast_cluster()).expect("bind coordinator");
+    let worker = bind_worker();
+    let membership = join_worker(&coordinator, "w1", &worker);
+    let client = Client::new(coordinator.local_addr().to_string());
+    client.wait_ready(WAIT).expect("ready");
+
+    let submitted = client.submit(&request).expect("submit estimate");
+    let report = client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("estimate completes");
+    let mut forwarded = report.estimate.expect("forwarded estimate outcome");
+
+    baseline.report.strip_timings();
+    forwarded.report.strip_timings();
+    assert_eq!(
+        forwarded, baseline,
+        "forwarded estimate must match a direct run"
+    );
+    assert!(coordinator.metrics().estimates_forwarded_total >= 1);
+
+    membership.leave();
+    worker.shutdown();
+    coordinator.shutdown();
+}
+
+/// The coordinator speaks the serve protocol end to end: readiness
+/// gates on live workers, idempotency keys dedup, cancel works, and a
+/// worker that stops heartbeating shows up dead in the listing.
+#[test]
+fn cluster_management_surface_behaves() {
+    let coordinator = Coordinator::bind("127.0.0.1:0", fast_cluster()).expect("bind coordinator");
+    let client = Client::new(coordinator.local_addr().to_string());
+
+    // No workers yet: healthz answers, readyz refuses with a hint.
+    client.handshake().expect("handshake");
+    let readiness = client.readiness().expect("readiness document");
+    assert!(!readiness.ready);
+    assert_eq!(readiness.status, "no-workers");
+    assert_eq!(readiness.retry_after_seconds, Some(1));
+
+    // A submission against an empty cluster is accepted (the dispatcher
+    // waits for capacity) — but we exercise cancel instead of waiting.
+    let request = sweep_request(31, 5).with_idempotency_key("svc/sweep-31");
+    let submitted = client.submit(&request).expect("submit");
+    let dup = client.submit(&request).expect("dedup resubmit");
+    assert_eq!(dup.id, submitted.id, "idempotency key must dedup");
+    let cancelled = client.cancel(submitted.id).expect("cancel accepted");
+    assert!(!cancelled.state.is_terminal() || cancelled.state == JobState::Cancelled);
+    match client.wait(submitted.id, WAIT) {
+        Err(ClientError::Cancelled { id }) => assert_eq!(id, submitted.id),
+        other => panic!("expected the job to drain to cancelled, got {other:?}"),
+    }
+    assert!(coordinator.metrics().idempotent_hits >= 1);
+
+    // Join one worker, then silence it: the reaper must mark it dead.
+    let worker = bind_worker();
+    let membership = join_worker(&coordinator, "w-reap", &worker);
+    client.wait_ready(WAIT).expect("ready with one worker");
+    membership.leave();
+    let deadline = std::time::Instant::now() + WAIT;
+    loop {
+        assert!(std::time::Instant::now() < deadline, "worker never reaped");
+        if coordinator.metrics().workers_alive == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(coordinator.metrics().workers_dead_total >= 1);
+    let readiness = client.readiness().expect("readiness after reap");
+    assert!(!readiness.ready);
+
+    // Prometheus exposition serves the cluster counters.
+    let text = client.metrics_prometheus().expect("prometheus metrics");
+    assert!(text.contains("ecripse_cluster_workers_dead_total"));
+    assert!(text.contains("ecripse_cluster_jobs_submitted_total"));
+
+    worker.shutdown();
+    coordinator.shutdown();
+}
+
+/// Kill a worker mid-sweep (in-process flavour: stop heartbeats *and*
+/// the server so its shards genuinely die) and the coordinator must
+/// reassign its unfinished shards to the survivor — with the merged
+/// result still bit-identical to a single-process run.
+#[test]
+fn dead_workers_shards_are_reassigned_to_survivors() {
+    let single = bind_worker();
+    let single_client = Client::new(single.local_addr().to_string());
+    let request = sweep_request(47, 8);
+    let submitted = single_client.submit(&request).expect("submit baseline");
+    let mut baseline = single_client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("baseline completes")
+        .sweep
+        .expect("baseline sweep outcome");
+    single.shutdown();
+
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        ClusterConfig {
+            shard_points: 1, // fine-grained: every point is its own shard
+            ..fast_cluster()
+        },
+    )
+    .expect("bind coordinator");
+    let victim = bind_worker();
+    let survivor = bind_worker();
+    let m_victim = join_worker(&coordinator, "victim", &victim);
+    let m_survivor = join_worker(&coordinator, "survivor", &survivor);
+    let client = Client::new(coordinator.local_addr().to_string());
+    client.wait_ready(WAIT).expect("ready");
+
+    let submitted = client.submit(&request).expect("submit to coordinator");
+    // Let dispatch begin, then take the victim down hard: heartbeats
+    // stop and its socket closes, so in-flight shards are lost.
+    std::thread::sleep(Duration::from_millis(100));
+    m_victim.leave();
+    victim.shutdown();
+
+    let report = client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("sweep survives the worker death");
+    assert_eq!(report.state, JobState::Completed);
+    let mut merged = report.sweep.expect("merged sweep outcome");
+
+    strip_outcome_timings(&mut baseline);
+    strip_outcome_timings(&mut merged);
+    assert_eq!(
+        merged, baseline,
+        "reassigned shards must not change the merged result"
+    );
+
+    m_survivor.leave();
+    survivor.shutdown();
+    coordinator.shutdown();
+}

@@ -1,0 +1,125 @@
+//! Property tests for the consistent-hash ring: the two promises the
+//! coordinator's shard placement rests on.
+//!
+//! 1. **Balance** — with the default virtual-node count, no member owns
+//!    more than ~2× its fair share of a key population, for any
+//!    realistic cluster size.
+//! 2. **Minimal disruption** — removing one member remaps *only* the
+//!    keys that member owned (survivors keep every key of theirs), and
+//!    adding one member steals keys *only for itself*; in both
+//!    directions the number of remapped keys stays near `K/n`, not
+//!    `K`. This is exactly why a worker death reassigns the dead
+//!    worker's shards without reshuffling the survivors'.
+
+use ecripse_cluster::HashRing;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn members(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("worker-{i}")).collect()
+}
+
+fn ownership_counts(ring: &HashRing, keys: usize) -> HashMap<String, usize> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for k in 0..keys {
+        let owner = ring
+            .owner(&format!("job-7/point-{k}"))
+            .expect("non-empty ring owns every key");
+        *counts.entry(owner.to_string()).or_default() += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// No member's share exceeds 2× the ideal `K/n`.
+    #[test]
+    fn prop_distribution_is_within_twice_ideal(n in 2usize..9) {
+        const KEYS: usize = 4000;
+        let ring = HashRing::new(&members(n));
+        let counts = ownership_counts(&ring, KEYS);
+        let ideal = KEYS as f64 / n as f64;
+        for member in ring.members() {
+            let share = counts.get(member).copied().unwrap_or(0) as f64;
+            prop_assert!(
+                share <= 2.0 * ideal,
+                "{member} owns {share} of {KEYS} keys; ideal is {ideal:.0}"
+            );
+        }
+    }
+
+    /// Removing one member never moves a surviving member's keys, and
+    /// remaps roughly `K/n` keys in total.
+    #[test]
+    fn prop_removal_remaps_only_the_removed_members_keys(
+        n in 3usize..9,
+        removed_pick in 0usize..64,
+    ) {
+        const KEYS: usize = 2000;
+        let full = members(n);
+        let removed = &full[removed_pick % n];
+        let survivors: Vec<String> =
+            full.iter().filter(|m| *m != removed).cloned().collect();
+        let before = HashRing::new(&full);
+        let after = HashRing::new(&survivors);
+
+        let mut moved = 0usize;
+        for k in 0..KEYS {
+            let key = format!("job-3/point-{k}");
+            let owner_before = before.owner(&key).expect("owner before");
+            let owner_after = after.owner(&key).expect("owner after");
+            if owner_before == removed {
+                moved += 1;
+                prop_assert!(
+                    owner_after != removed,
+                    "key {key} still maps to the removed member"
+                );
+            } else {
+                prop_assert_eq!(
+                    owner_before, owner_after,
+                    "key {} moved although its owner survived", key
+                );
+            }
+        }
+        // The removed member's share is all that moves; with vnode
+        // smoothing it stays within 2× the ideal share.
+        let ideal = KEYS as f64 / n as f64;
+        prop_assert!(
+            (moved as f64) <= 2.0 * ideal,
+            "removal remapped {moved} keys; ideal share is {ideal:.0}"
+        );
+    }
+
+    /// Adding one member steals keys only for itself, roughly `K/(n+1)`
+    /// of them.
+    #[test]
+    fn prop_addition_steals_only_for_the_new_member(n in 2usize..8) {
+        const KEYS: usize = 2000;
+        let base = members(n);
+        let mut grown = base.clone();
+        grown.push("worker-new".to_string());
+        let before = HashRing::new(&base);
+        let after = HashRing::new(&grown);
+
+        let mut stolen = 0usize;
+        for k in 0..KEYS {
+            let key = format!("job-5/point-{k}");
+            let owner_before = before.owner(&key).expect("owner before");
+            let owner_after = after.owner(&key).expect("owner after");
+            if owner_before != owner_after {
+                stolen += 1;
+                prop_assert_eq!(
+                    owner_after, "worker-new",
+                    "key {} moved to {} instead of the new member", key, owner_after
+                );
+            }
+        }
+        let ideal = KEYS as f64 / (n + 1) as f64;
+        prop_assert!(
+            (stolen as f64) <= 2.0 * ideal,
+            "addition remapped {stolen} keys; ideal share is {ideal:.0}"
+        );
+        prop_assert!(stolen > 0, "the new member took nothing at all");
+    }
+}

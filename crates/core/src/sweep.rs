@@ -395,6 +395,10 @@ pub struct DutySweep<B: SweepBench = SramReadBench> {
     config: EcripseConfig,
     bench: B,
     alphas: Vec<f64>,
+    /// Global point indices for a sharded sweep: entry `k` is the index
+    /// this sweep's `alphas[k]` holds in the *full* grid. `None` means
+    /// the sweep IS the full grid (index `k` is global index `k`).
+    indices: Option<Vec<u64>>,
 }
 
 impl<B: SweepBench> DutySweep<B> {
@@ -413,6 +417,7 @@ impl<B: SweepBench> DutySweep<B> {
             config,
             bench,
             alphas,
+            indices: None,
         }
     }
 
@@ -420,6 +425,32 @@ impl<B: SweepBench> DutySweep<B> {
     pub fn paper_grid(config: EcripseConfig, bench: B) -> Self {
         let alphas = (0..=10).map(|i| i as f64 / 10.0).collect();
         Self::new(config, bench, alphas)
+    }
+
+    /// Marks this sweep as a *shard* of a larger grid: `indices[k]` is
+    /// the global index of `alphas[k]` in the full sweep. Per-point RNG
+    /// seeds are split from the base seed by **global** index, so a
+    /// shard computes bit-identically the points a single-process run of
+    /// the full grid would — this is what lets a cluster coordinator
+    /// scatter one sweep across workers and merge the shards back into
+    /// the single-process result (see [`merge_sweep_shards`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is not the same length as the duty grid or is
+    /// not strictly increasing (shards are ordered slices by contract).
+    pub fn with_point_indices(mut self, indices: Vec<u64>) -> Self {
+        assert_eq!(
+            indices.len(),
+            self.alphas.len(),
+            "one global index per duty point"
+        );
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "shard indices must be strictly increasing"
+        );
+        self.indices = Some(indices);
+        self
     }
 
     /// The duty ratios to sweep.
@@ -679,8 +710,11 @@ impl<B: SweepBench> DutySweep<B> {
                     }
                     let mut config = self.config;
                     // Decorrelate RNG streams across sweep points while
-                    // keeping the whole sweep reproducible.
-                    config.seed = self.config.seed.wrapping_add(1 + k as u64);
+                    // keeping the whole sweep reproducible. A shard
+                    // seeds by global index so it matches the point the
+                    // full grid would compute at that position.
+                    let global = self.indices.as_ref().map_or(k as u64, |ix| ix[k]);
+                    config.seed = self.config.seed.wrapping_add(1 + global);
                     let rtn = SramRtn::paper_model(alpha, sigmas);
                     let bench = self.bench.at_alpha(alpha);
                     let run = Ecripse::with_rtn(config, bench, rtn);
@@ -830,6 +864,15 @@ impl<B: SweepBench> DutySweep<B> {
         for sigma in self.bench.sigmas() {
             hash = fnv1a(hash, &sigma.to_bits().to_le_bytes());
         }
+        // Only a shard folds its global indices in: a full-grid sweep
+        // keeps the pre-shard fingerprint, so existing checkpoints stay
+        // valid — and a shard's checkpoint can never satisfy a resume of
+        // the full grid (their per-point seeds differ).
+        if let Some(indices) = &self.indices {
+            let indices_json = serde_json::to_string(indices)
+                .map_err(|e| CheckpointError::Corrupt(format!("serialise indices: {e}")))?;
+            hash = fnv1a(hash, indices_json.as_bytes());
+        }
         Ok(format!("{hash:016x}"))
     }
 }
@@ -860,6 +903,192 @@ fn save_checkpoint(path: Option<&Path>, checkpoint: &SweepCheckpoint) -> Result<
     std::fs::rename(&tmp, path)
         .map_err(|e| SweepError::Checkpoint(CheckpointError::Io(e.to_string())))?;
     Ok(())
+}
+
+/// One worker's slice of a sharded sweep, ready for
+/// [`merge_sweep_shards`]. Each shard ran the *same* base configuration
+/// and seed over a subset of the duty grid (see
+/// [`DutySweep::with_point_indices`]), so every shard carries its own
+/// bit-identical copy of the shared initialisation and RDF-only
+/// reference alongside its slice of the points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepShard {
+    /// Global indices of this shard's points in the full duty grid —
+    /// strictly increasing, aligned with `result.points` and
+    /// `reports.points`.
+    pub indices: Vec<u64>,
+    /// The shard's sweep result.
+    pub result: SweepResult,
+    /// The shard's structured reports.
+    pub reports: SweepReports,
+}
+
+/// Why a set of sweep shards could not be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// No shards were supplied, or the grid size is zero.
+    NoShards,
+    /// A shard's indices, points and reports disagree in length or
+    /// ordering.
+    Shape(String),
+    /// A shard names a global index outside the full grid.
+    IndexOutOfRange {
+        /// The offending index.
+        index: u64,
+        /// The full grid size.
+        total: usize,
+    },
+    /// Two shards both claim the same global index.
+    DuplicateIndex(u64),
+    /// No shard covers this global index — the merge would silently
+    /// drop a point.
+    MissingIndex(u64),
+    /// The shards' shared reference figures disagree, which means they
+    /// did not run the same base configuration and seed.
+    InconsistentReference(String),
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::NoShards => write!(f, "nothing to merge: no shards (or an empty grid)"),
+            MergeError::Shape(e) => write!(f, "malformed shard: {e}"),
+            MergeError::IndexOutOfRange { index, total } => {
+                write!(f, "shard names point {index} of a {total}-point grid")
+            }
+            MergeError::DuplicateIndex(i) => write!(f, "point {i} is claimed by two shards"),
+            MergeError::MissingIndex(i) => write!(f, "no shard covers point {i}"),
+            MergeError::InconsistentReference(e) => {
+                write!(f, "shards disagree on the shared reference: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Merges shard results back into the [`SweepResult`]/[`SweepReports`]
+/// pair a single-process run of the full grid would have produced —
+/// bit-identical apart from wall-clock timings.
+///
+/// Merge order is keyed by **global point index**, never by arrival
+/// order, so the output is deterministic no matter how the shards were
+/// scheduled. The shared initialisation and RDF-only reference were
+/// recomputed identically by every shard; they are counted **once** (as
+/// in a single-process run) and asserted bit-equal across shards — a
+/// disagreement means a worker ran a different configuration and the
+/// merge refuses rather than publish a mixed result.
+///
+/// # Errors
+///
+/// [`MergeError`] when the shards do not tile the grid exactly once or
+/// their shared reference figures disagree.
+pub fn merge_sweep_shards(
+    total_points: usize,
+    shards: &[SweepShard],
+) -> Result<(SweepResult, SweepReports), MergeError> {
+    if shards.is_empty() || total_points == 0 {
+        return Err(MergeError::NoShards);
+    }
+    for shard in shards {
+        if shard.indices.len() != shard.result.points.len()
+            || shard.indices.len() != shard.reports.points.len()
+        {
+            return Err(MergeError::Shape(format!(
+                "{} indices vs {} points vs {} reports",
+                shard.indices.len(),
+                shard.result.points.len(),
+                shard.reports.points.len()
+            )));
+        }
+        if !shard.indices.windows(2).all(|w| w[0] < w[1]) {
+            return Err(MergeError::Shape(
+                "shard indices must be strictly increasing".into(),
+            ));
+        }
+    }
+
+    // The shared reference must be bit-equal everywhere (timings aside).
+    let reference = &shards[0];
+    let stripped_reference = {
+        let mut report = reference.reports.rdf_only.clone();
+        report.strip_timings();
+        report
+    };
+    for shard in &shards[1..] {
+        if shard.result.p_fail_rdf_only.to_bits() != reference.result.p_fail_rdf_only.to_bits()
+            || shard.result.rdf_only_ci95.to_bits() != reference.result.rdf_only_ci95.to_bits()
+        {
+            return Err(MergeError::InconsistentReference(format!(
+                "p_fail_rdf_only {:e} vs {:e}",
+                shard.result.p_fail_rdf_only, reference.result.p_fail_rdf_only
+            )));
+        }
+        if shard.result.init_simulations != reference.result.init_simulations {
+            return Err(MergeError::InconsistentReference(format!(
+                "init_simulations {} vs {}",
+                shard.result.init_simulations, reference.result.init_simulations
+            )));
+        }
+        let mut stripped = shard.reports.rdf_only.clone();
+        stripped.strip_timings();
+        if stripped != stripped_reference {
+            return Err(MergeError::InconsistentReference(
+                "rdf-only reports differ structurally".into(),
+            ));
+        }
+    }
+
+    let mut points: Vec<Option<SweepPoint>> = vec![None; total_points];
+    let mut reports: Vec<Option<RunReport>> = vec![None; total_points];
+    for shard in shards {
+        for (k, &index) in shard.indices.iter().enumerate() {
+            let slot = usize::try_from(index).unwrap_or(usize::MAX);
+            if slot >= total_points {
+                return Err(MergeError::IndexOutOfRange {
+                    index,
+                    total: total_points,
+                });
+            }
+            if points[slot].is_some() {
+                return Err(MergeError::DuplicateIndex(index));
+            }
+            points[slot] = Some(shard.result.points[k]);
+            reports[slot] = Some(shard.reports.points[k].clone());
+        }
+    }
+    if let Some(missing) = points.iter().position(|p| p.is_none()) {
+        return Err(MergeError::MissingIndex(missing as u64));
+    }
+    let points: Vec<SweepPoint> = points.into_iter().flatten().collect();
+    let reports: Vec<RunReport> = reports.into_iter().flatten().collect();
+
+    // Every shard's total re-counts the shared initialisation and the
+    // RDF-only reference it recomputed; the merged total counts both
+    // once, exactly like a single-process run.
+    let shard_point_sims: u64 = reference.result.points.iter().map(|p| p.simulations).sum();
+    let rdf_only_sims = reference
+        .result
+        .total_simulations
+        .saturating_sub(reference.result.init_simulations)
+        .saturating_sub(shard_point_sims);
+    let total_simulations = reference.result.init_simulations
+        + rdf_only_sims
+        + points.iter().map(|p| p.simulations).sum::<u64>();
+
+    Ok((
+        SweepResult {
+            points,
+            p_fail_rdf_only: reference.result.p_fail_rdf_only,
+            rdf_only_ci95: reference.result.rdf_only_ci95,
+            init_simulations: reference.result.init_simulations,
+            total_simulations,
+        },
+        SweepReports {
+            rdf_only: reference.reports.rdf_only.clone(),
+            points: reports,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -1014,5 +1243,109 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("point 3"));
         assert!(text.contains("0.3"));
+    }
+
+    fn strip_reports(reports: &mut SweepReports) {
+        reports.rdf_only.strip_timings();
+        for report in &mut reports.points {
+            report.strip_timings();
+        }
+    }
+
+    fn run_shard(seed: u64, alphas: Vec<f64>, indices: Vec<u64>) -> SweepShard {
+        let config = EcripseConfig {
+            seed,
+            ..EcripseConfig::default()
+        };
+        let bench = LinearBench::new(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0], 3.5);
+        let (result, reports) = DutySweep::new(config, bench, alphas)
+            .with_point_indices(indices.clone())
+            .run_with_reports()
+            .expect("shard runs");
+        SweepShard {
+            indices,
+            result,
+            reports,
+        }
+    }
+
+    /// The clustering contract end to end, in miniature: two shards of
+    /// a 3-point grid, run independently with global indices, merge
+    /// back to exactly the single-process full-grid run.
+    #[test]
+    fn merged_shards_are_bit_identical_to_the_full_grid() {
+        let full = test_sweep(11);
+        let (want_result, mut want_reports) = full.run_with_reports().expect("full grid runs");
+        // Deliberately out of dispatch order: merge is keyed by index.
+        let shards = vec![
+            run_shard(11, vec![0.5], vec![1]),
+            run_shard(11, vec![0.0, 1.0], vec![0, 2]),
+        ];
+        let (got_result, mut got_reports) = merge_sweep_shards(3, &shards).expect("shards merge");
+        strip_reports(&mut want_reports);
+        strip_reports(&mut got_reports);
+        assert_eq!(got_result.points.len(), 3);
+        for (got, want) in got_result.points.iter().zip(&want_result.points) {
+            assert_eq!(got.alpha.to_bits(), want.alpha.to_bits());
+            assert_eq!(got.p_fail.to_bits(), want.p_fail.to_bits());
+            assert_eq!(
+                got.ci95_half_width.to_bits(),
+                want.ci95_half_width.to_bits()
+            );
+            assert_eq!(got.simulations, want.simulations);
+        }
+        // Timing-stripped, everything must match bit-for-bit.
+        assert_eq!(got_result, want_result);
+        assert_eq!(got_reports, want_reports);
+    }
+
+    #[test]
+    fn merge_rejects_holes_duplicates_and_foreign_references() {
+        let a = run_shard(11, vec![0.0, 1.0], vec![0, 2]);
+        let b = run_shard(11, vec![0.5], vec![1]);
+        assert_eq!(merge_sweep_shards(3, &[]), Err(MergeError::NoShards));
+        assert_eq!(
+            merge_sweep_shards(3, std::slice::from_ref(&a)),
+            Err(MergeError::MissingIndex(1))
+        );
+        assert_eq!(
+            merge_sweep_shards(3, &[a.clone(), b.clone(), b.clone()]),
+            Err(MergeError::DuplicateIndex(1))
+        );
+        assert_eq!(
+            merge_sweep_shards(2, &[a.clone(), b.clone()]),
+            Err(MergeError::IndexOutOfRange { index: 2, total: 2 })
+        );
+        // A shard from a different seed recomputed a different shared
+        // reference: the merge must refuse to mix them.
+        let foreign = run_shard(12, vec![0.5], vec![1]);
+        assert!(matches!(
+            merge_sweep_shards(3, &[a.clone(), foreign]),
+            Err(MergeError::InconsistentReference(_))
+        ));
+        // A malformed shard (indices out of step with points).
+        let mut torn = b;
+        torn.indices.push(2);
+        assert!(matches!(
+            merge_sweep_shards(3, &[a, torn]),
+            Err(MergeError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn shard_fingerprints_differ_from_the_full_grid() {
+        let full = test_sweep(1);
+        let sharded = test_sweep(1).with_point_indices(vec![4, 7, 9]);
+        assert_ne!(
+            full.fingerprint().expect("fingerprint"),
+            sharded.fingerprint().expect("fingerprint"),
+            "a shard checkpoint must never satisfy a full-grid resume"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_shard_indices_are_rejected() {
+        let _ = test_sweep(1).with_point_indices(vec![2, 1, 0]);
     }
 }

@@ -61,6 +61,22 @@ pub enum ClientError {
         /// How long the client waited in total before giving up.
         waited: Duration,
     },
+    /// The awaited job was cancelled (`DELETE /v1/jobs/{id}`) before it
+    /// finished. Distinct from [`ClientError::Api`]: the request
+    /// succeeded, the *job* was stopped.
+    Cancelled {
+        /// The cancelled job.
+        id: u64,
+    },
+    /// The awaited job's server-side `deadline_ms` budget elapsed
+    /// before it finished.
+    DeadlineExceeded {
+        /// The expired job.
+        id: u64,
+        /// The server's description of the expiry, when one was
+        /// recorded.
+        error: Option<String>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -81,6 +97,11 @@ impl std::fmt::Display for ClientError {
                 "timed out waiting for job {id} after {:.3}s",
                 waited.as_secs_f64()
             ),
+            ClientError::Cancelled { id } => write!(f, "job {id} was cancelled"),
+            ClientError::DeadlineExceeded { id, error } => match error {
+                Some(e) => write!(f, "job {id} exceeded its deadline: {e}"),
+                None => write!(f, "job {id} exceeded its deadline"),
+            },
         }
     }
 }
@@ -166,7 +187,12 @@ impl BackoffPolicy {
         match error {
             ClientError::Io(_) | ClientError::Busy { .. } => true,
             ClientError::Api { status, .. } => (500..600).contains(status),
-            ClientError::Protocol(_) | ClientError::Timeout { .. } => false,
+            // A cancelled or deadline-expired job is a final verdict on
+            // the job itself — retrying the poll cannot change it.
+            ClientError::Protocol(_)
+            | ClientError::Timeout { .. }
+            | ClientError::Cancelled { .. }
+            | ClientError::DeadlineExceeded { .. } => false,
         }
     }
 }
@@ -423,10 +449,18 @@ impl Client {
     /// 500 ms) — short jobs are noticed almost immediately, long ones
     /// don't get hammered.
     ///
+    /// A job that was *stopped* rather than finished is an error, not a
+    /// status: [`ClientError::Cancelled`] and
+    /// [`ClientError::DeadlineExceeded`] are distinct so callers (and
+    /// the cluster coordinator) can tell "someone deleted it" from "it
+    /// ran out of budget" without re-inspecting the state.
+    ///
     /// # Errors
     ///
     /// [`ClientError::Timeout`] (carrying the total time waited) when
-    /// `timeout` elapses first; transport errors pass through.
+    /// `timeout` elapses first; [`ClientError::Cancelled`] /
+    /// [`ClientError::DeadlineExceeded`] when the job was stopped;
+    /// transport errors pass through.
     pub fn wait(&self, id: u64, timeout: Duration) -> Result<JobStatus, ClientError> {
         let started = Instant::now();
         let deadline = started + timeout;
@@ -434,8 +468,18 @@ impl Client {
         let cap = Duration::from_millis(500);
         loop {
             let status = self.status(id)?;
-            if status.state.is_terminal() {
-                return Ok(status);
+            match status.state {
+                crate::protocol::JobState::Cancelled => {
+                    return Err(ClientError::Cancelled { id });
+                }
+                crate::protocol::JobState::DeadlineExceeded => {
+                    return Err(ClientError::DeadlineExceeded {
+                        id,
+                        error: status.error,
+                    });
+                }
+                state if state.is_terminal() => return Ok(status),
+                _ => {}
             }
             let now = Instant::now();
             if now >= deadline {
@@ -447,6 +491,41 @@ impl Client {
             // Never oversleep the deadline by more than one beat.
             std::thread::sleep(interval.min(deadline - now));
             interval = (interval * 2).min(cap);
+        }
+    }
+
+    /// Polls `GET /readyz` until the server reports ready, honouring the
+    /// `Retry-After` hint a `503` carries during boot replay (clamped to
+    /// 1 s so a pathological hint cannot stall the caller); transport
+    /// errors are treated as "still booting" and re-polled.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] when `timeout` elapses before the
+    /// server reports ready (id 0 — readiness is not a job).
+    pub fn wait_ready(&self, timeout: Duration) -> Result<Readiness, ClientError> {
+        let started = Instant::now();
+        let deadline = started + timeout;
+        loop {
+            let mut pause = Duration::from_millis(20);
+            match self.readiness() {
+                Ok(readiness) if readiness.ready => return Ok(readiness),
+                Ok(readiness) => {
+                    if let Some(hint) = readiness.retry_after_seconds {
+                        pause = Duration::from_secs(hint).min(Duration::from_secs(1));
+                    }
+                }
+                Err(ClientError::Io(_)) => {}
+                Err(other) => return Err(other),
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ClientError::Timeout {
+                    id: 0,
+                    waited: started.elapsed(),
+                });
+            }
+            std::thread::sleep(pause.min(deadline - now));
         }
     }
 

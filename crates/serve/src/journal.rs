@@ -320,6 +320,11 @@ pub struct Journal {
     path: PathBuf,
     file: Mutex<File>,
     terminal_appends: AtomicU64,
+    /// Current on-disk size (bytes of valid frames); kept in step with
+    /// every append and compaction so `/metrics` never has to stat.
+    bytes: AtomicU64,
+    /// Compactions completed since this handle was opened.
+    compactions: AtomicU64,
 }
 
 impl std::fmt::Debug for Journal {
@@ -359,6 +364,8 @@ impl Journal {
                 path,
                 file: Mutex::new(file),
                 terminal_appends: AtomicU64::new(0),
+                bytes: AtomicU64::new(good_len),
+                compactions: AtomicU64::new(0),
             },
             replay,
         ))
@@ -380,7 +387,19 @@ impl Journal {
         let frame = encode_frame(record)?;
         let mut file = self.file.lock();
         file.write_all(&frame)?;
-        file.sync_data()
+        file.sync_data()?;
+        self.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Current on-disk size of the journal in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Compactions completed since this journal handle was opened.
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
     }
 
     /// Whether enough terminal records have accumulated since the last
@@ -416,8 +435,10 @@ impl Journal {
         }
         std::fs::rename(&tmp, &self.path)?;
         let mut reopened = OpenOptions::new().read(true).write(true).open(&self.path)?;
-        reopened.seek(std::io::SeekFrom::End(0))?;
+        let end = reopened.seek(std::io::SeekFrom::End(0))?;
         *file = reopened;
+        self.bytes.store(end, Ordering::Relaxed);
+        self.compactions.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -584,6 +605,40 @@ mod tests {
         assert_eq!(jobs[0].id, 2);
         assert_eq!(jobs[1].id, 3);
         assert_eq!(jobs[1].state, Some((JobState::Completed, None)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_and_compaction_counters_track_the_file() {
+        let dir = scratch("counters");
+        let path = dir.join("journal.jsonl");
+        let (journal, _) = Journal::open(&path).expect("open");
+        assert_eq!(journal.bytes(), 0);
+        assert_eq!(journal.compactions(), 0);
+        journal
+            .append(&JournalRecord::submitted(1, request(1)))
+            .expect("append");
+        journal
+            .append(&JournalRecord::terminal(1, JobState::Completed, None))
+            .expect("append");
+        let on_disk = std::fs::metadata(&path).expect("stat").len();
+        assert_eq!(journal.bytes(), on_disk, "append keeps the size in step");
+
+        // Compacting an unkeyed finished job empties the journal.
+        journal.compact(&[]).expect("compact");
+        assert_eq!(journal.compactions(), 1);
+        assert_eq!(journal.bytes(), 0);
+        assert_eq!(std::fs::metadata(&path).expect("stat").len(), 0);
+
+        // A reopened handle starts from the on-disk size again.
+        journal
+            .append(&JournalRecord::submitted(2, request(2)))
+            .expect("append");
+        let size = journal.bytes();
+        drop(journal);
+        let (journal, _) = Journal::open(&path).expect("reopen");
+        assert_eq!(journal.bytes(), size);
+        assert_eq!(journal.compactions(), 0, "compactions count per handle");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -145,6 +145,14 @@ pub struct JobSpec {
     /// Duty-ratio grid for sweeps; required for [`JobKind::Sweep`],
     /// forbidden for [`JobKind::Estimate`].
     pub alphas: Option<Vec<f64>>,
+    /// Global point indices for a *shard* of a larger sweep: entry `k`
+    /// is the index `alphas[k]` holds in the full grid, so per-point
+    /// RNG seeds split by global index and the shard's points are
+    /// bit-identical to the ones a single-process full-grid run would
+    /// compute (the cluster coordinator's contract). Absent (the
+    /// pre-PR-9 wire shape) the sweep is its own full grid.
+    #[serde(default)]
+    pub alpha_indices: Option<Vec<u64>>,
 }
 
 impl JobSpec {
@@ -155,6 +163,7 @@ impl JobSpec {
             vdd,
             alpha: None,
             alphas: None,
+            alpha_indices: None,
         }
     }
 
@@ -165,6 +174,7 @@ impl JobSpec {
             vdd,
             alpha: Some(alpha),
             alphas: None,
+            alpha_indices: None,
         }
     }
 
@@ -175,6 +185,20 @@ impl JobSpec {
             vdd,
             alpha: None,
             alphas: Some(alphas),
+            alpha_indices: None,
+        }
+    }
+
+    /// A shard of a larger duty-ratio sweep: `indices[k]` is the global
+    /// index of `alphas[k]` in the full grid (see
+    /// [`DutySweep::with_point_indices`](ecripse_core::sweep::DutySweep::with_point_indices)).
+    pub fn sweep_shard(vdd: f64, alphas: Vec<f64>, indices: Vec<u64>) -> Self {
+        Self {
+            kind: JobKind::Sweep,
+            vdd,
+            alpha: None,
+            alphas: Some(alphas),
+            alpha_indices: Some(indices),
         }
     }
 
@@ -201,6 +225,9 @@ impl JobSpec {
                 if self.alphas.is_some() {
                     return Err("estimate jobs take `alpha`, not `alphas`".into());
                 }
+                if self.alpha_indices.is_some() {
+                    return Err("`alpha_indices` only applies to sweep jobs".into());
+                }
             }
             JobKind::Sweep => {
                 let Some(alphas) = &self.alphas else {
@@ -217,6 +244,19 @@ impl JobSpec {
                 }
                 if self.alpha.is_some() {
                     return Err("sweep jobs take `alphas`, not `alpha`".into());
+                }
+                if let Some(indices) = &self.alpha_indices {
+                    if indices.len() != alphas.len() {
+                        return Err(format!(
+                            "`alpha_indices` must pair one global index with each alpha \
+                             ({} indices for {} alphas)",
+                            indices.len(),
+                            alphas.len()
+                        ));
+                    }
+                    if !indices.windows(2).all(|w| w[0] < w[1]) {
+                        return Err("`alpha_indices` must be strictly increasing".into());
+                    }
                 }
             }
         }
@@ -439,6 +479,11 @@ pub struct Readiness {
     pub status: String,
     /// Protocol version the server speaks.
     pub protocol: u32,
+    /// On a `503`, how long the caller should wait before probing again
+    /// (mirrors the `Retry-After` header). Absent when ready and in
+    /// pre-PR-9 bodies.
+    #[serde(default)]
+    pub retry_after_seconds: Option<u64>,
 }
 
 /// The `GET /metrics` body: queue, worker, job and cache counters.
@@ -493,6 +538,18 @@ pub struct Metrics {
     /// no store is configured or the snapshot was rejected).
     #[serde(default)]
     pub cache_loaded_entries: u64,
+    /// Write-ahead journal compactions since startup (0 when no journal
+    /// is configured).
+    #[serde(default)]
+    pub journal_compactions_total: u64,
+    /// Journal frames replayed during boot recovery — every submission
+    /// and terminal record decoded from the pre-crash file, not just the
+    /// re-enqueued jobs (`recovered` counts those).
+    #[serde(default)]
+    pub journal_frames_replayed_total: u64,
+    /// Current on-disk size of the journal file in bytes.
+    #[serde(default)]
+    pub journal_bytes: u64,
     /// Seconds since the server bound its socket.
     pub uptime_seconds: f64,
     /// Jobs in a terminal state (completed + failed + cancelled +
@@ -570,6 +627,55 @@ mod tests {
         let mut mixed = JobSpec::sweep(1.0, vec![0.1]);
         mixed.alpha = Some(0.2);
         assert!(mixed.validate().is_err());
+    }
+
+    #[test]
+    fn shard_specs_validate_their_indices() {
+        assert!(JobSpec::sweep_shard(1.0, vec![0.0, 0.5], vec![0, 3])
+            .validate()
+            .is_ok());
+        // One global index per alpha.
+        assert!(JobSpec::sweep_shard(1.0, vec![0.0, 0.5], vec![0])
+            .validate()
+            .is_err());
+        // Strictly increasing (shards are ordered slices).
+        assert!(JobSpec::sweep_shard(1.0, vec![0.0, 0.5], vec![3, 0])
+            .validate()
+            .is_err());
+        assert!(JobSpec::sweep_shard(1.0, vec![0.0, 0.5], vec![2, 2])
+            .validate()
+            .is_err());
+        // Indices are a sweep-only concept.
+        let mut estimate = JobSpec::estimate(1.0, 0.3);
+        estimate.alpha_indices = Some(vec![0]);
+        assert!(estimate.validate().is_err());
+    }
+
+    #[test]
+    fn pre_pr9_wire_bodies_still_parse() {
+        // A sweep submission without `alpha_indices` — the PR-8-era
+        // wire shape — must parse as a full-grid sweep.
+        let req = SubmitRequest::new(
+            EcripseConfig::default(),
+            JobSpec::sweep(1.0, vec![0.0, 1.0]),
+        );
+        let json = serde_json::to_string(&req).expect("serialise");
+        let stripped = {
+            let mut value: serde::json::Value = serde_json::from_str(&json).expect("parse");
+            if let serde::json::Value::Object(entries) = &mut value {
+                for (key, entry) in entries.iter_mut() {
+                    if key == "job" {
+                        if let serde::json::Value::Object(job) = entry {
+                            job.retain(|(k, _)| k != "alpha_indices");
+                        }
+                    }
+                }
+            }
+            serde_json::to_string(&value).expect("re-serialise")
+        };
+        let back: SubmitRequest = serde_json::from_str(&stripped).expect("old body parses");
+        assert_eq!(back.job.alpha_indices, None);
+        assert_eq!(back, req);
     }
 
     #[test]

@@ -340,6 +340,9 @@ struct Shared<B> {
     journal: Option<Journal>,
     /// Unfinished jobs re-enqueued from the journal at boot.
     recovered: u64,
+    /// Journal frames decoded during boot replay (submissions and
+    /// terminals combined).
+    frames_replayed: u64,
     state: std::sync::Mutex<QueueState>,
     work_ready: std::sync::Condvar,
     counters: Counters,
@@ -433,7 +436,7 @@ impl<B: SweepBench + 'static> Server<B> {
         // Open + replay the journal *before* anything can accept
         // traffic: the node is not ready until every surviving job is
         // back in the table.
-        let (journal, recovered_jobs) = match &config.journal {
+        let (journal, recovered_jobs, frames_replayed) = match &config.journal {
             Some(path) => {
                 let (journal, replay) = Journal::open(path)?;
                 if replay.dropped_bytes > 0 {
@@ -443,9 +446,10 @@ impl<B: SweepBench + 'static> Server<B> {
                         replay.dropped_bytes
                     );
                 }
-                (Some(journal), journal::recover(&replay.records))
+                let frames = replay.records.len() as u64;
+                (Some(journal), journal::recover(&replay.records), frames)
             }
-            None => (None, Vec::new()),
+            None => (None, Vec::new(), 0),
         };
         let mut queue = VecDeque::new();
         let mut jobs = HashMap::new();
@@ -509,6 +513,7 @@ impl<B: SweepBench + 'static> Server<B> {
             cache_loaded,
             journal,
             recovered,
+            frames_replayed,
             config,
             factory: Box::new(factory),
             scenario_completed: Default::default(),
@@ -689,7 +694,10 @@ fn persist_queued_sweep<B: SweepBench>(shared: &Shared<B>, id: u64, record: &Job
         return false;
     };
     let bench = job_bench(shared, record.scenario, &record.spec);
-    let sweep = DutySweep::new(record.config, bench, alphas);
+    let mut sweep = DutySweep::new(record.config, bench, alphas);
+    if let Some(indices) = record.spec.alpha_indices.clone() {
+        sweep = sweep.with_point_indices(indices);
+    }
     sweep.ensure_checkpoint(&path).is_ok()
 }
 
@@ -822,16 +830,26 @@ fn deadline_monitor<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
 /// scenario and supply, wrapped in the process-wide verdict cache. The
 /// tag namespaces verdicts by scenario (id + version salt) and supply
 /// voltage; `at_alpha` (inside sweeps) further folds in the duty ratio.
+///
+/// Sweep *shards* opt out of the cache: the merge asserts every shard's
+/// shared rdf-only reference bit-equal, and while the cache never
+/// changes a verdict, a warm hit skips the circuit solver — so the
+/// solver-effort counters (Newton iterations, factorisations,
+/// warm-started curves) in the shard's report would depend on what the
+/// worker computed before. Shards therefore always evaluate cold, and
+/// the merged document stays bit-identical to a single-process run no
+/// matter how shards were placed or replayed.
 fn job_bench<B: SweepBench>(
     shared: &Shared<B>,
     scenario: Scenario,
     spec: &JobSpec,
 ) -> SharedBench<B> {
+    let enabled = shared.config.cache.enabled && spec.alpha_indices.is_none();
     SharedBench::new(
         (shared.factory)(scenario, spec.vdd),
         tag_for(&[scenario.tag_salt(), spec.vdd.to_bits()]),
         Arc::clone(&shared.cache),
-        shared.config.cache.enabled,
+        enabled,
     )
 }
 
@@ -1184,14 +1202,24 @@ fn readyz<B>(shared: &Shared<B>) -> Response {
     } else {
         ("ready", true)
     };
-    Response::json(
+    // How soon a probe is worth repeating: replay finishes quickly
+    // (the journal is compacted at boot), a drain never un-drains but
+    // the process is usually replaced within moments, saturation clears
+    // at job-completion cadence.
+    let retry_after_seconds = (!ready).then_some(1u64);
+    let response = Response::json(
         if ready { 200 } else { 503 },
         json_body(&Readiness {
             ready,
             status: status.to_string(),
             protocol: PROTOCOL_VERSION,
+            retry_after_seconds,
         }),
-    )
+    );
+    match retry_after_seconds {
+        Some(hint) => response.with_header("Retry-After", hint.to_string()),
+        None => response,
+    }
 }
 
 fn collect_metrics<B>(shared: &Shared<B>) -> Metrics {
@@ -1226,6 +1254,9 @@ fn collect_metrics<B>(shared: &Shared<B>) -> Metrics {
         cache_misses: shared.cache.misses(),
         cache_hit_rate: shared.cache.hit_rate(),
         cache_loaded_entries: shared.cache_loaded,
+        journal_compactions_total: shared.journal.as_ref().map_or(0, |j| j.compactions()),
+        journal_frames_replayed_total: shared.frames_replayed,
+        journal_bytes: shared.journal.as_ref().map_or(0, |j| j.bytes()),
         uptime_seconds: shared.started.elapsed().as_secs_f64(),
         jobs_in_terminal_state: completed + failed + cancelled + deadline_exceeded + persisted,
         scenario_jobs: Scenario::ALL
@@ -1278,7 +1309,7 @@ fn prom_scalar(out: &mut String, name: &str, kind: &str, help: &str, value: f64)
 /// observer bridge's pipeline metrics).
 fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
     let mut out = String::new();
-    let gauges: [(&str, &str, f64); 9] = [
+    let gauges: [(&str, &str, f64); 10] = [
         (
             "queue_depth",
             "Jobs waiting in the queue",
@@ -1316,6 +1347,11 @@ fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
             "Jobs completed, failed, cancelled or persisted",
             m.jobs_in_terminal_state as f64,
         ),
+        (
+            "journal_bytes",
+            "Current on-disk size of the write-ahead job journal",
+            m.journal_bytes as f64,
+        ),
     ];
     for (name, help, value) in gauges {
         prom_scalar(
@@ -1326,7 +1362,7 @@ fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
             value,
         );
     }
-    let counters: [(&str, &str, u64); 22] = [
+    let counters: [(&str, &str, u64); 24] = [
         ("submitted_total", "Jobs ever accepted", m.submitted),
         ("completed_total", "Jobs finished successfully", m.completed),
         (
@@ -1358,6 +1394,16 @@ fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
             "recovered_total",
             "Unfinished jobs re-enqueued from the journal at boot",
             m.recovered,
+        ),
+        (
+            "journal_compactions_total",
+            "Write-ahead journal compactions since startup",
+            m.journal_compactions_total,
+        ),
+        (
+            "journal_frames_replayed_total",
+            "Journal frames decoded during boot replay",
+            m.journal_frames_replayed_total,
         ),
         (
             "idempotent_hits_total",
@@ -1674,7 +1720,12 @@ fn execute_inner<B: SweepBench + 'static>(
         }
         JobKind::Sweep => {
             let alphas = spec.alphas.clone().unwrap_or_default();
-            let sweep = DutySweep::new(config, bench, alphas);
+            // A shard seeds its points by global index (the spec was
+            // validated at submit time, so the panics cannot fire).
+            let mut sweep = DutySweep::new(config, bench, alphas);
+            if let Some(indices) = spec.alpha_indices.clone() {
+                sweep = sweep.with_point_indices(indices);
+            }
             let options = SweepOptions {
                 checkpoint: spool_path(shared, id),
                 resume: true,

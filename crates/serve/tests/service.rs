@@ -352,7 +352,11 @@ fn job_lifecycle_cancel_and_errors() {
     let acknowledged = client.cancel(running.id).expect("cancel running job");
     assert_eq!(acknowledged.state, JobState::Running);
     gate.store(true, Ordering::SeqCst);
-    let done = client.wait(running.id, WAIT).expect("job drains");
+    match client.wait(running.id, WAIT) {
+        Err(ClientError::Cancelled { id }) => assert_eq!(id, running.id),
+        other => panic!("expected the cancelled error, got {other:?}"),
+    }
+    let done = client.status(running.id).expect("drained status");
     assert_eq!(done.state, JobState::Cancelled);
     assert_eq!(done.error.as_deref(), Some("cancelled while running"));
     match client.cancel(running.id) {
@@ -610,13 +614,16 @@ fn deadlines_expire_queued_and_running_jobs() {
     let queued = client
         .submit(&request.clone().with_deadline_ms(50))
         .expect("queued job");
-    let expired = client.wait(queued.id, WAIT).expect("queued job expires");
-    assert_eq!(expired.state, JobState::DeadlineExceeded);
-    assert!(
-        expired.error.as_deref().unwrap_or("").contains("queued"),
-        "expiry cause should say the job never started: {:?}",
-        expired.error
-    );
+    match client.wait(queued.id, WAIT) {
+        Err(ClientError::DeadlineExceeded { id, error }) => {
+            assert_eq!(id, queued.id);
+            assert!(
+                error.as_deref().unwrap_or("").contains("queued"),
+                "expiry cause should say the job never started: {error:?}"
+            );
+        }
+        other => panic!("expected the deadline-exceeded error, got {other:?}"),
+    }
     // DeadlineExceeded is terminal: the report endpoint serves it.
     let report = client.report(queued.id).expect("expired job's report");
     assert_eq!(report.state, JobState::DeadlineExceeded);
@@ -635,13 +642,16 @@ fn deadlines_expire_queued_and_running_jobs() {
     wait_until_running(&client, held.id);
     std::thread::sleep(Duration::from_millis(250));
     gate.store(true, Ordering::SeqCst);
-    let done = client.wait(held.id, WAIT).expect("held job drains");
-    assert_eq!(done.state, JobState::DeadlineExceeded);
-    assert!(
-        done.error.as_deref().unwrap_or("").contains("running"),
-        "expiry cause should say the job was running: {:?}",
-        done.error
-    );
+    match client.wait(held.id, WAIT) {
+        Err(ClientError::DeadlineExceeded { id, error }) => {
+            assert_eq!(id, held.id);
+            assert!(
+                error.as_deref().unwrap_or("").contains("running"),
+                "expiry cause should say the job was running: {error:?}"
+            );
+        }
+        other => panic!("expected the deadline-exceeded error, got {other:?}"),
+    }
 
     let metrics = client.metrics().expect("metrics");
     assert_eq!(metrics.deadline_exceeded, 2);

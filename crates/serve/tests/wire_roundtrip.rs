@@ -332,6 +332,9 @@ proptest! {
                 None
             },
             cache_loaded_entries: counts[6] / 2,
+            journal_compactions_total: counts[2] / 3,
+            journal_frames_replayed_total: counts[4] / 2,
+            journal_bytes: counts[7],
             uptime_seconds: depth as f64 * 0.125,
             jobs_in_terminal_state: counts[1] + counts[2] + counts[3] + counts[4],
             scenario_jobs: Scenario::ALL

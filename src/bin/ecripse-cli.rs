@@ -11,6 +11,9 @@
 //! ecripse-cli naive    [--vdd V] [--alpha A] [--no-rtn] [--samples N] [--seed S]
 //! ecripse-cli serve    [--addr HOST:PORT] [--workers W] [--queue Q] [--spool DIR]
 //!                      [--cache-store PATH] [--journal PATH]
+//!                      [--join COORD_ADDR] [--worker-name NAME]
+//! ecripse-cli cluster  [--addr HOST:PORT] [--heartbeat-ms MS] [--timeout-ms MS]
+//!                      [--shard-points K] [--max-jobs N]
 //! ecripse-cli submit   --addr HOST:PORT [--vdd V] [--scenario NAME] [--alpha A] [--no-rtn]
 //!                      [--samples N] [--seed S] [--threads T] [--timeout SECS]
 //!                      [--deadline MS] [--idempotency-key KEY] [--retry N]
@@ -54,6 +57,21 @@
 //! fsync'd to a write-ahead journal *before* it is acknowledged, and a
 //! restarted server (same `--journal`/`--spool`) re-enqueues every job
 //! that never finished — a `kill -9` loses at most work, never jobs.
+//! With `--join COORD_ADDR` the server additionally enrols as a
+//! *cluster worker*: it registers with the coordinator at that address
+//! and heartbeats until shutdown (re-registering automatically if the
+//! coordinator restarts or reaps it). `--worker-name NAME` fixes the
+//! worker's stable name (default `worker-<port>`); keep it stable
+//! across restarts so a restarted worker revives its registration and
+//! resumes its journaled shards instead of recomputing them.
+//!
+//! `cluster` runs the [`ecripse::cluster`] coordinator until Ctrl-C: it
+//! speaks the *same* job protocol as `serve` (point `submit` at it and
+//! nothing changes), shards sweeps across the registered workers via a
+//! consistent-hash ring, reassigns shards off workers that miss their
+//! heartbeats, and merges shard reports into a result bit-identical to
+//! a single-process run.
+//!
 //! `submit` sends one estimate job to a running server and waits for
 //! the result; `--deadline MS` bounds its server-side wall-clock
 //! budget, `--retry N` turns on client-side retries (connect errors,
@@ -202,7 +220,7 @@ fn print_latency_summary(registry: &MetricsRegistry, path: &str) {
 fn usage() {
     let scenario_ids: Vec<&str> = registry().iter().map(|info| info.id).collect();
     eprintln!(
-        "usage: ecripse-cli <estimate|sweep|margin|naive|serve|submit> [options]\n\
+        "usage: ecripse-cli <estimate|sweep|margin|naive|serve|cluster|submit> [options]\n\
          \n\
          scenarios: {} (default read-snm; see SCENARIOS.md)\n\
          \n\
@@ -228,6 +246,11 @@ fn usage() {
          \x20          --spool DIR (persist queued sweeps on shutdown)\n\
          \x20          --cache-store PATH (persist the verdict cache across restarts)\n\
          \x20          --journal PATH (write-ahead job journal: accepted jobs survive kill -9)\n\
+         \x20          --join COORD_ADDR (enrol as a cluster worker)  --worker-name NAME\n\
+         cluster   coordinator: same job protocol, sharded over joined workers\n\
+         \x20          --addr HOST:PORT (127.0.0.1:7979)  --heartbeat-ms MS (250)\n\
+         \x20          --timeout-ms MS (1500; silence past this reaps a worker)\n\
+         \x20          --shard-points K (2; max duty points per shard)  --max-jobs N (32)\n\
          submit    send one estimate job to a running server and wait\n\
          \x20          --addr HOST:PORT (required)  --vdd V (0.7)  --scenario NAME\n\
          \x20          --alpha A (0.5)  --no-rtn\n\
@@ -503,15 +526,69 @@ fn run() -> Result<(), String> {
             // (stdout is line-buffered even when piped).
             println!("listening on http://{}", server.local_addr());
             println!("{workers} worker(s); press Ctrl-C to drain and shut down");
+            // --join enrols this server as a cluster worker: register
+            // with the coordinator and heartbeat until shutdown.
+            let membership = match args.opt::<String>("join")? {
+                Some(coordinator) => {
+                    let name: String = args.get(
+                        "worker-name",
+                        format!("worker-{}", server.local_addr().port()),
+                    )?;
+                    println!("joining cluster at {coordinator} as {name}");
+                    Some(ecripse::cluster::join(JoinConfig::new(
+                        coordinator,
+                        name,
+                        server.local_addr().to_string(),
+                    )))
+                }
+                None => None,
+            };
             interrupt::install();
             while !interrupt::requested() {
                 std::thread::sleep(std::time::Duration::from_millis(50));
             }
             eprintln!("shutting down: draining in-flight jobs...");
+            // Stop heartbeating first so the coordinator reaps us and
+            // stops routing new shards here while we drain.
+            if let Some(membership) = membership {
+                membership.leave();
+            }
             let summary = server.shutdown();
             println!(
                 "shutdown complete: {} drained, {} persisted, {} cancelled",
                 summary.drained, summary.persisted, summary.cancelled
+            );
+        }
+        "cluster" => {
+            let addr: String = args.get("addr", "127.0.0.1:7979".to_string())?;
+            let config = ClusterConfig {
+                heartbeat_interval: std::time::Duration::from_millis(
+                    args.get("heartbeat-ms", 250u64)?.max(10),
+                ),
+                heartbeat_timeout: std::time::Duration::from_millis(
+                    args.get("timeout-ms", 1500u64)?.max(100),
+                ),
+                shard_points: args.get("shard-points", 2usize)?.max(1),
+                max_inflight_jobs: args.get("max-jobs", 32usize)?.max(1),
+                ..ClusterConfig::default()
+            };
+            let coordinator =
+                Coordinator::bind(&addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
+            // Same parseable first line as `serve` — harnesses reuse it.
+            println!("listening on http://{}", coordinator.local_addr());
+            println!("coordinator up; workers join with: serve --join {addr}");
+            interrupt::install();
+            while !interrupt::requested() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            let metrics = coordinator.metrics();
+            eprintln!("shutting down: draining in-flight cluster jobs...");
+            coordinator.shutdown();
+            println!(
+                "shutdown complete: {} job(s) completed, {} shard(s) dispatched, {} reassigned",
+                metrics.jobs_completed,
+                metrics.shards_dispatched_total,
+                metrics.shards_reassigned_total
             );
         }
         "submit" => {

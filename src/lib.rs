@@ -24,7 +24,12 @@
 //! * [`serve`] — a job-queue estimation service over plain TCP: a
 //!   bounded queue, a fixed worker pool sharing one process-wide
 //!   verdict cache, a versioned JSON wire protocol and a blocking
-//!   client. Served runs are bit-identical to direct library calls.
+//!   client. Served runs are bit-identical to direct library calls;
+//! * [`cluster`] — scale-out on top of [`serve`]: a coordinator that
+//!   speaks the same job protocol, shards sweeps over registered
+//!   workers via a consistent-hash ring, reassigns shards off dead
+//!   workers (heartbeats + idempotency keys) and merges shard reports
+//!   into a result bit-identical to a single-process run.
 //!
 //! ## Quick start
 //!
@@ -51,6 +56,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub use ecripse_cluster as cluster;
 pub use ecripse_core as core;
 pub use ecripse_rtn as rtn;
 pub use ecripse_serve as serve;
@@ -60,6 +66,7 @@ pub use ecripse_svm as svm;
 
 /// The items most users need, in one import.
 pub mod prelude {
+    pub use ecripse_cluster::{ClusterConfig, Coordinator, HashRing, JoinConfig, WorkerRegistry};
     pub use ecripse_core::baseline::{
         gibbs_is, mean_shift_is, naive_monte_carlo, statistical_blockade, BlockadeConfig,
         GibbsConfig, MeanShiftConfig, NaiveConfig, SequentialImportanceSampling,
@@ -74,8 +81,8 @@ pub mod prelude {
     pub use ecripse_core::rtn_source::{NoRtn, RtnSource, SramRtn};
     pub use ecripse_core::scenario::{registry, Scenario, ScenarioInfo, SramScenarioBench};
     pub use ecripse_core::sweep::{
-        CheckpointError, DutySweep, PointOutcome, ResumableSweep, SweepBench, SweepError,
-        SweepOptions, SweepPoint, SweepReports, SweepResult,
+        merge_sweep_shards, CheckpointError, DutySweep, MergeError, PointOutcome, ResumableSweep,
+        SweepBench, SweepError, SweepOptions, SweepPoint, SweepReports, SweepResult, SweepShard,
     };
     pub use ecripse_core::telemetry::{
         Counter, Gauge, Histogram, MetricsRegistry, RotatingFileSink, TelemetryObserver, Tracer,

@@ -35,7 +35,14 @@ impl ServerProc {
     /// Spawns `ecripse-cli serve` with one worker against `dir`'s
     /// journal, spool and cache store, and waits for the listen line.
     fn spawn(dir: &Path) -> Self {
-        let mut child = cli()
+        Self::spawn_with(dir, &[])
+    }
+
+    /// Like [`spawn`](Self::spawn), with extra CLI arguments appended
+    /// (the cluster tests pass `--join`/`--worker-name` here).
+    fn spawn_with(dir: &Path, extra: &[&str]) -> Self {
+        let mut command = cli();
+        command
             .arg("serve")
             .args(["--addr", "127.0.0.1:0", "--workers", "1", "--queue", "8"])
             .arg("--journal")
@@ -44,10 +51,29 @@ impl ServerProc {
             .arg(dir.join("spool"))
             .arg("--cache-store")
             .arg(dir.join("cache.json"))
+            .args(extra);
+        Self::launch(command)
+    }
+
+    /// Spawns `ecripse-cli cluster` — the coordinator shares the
+    /// `listening on http://…` first-line contract with `serve`, so
+    /// the same process handle drives both.
+    fn spawn_coordinator(extra: &[&str]) -> Self {
+        let mut command = cli();
+        command
+            .arg("cluster")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra);
+        Self::launch(command)
+    }
+
+    /// Spawns any command whose first stdout line announces its address.
+    fn launch(mut command: Command) -> Self {
+        let mut child = command
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
             .spawn()
-            .expect("serve spawns");
+            .expect("process spawns");
         let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
         let mut line = String::new();
         stdout.read_line(&mut line).expect("read listening line");
@@ -303,4 +329,117 @@ fn half_written_request_bodies_leave_the_server_serving() {
     assert_eq!(health.status, "ok");
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cluster chaos: SIGKILL one worker process mid-sweep. The
+/// coordinator must notice the missed heartbeats, reassign the dead
+/// worker's shards to the survivor, and still merge a report
+/// bit-identical to an uninterrupted single-process run.
+#[test]
+fn sigkill_one_worker_mid_sweep_reassigns_and_merges_bit_identically() {
+    // Baseline: the same request against one standalone server.
+    let baseline_dir = scratch_dir("cluster-baseline");
+    let request = sweep_request(17);
+    let single = ServerProc::spawn(&baseline_dir);
+    let submitted = single.client().submit(&request).expect("submit baseline");
+    let mut baseline = single
+        .client()
+        .wait_for_report(submitted.id, WAIT)
+        .expect("baseline completes")
+        .sweep
+        .expect("baseline sweep outcome");
+    single.shutdown();
+
+    // Coordinator + two real worker processes. One-point shards keep
+    // the reassignment granular; fast heartbeats keep the test fast.
+    let coordinator = ServerProc::spawn_coordinator(&[
+        "--heartbeat-ms",
+        "100",
+        "--timeout-ms",
+        "600",
+        "--shard-points",
+        "1",
+    ]);
+    let dir_a = scratch_dir("cluster-worker-a");
+    let dir_b = scratch_dir("cluster-worker-b");
+    let join = ["--join", coordinator.addr.as_str()];
+    let worker_a = ServerProc::spawn_with(&dir_a, &[join[0], join[1], "--worker-name", "chaos-a"]);
+    let worker_b = ServerProc::spawn_with(&dir_b, &[join[0], join[1], "--worker-name", "chaos-b"]);
+
+    let client = coordinator.client();
+    let ready = client.wait_ready(WAIT).expect("coordinator becomes ready");
+    assert!(ready.ready, "coordinator not ready: {}", ready.status);
+    let submitted = client.submit(&request).expect("submit to coordinator");
+
+    // Wait until a worker provably holds an in-flight shard, then
+    // SIGKILL that worker — its shard dies with it.
+    let deadline = Instant::now() + WAIT;
+    let victim_is_a = loop {
+        assert!(Instant::now() < deadline, "no shard ever went in flight");
+        let status = client.status(submitted.id).expect("status");
+        assert!(
+            !status.state.is_terminal(),
+            "sweep reached {:?} before the kill ({:?})",
+            status.state,
+            status.error
+        );
+        let busy_a = worker_a
+            .client()
+            .metrics()
+            .map(|m| m.in_flight > 0)
+            .unwrap_or(false);
+        let busy_b = worker_b
+            .client()
+            .metrics()
+            .map(|m| m.in_flight > 0)
+            .unwrap_or(false);
+        if busy_a {
+            break true;
+        }
+        if busy_b {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let (victim, survivor) = if victim_is_a {
+        (worker_a, worker_b)
+    } else {
+        (worker_b, worker_a)
+    };
+    victim.kill9();
+
+    // The survivor absorbs the dead worker's shards and the job
+    // completes with the single-process numbers.
+    let report = client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("sweep survives the worker kill");
+    assert_eq!(report.state, JobState::Completed);
+    let mut merged = report.sweep.expect("merged sweep outcome");
+    strip_outcome_timings(&mut baseline);
+    strip_outcome_timings(&mut merged);
+    assert_eq!(
+        merged, baseline,
+        "a worker kill must not change the merged sweep"
+    );
+
+    // The failover actually happened: one death, at least one shard
+    // moved. (Prometheus exposition doubles as the smoke check here.)
+    let prometheus = client.metrics_prometheus().expect("prometheus metrics");
+    let counter = |name: &str| -> f64 {
+        prometheus
+            .lines()
+            .find(|l| l.starts_with(name) && l.contains(' '))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{name} missing from exposition:\n{prometheus}"))
+    };
+    assert!(counter("ecripse_cluster_workers_dead_total") >= 1.0);
+    assert!(counter("ecripse_cluster_shards_reassigned_total") >= 1.0);
+    assert!(counter("ecripse_cluster_jobs_completed_total") >= 1.0);
+
+    survivor.shutdown();
+    coordinator.shutdown();
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
 }

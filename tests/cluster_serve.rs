@@ -1,0 +1,225 @@
+//! Cluster acceptance against real processes: a coordinator and two
+//! worker `serve` processes spawned from the CLI binary. For every
+//! registered scenario, a sweep submitted to the coordinator must
+//! merge bit-identically to the same request served by a standalone
+//! single process — sharding is a placement decision, never a numeric
+//! one. The workers run with write-ahead journals, so the suite also
+//! smoke-checks the journal metrics the `/metrics` document exposes.
+
+use ecripse::prelude::*;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(600);
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ecripse-cli"))
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ecripse-cluster-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// A spawned process whose first stdout line announces its address
+/// (both `serve` and `cluster` print `listening on http://…`).
+struct Proc {
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+    addr: String,
+}
+
+impl Proc {
+    fn launch(mut command: Command) -> Self {
+        let mut child = command
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("process spawns");
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("read listening line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on http://")
+            .unwrap_or_else(|| panic!("unexpected first line {line:?}"))
+            .to_string();
+        Self {
+            child,
+            stdout,
+            addr,
+        }
+    }
+
+    fn serve(dir: &Path, extra: &[&str]) -> Self {
+        let mut command = cli();
+        command
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0", "--workers", "1", "--queue", "8"])
+            .arg("--journal")
+            .arg(dir.join("journal.jsonl"))
+            .arg("--spool")
+            .arg(dir.join("spool"))
+            .args(extra);
+        Self::launch(command)
+    }
+
+    fn coordinator() -> Self {
+        let mut command = cli();
+        command.arg("cluster").args([
+            "--addr",
+            "127.0.0.1:0",
+            "--heartbeat-ms",
+            "100",
+            "--timeout-ms",
+            "800",
+            "--shard-points",
+            "2",
+        ]);
+        Self::launch(command)
+    }
+
+    fn client(&self) -> Client {
+        Client::new(self.addr.clone())
+    }
+
+    /// SIGINT + zero-exit assertion.
+    fn shutdown(mut self) {
+        let status = Command::new("kill")
+            .args(["-INT", &self.child.id().to_string()])
+            .status()
+            .expect("kill runs");
+        assert!(status.success(), "kill -INT failed");
+        let status = self.child.wait().expect("process exits");
+        assert!(status.success(), "process must exit zero after SIGINT");
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut self.stdout, &mut rest).expect("drain stdout");
+    }
+}
+
+/// A small sweep for `scenario`, sized for CI wall-clock.
+fn sweep_request(scenario: Scenario, seed: u64) -> SubmitRequest {
+    let mut cfg = EcripseConfig::default();
+    cfg.initial.r_max = cfg.initial.r_max.max(scenario.recommended_r_max());
+    cfg.importance.n_samples = 200;
+    cfg.importance.m_rtn = 2;
+    cfg.seed = seed;
+    cfg.threads = 1;
+    let alphas: Vec<f64> = (0..5).map(|i| i as f64 / 4.0).collect();
+    SubmitRequest::with_scenario(scenario, cfg, JobSpec::sweep(0.8, alphas))
+}
+
+fn strip_outcome_timings(outcome: &mut ecripse::serve::SweepOutcome) {
+    outcome.reports.rdf_only.strip_timings();
+    for report in &mut outcome.reports.points {
+        report.strip_timings();
+    }
+}
+
+/// One sweep per registered scenario through the cluster, each checked
+/// bit-for-bit against a standalone single-process run of the same
+/// request, plus the journal-metrics smoke check on the workers.
+#[test]
+fn every_scenario_merges_bit_identically_and_journals_its_shards() {
+    let coordinator = Proc::coordinator();
+    let dir_a = scratch_dir("worker-a");
+    let dir_b = scratch_dir("worker-b");
+    let worker_a = Proc::serve(
+        &dir_a,
+        &["--join", &coordinator.addr, "--worker-name", "ci-a"],
+    );
+    let worker_b = Proc::serve(
+        &dir_b,
+        &["--join", &coordinator.addr, "--worker-name", "ci-b"],
+    );
+    let client = coordinator.client();
+    let ready = client.wait_ready(WAIT).expect("coordinator becomes ready");
+    assert!(ready.ready, "coordinator not ready: {}", ready.status);
+
+    // Debug builds keep the suite affordable (`cargo test -q` runs this
+    // unoptimised): one scenario proves the plumbing. The CI `cluster`
+    // job runs release, where all four scenarios go through.
+    let scenarios: &[Scenario] = if cfg!(debug_assertions) {
+        &Scenario::ALL[..1]
+    } else {
+        &Scenario::ALL[..]
+    };
+    let baseline_dir = scratch_dir("baseline");
+    for (index, &scenario) in scenarios.iter().enumerate() {
+        let request = sweep_request(scenario, 100 + index as u64);
+
+        // Standalone baseline: a fresh single server per scenario so no
+        // cross-scenario warm state can mask a determinism break.
+        let single = Proc::serve(&baseline_dir.join(scenario.id()), &[]);
+        let submitted = single.client().submit(&request).expect("submit baseline");
+        let mut baseline = single
+            .client()
+            .wait_for_report(submitted.id, WAIT)
+            .expect("baseline completes")
+            .sweep
+            .expect("baseline sweep outcome");
+        single.shutdown();
+
+        let submitted = client.submit(&request).expect("submit to coordinator");
+        let report = client
+            .wait_for_report(submitted.id, WAIT)
+            .expect("cluster sweep completes");
+        assert_eq!(
+            report.state,
+            JobState::Completed,
+            "scenario {scenario}: {:?}",
+            report.error
+        );
+        assert_eq!(report.scenario, scenario);
+        let mut merged = report.sweep.expect("merged sweep outcome");
+
+        strip_outcome_timings(&mut baseline);
+        strip_outcome_timings(&mut merged);
+        assert_eq!(
+            merged, baseline,
+            "scenario {scenario}: sharded merge must equal the single-process run"
+        );
+    }
+
+    // The journal metrics surface on every worker: shards were accepted
+    // through the write-ahead journal, and the byte gauge reflects it.
+    for (name, worker) in [("ci-a", &worker_a), ("ci-b", &worker_b)] {
+        let metrics = worker.client().metrics().expect("worker metrics");
+        assert!(
+            metrics.journal_bytes > 0,
+            "worker {name} journalled nothing (journal_bytes = 0)"
+        );
+        assert_eq!(
+            metrics.journal_frames_replayed_total, 0,
+            "worker {name} never restarted, so nothing should have replayed"
+        );
+        let prometheus = worker
+            .client()
+            .metrics_prometheus()
+            .expect("worker prometheus metrics");
+        for required in [
+            "ecripse_serve_journal_bytes",
+            "ecripse_serve_journal_compactions_total",
+            "ecripse_serve_journal_frames_replayed_total",
+        ] {
+            assert!(
+                prometheus.contains(required),
+                "worker {name} exposition is missing {required}"
+            );
+        }
+    }
+
+    let totals = client.metrics_prometheus().expect("coordinator metrics");
+    assert!(totals.contains("ecripse_cluster_shards_completed_total"));
+
+    worker_a.shutdown();
+    worker_b.shutdown();
+    coordinator.shutdown();
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+}
