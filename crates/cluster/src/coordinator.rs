@@ -38,23 +38,30 @@
 //! wall-clock.
 
 use crate::protocol::{
-    ClusterMetrics, ClusterWorkers, HeartbeatRequest, RegisterRequest, RegisterResponse, WorkerView,
+    ClusterMetrics, ClusterWorkers, HeartbeatRequest, MetricRollup, RegisterRequest,
+    RegisterResponse, WorkerMetricsView, WorkerView,
 };
 use crate::registry::WorkerRegistry;
 use crate::ring::HashRing;
 use ecripse_core::sweep::{merge_sweep_shards, SweepShard};
+use ecripse_core::telemetry::{escape_label_value, fmt_hex_id, SpanRecord, TraceContext};
 use ecripse_serve::http::{self, Request, Response};
 use ecripse_serve::protocol::{
-    ApiError, Health, JobKind, JobReport, JobSpec, JobState, JobStatus, Readiness, SubmitRequest,
-    SweepOutcome, PROTOCOL_VERSION,
+    ApiError, Health, JobKind, JobReport, JobSpec, JobState, JobStatus, JobTrace, Metrics,
+    Readiness, SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
 };
 use ecripse_serve::{BackoffPolicy, Client, ClientError};
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Socket timeout for the best-effort federation scrape and trace
+/// fan-out — deliberately shorter than [`ClusterConfig::worker_timeout`]
+/// so one hung worker cannot stall a `GET /metrics` or trace fetch.
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Coordinator settings.
 #[derive(Debug, Clone)]
@@ -100,6 +107,16 @@ struct ClusterJob {
     accepted_at: Instant,
     /// Cooperative cancel flag, raised by `DELETE /v1/jobs/{id}`.
     stop: Arc<AtomicBool>,
+    /// The job's trace context: `traceparent` header, then the body's
+    /// `trace` field, then derived from `(id, seed)` — in that order.
+    trace: TraceContext,
+    /// Coordinator-side spans (job root + one per shard), recorded when
+    /// the dispatch ends.
+    spans: Vec<SpanRecord>,
+    /// `(worker addr, remote job id)` for every shard dispatch, kept so
+    /// `GET /v1/jobs/{id}/trace` can fan out to the workers that held
+    /// the shards.
+    shard_sources: Vec<(String, u64)>,
 }
 
 struct State {
@@ -136,6 +153,11 @@ struct Shared {
     draining: AtomicBool,
     reaper_stop: AtomicBool,
     started: Instant,
+    /// Wall-clock anchor taken once at bind: span `start_ts` values are
+    /// `anchor_unix_s + (instant - started)`, so every coordinator span
+    /// shares one monotonic clock and cannot jump with wall-clock
+    /// adjustments mid-run.
+    anchor_unix_s: f64,
 }
 
 /// The coordinator service handle.
@@ -171,6 +193,10 @@ impl Coordinator {
             draining: AtomicBool::new(false),
             reaper_stop: AtomicBool::new(false),
             started: Instant::now(),
+            anchor_unix_s: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or_default(),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -293,9 +319,10 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
     let path = request.path.trim_end_matches('/');
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("POST", ["v1", "jobs"]) => submit(shared, &request.body),
+        ("POST", ["v1", "jobs"]) => submit(shared, request),
         ("GET", ["v1", "jobs", id]) => with_job_id(id, |id| status(shared, id)),
         ("GET", ["v1", "jobs", id, "report"]) => with_job_id(id, |id| report(shared, id)),
+        ("GET", ["v1", "jobs", id, "trace"]) => with_job_id(id, |id| trace_document(shared, id)),
         ("DELETE", ["v1", "jobs", id]) => with_job_id(id, |id| cancel(shared, id)),
         ("POST", ["v1", "cluster", "register"]) => register(shared, &request.body),
         ("POST", ["v1", "cluster", "heartbeat"]) => heartbeat(shared, &request.body),
@@ -461,7 +488,176 @@ fn collect_metrics(shared: &Arc<Shared>) -> ClusterMetrics {
         shards_completed_total: c.shards_completed.load(Ordering::Relaxed),
         estimates_forwarded_total: c.estimates_forwarded.load(Ordering::Relaxed),
         uptime_seconds: shared.started.elapsed().as_secs_f64(),
+        workers: Vec::new(),
+        rollups: Vec::new(),
     }
+}
+
+/// A short-fused single-attempt client for the federation scrape and
+/// trace fan-out.
+fn scrape_client(addr: &str) -> Client {
+    Client::new(addr.to_string()).with_timeout(SCRAPE_TIMEOUT)
+}
+
+/// Min/max/sum over one scalar's per-worker values; `None` when no
+/// worker answered.
+fn rollup(name: &str, values: &[f64]) -> Option<MetricRollup> {
+    let first = values.first()?;
+    let (mut min, mut max, mut sum) = (*first, *first, 0.0);
+    for &value in values {
+        min = min.min(value);
+        max = max.max(value);
+        sum += value;
+    }
+    Some(MetricRollup {
+        name: name.to_string(),
+        min,
+        max,
+        sum,
+    })
+}
+
+/// The federated rollup set: a few serve scalars an operator compares
+/// across workers at a glance.
+fn rollups_over(views: &[WorkerMetricsView]) -> Vec<MetricRollup> {
+    let scalars: [(&str, fn(&Metrics) -> f64); 6] = [
+        ("queue_depth", |m| m.queue_depth as f64),
+        ("in_flight", |m| m.in_flight as f64),
+        ("submitted", |m| m.submitted as f64),
+        ("completed", |m| m.completed as f64),
+        ("cache_entries", |m| m.cache_entries as f64),
+        ("cache_hits", |m| m.cache_hits as f64),
+    ];
+    scalars
+        .iter()
+        .filter_map(|(name, get)| {
+            let values: Vec<f64> = views.iter().map(|view| get(&view.metrics)).collect();
+            rollup(name, &values)
+        })
+        .collect()
+}
+
+/// Scrapes every live worker's JSON `/metrics` and folds the responses
+/// into the coordinator's own document. Best-effort: a worker that does
+/// not answer within [`SCRAPE_TIMEOUT`] is simply absent.
+fn federated_metrics(shared: &Arc<Shared>) -> ClusterMetrics {
+    let mut metrics = collect_metrics(shared);
+    let mut views = Vec::new();
+    for (name, addr) in shared.registry.alive() {
+        if let Ok(worker_metrics) = scrape_client(&addr).metrics() {
+            views.push(WorkerMetricsView {
+                worker: name,
+                metrics: worker_metrics,
+            });
+        }
+    }
+    metrics.rollups = rollups_over(&views);
+    metrics.workers = views;
+    metrics
+}
+
+/// Re-labels one worker's Prometheus exposition with
+/// `worker="<name>"` on every sample, deduplicating `# HELP`/`# TYPE`
+/// lines across workers (the first exposition to mention a metric
+/// wins). The label value goes through [`escape_label_value`], so a
+/// hostile worker name cannot break the exposition syntax.
+fn relabel_exposition(text: &str, worker: &str, seen: &mut HashSet<String>) -> String {
+    let label = format!("worker=\"{}\"", escape_label_value(worker));
+    let mut out = String::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') {
+            let meta = line
+                .strip_prefix("# HELP ")
+                .map(|rest| ("HELP", rest))
+                .or_else(|| line.strip_prefix("# TYPE ").map(|rest| ("TYPE", rest)));
+            if let Some((kind, rest)) = meta {
+                let name = rest.split_whitespace().next().unwrap_or_default();
+                if seen.insert(format!("{kind} {name}")) {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            continue;
+        }
+        if let Some(brace) = line.find('{') {
+            out.push_str(&line[..=brace]);
+            out.push_str(&label);
+            out.push(',');
+            out.push_str(&line[brace + 1..]);
+        } else if let Some(space) = line.find(' ') {
+            out.push_str(&line[..space]);
+            out.push('{');
+            out.push_str(&label);
+            out.push('}');
+            out.push_str(&line[space..]);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The cluster's own exposition followed by every live worker's,
+/// re-labelled per worker (`ecripse_serve_*{worker="..."}`).
+fn render_federated_prometheus(shared: &Arc<Shared>, metrics: &ClusterMetrics) -> String {
+    let mut out = render_prometheus(metrics);
+    let mut seen = HashSet::new();
+    for (name, addr) in shared.registry.alive() {
+        if let Ok(text) = scrape_client(&addr).metrics_prometheus() {
+            out.push_str(&relabel_exposition(&text, &name, &mut seen));
+        }
+    }
+    out
+}
+
+/// `GET /v1/jobs/{id}/trace`: the coordinator's own spans merged with a
+/// best-effort fan-out to every worker that held one of the job's
+/// shards, sorted into one waterfall. Workers that no longer remember
+/// the shard (ring eviction, restart without the span buffer) are
+/// simply absent — the coordinator spans still frame the job.
+fn trace_document(shared: &Arc<Shared>, id: u64) -> Response {
+    let (trace, mut spans, sources) = {
+        let state = shared.state.lock();
+        let Some(job) = state.jobs.get(&id) else {
+            return error_response(404, "unknown_job", format!("no job {id}"));
+        };
+        (job.trace, job.spans.clone(), job.shard_sources.clone())
+    };
+    let trace_id = fmt_hex_id(trace.trace_id);
+    for (addr, remote_id) in sources {
+        let Ok(remote) = scrape_client(&addr).trace(remote_id) else {
+            continue;
+        };
+        if remote.trace_id != trace_id {
+            continue;
+        }
+        for span in remote.spans {
+            let duplicate = spans
+                .iter()
+                .any(|existing| existing.span_id == span.span_id && existing.node == span.node);
+            if !duplicate {
+                spans.push(span);
+            }
+        }
+    }
+    spans.sort_by(|a, b| {
+        a.start_ts
+            .partial_cmp(&b.start_ts)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.span_id.cmp(&b.span_id))
+    });
+    Response::json(
+        200,
+        json_body(&JobTrace {
+            job_id: id,
+            trace_id,
+            spans,
+        }),
+    )
 }
 
 /// One `# HELP`/`# TYPE`/sample triple of Prometheus exposition.
@@ -560,15 +756,18 @@ fn render_prometheus(m: &ClusterMetrics) -> String {
     out
 }
 
+/// `GET /metrics` federates on demand: the scrape happens per HTTP
+/// request, so the in-process [`Coordinator::metrics`] snapshot stays
+/// cheap and lock-free of worker sockets.
 fn metrics_response(shared: &Arc<Shared>, request: &Request) -> Response {
-    let metrics = collect_metrics(shared);
     let wants_prometheus = request
         .header("accept")
         .is_some_and(|accept| accept.contains("text/plain"));
     if wants_prometheus {
-        Response::text(200, render_prometheus(&metrics))
+        let metrics = collect_metrics(shared);
+        Response::text(200, render_federated_prometheus(shared, &metrics))
     } else {
-        Response::json(200, json_body(&metrics))
+        Response::json(200, json_body(&federated_metrics(shared)))
     }
 }
 
@@ -581,6 +780,7 @@ fn job_status(state: &State, id: u64) -> Option<JobStatus> {
         queue_position: None,
         error: job.error.clone(),
         progress: None,
+        trace_id: Some(fmt_hex_id(job.trace.trace_id)),
     })
 }
 
@@ -611,6 +811,7 @@ fn report(shared: &Arc<Shared>, id: u64) -> Response {
         error: job.error.clone(),
         estimate: None,
         sweep: None,
+        trace_id: Some(fmt_hex_id(job.trace.trace_id)),
     });
     Response::json(200, json_body(&report))
 }
@@ -632,11 +833,19 @@ fn cancel(shared: &Arc<Shared>, id: u64) -> Response {
     Response::json(202, json_body(&status))
 }
 
-fn submit(shared: &Arc<Shared>, body: &[u8]) -> Response {
-    let request: SubmitRequest = match parse_body(body) {
+fn submit(shared: &Arc<Shared>, http_request: &Request) -> Response {
+    let mut request: SubmitRequest = match parse_body(&http_request.body) {
         Ok(request) => request,
         Err(response) => return response,
     };
+    // A `traceparent` header outranks the body's `trace` field, exactly
+    // as on a single server: the outermost caller owns the trace.
+    if let Some(header) = http_request
+        .header("traceparent")
+        .and_then(TraceContext::parse_traceparent)
+    {
+        request.trace = Some(header);
+    }
     if request.protocol != PROTOCOL_VERSION {
         return error_response(
             400,
@@ -703,8 +912,11 @@ fn submit(shared: &Arc<Shared>, body: &[u8]) -> Response {
     state.next_id += 1;
     // The wire scenario is authoritative, exactly as on a single
     // server: stamp it into the config the workers will run.
-    let mut request = request;
     request.config.scenario = request.scenario;
+    let trace = request
+        .trace
+        .unwrap_or_else(|| TraceContext::for_job(id, request.config.seed));
+    request.trace = Some(trace);
     let stop = Arc::new(AtomicBool::new(false));
     state.jobs.insert(
         id,
@@ -715,6 +927,9 @@ fn submit(shared: &Arc<Shared>, body: &[u8]) -> Response {
             report: None,
             accepted_at: Instant::now(),
             stop,
+            trace,
+            spans: Vec::new(),
+            shard_sources: Vec::new(),
         },
     );
     if let Some(key) = &request.idempotency_key {
@@ -740,6 +955,7 @@ fn submit(shared: &Arc<Shared>, body: &[u8]) -> Response {
             queue_position: None,
             error: None,
             progress: None,
+            trace_id: Some(fmt_hex_id(trace.trace_id)),
         }),
     )
 }
@@ -769,24 +985,126 @@ struct ShardSlot {
     remote_id: Option<u64>,
     /// The completed shard, once merged-ready.
     done: Option<SweepShard>,
+    /// The shard span's deterministic id (child of the job root span).
+    span_id: u64,
+    /// First successful dispatch; the shard span opens here.
+    started_at: Option<Instant>,
+    /// Completion observed by the poller; the shard span closes here.
+    finished_at: Option<Instant>,
+    /// Every `(worker addr, remote id)` the shard was dispatched to —
+    /// kept across reassignment so the trace fan-out can query each.
+    sources: Vec<(String, u64)>,
+}
+
+/// The coordinator-side tracing state one dispatch accumulates: the
+/// job's context, its root span id, and the spans/sources to publish
+/// into the [`ClusterJob`] when the dispatch ends.
+struct JobTraceState {
+    trace: TraceContext,
+    root_span_id: u64,
+    spans: Vec<SpanRecord>,
+    sources: Vec<(String, u64)>,
+}
+
+impl JobTraceState {
+    fn new(trace: TraceContext) -> Self {
+        Self {
+            trace,
+            // Mirrors `SpanCollector`'s root-span derivation on the
+            // workers: node-qualified so coordinator and worker roots
+            // never collide.
+            root_span_id: trace.span_id("coordinator/job"),
+            spans: Vec::new(),
+            sources: Vec::new(),
+        }
+    }
+
+    /// The context a child span of the job root would be created under.
+    fn root_context(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace.trace_id,
+            parent_span_id: self.root_span_id,
+        }
+    }
+}
+
+/// Seconds-since-epoch for a coordinator instant, derived from the
+/// bind-time wall anchor (one monotonic clock per coordinator).
+fn wall_ts(shared: &Shared, at: Instant) -> f64 {
+    shared.anchor_unix_s
+        + at.checked_duration_since(shared.started)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or_default()
+}
+
+/// Folds every dispatched shard's timing into coordinator-side spans
+/// and collects the `(addr, remote id)` pairs the trace fan-out needs.
+fn record_shard_slots(shared: &Shared, tracing: &mut JobTraceState, slots: &[ShardSlot]) {
+    for slot in slots {
+        for source in &slot.sources {
+            if !tracing.sources.contains(source) {
+                tracing.sources.push(source.clone());
+            }
+        }
+        let Some(started) = slot.started_at else {
+            continue;
+        };
+        let finished = slot.finished_at.unwrap_or_else(Instant::now);
+        tracing.spans.push(SpanRecord {
+            trace_id: fmt_hex_id(tracing.trace.trace_id),
+            span_id: fmt_hex_id(slot.span_id),
+            parent_span_id: fmt_hex_id(tracing.root_span_id),
+            name: format!(
+                "shard-{}",
+                slot.indices.first().copied().unwrap_or_default()
+            ),
+            node: "coordinator".to_string(),
+            start_ts: wall_ts(shared, started),
+            duration_s: finished
+                .checked_duration_since(started)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or_default(),
+        });
+    }
 }
 
 fn dispatch_job(shared: &Arc<Shared>, id: u64) {
-    let (request, stop, accepted_at) = {
+    let (request, stop, accepted_at, trace) = {
         let mut state = shared.state.lock();
         let Some(job) = state.jobs.get_mut(&id) else {
             return;
         };
         job.state = JobState::Running;
-        (job.request.clone(), Arc::clone(&job.stop), job.accepted_at)
+        (
+            job.request.clone(),
+            Arc::clone(&job.stop),
+            job.accepted_at,
+            job.trace,
+        )
     };
     let deadline = request
         .deadline_ms
         .map(|ms| accepted_at + Duration::from_millis(ms));
+    let mut tracing = JobTraceState::new(trace);
+    let dispatch_started = Instant::now();
     let outcome = match request.job.kind {
-        JobKind::Sweep => run_sweep(shared, id, &request, &stop, deadline),
-        JobKind::Estimate => forward_estimate(shared, id, &request, &stop, deadline),
+        JobKind::Sweep => run_sweep(shared, id, &request, &stop, deadline, &mut tracing),
+        JobKind::Estimate => forward_estimate(shared, id, &request, &stop, deadline, &mut tracing),
     };
+    // The job root span covers the whole dispatch — shard spans nest
+    // inside it, and the workers' own job spans nest inside those.
+    tracing.spans.insert(
+        0,
+        SpanRecord {
+            trace_id: fmt_hex_id(trace.trace_id),
+            span_id: fmt_hex_id(tracing.root_span_id),
+            parent_span_id: fmt_hex_id(trace.parent_span_id),
+            name: "job".to_string(),
+            node: "coordinator".to_string(),
+            start_ts: wall_ts(shared, dispatch_started),
+            duration_s: dispatch_started.elapsed().as_secs_f64(),
+        },
+    );
     let (state_out, error, report) = match outcome {
         Ok(report) => (JobState::Completed, None, Some(report)),
         Err(DispatchEnd::Cancelled) => (
@@ -819,6 +1137,8 @@ fn dispatch_job(shared: &Arc<Shared>, id: u64) {
         job.state = state_out;
         job.error = error;
         job.report = report;
+        job.spans = tracing.spans;
+        job.shard_sources = tracing.sources;
     }
 }
 
@@ -891,18 +1211,61 @@ fn run_sweep(
     request: &SubmitRequest,
     stop: &AtomicBool,
     deadline: Option<Instant>,
+    tracing: &mut JobTraceState,
 ) -> Result<JobReport, DispatchEnd> {
     let alphas = request.job.alphas.clone().unwrap_or_default();
     let total = alphas.len();
     let mut slots = plan_shards(shared, id, &alphas, stop, deadline)?;
+    let child_context = tracing.root_context();
+    for slot in &mut slots {
+        let first = slot.indices.first().copied().unwrap_or_default();
+        slot.span_id = child_context.span_id(&format!("shard-{first}"));
+    }
+    let looped = sweep_loop(shared, id, request, stop, deadline, tracing, &mut slots);
+    // Win or lose, the dispatched shards become coordinator spans and
+    // trace fan-out sources.
+    record_shard_slots(shared, tracing, &slots);
+    looped?;
+    let shards: Vec<SweepShard> = slots.into_iter().filter_map(|slot| slot.done).collect();
+    let (result, reports) = merge_sweep_shards(total, &shards)
+        .map_err(|e| DispatchEnd::Failed(format!("shard merge failed: {e}")))?;
+    Ok(JobReport {
+        id,
+        scenario: request.scenario,
+        state: JobState::Completed,
+        error: None,
+        estimate: None,
+        sweep: Some(SweepOutcome {
+            p_fail_rdf_only: result.p_fail_rdf_only,
+            rdf_only_ci95: result.rdf_only_ci95,
+            init_simulations: result.init_simulations,
+            total_simulations: result.total_simulations,
+            points: result.points,
+            reports,
+        }),
+        trace_id: Some(fmt_hex_id(tracing.trace.trace_id)),
+    })
+}
+
+/// The shard dispatch/poll loop, extracted from [`run_sweep`] so the
+/// caller can flush shard spans on *every* exit path.
+fn sweep_loop(
+    shared: &Arc<Shared>,
+    id: u64,
+    request: &SubmitRequest,
+    stop: &AtomicBool,
+    deadline: Option<Instant>,
+    tracing: &JobTraceState,
+    slots: &mut [ShardSlot],
+) -> Result<(), DispatchEnd> {
     loop {
         if let Err(end) = check_interrupts(shared, stop, deadline) {
-            cancel_remotes(shared, &slots);
+            cancel_remotes(shared, slots);
             return Err(end);
         }
         let ring = live_ring(shared);
         let mut all_done = true;
-        for slot in &mut slots {
+        for slot in slots.iter_mut() {
             if slot.done.is_some() {
                 continue;
             }
@@ -930,11 +1293,25 @@ fn run_sweep(
                     let Some(addr) = addrs.get(owner) else {
                         continue;
                     };
-                    let shard_request = shard_submit_request(request, slot);
+                    let mut shard_request = shard_submit_request(request, slot);
+                    // The shard runs under the coordinator's shard span:
+                    // the worker's job span parents to it, chaining
+                    // client → coordinator → worker in one trace.
+                    shard_request.trace = Some(TraceContext {
+                        trace_id: tracing.trace.trace_id,
+                        parent_span_id: slot.span_id,
+                    });
                     match submit_client(shared, addr).submit(&shard_request) {
                         Ok(status) => {
                             slot.worker = Some((owner.to_string(), addr.clone()));
                             slot.remote_id = Some(status.id);
+                            if slot.started_at.is_none() {
+                                slot.started_at = Some(Instant::now());
+                            }
+                            let source = (addr.clone(), status.id);
+                            if !slot.sources.contains(&source) {
+                                slot.sources.push(source);
+                            }
                             shared
                                 .counters
                                 .shards_dispatched
@@ -948,7 +1325,11 @@ fn run_sweep(
                 (Some((name, addr)), Some(remote_id)) => {
                     match poll_shard(shared, &addr, remote_id, slot)? {
                         ShardPoll::Pending => {}
-                        ShardPoll::Done => {}
+                        ShardPoll::Done => {
+                            if slot.finished_at.is_none() {
+                                slot.finished_at = Some(Instant::now());
+                            }
+                        }
                         ShardPoll::Lost => {
                             let lost_name = name.clone();
                             slot.worker = None;
@@ -968,28 +1349,10 @@ fn run_sweep(
             }
         }
         if all_done {
-            break;
+            return Ok(());
         }
         std::thread::sleep(shared.config.poll_interval);
     }
-    let shards: Vec<SweepShard> = slots.into_iter().filter_map(|slot| slot.done).collect();
-    let (result, reports) = merge_sweep_shards(total, &shards)
-        .map_err(|e| DispatchEnd::Failed(format!("shard merge failed: {e}")))?;
-    Ok(JobReport {
-        id,
-        scenario: request.scenario,
-        state: JobState::Completed,
-        error: None,
-        estimate: None,
-        sweep: Some(SweepOutcome {
-            p_fail_rdf_only: result.p_fail_rdf_only,
-            rdf_only_ci95: result.rdf_only_ci95,
-            init_simulations: result.init_simulations,
-            total_simulations: result.total_simulations,
-            points: result.points,
-            reports,
-        }),
-    })
 }
 
 /// Builds the shard plan: every point's key hashes to an owner on the
@@ -1039,6 +1402,10 @@ fn plan_shards(
                 worker: None,
                 remote_id: None,
                 done: None,
+                span_id: 0,
+                started_at: None,
+                finished_at: None,
+                sources: Vec::new(),
             });
         }
     }
@@ -1151,8 +1518,11 @@ fn forward_estimate(
     request: &SubmitRequest,
     stop: &AtomicBool,
     deadline: Option<Instant>,
+    tracing: &mut JobTraceState,
 ) -> Result<JobReport, DispatchEnd> {
     let key = format!("cluster/job-{id}/estimate");
+    let estimate_span_id = tracing.root_context().span_id("estimate");
+    let mut estimate_started: Option<Instant> = None;
     let mut assignment: Option<(String, String, u64)> = None;
     loop {
         if let Err(end) = check_interrupts(shared, stop, deadline) {
@@ -1184,8 +1554,19 @@ fn forward_estimate(
                 };
                 let mut forwarded = request.clone();
                 forwarded.idempotency_key = Some(key.clone());
+                forwarded.trace = Some(TraceContext {
+                    trace_id: tracing.trace.trace_id,
+                    parent_span_id: estimate_span_id,
+                });
                 if let Ok(status) = submit_client(shared, addr).submit(&forwarded) {
                     assignment = Some((owner.to_string(), addr.clone(), status.id));
+                    if estimate_started.is_none() {
+                        estimate_started = Some(Instant::now());
+                    }
+                    let source = (addr.clone(), status.id);
+                    if !tracing.sources.contains(&source) {
+                        tracing.sources.push(source);
+                    }
                     shared
                         .counters
                         .estimates_forwarded
@@ -1203,6 +1584,17 @@ fn forward_estimate(
                                 continue;
                             }
                         };
+                        if let Some(started) = estimate_started {
+                            tracing.spans.push(SpanRecord {
+                                trace_id: fmt_hex_id(tracing.trace.trace_id),
+                                span_id: fmt_hex_id(estimate_span_id),
+                                parent_span_id: fmt_hex_id(tracing.root_span_id),
+                                name: "estimate".to_string(),
+                                node: "coordinator".to_string(),
+                                start_ts: wall_ts(shared, started),
+                                duration_s: started.elapsed().as_secs_f64(),
+                            });
+                        }
                         return Ok(JobReport {
                             id,
                             scenario: request.scenario,
@@ -1210,6 +1602,7 @@ fn forward_estimate(
                             error: None,
                             estimate: report.estimate,
                             sweep: None,
+                            trace_id: Some(fmt_hex_id(tracing.trace.trace_id)),
                         });
                     }
                     Ok(status) if status.state == JobState::Failed => {
@@ -1243,5 +1636,71 @@ fn forward_estimate(
             }
         }
         std::thread::sleep(shared.config.poll_interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relabel_injects_worker_label_into_plain_and_labelled_samples() {
+        let text = "# HELP ecripse_serve_queue_depth Jobs waiting\n\
+                    # TYPE ecripse_serve_queue_depth gauge\n\
+                    ecripse_serve_queue_depth 3\n\
+                    ecripse_serve_scenario_jobs_completed{scenario=\"sram-6t\"} 2\n";
+        let mut seen = HashSet::new();
+        let out = relabel_exposition(text, "w-a", &mut seen);
+        assert!(out.contains("ecripse_serve_queue_depth{worker=\"w-a\"} 3"));
+        assert!(out.contains(
+            "ecripse_serve_scenario_jobs_completed{worker=\"w-a\",scenario=\"sram-6t\"} 2"
+        ));
+        assert!(out.contains("# HELP ecripse_serve_queue_depth"));
+        // A second worker's exposition repeats the metadata; it must be
+        // deduplicated but the samples kept.
+        let out_b = relabel_exposition(text, "w-b", &mut seen);
+        assert!(!out_b.contains("# HELP"));
+        assert!(!out_b.contains("# TYPE"));
+        assert!(out_b.contains("ecripse_serve_queue_depth{worker=\"w-b\"} 3"));
+    }
+
+    #[test]
+    fn relabel_escapes_hostile_worker_names() {
+        let text = "# TYPE m gauge\nm 1\n";
+        let mut seen = HashSet::new();
+        let out = relabel_exposition(text, "evil\"name\\with\nnewline", &mut seen);
+        assert!(out.contains("m{worker=\"evil\\\"name\\\\with\\nnewline\"} 1"));
+        // No raw quote, backslash or newline survives inside the value:
+        // each sample line still matches the exposition grammar.
+        for line in out.lines().filter(|line| !line.starts_with('#')) {
+            let inner = line
+                .split_once('{')
+                .and_then(|(_, rest)| rest.split_once("\"}"))
+                .map(|(inner, _)| inner)
+                .unwrap_or_default();
+            assert!(!inner.contains('}'), "unescaped brace in {line:?}");
+        }
+    }
+
+    #[test]
+    fn rollup_computes_min_max_sum() {
+        let r = rollup("queue_depth", &[3.0, 1.0, 2.0]).expect("non-empty");
+        assert_eq!(r.min, 1.0);
+        assert_eq!(r.max, 3.0);
+        assert_eq!(r.sum, 6.0);
+        assert!(rollup("queue_depth", &[]).is_none());
+    }
+
+    #[test]
+    fn shard_spans_derive_deterministically_from_the_job_trace() {
+        let trace = TraceContext::for_job(7, 42);
+        let a = JobTraceState::new(trace);
+        let b = JobTraceState::new(trace);
+        assert_eq!(a.root_span_id, b.root_span_id);
+        assert_eq!(
+            a.root_context().span_id("shard-0"),
+            b.root_context().span_id("shard-0")
+        );
+        assert_ne!(a.root_context().span_id("shard-0"), a.root_span_id);
     }
 }

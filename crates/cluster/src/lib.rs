@@ -45,7 +45,8 @@ pub mod ring;
 pub use coordinator::{ClusterConfig, Coordinator};
 pub use join::{join, JoinConfig, JoinHandle};
 pub use protocol::{
-    ClusterMetrics, ClusterWorkers, HeartbeatRequest, RegisterRequest, RegisterResponse, WorkerView,
+    ClusterMetrics, ClusterWorkers, HeartbeatRequest, MetricRollup, RegisterRequest,
+    RegisterResponse, WorkerMetricsView, WorkerView,
 };
 pub use registry::{WorkerEntry, WorkerRegistry};
 pub use ring::{HashRing, DEFAULT_VNODES};

@@ -9,6 +9,7 @@
 //! heartbeats, the worker listing and the coordinator's own metrics
 //! document.
 
+use ecripse_serve::protocol::Metrics;
 use serde::{Deserialize, Serialize};
 
 /// `POST /v1/cluster/register` body: a worker announcing itself.
@@ -66,6 +67,28 @@ pub struct ClusterWorkers {
     pub workers: Vec<WorkerView>,
 }
 
+/// One worker's scraped serve metrics inside the federated view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerMetricsView {
+    /// The worker's registered name.
+    pub worker: String,
+    /// The worker's own `GET /metrics` document, verbatim.
+    pub metrics: Metrics,
+}
+
+/// Min/max/sum of one serve scalar across the scraped workers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricRollup {
+    /// The serve metric the rollup covers (e.g. `queue_depth`).
+    pub name: String,
+    /// Smallest per-worker value.
+    pub min: f64,
+    /// Largest per-worker value.
+    pub max: f64,
+    /// Sum over every scraped worker.
+    pub sum: f64,
+}
+
 /// The coordinator's `GET /metrics` body.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterMetrics {
@@ -96,6 +119,16 @@ pub struct ClusterMetrics {
     pub estimates_forwarded_total: u64,
     /// Seconds since the coordinator bound its socket.
     pub uptime_seconds: f64,
+    /// Per-worker serve metrics gathered by the on-demand federation
+    /// scrape behind `GET /metrics`. Empty when no worker answered, in
+    /// the in-process [`Coordinator::metrics`](crate::Coordinator::metrics)
+    /// snapshot (which skips the scrape), and in pre-PR-10 documents.
+    #[serde(default)]
+    pub workers: Vec<WorkerMetricsView>,
+    /// Min/max/sum rollups of a few serve scalars across the scraped
+    /// workers; empty whenever `workers` is.
+    #[serde(default)]
+    pub rollups: Vec<MetricRollup>,
 }
 
 #[cfg(test)]
@@ -139,9 +172,51 @@ mod tests {
             shards_completed_total: 7,
             estimates_forwarded_total: 1,
             uptime_seconds: 0.5,
+            workers: Vec::new(),
+            rollups: vec![MetricRollup {
+                name: "queue_depth".into(),
+                min: 0.0,
+                max: 3.0,
+                sum: 3.0,
+            }],
         };
         let json = serde_json::to_string(&metrics).expect("serialise");
         let back: ClusterMetrics = serde_json::from_str(&json).expect("deserialise");
         assert_eq!(back, metrics);
+    }
+
+    /// A pre-PR-10 coordinator metrics document — no `workers`, no
+    /// `rollups` — must still parse, with the federation fields
+    /// defaulting to empty.
+    #[test]
+    fn pre_federation_metrics_still_parse() {
+        let modern = ClusterMetrics {
+            workers_alive: 1,
+            workers_dead_total: 0,
+            jobs_submitted: 2,
+            jobs_completed: 2,
+            jobs_failed: 0,
+            jobs_cancelled: 0,
+            jobs_deadline_exceeded: 0,
+            idempotent_hits: 0,
+            shards_dispatched_total: 4,
+            shards_reassigned_total: 0,
+            shards_completed_total: 4,
+            estimates_forwarded_total: 0,
+            uptime_seconds: 1.5,
+            workers: Vec::new(),
+            rollups: Vec::new(),
+        };
+        let json = serde_json::to_string(&modern).expect("serialise");
+        let mut value: serde::json::Value = serde_json::from_str(&json).expect("parse");
+        if let serde::json::Value::Object(entries) = &mut value {
+            entries.retain(|(key, _)| key != "workers" && key != "rollups");
+        }
+        let stripped = serde_json::to_string(&value).expect("re-serialise");
+        let back: ClusterMetrics =
+            serde_json::from_str(&stripped).expect("old wire body must parse");
+        assert!(back.workers.is_empty());
+        assert!(back.rollups.is_empty());
+        assert_eq!(back, modern);
     }
 }

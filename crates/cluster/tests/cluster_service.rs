@@ -4,13 +4,14 @@
 //! sharded across two workers merges to exactly the result one server
 //! computes on its own.
 
-use ecripse_cluster::{ClusterConfig, Coordinator, JoinConfig};
+use ecripse_cluster::{ClusterConfig, ClusterMetrics, Coordinator, JoinConfig};
 use ecripse_core::bench::LinearBench;
 use ecripse_core::ecripse::EcripseConfig;
 use ecripse_core::importance::ImportanceConfig;
 use ecripse_core::initial::InitialSearchConfig;
+use ecripse_core::telemetry::{fmt_hex_id, TraceContext};
 use ecripse_serve::protocol::{JobSpec, JobState, SubmitRequest, SweepOutcome};
-use ecripse_serve::{Client, ClientError, ServeConfig, Server};
+use ecripse_serve::{http, Client, ClientError, ServeConfig, Server};
 use std::time::Duration;
 
 const WAIT: Duration = Duration::from_secs(120);
@@ -43,6 +44,17 @@ fn bind_worker() -> Server<LinearBench> {
         linear_bench()
     })
     .expect("bind worker")
+}
+
+/// A worker whose spans carry a stable node name (instead of the
+/// `serve-{port}` default) so trace assertions can address it.
+fn bind_named_worker(name: &str) -> Server<LinearBench> {
+    let config = ServeConfig {
+        node: Some(name.to_string()),
+        ..ServeConfig::default()
+    };
+    Server::bind_with("127.0.0.1:0", config, |_scenario, _vdd| linear_bench())
+        .expect("bind named worker")
 }
 
 /// A coordinator tuned for test time: fast heartbeats, fast reap, fast
@@ -290,5 +302,216 @@ fn dead_workers_shards_are_reassigned_to_survivors() {
 
     m_survivor.leave();
     survivor.shutdown();
+    coordinator.shutdown();
+}
+
+/// The tracing tentpole, in-process: one traced sweep through a
+/// two-worker cluster merges into a single waterfall — every span
+/// shares the job's trace id, shard spans parent to the coordinator
+/// root, worker spans nest under shard spans, and shard wall-clock
+/// sits inside the job's window.
+#[test]
+fn merged_trace_is_one_waterfall_across_coordinator_and_workers() {
+    let coordinator = Coordinator::bind("127.0.0.1:0", fast_cluster()).expect("bind coordinator");
+    let wa = bind_named_worker("trace-a");
+    let wb = bind_named_worker("trace-b");
+    let ma = join_worker(&coordinator, "trace-a", &wa);
+    let mb = join_worker(&coordinator, "trace-b", &wb);
+    let client = Client::new(coordinator.local_addr().to_string());
+    client.wait_ready(WAIT).expect("ready");
+
+    let context = TraceContext::for_job(4242, 61);
+    let trace_id = fmt_hex_id(context.trace_id);
+    let request = sweep_request(61, 8).with_trace(context);
+    let submitted = client.submit(&request).expect("submit traced sweep");
+    assert_eq!(
+        submitted.trace_id.as_deref(),
+        Some(trace_id.as_str()),
+        "the 202 echoes the caller's trace id"
+    );
+    let report = client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("traced sweep completes");
+    assert_eq!(report.state, JobState::Completed);
+    assert_eq!(report.trace_id.as_deref(), Some(trace_id.as_str()));
+
+    let trace = client.trace(submitted.id).expect("merged trace document");
+    assert_eq!(trace.job_id, submitted.id);
+    assert_eq!(trace.trace_id, trace_id);
+    assert!(
+        trace.spans.iter().all(|span| span.trace_id == trace_id),
+        "every span in the waterfall shares the job trace id"
+    );
+
+    // The coordinator's root span heads the waterfall, at the id the
+    // trace context derives deterministically…
+    let root = trace
+        .spans
+        .iter()
+        .find(|span| span.node == "coordinator" && span.name == "job")
+        .expect("coordinator root span");
+    assert_eq!(root.span_id, fmt_hex_id(context.span_id("coordinator/job")));
+    assert_eq!(root.parent_span_id, fmt_hex_id(context.parent_span_id));
+
+    // …its shard children parent to it and sit inside the job's
+    // wall-clock window (± scheduling slack)…
+    let shards: Vec<_> = trace
+        .spans
+        .iter()
+        .filter(|span| span.node == "coordinator" && span.name.starts_with("shard-"))
+        .collect();
+    assert!(
+        shards.len() >= 2,
+        "8 points in 2-point shards means 4 shard spans, saw {}",
+        shards.len()
+    );
+    const SLACK: f64 = 0.5;
+    for shard in &shards {
+        assert_eq!(
+            shard.parent_span_id, root.span_id,
+            "shard spans parent to the job root"
+        );
+        assert!(
+            shard.start_ts >= root.start_ts - SLACK,
+            "shard {} starts before the job root",
+            shard.name
+        );
+        assert!(
+            shard.end_ts() <= root.end_ts() + SLACK,
+            "shard {} outlives the job root",
+            shard.name
+        );
+    }
+
+    // …and both workers contributed job spans that nest under
+    // coordinator shard spans.
+    for node in ["trace-a", "trace-b"] {
+        let span = trace
+            .spans
+            .iter()
+            .find(|span| span.node == node)
+            .unwrap_or_else(|| panic!("no span from worker {node}"));
+        assert!(
+            shards
+                .iter()
+                .any(|shard| shard.span_id == span.parent_span_id),
+            "worker {node}'s span must parent to a coordinator shard span"
+        );
+    }
+
+    ma.leave();
+    mb.leave();
+    wa.shutdown();
+    wb.shutdown();
+    coordinator.shutdown();
+}
+
+/// Metrics federation: the coordinator's `/metrics` scrapes every live
+/// worker on demand — worker-labelled serve series in the Prometheus
+/// view (hostile names escaped), per-worker documents plus min/max/sum
+/// rollups in the JSON view.
+#[test]
+fn federated_metrics_carry_per_worker_series_and_rollups() {
+    let coordinator = Coordinator::bind("127.0.0.1:0", fast_cluster()).expect("bind coordinator");
+    let hostile = "fed\"b\\slash";
+    let wa = bind_worker();
+    let wb = bind_worker();
+    let ma = join_worker(&coordinator, "fed-a", &wa);
+    let mb = join_worker(&coordinator, hostile, &wb);
+    let client = Client::new(coordinator.local_addr().to_string());
+    client.wait_ready(WAIT).expect("ready");
+
+    // Run one sweep through the cluster so worker counters move.
+    let submitted = client.submit(&sweep_request(71, 6)).expect("submit");
+    let report = client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("sweep completes");
+    assert_eq!(report.state, JobState::Completed);
+
+    // Prometheus view: cluster counters plus every worker's serve
+    // series, each carrying its registry name as a label.
+    let text = client.metrics_prometheus().expect("federated exposition");
+    assert!(text.contains("ecripse_cluster_jobs_submitted_total"));
+    assert!(
+        text.contains("ecripse_serve_submitted_total{worker=\"fed-a\"}"),
+        "missing fed-a's relabelled serve series in:\n{text}"
+    );
+    assert!(
+        text.contains("worker=\"fed\\\"b\\\\slash\""),
+        "hostile worker names must be escaped in label values"
+    );
+    // HELP/TYPE headers for a federated series appear once, not per
+    // worker.
+    let type_lines = text
+        .lines()
+        .filter(|line| *line == "# TYPE ecripse_serve_submitted_total counter")
+        .count();
+    assert_eq!(type_lines, 1, "federated TYPE headers must be deduped");
+    // Even with the hostile name present, every sample line keeps the
+    // `name[{labels}] value` shape the CI scrape's parser enforces:
+    // escaping confined the quotes/backslashes to the label value.
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line without a value: {line:?}"));
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "-Inf",
+            "bad sample value in {line:?}"
+        );
+        let name = series.split('{').next().expect("split never empty");
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line:?}"
+        );
+        let labels = &series[name.len()..];
+        assert!(
+            labels.is_empty() || (labels.starts_with('{') && labels.ends_with('}')),
+            "malformed label block in {line:?}"
+        );
+    }
+
+    // JSON view: per-worker snapshots plus scalar rollups.
+    let mut stream = std::net::TcpStream::connect(coordinator.local_addr()).expect("connect");
+    http::write_request(&mut stream, "GET", "/metrics", None).expect("write");
+    let (status, _headers, body) = http::read_response(&mut stream).expect("read");
+    assert_eq!(status, 200);
+    let metrics: ClusterMetrics = serde_json::from_str(&body).expect("cluster metrics document");
+    assert_eq!(metrics.workers.len(), 2, "one snapshot per live worker");
+    for name in ["fed-a", hostile] {
+        let view = metrics
+            .workers
+            .iter()
+            .find(|view| view.worker == name)
+            .unwrap_or_else(|| panic!("no metrics snapshot for worker {name}"));
+        assert!(view.metrics.uptime_seconds > 0.0);
+    }
+    let shard_submissions: u64 = metrics
+        .workers
+        .iter()
+        .map(|view| view.metrics.submitted)
+        .sum();
+    assert!(
+        shard_submissions >= 2,
+        "the sharded sweep must have reached the workers, saw {shard_submissions} submissions"
+    );
+    let rollup = metrics
+        .rollups
+        .iter()
+        .find(|rollup| rollup.name == "submitted")
+        .expect("submitted rollup");
+    assert_eq!(rollup.sum, shard_submissions as f64);
+    assert!(rollup.min <= rollup.max);
+    assert!(rollup.max <= rollup.sum);
+
+    ma.leave();
+    mb.leave();
+    wa.shutdown();
+    wb.shutdown();
     coordinator.shutdown();
 }

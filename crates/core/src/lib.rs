@@ -103,7 +103,7 @@ pub use sweep::{
     SweepPoint, SweepReports,
 };
 pub use telemetry::{
-    Counter, Gauge, Histogram, MemorySink, MetricsRegistry, RotatingFileSink, TelemetryObserver,
-    TraceSink, Tracer,
+    escape_label_value, Counter, Gauge, Histogram, MemorySink, MetricsRegistry, RotatingFileSink,
+    SpanCollector, SpanRecord, SpanStore, TelemetryObserver, TraceContext, TraceSink, Tracer,
 };
 pub use trace::{ConvergenceTrace, TracePoint};

@@ -15,6 +15,12 @@
 //! * [`Tracer`] / [`SpanGuard`] — a span API that times nested phases
 //!   and emits JSONL trace events through a pluggable [`TraceSink`]
 //!   ([`RotatingFileSink`] rotates by size; [`MemorySink`] backs tests);
+//! * [`TraceContext`] / [`SpanRecord`] / [`SpanStore`] — distributed
+//!   trace propagation: a deterministic (FNV-derived) trace id carried
+//!   across process boundaries, completed job spans buffered in a
+//!   bounded per-process ring for `GET /v1/jobs/{id}/trace`;
+//! * [`SpanCollector`] — an [`Observer`] that folds pipeline stage
+//!   events into [`SpanRecord`]s under one job root span;
 //! * [`TelemetryObserver`] — the bridge from the [`Observer`] event
 //!   stream into registry metrics (and optionally a trace log).
 //!
@@ -51,14 +57,15 @@ use crate::observe::{
 };
 use parking_lot::{Mutex, RwLock};
 use serde::json::Value;
-use std::collections::BTreeMap;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Instant, SystemTime};
 
 // ---------------------------------------------------------------------
 // Atomic f64 helpers (the registry is lock-free on the hot path).
@@ -348,6 +355,23 @@ impl Histogram {
     }
 }
 
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double quote and newline must be escaped so a hostile
+/// value (say, a worker name containing quotes) cannot break the
+/// exposition out of its `label="value"` framing.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 /// Prometheus-style float rendering (`+Inf`/`-Inf`/`NaN` for the
 /// non-finite values the text format defines).
 fn fmt_prom_f64(v: f64) -> String {
@@ -515,6 +539,351 @@ impl MetricsRegistry {
 }
 
 // ---------------------------------------------------------------------
+// Distributed trace context & span records
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes` — the same deterministic hash the cluster uses
+/// for idempotency keys, reused here so trace ids are replay-stable.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Renders a trace/span id as the 16-hex-digit form it crosses the wire
+/// in (JSON numbers are `f64`-backed, so raw `u64` ids would lose bits).
+pub fn fmt_hex_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a hex trace/span id (1–16 digits accepted).
+pub fn parse_hex_id(text: &str) -> Option<u64> {
+    if text.is_empty() || text.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
+}
+
+/// The trace identity a request carries across process boundaries.
+///
+/// Derived with FNV-1a from deterministic inputs (job id + RNG seed),
+/// so a journal replay of the same job reconstructs the same trace —
+/// trace ids are part of the reproducibility story, not random. The
+/// context travels two ways: a `traceparent`-style HTTP header
+/// ([`traceparent`](Self::traceparent)) and an optional serde-defaulted
+/// body field on the serve wire types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Identifies the whole distributed job; every span anywhere in the
+    /// cluster that belongs to the job shares this id.
+    pub trace_id: u64,
+    /// The span this process's work nests under (`0` = the trace root).
+    pub parent_span_id: u64,
+}
+
+impl TraceContext {
+    /// The root context for a job: a deterministic trace id from the
+    /// job id and RNG seed, with no parent span.
+    pub fn for_job(job_id: u64, seed: u64) -> Self {
+        let mut bytes = Vec::with_capacity(29);
+        bytes.extend_from_slice(b"ecripse-trace");
+        bytes.extend_from_slice(&job_id.to_le_bytes());
+        bytes.extend_from_slice(&seed.to_le_bytes());
+        Self {
+            trace_id: fnv1a_64(&bytes).max(1),
+            parent_span_id: 0,
+        }
+    }
+
+    /// A deterministic span id scoped to this trace: the same label in
+    /// the same trace always maps to the same id.
+    pub fn span_id(&self, label: &str) -> u64 {
+        let mut bytes = Vec::with_capacity(8 + label.len());
+        bytes.extend_from_slice(&self.trace_id.to_le_bytes());
+        bytes.extend_from_slice(label.as_bytes());
+        fnv1a_64(&bytes).max(1)
+    }
+
+    /// The context a downstream process should continue under: same
+    /// trace, parented to the span named `label` here.
+    #[must_use]
+    pub fn child(&self, label: &str) -> Self {
+        Self {
+            trace_id: self.trace_id,
+            parent_span_id: self.span_id(label),
+        }
+    }
+
+    /// Renders the W3C-`traceparent`-style header value
+    /// (`00-{trace_id}-{parent_span_id}-01`; the 64-bit trace id is
+    /// zero-extended to the 128-bit field).
+    pub fn traceparent(&self) -> String {
+        format!(
+            "00-{:032x}-{:016x}-01",
+            u128::from(self.trace_id),
+            self.parent_span_id
+        )
+    }
+
+    /// Parses a `traceparent`-style header value; `None` on anything
+    /// that is not the version-00 shape.
+    pub fn parse_traceparent(header: &str) -> Option<Self> {
+        let parts: Vec<&str> = header.trim().split('-').collect();
+        if parts.len() != 4 || parts[0] != "00" || parts[1].len() != 32 || parts[2].len() != 16 {
+            return None;
+        }
+        let trace = u128::from_str_radix(parts[1], 16).ok()?;
+        let span = u64::from_str_radix(parts[2], 16).ok()?;
+        #[allow(clippy::cast_possible_truncation)]
+        let trace_id = trace as u64;
+        if trace_id == 0 {
+            return None;
+        }
+        Some(Self {
+            trace_id,
+            parent_span_id: span,
+        })
+    }
+}
+
+impl Serialize for TraceContext {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "trace_id".to_string(),
+                Value::String(fmt_hex_id(self.trace_id)),
+            ),
+            (
+                "parent_span_id".to_string(),
+                Value::String(fmt_hex_id(self.parent_span_id)),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for TraceContext {
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(Self {
+            trace_id: parse_hex_id(value.get("trace_id")?.as_str()?)?,
+            parent_span_id: parse_hex_id(value.get("parent_span_id")?.as_str()?)?,
+        })
+    }
+}
+
+/// One completed span in a job's distributed timeline. Ids are carried
+/// as 16-hex-digit strings (the wire is f64-backed JSON); timestamps
+/// are unix seconds from a per-process monotonic anchor, so spans from
+/// one process never go backwards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Trace this span belongs to (16 hex digits).
+    pub trace_id: String,
+    /// This span's id (16 hex digits).
+    pub span_id: String,
+    /// The span this one nests under (16 hex digits; all-zero = root).
+    pub parent_span_id: String,
+    /// Human-readable span name (`job`, `shard-3`, a stage name, …).
+    pub name: String,
+    /// Which process recorded the span (worker name, `coordinator`, …).
+    pub node: String,
+    /// Start time, unix seconds.
+    pub start_ts: f64,
+    /// Wall-clock duration in seconds.
+    pub duration_s: f64,
+}
+
+impl SpanRecord {
+    /// End time (`start_ts + duration_s`), unix seconds.
+    pub fn end_ts(&self) -> f64 {
+        self.start_ts + self.duration_s
+    }
+}
+
+/// A bounded ring of per-job span lists: the per-process buffer behind
+/// `GET /v1/jobs/{id}/trace`. When the ring is full, inserting a new
+/// job evicts the oldest one; re-inserting an existing job replaces its
+/// spans in place.
+#[derive(Debug)]
+pub struct SpanStore {
+    capacity: usize,
+    jobs: Mutex<VecDeque<(u64, Vec<SpanRecord>)>>,
+}
+
+impl SpanStore {
+    /// A store retaining at most `capacity` jobs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            jobs: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Stores (or replaces) the spans of `job_id`, evicting the oldest
+    /// job when the ring is full.
+    pub fn insert(&self, job_id: u64, spans: Vec<SpanRecord>) {
+        let mut jobs = self.jobs.lock();
+        if let Some(entry) = jobs.iter_mut().find(|(id, _)| *id == job_id) {
+            entry.1 = spans;
+            return;
+        }
+        while jobs.len() >= self.capacity {
+            jobs.pop_front();
+        }
+        jobs.push_back((job_id, spans));
+    }
+
+    /// The spans recorded for `job_id`, if the ring still holds them.
+    pub fn get(&self, job_id: u64) -> Option<Vec<SpanRecord>> {
+        self.jobs
+            .lock()
+            .iter()
+            .find(|(id, _)| *id == job_id)
+            .map(|(_, spans)| spans.clone())
+    }
+
+    /// Number of jobs currently buffered.
+    pub fn len(&self) -> usize {
+        self.jobs.lock().len()
+    }
+
+    /// Whether the ring holds no job.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.lock().is_empty()
+    }
+}
+
+struct CollectorState {
+    /// Stage-start offsets (seconds since the collector's epoch), one
+    /// slot per open stage, keyed by stage name.
+    open: Vec<(&'static str, f64)>,
+    spans: Vec<SpanRecord>,
+    /// Disambiguates repeated stage names (a sweep re-runs the pipeline
+    /// per point) in the deterministic span-id derivation.
+    sequence: u64,
+}
+
+/// An [`Observer`] that folds pipeline stage events into
+/// [`SpanRecord`]s: one root span covering the collector's lifetime
+/// plus one child span per completed stage, all under the job's
+/// [`TraceContext`]. Observation-only, like every other observer —
+/// attach/detach never changes a report.
+pub struct SpanCollector {
+    context: TraceContext,
+    node: String,
+    root_span_id: u64,
+    anchor_unix_s: f64,
+    epoch: Instant,
+    state: Mutex<CollectorState>,
+}
+
+impl std::fmt::Debug for SpanCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanCollector")
+            .field("trace_id", &fmt_hex_id(self.context.trace_id))
+            .field("node", &self.node)
+            .finish()
+    }
+}
+
+impl SpanCollector {
+    /// A collector for one job on `node`. The root span (named `job`)
+    /// starts now and parents to `context.parent_span_id`; its id is
+    /// deterministic (`context.span_id("{node}/job")`).
+    pub fn new(context: TraceContext, node: impl Into<String>) -> Self {
+        let node = node.into();
+        let root_span_id = context.span_id(&format!("{node}/job"));
+        Self {
+            context,
+            node,
+            root_span_id,
+            anchor_unix_s: unix_now_seconds(),
+            epoch: Instant::now(),
+            state: Mutex::new(CollectorState {
+                open: Vec::new(),
+                spans: Vec::new(),
+                sequence: 0,
+            }),
+        }
+    }
+
+    /// The root span's id — what a downstream context should parent to.
+    pub fn root_span_id(&self) -> u64 {
+        self.root_span_id
+    }
+
+    /// Closes the root span and returns every recorded span, root
+    /// first, stage spans in completion order.
+    pub fn finish(self) -> Vec<SpanRecord> {
+        let duration = self.epoch.elapsed().as_secs_f64();
+        let state = self.state.into_inner();
+        let trace_id = fmt_hex_id(self.context.trace_id);
+        let mut spans = vec![SpanRecord {
+            trace_id,
+            span_id: fmt_hex_id(self.root_span_id),
+            parent_span_id: fmt_hex_id(self.context.parent_span_id),
+            name: "job".to_string(),
+            node: self.node,
+            start_ts: self.anchor_unix_s,
+            duration_s: duration,
+        }];
+        spans.extend(state.spans);
+        spans
+    }
+
+    fn offset(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+impl Observer for SpanCollector {
+    fn stage_started(&self, stage: Stage) {
+        let offset = self.offset();
+        self.state.lock().open.push((stage.name(), offset));
+    }
+
+    fn stage_finished(&self, stage: Stage, _timing: &StageTiming) {
+        let end = self.offset();
+        let mut state = self.state.lock();
+        let start = match state
+            .open
+            .iter()
+            .rposition(|(name, _)| *name == stage.name())
+        {
+            Some(index) => state.open.remove(index).1,
+            // Unmatched finish (no start observed): zero-length span.
+            None => end,
+        };
+        let sequence = state.sequence;
+        state.sequence += 1;
+        let label = format!("{}/{}/{sequence}", self.node, stage.name());
+        state.spans.push(SpanRecord {
+            trace_id: fmt_hex_id(self.context.trace_id),
+            span_id: fmt_hex_id(self.context.span_id(&label)),
+            parent_span_id: fmt_hex_id(self.root_span_id),
+            name: stage.name().to_string(),
+            node: self.node.clone(),
+            start_ts: self.anchor_unix_s + start,
+            duration_s: (end - start).max(0.0),
+        });
+    }
+}
+
+/// Unix seconds right now (0 when the clock predates the epoch — a
+/// broken clock must not panic telemetry).
+fn unix_now_seconds() -> f64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+// ---------------------------------------------------------------------
 // Trace sinks
 // ---------------------------------------------------------------------
 
@@ -624,16 +993,26 @@ impl TraceSink for RotatingFileSink {
 struct TracerInner {
     sink: Arc<dyn TraceSink>,
     epoch: Instant,
+    /// Wall clock captured **once** at construction; every emitted `ts`
+    /// is this anchor plus a monotonic offset from `epoch`, so trace
+    /// lines never go backwards across NTP steps.
+    anchor_unix_s: f64,
+    context: Option<TraceContext>,
     depth: AtomicU64,
 }
 
 /// Emits structured JSONL trace events through a [`TraceSink`].
 ///
-/// Each line is one JSON object with at least `type`, `name` and `t_s`
-/// (seconds since the tracer was created). [`span`](Self::span) times a
-/// phase: the event is emitted when the returned [`SpanGuard`] drops,
-/// carrying `duration_s` and the nesting `depth` at entry. Cloning
-/// shares the sink and the time base.
+/// Each line is one JSON object with at least `type`, `name`, `t_s`
+/// (seconds since the tracer was created) and `ts` (unix seconds from a
+/// single per-tracer wall-clock anchor plus monotonic offsets — `ts` is
+/// non-decreasing per sink even if the system clock steps).
+/// [`span`](Self::span) times a phase: the event is emitted when the
+/// returned [`SpanGuard`] drops, carrying `duration_s` and the nesting
+/// `depth` at entry. A [`TraceContext`] attached via
+/// [`with_context`](Self::with_context) stamps `trace_id` (and
+/// `parent_span_id`) onto every line. Cloning shares the sink and the
+/// time base.
 #[derive(Clone)]
 pub struct Tracer {
     inner: Arc<TracerInner>,
@@ -654,20 +1033,54 @@ impl Tracer {
             inner: Arc::new(TracerInner {
                 sink,
                 epoch: Instant::now(),
+                anchor_unix_s: unix_now_seconds(),
+                context: None,
                 depth: AtomicU64::new(0),
             }),
         }
     }
 
+    /// A tracer sharing this one's sink and time base, with `context`
+    /// attached: every line it emits carries the trace identity.
+    #[must_use]
+    pub fn with_context(&self, context: TraceContext) -> Self {
+        Self {
+            inner: Arc::new(TracerInner {
+                sink: Arc::clone(&self.inner.sink),
+                epoch: self.inner.epoch,
+                anchor_unix_s: self.inner.anchor_unix_s,
+                context: Some(context),
+                depth: AtomicU64::new(self.inner.depth.load(Ordering::Relaxed)),
+            }),
+        }
+    }
+
+    /// The attached trace context, if any.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.inner.context
+    }
+
     fn emit(&self, kind: &str, name: &str, extra: Vec<(String, Value)>) {
+        let offset = self.inner.epoch.elapsed().as_secs_f64();
         let mut fields = vec![
             ("type".to_string(), Value::String(kind.to_string())),
             ("name".to_string(), Value::String(name.to_string())),
+            ("t_s".to_string(), Value::Number(offset)),
             (
-                "t_s".to_string(),
-                Value::Number(self.inner.epoch.elapsed().as_secs_f64()),
+                "ts".to_string(),
+                Value::Number(self.inner.anchor_unix_s + offset),
             ),
         ];
+        if let Some(context) = self.inner.context {
+            fields.push((
+                "trace_id".to_string(),
+                Value::String(fmt_hex_id(context.trace_id)),
+            ));
+            fields.push((
+                "parent_span_id".to_string(),
+                Value::String(fmt_hex_id(context.parent_span_id)),
+            ));
+        }
         fields.extend(extra);
         let line = serde_json::to_string(&Value::Object(fields)).unwrap_or_default();
         self.inner.sink.write_line(&line);
@@ -1138,5 +1551,167 @@ mod tests {
         let a = MetricsRegistry::global();
         let b = MetricsRegistry::global();
         assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn trace_context_is_deterministic_and_replay_stable() {
+        let a = TraceContext::for_job(7, 42);
+        let b = TraceContext::for_job(7, 42);
+        assert_eq!(a, b, "same job + seed must derive the same trace");
+        assert_ne!(a, TraceContext::for_job(8, 42));
+        assert_ne!(a, TraceContext::for_job(7, 43));
+        assert_ne!(a.trace_id, 0);
+        assert_eq!(a.parent_span_id, 0);
+        // Span ids: deterministic per label, distinct across labels.
+        assert_eq!(a.span_id("w1/job"), b.span_id("w1/job"));
+        assert_ne!(a.span_id("w1/job"), a.span_id("w2/job"));
+        let child = a.child("shard-0");
+        assert_eq!(child.trace_id, a.trace_id);
+        assert_eq!(child.parent_span_id, a.span_id("shard-0"));
+    }
+
+    #[test]
+    fn traceparent_header_round_trips() {
+        let ctx = TraceContext {
+            trace_id: 0x1234_5678_9abc_def0,
+            parent_span_id: 0x0fed_cba9_8765_4321,
+        };
+        let header = ctx.traceparent();
+        assert_eq!(
+            header,
+            "00-0000000000000000123456789abcdef0-0fedcba987654321-01"
+        );
+        assert_eq!(TraceContext::parse_traceparent(&header), Some(ctx));
+        for bad in [
+            "",
+            "01-0000000000000000123456789abcdef0-0fedcba987654321-01",
+            "00-123-0fedcba987654321-01",
+            "00-0000000000000000123456789abcdef0-0fedcba987654321",
+            "00-00000000000000000000000000000000-0fedcba987654321-01",
+        ] {
+            assert_eq!(TraceContext::parse_traceparent(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn trace_context_serialises_ids_as_hex_strings() {
+        let ctx = TraceContext::for_job(3, 9).child("w1/job");
+        let json = serde_json::to_string(&ctx).expect("serialise");
+        assert!(json.contains(&format!("\"{}\"", fmt_hex_id(ctx.trace_id))));
+        let back: TraceContext = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, ctx);
+    }
+
+    #[test]
+    fn label_escaping_neutralises_hostile_values() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_label_value("ünïcode"), "ünïcode");
+    }
+
+    #[test]
+    fn span_store_ring_evicts_oldest_and_replaces_in_place() {
+        let store = SpanStore::new(2);
+        let span = |id: u64| SpanRecord {
+            trace_id: fmt_hex_id(id),
+            span_id: fmt_hex_id(id + 1),
+            parent_span_id: fmt_hex_id(0),
+            name: "job".into(),
+            node: "test".into(),
+            start_ts: 1.0,
+            duration_s: 0.5,
+        };
+        store.insert(1, vec![span(1)]);
+        store.insert(2, vec![span(2)]);
+        store.insert(3, vec![span(3)]);
+        assert_eq!(store.len(), 2);
+        assert!(store.get(1).is_none(), "oldest job must be evicted");
+        assert!(store.get(2).is_some() && store.get(3).is_some());
+        // Re-inserting an existing job replaces without evicting.
+        store.insert(2, vec![span(2), span(20)]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(2).expect("kept").len(), 2);
+        assert!(store.get(3).is_some());
+    }
+
+    #[test]
+    fn span_collector_builds_a_rooted_timeline() {
+        let ctx = TraceContext::for_job(5, 11).child("shard-0");
+        let collector = SpanCollector::new(ctx, "w1");
+        collector.stage_started(Stage::BoundarySearch);
+        collector.stage_finished(
+            Stage::BoundarySearch,
+            &StageTiming {
+                wall_seconds: 0.0,
+                simulations: 1,
+            },
+        );
+        collector.stage_started(Stage::ImportanceSampling);
+        collector.stage_finished(
+            Stage::ImportanceSampling,
+            &StageTiming {
+                wall_seconds: 0.0,
+                simulations: 2,
+            },
+        );
+        let root_id = fmt_hex_id(collector.root_span_id());
+        let spans = collector.finish();
+        assert_eq!(spans.len(), 3);
+        let root = &spans[0];
+        assert_eq!(root.name, "job");
+        assert_eq!(root.span_id, root_id);
+        assert_eq!(root.parent_span_id, fmt_hex_id(ctx.parent_span_id));
+        for span in &spans {
+            assert_eq!(span.trace_id, fmt_hex_id(ctx.trace_id));
+            assert_eq!(span.node, "w1");
+            assert!(span.duration_s >= 0.0);
+            assert!(span.start_ts >= root.start_ts);
+            assert!(span.end_ts() <= root.end_ts() + 1e-6);
+        }
+        // Stage spans parent to the root and carry distinct ids.
+        assert_eq!(spans[1].parent_span_id, root_id);
+        assert_eq!(spans[2].parent_span_id, root_id);
+        assert_ne!(spans[1].span_id, spans[2].span_id);
+        assert_eq!(spans[1].name, "boundary_search");
+        assert_eq!(spans[2].name, "importance_sampling");
+    }
+
+    #[test]
+    fn tracer_timestamps_are_non_decreasing_and_carry_context() {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        let ctx = TraceContext::for_job(1, 2);
+        let traced = tracer.with_context(ctx);
+        for i in 0..50 {
+            let t = if i % 2 == 0 { &tracer } else { &traced };
+            t.event("tick", &[("i", Value::Number(f64::from(i)))]);
+        }
+        {
+            let _span = traced.span("phase");
+        }
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 51);
+        let mut last = f64::NEG_INFINITY;
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).expect("valid JSON");
+            let ts = v.get("ts").and_then(Value::as_f64).expect("ts field");
+            assert!(
+                ts >= last,
+                "ts must be non-decreasing per sink ({ts} < {last})"
+            );
+            last = ts;
+        }
+        // Context-attached lines carry the trace identity; plain ones
+        // do not.
+        let plain: Value = serde_json::from_str(&lines[0]).unwrap();
+        assert!(plain.get("trace_id").is_none());
+        let stamped: Value = serde_json::from_str(&lines[1]).unwrap();
+        assert_eq!(
+            stamped.get("trace_id").and_then(Value::as_str),
+            Some(fmt_hex_id(ctx.trace_id).as_str())
+        );
+        let span_line: Value = serde_json::from_str(&lines[50]).unwrap();
+        assert_eq!(span_line.get("name").and_then(Value::as_str), Some("phase"));
+        assert!(span_line.get("trace_id").is_some());
     }
 }

@@ -27,7 +27,8 @@
 
 use crate::http;
 use crate::protocol::{
-    ApiError, Health, JobReport, JobStatus, Metrics, Readiness, SubmitRequest, PROTOCOL_VERSION,
+    ApiError, Health, JobReport, JobStatus, JobTrace, Metrics, Readiness, SubmitRequest,
+    PROTOCOL_VERSION,
 };
 use serde::Deserialize;
 use std::net::TcpStream;
@@ -238,20 +239,39 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<http::RawResponse, ClientError> {
-        let mut stream = TcpStream::connect(&self.addr)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
-        http::write_request(&mut stream, method, path, body)?;
-        Ok(http::read_response(&mut stream)?)
+        self.request_with_headers(method, path, body, &[])
     }
 
-    fn expect_json_once<T: Deserialize>(
+    fn request_with_headers(
         &self,
         method: &str,
         path: &str,
         body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> Result<http::RawResponse, ClientError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        http::write_request_with_headers(
+            &mut stream,
+            method,
+            path,
+            body,
+            "application/json",
+            extra_headers,
+        )?;
+        Ok(http::read_response(&mut stream)?)
+    }
+
+    fn expect_json_once_with_headers<T: Deserialize>(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
     ) -> Result<T, ClientError> {
-        let (status, headers, text) = self.request(method, path, body)?;
+        let (status, headers, text) =
+            self.request_with_headers(method, path, body, extra_headers)?;
         if (200..300).contains(&status) {
             return serde_json::from_str(&text)
                 .map_err(|e| ClientError::Protocol(format!("bad {path} response body: {e}")));
@@ -288,12 +308,22 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<T, ClientError> {
+        self.expect_json_with_headers(method, path, body, &[])
+    }
+
+    fn expect_json_with_headers<T: Deserialize>(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> Result<T, ClientError> {
         let Some(policy) = &self.retry else {
-            return self.expect_json_once(method, path, body);
+            return self.expect_json_once_with_headers(method, path, body, extra_headers);
         };
         let mut attempt = 0u32;
         loop {
-            match self.expect_json_once(method, path, body) {
+            match self.expect_json_once_with_headers(method, path, body, extra_headers) {
                 Ok(value) => return Ok(value),
                 Err(error)
                     if attempt + 1 < policy.max_attempts && BackoffPolicy::retryable(&error) =>
@@ -326,7 +356,21 @@ impl Client {
     pub fn submit(&self, request: &SubmitRequest) -> Result<JobStatus, ClientError> {
         let body = serde_json::to_string(request)
             .map_err(|e| ClientError::Protocol(format!("serialise submission: {e}")))?;
-        self.expect_json("POST", "/v1/jobs", Some(&body))
+        // A trace-carrying submission also sends the `traceparent`
+        // header — the wire field and the header agree, and servers
+        // (or proxies) that only look at headers still see the trace.
+        match &request.trace {
+            Some(trace) => {
+                let traceparent = trace.traceparent();
+                self.expect_json_with_headers(
+                    "POST",
+                    "/v1/jobs",
+                    Some(&body),
+                    &[("traceparent", &traceparent)],
+                )
+            }
+            None => self.expect_json("POST", "/v1/jobs", Some(&body)),
+        }
     }
 
     /// Fetches a job's lifecycle snapshot (`GET /v1/jobs/{id}`).
@@ -346,6 +390,18 @@ impl Client {
     /// still queued or running.
     pub fn report(&self, id: u64) -> Result<JobReport, ClientError> {
         self.expect_json("GET", &format!("/v1/jobs/{id}/report"), None)
+    }
+
+    /// Fetches a job's span timeline (`GET /v1/jobs/{id}/trace`). The
+    /// spans are empty until the job finishes; against a cluster
+    /// coordinator the document is the merged coordinator + worker
+    /// waterfall.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with code `unknown_job` for unknown ids.
+    pub fn trace(&self, id: u64) -> Result<JobTrace, ClientError> {
+        self.expect_json("GET", &format!("/v1/jobs/{id}/trace"), None)
     }
 
     /// Cancels a job (`DELETE /v1/jobs/{id}`). A queued job lands in

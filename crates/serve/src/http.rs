@@ -288,11 +288,35 @@ pub fn write_request_accepting(
     body: Option<&str>,
     accept: &str,
 ) -> std::io::Result<()> {
+    write_request_with_headers(stream, method, path, body, accept, &[])
+}
+
+/// Writes a client request with an explicit `Accept` header plus extra
+/// headers (e.g. `traceparent`) and flushes.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn write_request_with_headers(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    accept: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
     let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: ecripse-serve\r\ncontent-type: application/json\r\naccept: {accept}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: ecripse-serve\r\ncontent-type: application/json\r\naccept: {accept}\r\ncontent-length: {}\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()

@@ -65,7 +65,7 @@ pub use client::{BackoffPolicy, Client, ClientError};
 pub use journal::{Journal, JournalKind, JournalRecord};
 pub use protocol::{
     ApiError, EstimateOutcome, Health, JobKind, JobProgress, JobReport, JobSpec, JobState,
-    JobStatus, Metrics, Readiness, SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
+    JobStatus, JobTrace, Metrics, Readiness, SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server, ShutdownSummary};
 pub use shared::{SharedBench, SnapshotError, VerdictCache, CACHE_SNAPSHOT_VERSION};

@@ -13,6 +13,7 @@ use ecripse_core::observe::RunReport;
 use ecripse_core::oracle::OracleStats;
 use ecripse_core::scenario::Scenario;
 use ecripse_core::sweep::{SweepPoint, SweepReports};
+use ecripse_core::telemetry::{SpanRecord, TraceContext};
 use serde::{Deserialize, Serialize};
 
 /// Version of the wire protocol this build speaks. Bumped on any
@@ -298,6 +299,14 @@ pub struct SubmitRequest {
     /// even across a server crash and restart.
     #[serde(default)]
     pub idempotency_key: Option<String>,
+    /// Distributed trace context the job should run under. Clients (and
+    /// the cluster coordinator, which stamps a per-shard child context)
+    /// set this to tie the job's spans into an existing trace; absent —
+    /// every pre-PR-10 wire body, via the serde default — the server
+    /// derives a deterministic context from the job id and RNG seed.
+    /// A `traceparent` header on the submission takes precedence.
+    #[serde(default)]
+    pub trace: Option<TraceContext>,
 }
 
 impl SubmitRequest {
@@ -311,6 +320,7 @@ impl SubmitRequest {
             job,
             deadline_ms: None,
             idempotency_key: None,
+            trace: None,
         }
     }
 
@@ -334,6 +344,13 @@ impl SubmitRequest {
         self.idempotency_key = Some(key.into());
         self
     }
+
+    /// Runs the job under an existing distributed trace context.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 /// A job's lifecycle snapshot (`POST /v1/jobs`, `GET /v1/jobs/{id}`).
@@ -354,6 +371,12 @@ pub struct JobStatus {
     /// Live execution progress while [`JobState::Running`]; absent
     /// before the worker picks the job up and after it finishes.
     pub progress: Option<JobProgress>,
+    /// The job's distributed trace id as 16 lowercase hex digits —
+    /// clients correlate the status document with JSONL trace lines and
+    /// the `/v1/jobs/{id}/trace` waterfall through it. Absent in
+    /// PR-9-era status documents.
+    #[serde(default)]
+    pub trace_id: Option<String>,
 }
 
 /// Live progress of a running job, fed from the worker's observer.
@@ -428,6 +451,27 @@ pub struct JobReport {
     pub estimate: Option<EstimateOutcome>,
     /// Sweep outcome, for completed [`JobKind::Sweep`] jobs.
     pub sweep: Option<SweepOutcome>,
+    /// The job's distributed trace id (16 lowercase hex digits). Absent
+    /// in PR-9-era report documents.
+    #[serde(default)]
+    pub trace_id: Option<String>,
+}
+
+/// The span timeline of one job (`GET /v1/jobs/{id}/trace`). A worker
+/// serves the spans its own [`SpanCollector`](ecripse_core::telemetry::SpanCollector)
+/// recorded; the cluster coordinator serves its root and per-shard spans
+/// merged with the spans fetched from every worker that held a shard,
+/// sorted by `start_ts` — one waterfall for the whole distributed job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobTrace {
+    /// The job id the spans describe (the id the serving node assigned —
+    /// for a merged cluster waterfall, the coordinator's job id).
+    pub job_id: u64,
+    /// The trace id every span in `spans` shares (16 hex digits).
+    pub trace_id: String,
+    /// Spans sorted by `start_ts`; parent links are span ids within the
+    /// same document (the root span's parent points outside it).
+    pub spans: Vec<SpanRecord>,
 }
 
 /// The JSON body of every non-2xx response.
@@ -550,6 +594,10 @@ pub struct Metrics {
     /// Current on-disk size of the journal file in bytes.
     #[serde(default)]
     pub journal_bytes: u64,
+    /// Wall-clock seconds boot-time journal recovery took (0 when no
+    /// journal is configured). Absent in pre-PR-10 documents.
+    #[serde(default)]
+    pub journal_replay_duration_seconds: f64,
     /// Seconds since the server bound its socket.
     pub uptime_seconds: f64,
     /// Jobs in a terminal state (completed + failed + cancelled +
@@ -711,11 +759,53 @@ mod tests {
     fn submit_request_builders_round_trip() {
         let req = SubmitRequest::new(EcripseConfig::default(), JobSpec::estimate(1.0, 0.3))
             .with_deadline_ms(1500)
-            .with_idempotency_key("job-42");
+            .with_idempotency_key("job-42")
+            .with_trace(TraceContext::for_job(7, 42));
         let json = serde_json::to_string(&req).expect("serialise");
         let back: SubmitRequest = serde_json::from_str(&json).expect("deserialise");
         assert_eq!(back.deadline_ms, Some(1500));
         assert_eq!(back.idempotency_key.as_deref(), Some("job-42"));
+        assert_eq!(back.trace, Some(TraceContext::for_job(7, 42)));
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn pre_pr10_wire_bodies_still_parse() {
+        // A submission without `trace` — the PR-9-era wire shape — must
+        // parse with the context defaulted to `None`.
+        let req = SubmitRequest::new(EcripseConfig::default(), JobSpec::rdf_only(1.0))
+            .with_trace(TraceContext::for_job(3, 99));
+        let json = serde_json::to_string(&req).expect("serialise");
+        assert!(json.contains("trace"));
+        let stripped = {
+            let mut value: serde::json::Value = serde_json::from_str(&json).expect("parse");
+            if let serde::json::Value::Object(entries) = &mut value {
+                entries.retain(|(k, _)| k != "trace");
+            }
+            serde_json::to_string(&value).expect("re-serialise")
+        };
+        let back: SubmitRequest = serde_json::from_str(&stripped).expect("old body parses");
+        assert_eq!(back.trace, None);
+    }
+
+    #[test]
+    fn job_trace_documents_round_trip() {
+        let context = TraceContext::for_job(11, 2024);
+        let trace = JobTrace {
+            job_id: 11,
+            trace_id: ecripse_core::telemetry::fmt_hex_id(context.trace_id),
+            spans: vec![SpanRecord {
+                trace_id: ecripse_core::telemetry::fmt_hex_id(context.trace_id),
+                span_id: ecripse_core::telemetry::fmt_hex_id(context.span_id("worker/job")),
+                parent_span_id: ecripse_core::telemetry::fmt_hex_id(0),
+                name: "job".into(),
+                node: "worker".into(),
+                start_ts: 1_700_000_000.25,
+                duration_s: 0.75,
+            }],
+        };
+        let json = serde_json::to_string(&trace).expect("serialise");
+        let back: JobTrace = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, trace);
     }
 }

@@ -55,7 +55,8 @@ use crate::http::{self, Request, Response};
 use crate::journal::{self, Journal, JournalRecord, RecoveredJob};
 use crate::protocol::{
     ApiError, EstimateOutcome, Health, JobKind, JobProgress, JobReport, JobSpec, JobState,
-    JobStatus, Metrics, Readiness, ScenarioJobCount, SubmitRequest, SweepOutcome, PROTOCOL_VERSION,
+    JobStatus, JobTrace, Metrics, Readiness, ScenarioJobCount, SubmitRequest, SweepOutcome,
+    PROTOCOL_VERSION,
 };
 use crate::shared::{tag_for, SharedBench, VerdictCache};
 use ecripse_core::cache::MemoCacheConfig;
@@ -67,7 +68,10 @@ use ecripse_core::oracle::OracleStats;
 use ecripse_core::rtn_source::SramRtn;
 use ecripse_core::scenario::{registry_digest, Scenario, SramScenarioBench};
 use ecripse_core::sweep::{DutySweep, SweepBench, SweepError, SweepOptions};
-use ecripse_core::telemetry::{Histogram, MetricsRegistry, TelemetryObserver};
+use ecripse_core::telemetry::{
+    escape_label_value, fmt_hex_id, Gauge, Histogram, MetricsRegistry, SpanCollector, SpanStore,
+    TelemetryObserver, TraceContext,
+};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
@@ -113,6 +117,11 @@ pub struct ServeConfig {
     /// handling caps the write timeout, and a connection that exhausts
     /// it is closed without a response.
     pub connection_lifetime: Duration,
+    /// Node name stamped into every span this server records (the
+    /// `node` field of [`SpanRecord`](ecripse_core::telemetry::SpanRecord))
+    /// and reported to the cluster coordinator. `None` derives
+    /// `serve-{port}` from the bound address.
+    pub node: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +136,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
             connection_lifetime: Duration::from_secs(60),
+            node: None,
         }
     }
 }
@@ -168,6 +178,11 @@ struct JobRecord {
     deadline: Option<Instant>,
     /// Client-supplied retry-dedup key, if any.
     idempotency_key: Option<String>,
+    /// The distributed trace context the job runs under: the resolved
+    /// precedence of `traceparent` header → wire `trace` field →
+    /// deterministic derivation from job id + RNG seed. Journaled with
+    /// the submission, so recovery resumes the same trace.
+    trace: TraceContext,
     /// Cooperative stop flag: raised by `DELETE` (cancel) or the
     /// deadline watchdog; the estimation pipeline polls it at
     /// iteration/batch boundaries without ever consuming RNG, so
@@ -260,6 +275,12 @@ struct ServeTelemetry {
     http_seconds: Histogram,
     queue_wait_seconds: Histogram,
     job_seconds: Histogram,
+    /// Boot-time journal replay duration. A histogram (not a gauge)
+    /// so federated scrapes can sum replay cost across restarts.
+    journal_replay_seconds: Histogram,
+    /// Live queue depth, refreshed on every metrics snapshot so the
+    /// registry's exposition agrees with the JSON document.
+    queue_depth: Gauge,
     bridge: TelemetryObserver,
 }
 
@@ -278,12 +299,19 @@ impl ServeTelemetry {
             "ecripse_serve_job_seconds",
             "Wall-clock duration of one job's execution",
         );
+        let journal_replay_seconds = registry.histogram(
+            "ecripse_serve_journal_replay_duration_seconds",
+            "Wall-clock duration of boot-time write-ahead journal replay",
+        );
+        let queue_depth = registry.gauge("ecripse_serve_queue_depth", "Jobs waiting in the queue");
         let bridge = TelemetryObserver::new(&registry);
         Self {
             registry,
             http_seconds,
             queue_wait_seconds,
             job_seconds,
+            journal_replay_seconds,
+            queue_depth,
             bridge,
         }
     }
@@ -358,6 +386,14 @@ struct Shared<B> {
     /// When the server bound its socket (feeds `uptime_seconds`).
     started: Instant,
     telemetry: ServeTelemetry,
+    /// Node name stamped into spans (config override or `serve-{port}`).
+    node: String,
+    /// Bounded ring of finished jobs' span timelines, served by
+    /// `GET /v1/jobs/{id}/trace`.
+    spans: SpanStore,
+    /// Wall-clock seconds boot-time journal replay took (0 without a
+    /// journal); surfaced in the `/metrics` JSON document.
+    journal_replay_seconds: f64,
 }
 
 /// The estimation service. Generic over the bench the factory builds,
@@ -436,6 +472,7 @@ impl<B: SweepBench + 'static> Server<B> {
         // Open + replay the journal *before* anything can accept
         // traffic: the node is not ready until every surviving job is
         // back in the table.
+        let replay_started = Instant::now();
         let (journal, recovered_jobs, frames_replayed) = match &config.journal {
             Some(path) => {
                 let (journal, replay) = Journal::open(path)?;
@@ -480,6 +517,13 @@ impl<B: SweepBench + 'static> Server<B> {
                     output: None,
                     queued_at: boot,
                     progress: Arc::new(ProgressTracker::default()),
+                    // Submissions journal their resolved context, so a
+                    // recovered job resumes the same trace; the derive
+                    // below only covers pre-PR-10 journal files.
+                    trace: job
+                        .request
+                        .trace
+                        .unwrap_or_else(|| TraceContext::for_job(job.id, job.request.config.seed)),
                     deadline_ms: job.request.deadline_ms,
                     // The journal has no wall-clock anchor: a recovered
                     // job's budget restarts from re-acceptance.
@@ -508,6 +552,21 @@ impl<B: SweepBench + 'static> Server<B> {
                 );
             }
         }
+        let journal_replay_seconds = if config.journal.is_some() {
+            replay_started.elapsed().as_secs_f64()
+        } else {
+            0.0
+        };
+        let node = config
+            .node
+            .clone()
+            .unwrap_or_else(|| format!("serve-{}", addr.port()));
+        let telemetry = ServeTelemetry::new();
+        if config.journal.is_some() {
+            telemetry
+                .journal_replay_seconds
+                .record(journal_replay_seconds);
+        }
         let shared = Arc::new(Shared {
             cache,
             cache_loaded,
@@ -533,7 +592,10 @@ impl<B: SweepBench + 'static> Server<B> {
             ready: AtomicBool::new(false),
             monitor_stop: AtomicBool::new(false),
             started: Instant::now(),
-            telemetry: ServeTelemetry::new(),
+            telemetry,
+            node,
+            spans: SpanStore::new(256),
+            journal_replay_seconds,
         });
         let worker_handles = (0..workers)
             .map(|_| {
@@ -709,6 +771,7 @@ fn record_request(record: &JobRecord) -> SubmitRequest {
     request.scenario = record.scenario;
     request.deadline_ms = record.deadline_ms;
     request.idempotency_key = record.idempotency_key.clone();
+    request.trace = Some(record.trace);
     request
 }
 
@@ -919,9 +982,10 @@ fn route<B: SweepBench>(shared: &Shared<B>, request: &Request) -> Response {
     let path = request.path.trim_end_matches('/');
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("POST", ["v1", "jobs"]) => submit(shared, &request.body),
+        ("POST", ["v1", "jobs"]) => submit(shared, request),
         ("GET", ["v1", "jobs", id]) => with_job_id(id, |id| status(shared, id)),
         ("GET", ["v1", "jobs", id, "report"]) => with_job_id(id, |id| report(shared, id)),
+        ("GET", ["v1", "jobs", id, "trace"]) => with_job_id(id, |id| trace_document(shared, id)),
         ("DELETE", ["v1", "jobs", id]) => with_job_id(id, |id| cancel(shared, id)),
         ("GET", ["healthz"]) => healthz(shared),
         ("GET", ["readyz"]) => readyz(shared),
@@ -944,14 +1008,23 @@ fn with_job_id(raw: &str, f: impl FnOnce(u64) -> Response) -> Response {
     }
 }
 
-fn submit<B: SweepBench>(shared: &Shared<B>, body: &[u8]) -> Response {
-    let Ok(text) = std::str::from_utf8(body) else {
+fn submit<B: SweepBench>(shared: &Shared<B>, http_request: &Request) -> Response {
+    let Ok(text) = std::str::from_utf8(&http_request.body) else {
         return error_response(400, "bad_request", "body is not utf-8");
     };
-    let request: SubmitRequest = match serde_json::from_str(text) {
+    let mut request: SubmitRequest = match serde_json::from_str(text) {
         Ok(request) => request,
         Err(e) => return error_response(400, "bad_request", format!("invalid submission: {e}")),
     };
+    // Trace-context precedence: a `traceparent` header wins over the
+    // wire `trace` field; with neither, a deterministic context is
+    // derived from the job id + RNG seed once the id is assigned.
+    if let Some(header) = http_request
+        .header("traceparent")
+        .and_then(TraceContext::parse_traceparent)
+    {
+        request.trace = Some(header);
+    }
     if request.protocol != PROTOCOL_VERSION {
         return error_response(
             400,
@@ -1009,6 +1082,13 @@ fn submit<B: SweepBench>(shared: &Shared<B>, body: &[u8]) -> Response {
         return Response::json(429, json_body(&body)).with_header("retry-after", hint.to_string());
     }
     let id = state.next_id;
+    // Resolve the trace context now that the id exists, and stamp it
+    // back into the request so the journal frame carries it — recovery
+    // then resumes the identical trace.
+    let trace = request
+        .trace
+        .unwrap_or_else(|| TraceContext::for_job(id, request.config.seed));
+    request.trace = Some(trace);
     // Durability point: the submission reaches the fsync'd journal
     // *before* any acknowledgement leaves the server — and before the
     // job is visible anywhere else. Held under the state lock so a
@@ -1040,6 +1120,7 @@ fn submit<B: SweepBench>(shared: &Shared<B>, body: &[u8]) -> Response {
             output: None,
             queued_at: now,
             progress: Arc::new(ProgressTracker::default()),
+            trace,
             deadline_ms: request.deadline_ms,
             deadline: request
                 .deadline_ms
@@ -1065,6 +1146,7 @@ fn submit<B: SweepBench>(shared: &Shared<B>, body: &[u8]) -> Response {
             queue_position: Some(position),
             error: None,
             progress: None,
+            trace_id: Some(fmt_hex_id(trace.trace_id)),
         }),
     )
 }
@@ -1093,6 +1175,7 @@ fn job_status(state: &QueueState, id: u64) -> Option<JobStatus> {
         queue_position,
         error: record.error.clone(),
         progress: (record.state == JobState::Running).then(|| record.progress.snapshot()),
+        trace_id: Some(fmt_hex_id(record.trace.trace_id)),
     })
 }
 
@@ -1116,6 +1199,7 @@ fn report<B>(shared: &Shared<B>, id: u64) -> Response {
             error: record.error.clone(),
             estimate: None,
             sweep: None,
+            trace_id: Some(fmt_hex_id(record.trace.trace_id)),
         };
         match &record.output {
             Some(JobOutput::Estimate(outcome)) => report.estimate = Some(outcome.clone()),
@@ -1131,6 +1215,28 @@ fn report<B>(shared: &Shared<B>, id: u64) -> Response {
             format!("job {id} is {state}; no report yet"),
         )
     }
+}
+
+/// `GET /v1/jobs/{id}/trace`: the span timeline this node recorded for
+/// one job. Empty until the worker finishes (the collector folds stage
+/// events into spans only at job end); `404` for unknown ids.
+fn trace_document<B>(shared: &Shared<B>, id: u64) -> Response {
+    let trace_id = {
+        let state = lock_state(shared);
+        match state.jobs.get(&id) {
+            Some(record) => record.trace.trace_id,
+            None => return error_response(404, "unknown_job", format!("no job {id}")),
+        }
+    };
+    let spans = shared.spans.get(id).unwrap_or_default();
+    Response::json(
+        200,
+        json_body(&JobTrace {
+            job_id: id,
+            trace_id: fmt_hex_id(trace_id),
+            spans,
+        }),
+    )
 }
 
 fn cancel<B>(shared: &Shared<B>, id: u64) -> Response {
@@ -1227,6 +1333,10 @@ fn collect_metrics<B>(shared: &Shared<B>) -> Metrics {
         let state = lock_state(shared);
         (state.queue.len() as u64, state.in_flight)
     };
+    // Refresh the registry's gauge from the same snapshot, so the
+    // Prometheus exposition (rendered from the registry) and the JSON
+    // document always agree on the depth.
+    shared.telemetry.queue_depth.set(queue_depth as f64);
     let c = &shared.counters;
     let completed = c.completed.load(Ordering::Relaxed);
     let failed = c.failed.load(Ordering::Relaxed);
@@ -1257,6 +1367,7 @@ fn collect_metrics<B>(shared: &Shared<B>) -> Metrics {
         journal_compactions_total: shared.journal.as_ref().map_or(0, |j| j.compactions()),
         journal_frames_replayed_total: shared.frames_replayed,
         journal_bytes: shared.journal.as_ref().map_or(0, |j| j.bytes()),
+        journal_replay_duration_seconds: shared.journal_replay_seconds,
         uptime_seconds: shared.started.elapsed().as_secs_f64(),
         jobs_in_terminal_state: completed + failed + cancelled + deadline_exceeded + persisted,
         scenario_jobs: Scenario::ALL
@@ -1309,12 +1420,10 @@ fn prom_scalar(out: &mut String, name: &str, kind: &str, help: &str, value: f64)
 /// observer bridge's pipeline metrics).
 fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
     let mut out = String::new();
-    let gauges: [(&str, &str, f64); 10] = [
-        (
-            "queue_depth",
-            "Jobs waiting in the queue",
-            m.queue_depth as f64,
-        ),
+    // `queue_depth` is absent here on purpose: it lives in the
+    // registry as a real gauge (refreshed by `collect_metrics`), so it
+    // renders with the registry histograms at the end of the document.
+    let gauges: [(&str, &str, f64); 9] = [
         (
             "queue_capacity",
             "Bound of the job queue",
@@ -1485,7 +1594,8 @@ fn render_prometheus_document<B>(shared: &Shared<B>, m: &Metrics) -> String {
             let _ = writeln!(
                 out,
                 "{name}{{scenario=\"{}\"}} {}",
-                entry.scenario, entry.completed
+                escape_label_value(&entry.scenario),
+                entry.completed
             );
         }
     }
@@ -1505,7 +1615,7 @@ enum JobFailure {
 
 fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
     loop {
-        let (id, spec, scenario, config, progress, deadline, stop) = {
+        let (id, spec, scenario, config, progress, deadline, stop, trace) = {
             let mut state = lock_state(shared);
             loop {
                 if let Some(id) = state.queue.pop_front() {
@@ -1547,6 +1657,7 @@ fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
                         Arc::clone(&record.progress),
                         record.deadline,
                         Arc::clone(&record.stop),
+                        record.trace,
                     );
                     state.in_flight += 1;
                     break job;
@@ -1561,7 +1672,15 @@ fn worker_loop<B: SweepBench + 'static>(shared: &Arc<Shared<B>>) {
             }
         };
         let started = Instant::now();
-        let outcome = execute(shared, id, &spec, scenario, config, &progress, &stop);
+        // The collector is observational only (it never feeds back into
+        // the pipeline), so the job's numbers stay bit-identical with
+        // or without tracing; its spans are stored win or lose, so a
+        // failed job still shows where its time went.
+        let collector = SpanCollector::new(trace, shared.node.clone());
+        let outcome = execute(
+            shared, id, &spec, scenario, config, &progress, &stop, &collector,
+        );
+        shared.spans.insert(id, collector.finish());
         let elapsed = started.elapsed().as_secs_f64();
         shared.telemetry.job_seconds.record(elapsed);
         {
@@ -1642,6 +1761,7 @@ fn add_oracle(total: &mut OracleStats, delta: &OracleStats) {
 /// Panics inside the estimation stack (dimension mismatches from exotic
 /// bench factories, …) are caught and reported as job failures so a bad
 /// job can never take a worker down.
+#[allow(clippy::too_many_arguments)]
 fn execute<B: SweepBench + 'static>(
     shared: &Arc<Shared<B>>,
     id: u64,
@@ -1650,13 +1770,16 @@ fn execute<B: SweepBench + 'static>(
     config: EcripseConfig,
     progress: &Arc<ProgressTracker>,
     stop: &Arc<AtomicBool>,
+    collector: &SpanCollector,
 ) -> Result<(JobOutput, OracleStats), JobFailure> {
     let shared = Arc::clone(shared);
     let spec = spec.clone();
     let progress = Arc::clone(progress);
     let stop = Arc::clone(stop);
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-        execute_inner(&shared, id, &spec, scenario, config, &progress, &stop)
+        execute_inner(
+            &shared, id, &spec, scenario, config, &progress, &stop, collector,
+        )
     }))
     .unwrap_or_else(|panic| {
         let message = panic
@@ -1668,6 +1791,7 @@ fn execute<B: SweepBench + 'static>(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_inner<B: SweepBench + 'static>(
     shared: &Shared<B>,
     id: u64,
@@ -1676,15 +1800,18 @@ fn execute_inner<B: SweepBench + 'static>(
     config: EcripseConfig,
     progress: &ProgressTracker,
     stop: &AtomicBool,
+    collector: &SpanCollector,
 ) -> Result<(JobOutput, OracleStats), JobFailure> {
     let bench = job_bench(shared, scenario, spec);
     // Everything beyond the deterministic recorder is observational:
-    // the live-progress tracker and the registry bridge see the same
-    // event stream but never feed back into the estimation, so served
-    // reports stay bit-identical to direct library calls.
+    // the live-progress tracker, the registry bridge and the span
+    // collector see the same event stream but never feed back into the
+    // estimation, so served reports stay bit-identical to direct
+    // library calls.
     let mut side = MultiObserver::new();
     side.push(progress);
     side.push(&shared.telemetry.bridge);
+    side.push(collector);
     match spec.kind {
         JobKind::Estimate => {
             let recorder = RunRecorder::new();

@@ -124,10 +124,20 @@ fn validate_exposition(text: &str) -> (HashMap<String, f64>, Vec<String>) {
 
 #[test]
 fn prometheus_exposition_parses_and_agrees_with_json() {
-    let server = Server::bind_with("127.0.0.1:0", ServeConfig::default(), |_scenario, _vdd| {
-        linear_bench()
-    })
-    .expect("bind");
+    // A journal (on an empty scratch directory) so boot performs a
+    // replay and the replay-duration histogram gains its sample.
+    let dir = std::env::temp_dir().join(format!(
+        "ecripse-serve-telemetry-http-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let config = ServeConfig {
+        journal: Some(dir.join("journal.jsonl")),
+        ..ServeConfig::default()
+    };
+    let server =
+        Server::bind_with("127.0.0.1:0", config, |_scenario, _vdd| linear_bench()).expect("bind");
     let client = Client::new(server.local_addr().to_string());
 
     // Complete one job so the job-duration histogram has a sample.
@@ -232,6 +242,35 @@ fn prometheus_exposition_parses_and_agrees_with_json() {
 
     // The core observer bridge surfaced pipeline metrics too.
     assert!(scalars["ecripse_simulations_total"] > 0.0);
+
+    // The queue-depth gauge is registered and idle (the one job has
+    // already drained), and it agrees with the JSON document.
+    assert_eq!(scalars["ecripse_serve_queue_depth"], 0.0);
+    assert_eq!(
+        scalars["ecripse_serve_queue_depth"],
+        metrics.queue_depth as f64
+    );
+
+    // The journal-replay histogram is present with the full triple.
+    // This server started from an empty directory, so exactly one
+    // (near-instant) replay was observed at bind time.
+    for suffix in ["_bucket", "_sum", "_count"] {
+        assert!(
+            names
+                .iter()
+                .any(|n| n == &format!("ecripse_serve_journal_replay_duration_seconds{suffix}")),
+            "missing ecripse_serve_journal_replay_duration_seconds{suffix} in exposition"
+        );
+    }
+    assert_eq!(
+        scalars["ecripse_serve_journal_replay_duration_seconds_count"],
+        1.0
+    );
+    assert!(scalars["ecripse_serve_journal_replay_duration_seconds_sum"] >= 0.0);
+    assert_eq!(
+        scalars["ecripse_serve_journal_replay_duration_seconds_sum"],
+        metrics.journal_replay_duration_seconds
+    );
     server.shutdown();
 }
 

@@ -10,9 +10,10 @@ use ecripse_core::observe::{RunReport, Stage, StageReport};
 use ecripse_core::oracle::OracleStats;
 use ecripse_core::scenario::Scenario;
 use ecripse_core::sweep::{SweepPoint, SweepReports};
+use ecripse_core::telemetry::{fmt_hex_id, SpanRecord, TraceContext};
 use ecripse_serve::protocol::{
     ApiError, EstimateOutcome, Health, JobProgress, JobReport, JobSpec, JobState, JobStatus,
-    Metrics, ScenarioJobCount, SubmitRequest, SweepOutcome,
+    JobTrace, Metrics, ScenarioJobCount, SubmitRequest, SweepOutcome,
 };
 use proptest::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -183,6 +184,7 @@ proptest! {
             } else {
                 None
             },
+            trace_id: if has_position { Some(fmt_hex_id(id | 1)) } else { None },
         };
         prop_assert_eq!(roundtrip(&status), status);
     }
@@ -229,6 +231,7 @@ proptest! {
             error: None,
             estimate: Some(outcome),
             sweep: None,
+            trace_id: Some(fmt_hex_id(seed | 1)),
         };
         prop_assert_eq!(roundtrip(&document), document);
     }
@@ -273,6 +276,7 @@ proptest! {
             error: None,
             estimate: None,
             sweep: Some(outcome),
+            trace_id: Some(fmt_hex_id(seed | 1)),
         };
         prop_assert_eq!(roundtrip(&document), document);
     }
@@ -335,6 +339,7 @@ proptest! {
             journal_compactions_total: counts[2] / 3,
             journal_frames_replayed_total: counts[4] / 2,
             journal_bytes: counts[7],
+            journal_replay_duration_seconds: depth as f64 * 0.0625,
             uptime_seconds: depth as f64 * 0.125,
             jobs_in_terminal_state: counts[1] + counts[2] + counts[3] + counts[4],
             scenario_jobs: Scenario::ALL
@@ -374,10 +379,105 @@ proptest! {
                 is_samples: 3,
                 estimate: Some(inf),
             }),
+            trace_id: None,
         };
         let json = serde_json::to_string(&status).expect("serialise");
         let sentinel = if positive { "\"estimate\":\"Infinity\"" } else { "\"estimate\":\"-Infinity\"" };
         prop_assert!(json.contains(sentinel), "expected the string sentinel in {json}");
         prop_assert_eq!(roundtrip(&status), status);
+    }
+
+    #[test]
+    fn prop_trace_context_roundtrips(
+        trace_id in 1u64..u64::MAX,
+        parent in 0u64..u64::MAX,
+    ) {
+        // Ids cross the wire as 16-hex-digit strings, so the FULL u64
+        // range must survive — no f64 precision cliff at 2^53.
+        let context = TraceContext { trace_id, parent_span_id: parent };
+        prop_assert_eq!(roundtrip(&context), context);
+        // The same context drives the traceparent header, which must
+        // parse back exactly.
+        prop_assert_eq!(TraceContext::parse_traceparent(&context.traceparent()), Some(context));
+    }
+
+    #[test]
+    fn prop_merged_trace_documents_roundtrip(
+        job_id in 0u64..(1 << 53),
+        ids in proptest::collection::vec(1u64..u64::MAX, 4),
+        start in 1.0e9f64..2.0e9,
+        durations in proptest::collection::vec(0.0f64..100.0, 3),
+    ) {
+        // A merged waterfall: a coordinator root span plus shard and
+        // worker spans, as `GET /v1/jobs/{id}/trace` would return it.
+        let spans: Vec<SpanRecord> = durations
+            .iter()
+            .enumerate()
+            .map(|(k, &duration)| SpanRecord {
+                trace_id: fmt_hex_id(ids[0]),
+                span_id: fmt_hex_id(ids[k + 1]),
+                parent_span_id: if k == 0 { fmt_hex_id(0) } else { fmt_hex_id(ids[1]) },
+                name: if k == 0 { "job".to_string() } else { format!("shard-{k}") },
+                node: if k == 2 { "worker-a".to_string() } else { "coordinator".to_string() },
+                start_ts: start + k as f64 * 0.25,
+                duration_s: duration,
+            })
+            .collect();
+        let document = JobTrace {
+            job_id,
+            trace_id: fmt_hex_id(ids[0]),
+            spans,
+        };
+        prop_assert_eq!(roundtrip(&document), document);
+    }
+
+    #[test]
+    fn prop_pre_trace_wire_documents_still_parse(
+        id in 0u64..(1 << 53),
+        pick in 0u32..6,
+    ) {
+        // PR-9-era peers send JobStatus/JobReport documents without
+        // `trace_id`; the serde default keeps them valid.
+        let status = JobStatus {
+            id,
+            scenario: scenario(pick),
+            state: job_state(pick),
+            queue_position: None,
+            error: None,
+            progress: None,
+            trace_id: Some(fmt_hex_id(id | 1)),
+        };
+        let stripped = {
+            let json = serde_json::to_string(&status).expect("serialise");
+            let mut value: serde::json::Value = serde_json::from_str(&json).expect("parse");
+            if let serde::json::Value::Object(entries) = &mut value {
+                entries.retain(|(key, _)| key != "trace_id");
+            }
+            serde_json::to_string(&value).expect("re-serialise")
+        };
+        let parsed: JobStatus = serde_json::from_str(&stripped).expect("old wire form parses");
+        prop_assert_eq!(parsed.trace_id, None);
+        prop_assert_eq!(parsed.id, status.id);
+
+        let report = JobReport {
+            id,
+            scenario: scenario(pick),
+            state: JobState::Completed,
+            error: None,
+            estimate: None,
+            sweep: None,
+            trace_id: Some(fmt_hex_id(id | 1)),
+        };
+        let stripped = {
+            let json = serde_json::to_string(&report).expect("serialise");
+            let mut value: serde::json::Value = serde_json::from_str(&json).expect("parse");
+            if let serde::json::Value::Object(entries) = &mut value {
+                entries.retain(|(key, _)| key != "trace_id");
+            }
+            serde_json::to_string(&value).expect("re-serialise")
+        };
+        let parsed: JobReport = serde_json::from_str(&stripped).expect("old wire form parses");
+        prop_assert_eq!(parsed.trace_id, None);
+        prop_assert_eq!(parsed.id, report.id);
     }
 }

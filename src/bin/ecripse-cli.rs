@@ -17,6 +17,8 @@
 //! ecripse-cli submit   --addr HOST:PORT [--vdd V] [--scenario NAME] [--alpha A] [--no-rtn]
 //!                      [--samples N] [--seed S] [--threads T] [--timeout SECS]
 //!                      [--deadline MS] [--idempotency-key KEY] [--retry N]
+//!                      [--points K] [--m-rtn M]
+//! ecripse-cli trace    JOB_ID --addr HOST:PORT [--json]
 //! ```
 //!
 //! `--scenario NAME` picks the indicator function the run estimates —
@@ -72,12 +74,22 @@
 //! heartbeats, and merges shard reports into a result bit-identical to
 //! a single-process run.
 //!
-//! `submit` sends one estimate job to a running server and waits for
-//! the result; `--deadline MS` bounds its server-side wall-clock
-//! budget, `--retry N` turns on client-side retries (connect errors,
-//! `5xx`, `429`) and `--idempotency-key KEY` makes those retries safe —
-//! a resubmission with the same key returns the original job instead of
-//! enqueuing a duplicate.
+//! `submit` sends one job to a running server (or coordinator — same
+//! protocol) and waits for the result; `--points K` submits a K-point
+//! duty-ratio sweep instead of a single estimate (a coordinator shards
+//! it across workers). `--deadline MS` bounds its server-side
+//! wall-clock budget, `--retry N` turns on client-side retries (connect
+//! errors, `5xx`, `429`) and `--idempotency-key KEY` makes those
+//! retries safe — a resubmission with the same key returns the original
+//! job instead of enqueuing a duplicate.
+//!
+//! `trace` fetches a finished (or running) job's distributed trace —
+//! `GET /v1/jobs/{id}/trace` — and renders it as an ASCII waterfall:
+//! one line per span, indented by parent, bars on a shared timeline.
+//! Against a coordinator the waterfall spans the whole cluster (the
+//! coordinator's job/shard spans plus every worker's stage spans, all
+//! under one trace id); `--json` prints the raw merged span document
+//! instead.
 //!
 //! Threshold shifts for `margin` are in volts, canonical device order
 //! `PL, NL, PR, NR, AL, AR`.
@@ -217,6 +229,71 @@ fn print_latency_summary(registry: &MetricsRegistry, path: &str) {
     eprintln!("trace log written to {path}");
 }
 
+/// Bar width of the `trace` waterfall timeline.
+const WATERFALL_COLS: usize = 48;
+
+/// Renders a merged trace as an ASCII waterfall: one line per span,
+/// indented under its parent, bars on a shared timeline spanning the
+/// earliest start to the latest end.
+fn render_waterfall(trace: &JobTrace) -> String {
+    use std::fmt::Write as _;
+    let spans = &trace.spans;
+    let start = spans
+        .iter()
+        .map(|s| s.start_ts)
+        .fold(f64::INFINITY, f64::min);
+    let end = spans.iter().map(|s| s.end_ts()).fold(0.0f64, f64::max);
+    let window = (end - start).max(1e-9);
+    let scale = WATERFALL_COLS as f64 / window;
+    let parents: HashMap<&str, &str> = spans
+        .iter()
+        .map(|s| (s.span_id.as_str(), s.parent_span_id.as_str()))
+        .collect();
+    let node_width = spans.iter().map(|s| s.node.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace {} — job {}, {} span(s), {:.3}s end to end",
+        trace.trace_id,
+        trace.job_id,
+        spans.len(),
+        window
+    );
+    for span in spans {
+        // Indent by ancestry depth; unknown parents (client-side or
+        // truncated traces) count as roots. Cycle-proof via the cap.
+        let mut depth = 0usize;
+        let mut cursor = span.parent_span_id.as_str();
+        while depth < 8 {
+            match parents.get(cursor) {
+                Some(next) => {
+                    depth += 1;
+                    cursor = next;
+                }
+                None => break,
+            }
+        }
+        let lead = (((span.start_ts - start) * scale) as usize).min(WATERFALL_COLS - 1);
+        let len = ((span.duration_s * scale).ceil() as usize)
+            .max(1)
+            .min(WATERFALL_COLS - lead);
+        let mut bar = String::new();
+        bar.push_str(&" ".repeat(lead));
+        bar.push_str(&"#".repeat(len));
+        let _ = writeln!(
+            out,
+            "  [{:<node_width$}] {:<WATERFALL_COLS$} {}{} {:+.3}s ({:.3}s)",
+            span.node,
+            bar,
+            "  ".repeat(depth),
+            span.name,
+            span.start_ts - start,
+            span.duration_s
+        );
+    }
+    out
+}
+
 fn usage() {
     let scenario_ids: Vec<&str> = registry().iter().map(|info| info.id).collect();
     eprintln!(
@@ -251,13 +328,16 @@ fn usage() {
          \x20          --addr HOST:PORT (127.0.0.1:7979)  --heartbeat-ms MS (250)\n\
          \x20          --timeout-ms MS (1500; silence past this reaps a worker)\n\
          \x20          --shard-points K (2; max duty points per shard)  --max-jobs N (32)\n\
-         submit    send one estimate job to a running server and wait\n\
+         submit    send one job to a running server/coordinator and wait\n\
          \x20          --addr HOST:PORT (required)  --vdd V (0.7)  --scenario NAME\n\
          \x20          --alpha A (0.5)  --no-rtn\n\
+         \x20          --points K (submit a K-point duty sweep instead)  --m-rtn M\n\
          \x20          --samples N (4000)  --seed S  --threads T  --timeout SECS (600)\n\
          \x20          --deadline MS (server-side wall-clock budget)\n\
          \x20          --idempotency-key KEY (retry-safe submission dedup)\n\
-         \x20          --retry N (0; retries on connect errors, 5xx and 429)",
+         \x20          --retry N (0; retries on connect errors, 5xx and 429)\n\
+         trace     fetch a job's distributed trace and render a waterfall\n\
+         \x20          trace JOB_ID --addr HOST:PORT (required)  --json (raw span document)",
         scenario_ids.join(", ")
     );
 }
@@ -268,7 +348,19 @@ fn run() -> Result<(), String> {
         usage();
         return Err("missing subcommand".into());
     };
-    let args = Args::parse(rest)?;
+    // `trace` takes its job id as a leading positional (`trace 3 --addr
+    // …`); peel it off before the `--key value` parser, which rejects
+    // bare arguments everywhere else.
+    let mut rest: Vec<String> = rest.to_vec();
+    let mut leading_job: Option<String> = None;
+    if cmd == "trace" {
+        if let Some(first) = rest.first() {
+            if !first.starts_with("--") {
+                leading_job = Some(rest.remove(0));
+            }
+        }
+    }
+    let args = Args::parse(&rest)?;
     let vdd: f64 = args.get("vdd", 0.7)?;
     if !(0.2..=1.2).contains(&vdd) {
         return Err(format!("--vdd {vdd} outside the sane range [0.2, 1.2]"));
@@ -518,6 +610,9 @@ fn run() -> Result<(), String> {
                 spool: args.opt::<String>("spool")?.map(Into::into),
                 cache_store: args.opt::<String>("cache-store")?.map(Into::into),
                 journal: args.opt::<String>("journal")?.map(Into::into),
+                // Trace spans carry the worker name as their node, so a
+                // cluster waterfall names the worker, not just a port.
+                node: args.opt::<String>("worker-name")?,
                 ..ServeConfig::default()
             };
             let workers = config.workers.max(1);
@@ -601,7 +696,18 @@ fn run() -> Result<(), String> {
             cfg.importance.n_samples = args.get("samples", 4000)?;
             cfg.seed = args.get("seed", 0xec4155e)?;
             cfg.threads = args.get("threads", 0)?;
-            let job = if args.flag("no-rtn") {
+            let job = if let Some(points) = args.opt::<usize>("points")? {
+                if points < 2 {
+                    return Err("--points must be at least 2".into());
+                }
+                if let Some(m_rtn) = args.opt::<usize>("m-rtn")? {
+                    cfg.importance.m_rtn = m_rtn;
+                }
+                let alphas: Vec<f64> = (0..points)
+                    .map(|i| i as f64 / (points - 1) as f64)
+                    .collect();
+                JobSpec::sweep(vdd, alphas)
+            } else if args.flag("no-rtn") {
                 cfg.importance.m_rtn = 1;
                 cfg.m_rtn_stage1 = 1;
                 JobSpec::rdf_only(vdd)
@@ -642,17 +748,63 @@ fn run() -> Result<(), String> {
                     report.error.unwrap_or_else(|| "no error recorded".into())
                 ));
             }
-            let outcome = report
-                .estimate
-                .ok_or_else(|| "completed job carried no estimate outcome".to_string())?;
-            println!(
-                "P_fail = {:.4e} ± {:.2e}",
-                outcome.p_fail, outcome.ci95_half_width
-            );
-            println!(
-                "cost: {} transistor-level simulations, {} importance samples",
-                outcome.simulations, outcome.is_samples
-            );
+            if let Some(trace_id) = &report.trace_id {
+                println!(
+                    "trace {trace_id} (inspect: ecripse-cli trace {} --addr {addr})",
+                    report.id
+                );
+            }
+            if let Some(sweep) = report.sweep {
+                println!("{:<8} {:>12} {:>12}", "alpha", "P_fail", "ci95");
+                for point in &sweep.points {
+                    println!(
+                        "{:<8} {:>12.4e} {:>12.2e}",
+                        point.alpha, point.p_fail, point.ci95_half_width
+                    );
+                }
+                println!(
+                    "rdf-only: {:.4e}   total sims: {}",
+                    sweep.p_fail_rdf_only, sweep.total_simulations
+                );
+            } else {
+                let outcome = report
+                    .estimate
+                    .ok_or_else(|| "completed job carried no estimate outcome".to_string())?;
+                println!(
+                    "P_fail = {:.4e} ± {:.2e}",
+                    outcome.p_fail, outcome.ci95_half_width
+                );
+                println!(
+                    "cost: {} transistor-level simulations, {} importance samples",
+                    outcome.simulations, outcome.is_samples
+                );
+            }
+        }
+        "trace" => {
+            let Some(addr) = args.opt::<String>("addr")? else {
+                return Err("trace requires --addr HOST:PORT".into());
+            };
+            let job_id: u64 = match leading_job.or_else(|| args.values.get("job").cloned()) {
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|_| format!("trace: job id must be numeric, got '{raw}'"))?,
+                None => return Err("trace requires a JOB_ID (or --job ID)".into()),
+            };
+            let timeout = std::time::Duration::from_secs(args.get("timeout", 30)?);
+            let client = Client::new(addr.clone()).with_timeout(timeout);
+            let trace = client.trace(job_id).map_err(|e| format!("{addr}: {e}"))?;
+            if args.flag("json") {
+                let json = serde_json::to_string_pretty(&trace)
+                    .map_err(|e| format!("render trace: {e}"))?;
+                println!("{json}");
+            } else if trace.spans.is_empty() {
+                println!(
+                    "trace {} — job {}: no spans recorded yet (job still running?)",
+                    trace.trace_id, trace.job_id
+                );
+            } else {
+                print!("{}", render_waterfall(&trace));
+            }
         }
         "help" | "--help" | "-h" => usage(),
         other => {

@@ -85,12 +85,13 @@ pub mod prelude {
         SweepBench, SweepError, SweepOptions, SweepPoint, SweepReports, SweepResult, SweepShard,
     };
     pub use ecripse_core::telemetry::{
-        Counter, Gauge, Histogram, MetricsRegistry, RotatingFileSink, TelemetryObserver, Tracer,
+        Counter, Gauge, Histogram, MetricsRegistry, RotatingFileSink, SpanRecord, SpanStore,
+        TelemetryObserver, TraceContext, Tracer,
     };
     pub use ecripse_rtn::model::RtnCellModel;
     pub use ecripse_serve::{
-        BackoffPolicy, Client, ClientError, JobSpec, JobState, Readiness, ServeConfig, Server,
-        SubmitRequest,
+        BackoffPolicy, Client, ClientError, JobSpec, JobState, JobTrace, Readiness, ServeConfig,
+        Server, SubmitRequest,
     };
     pub use ecripse_spice::error::EvalError;
     pub use ecripse_spice::sram::{CellDevice, Sram6T};

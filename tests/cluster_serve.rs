@@ -6,6 +6,7 @@
 //! one. The workers run with write-ahead journals, so the suite also
 //! smoke-checks the journal metrics the `/metrics` document exposes.
 
+use ecripse::core::telemetry::fmt_hex_id;
 use ecripse::prelude::*;
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
@@ -222,4 +223,102 @@ fn every_scenario_merges_bit_identically_and_journals_its_shards() {
     let _ = std::fs::remove_dir_all(&dir_a);
     let _ = std::fs::remove_dir_all(&dir_b);
     let _ = std::fs::remove_dir_all(&baseline_dir);
+}
+
+/// The observability surface at process level: a traced sweep through
+/// the spawned cluster yields one waterfall spanning the coordinator
+/// and both named workers (fetched with `ecripse-cli trace --json`),
+/// and the coordinator's federated exposition labels each worker's
+/// serve series with its name.
+#[test]
+fn traced_sweep_federates_spans_and_metrics_across_processes() {
+    let coordinator = Proc::coordinator();
+    let dir_a = scratch_dir("trace-worker-a");
+    let dir_b = scratch_dir("trace-worker-b");
+    let worker_a = Proc::serve(
+        &dir_a,
+        &["--join", &coordinator.addr, "--worker-name", "tr-a"],
+    );
+    let worker_b = Proc::serve(
+        &dir_b,
+        &["--join", &coordinator.addr, "--worker-name", "tr-b"],
+    );
+    let client = coordinator.client();
+    client.wait_ready(WAIT).expect("coordinator becomes ready");
+
+    let context = TraceContext::for_job(7, 300);
+    let trace_id = fmt_hex_id(context.trace_id);
+    let request = sweep_request(Scenario::ALL[0], 300).with_trace(context);
+    let submitted = client.submit(&request).expect("submit traced sweep");
+    let report = client
+        .wait_for_report(submitted.id, WAIT)
+        .expect("traced sweep completes");
+    assert_eq!(report.state, JobState::Completed, "{:?}", report.error);
+    assert_eq!(report.trace_id.as_deref(), Some(trace_id.as_str()));
+
+    // The CLI's trace subcommand fetches the merged waterfall as JSON.
+    let output = cli()
+        .args([
+            "trace",
+            &submitted.id.to_string(),
+            "--addr",
+            &coordinator.addr,
+            "--json",
+        ])
+        .output()
+        .expect("cli trace runs");
+    assert!(
+        output.status.success(),
+        "trace command failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let trace: JobTrace = serde_json::from_str(&String::from_utf8_lossy(&output.stdout))
+        .expect("trace document parses");
+    assert_eq!(trace.job_id, submitted.id);
+    assert_eq!(trace.trace_id, trace_id);
+    assert!(
+        trace.spans.iter().all(|span| span.trace_id == trace_id),
+        "every span shares the job trace id"
+    );
+    for node in ["coordinator", "tr-a", "tr-b"] {
+        assert!(
+            trace.spans.iter().any(|span| span.node == node),
+            "no span from {node} in the merged waterfall"
+        );
+    }
+
+    // The human rendering is an ASCII waterfall headed by the trace id.
+    let output = cli()
+        .args([
+            "trace",
+            &submitted.id.to_string(),
+            "--addr",
+            &coordinator.addr,
+        ])
+        .output()
+        .expect("cli trace runs");
+    assert!(output.status.success());
+    let rendered = String::from_utf8_lossy(&output.stdout).to_string();
+    assert!(rendered.contains(&trace_id), "waterfall names the trace id");
+    assert!(
+        rendered.contains("[coordinator"),
+        "waterfall names the coordinator node:\n{rendered}"
+    );
+
+    // Federated exposition: each worker's serve series is labelled.
+    let text = client.metrics_prometheus().expect("federated exposition");
+    for worker in ["tr-a", "tr-b"] {
+        assert!(
+            text.contains(&format!(
+                "ecripse_serve_submitted_total{{worker=\"{worker}\"}}"
+            )),
+            "missing {worker}'s relabelled series in the federated exposition"
+        );
+    }
+
+    worker_a.shutdown();
+    worker_b.shutdown();
+    coordinator.shutdown();
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
 }
